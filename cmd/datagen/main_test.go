@@ -1,0 +1,43 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"vmcloud/internal/storage"
+)
+
+func TestRunGeneratesAndSaves(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "sales.ds")
+	if err := run(1000, 7, 1.2, out, true); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := storage.LoadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Facts.Rows() != 1000 {
+		t.Errorf("rows = %d, want 1000", ds.Facts.Rows())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(0, 1, 1.2, "", false); err == nil {
+		t.Error("zero rows accepted")
+	}
+	if err := run(10, 1, 0.5, "", false); err == nil {
+		t.Error("bad skew accepted")
+	}
+	if err := run(10, 1, 1.2, filepath.Join(t.TempDir(), "no", "such", "dir", "x.ds"), false); err == nil {
+		t.Error("unwritable path accepted")
+	}
+}
+
+func TestMainSmoke(t *testing.T) {
+	// run() without output or preview just reports.
+	if err := run(50, 3, 1.5, "", false); err != nil {
+		t.Fatal(err)
+	}
+	_ = os.Stdout
+}

@@ -1,0 +1,182 @@
+// Command mvcloud is the view-materialization advisor CLI: given a
+// workload size, a cloud tariff and one of the paper's three objectives,
+// it prints the recommended view set and the itemized monthly bill.
+//
+// Usage:
+//
+//	mvcloud -scenario mv1 -budget 25.00 [-queries 10] [-provider aws-2012]
+//	mvcloud -scenario mv2 -limit 4h
+//	mvcloud -scenario mv3 -alpha 0.65
+//	mvcloud -scenario pareto -steps 11
+//	mvcloud -tariffs            # print the built-in provider catalog
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"vmcloud/internal/core"
+	"vmcloud/internal/costmodel"
+	"vmcloud/internal/lattice"
+	"vmcloud/internal/money"
+	"vmcloud/internal/pricing"
+	"vmcloud/internal/report"
+	"vmcloud/internal/schema"
+	"vmcloud/internal/workload"
+)
+
+func main() {
+	var (
+		scenario  = flag.String("scenario", "mv1", "mv1 (budget), mv2 (deadline), mv3 (tradeoff) or pareto")
+		budgetStr = flag.String("budget", "25.00", "MV1 budget in dollars")
+		limitStr  = flag.String("limit", "4h", "MV2 response-time limit (Go duration)")
+		alpha     = flag.Float64("alpha", 0.5, "MV3 weight on time (0..1)")
+		steps     = flag.Int("steps", 11, "pareto sweep steps")
+		queries   = flag.Int("queries", 10, "sales workload size (1..10)")
+		freq      = flag.Int("freq", 30, "executions of each query per month")
+		provider  = flag.String("provider", "aws-2012", "tariff name (see -tariffs)")
+		provFile  = flag.String("provider-file", "", "load the tariff from a JSON file instead of -provider")
+		instance  = flag.String("instance", "small", "instance type")
+		fleet     = flag.Int("fleet", 5, "number of instances")
+		rows      = flag.Int64("rows", 200_000_000, "fact table rows (≈size/50B)")
+		tariffs   = flag.Bool("tariffs", false, "print the provider catalog and exit")
+		invoice   = flag.Bool("invoice", false, "print an itemized invoice for the recommendation")
+	)
+	flag.Parse()
+
+	if *tariffs {
+		printTariffs()
+		return
+	}
+	if err := run(runOpts{
+		scenario: *scenario, budget: *budgetStr, limit: *limitStr,
+		alpha: *alpha, steps: *steps, queries: *queries, freq: *freq,
+		provider: *provider, providerFile: *provFile,
+		instance: *instance, fleet: *fleet, rows: *rows, invoice: *invoice,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "mvcloud:", err)
+		os.Exit(1)
+	}
+}
+
+func printTariffs() {
+	for _, name := range pricing.ProviderNames() {
+		p, _ := pricing.Lookup(name)
+		t := report.NewTable(fmt.Sprintf("%s — compute (%s billing)", p.Name, p.Compute.Granularity),
+			"instance", "$/hour", "RAM", "ECU", "local storage")
+		for _, in := range p.Compute.InstanceNames() {
+			it, _ := p.Compute.Instance(in)
+			t.AddRow(it.Name, it.PricePerHour, it.RAM, it.ECU, it.LocalStorage)
+		}
+		fmt.Println(t)
+		st := report.NewTable(fmt.Sprintf("%s — storage ($/GB/month, %s)", p.Name, p.Storage.Table.Mode), "up to", "price")
+		for _, tier := range p.Storage.Table.Tiers {
+			bound := "∞"
+			if tier.UpTo != 0 {
+				bound = tier.UpTo.String()
+			}
+			st.AddRow(bound, tier.PricePerGB)
+		}
+		fmt.Println(st)
+	}
+}
+
+type runOpts struct {
+	scenario, budget, limit string
+	alpha                   float64
+	steps, queries, freq    int
+	provider, providerFile  string
+	instance                string
+	fleet                   int
+	rows                    int64
+	invoice                 bool
+}
+
+func run(o runOpts) error {
+	var prov pricing.Provider
+	var err error
+	if o.providerFile != "" {
+		prov, err = pricing.LoadProviderFile(o.providerFile)
+	} else {
+		prov, err = pricing.Lookup(o.provider)
+	}
+	if err != nil {
+		return err
+	}
+	l, err := lattice.New(schema.Sales(), o.rows)
+	if err != nil {
+		return err
+	}
+	w, err := workload.Sales(l, o.queries)
+	if err != nil {
+		return err
+	}
+	for i := range w.Queries {
+		w.Queries[i].Frequency = o.freq
+	}
+	adv, err := core.New(core.Config{
+		Provider:     &prov,
+		InstanceType: o.instance,
+		Instances:    o.fleet,
+		FactRows:     o.rows,
+		Workload:     w,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("cluster: %s   workload: %d queries × %d/month   candidates: %d\n\n",
+		adv.Cl, o.queries, o.freq, len(adv.Candidates))
+
+	printRec := func(rec core.Recommendation) {
+		fmt.Print(rec.Render())
+		if o.invoice {
+			plan := adv.PlanFor(rec.Selection)
+			fmt.Println("\nitemized invoice:")
+			fmt.Print(costmodel.Itemize(plan, rec.Selection.Bill))
+		}
+	}
+
+	switch o.scenario {
+	case "mv1":
+		budget, err := money.Parse(o.budget)
+		if err != nil {
+			return err
+		}
+		rec, err := adv.AdviseBudget(budget)
+		if err != nil {
+			return err
+		}
+		printRec(rec)
+	case "mv2":
+		limit, err := time.ParseDuration(o.limit)
+		if err != nil {
+			return err
+		}
+		rec, err := adv.AdviseDeadline(limit)
+		if err != nil {
+			return err
+		}
+		printRec(rec)
+	case "mv3":
+		rec, err := adv.AdviseTradeoff(o.alpha)
+		if err != nil {
+			return err
+		}
+		printRec(rec)
+	case "pareto":
+		front, err := adv.ParetoFront(o.steps)
+		if err != nil {
+			return err
+		}
+		t := report.NewTable("time/cost Pareto frontier", "α", "workload time", "monthly bill", "views")
+		for _, p := range front {
+			t.AddRow(fmt.Sprintf("%.2f", p.Alpha), fmt.Sprintf("%.3fh", p.Time.Hours()), p.Cost, p.Views)
+		}
+		fmt.Println(t)
+	default:
+		return fmt.Errorf("unknown scenario %q (want mv1, mv2, mv3 or pareto)", o.scenario)
+	}
+	return nil
+}

@@ -1,0 +1,47 @@
+package main
+
+import "testing"
+
+func TestRunScenarios(t *testing.T) {
+	const rows = 10_000_000 // keep lattice math fast
+	cases := []struct {
+		name     string
+		scenario string
+	}{
+		{"mv1", "mv1"},
+		{"mv2", "mv2"},
+		{"mv3", "mv3"},
+		{"pareto", "pareto"},
+	}
+	for _, c := range cases {
+		o := runOpts{scenario: c.scenario, budget: "25.00", limit: "4h", alpha: 0.5,
+			steps: 5, queries: 5, freq: 30, provider: "aws-2012",
+			instance: "small", fleet: 5, rows: rows, invoice: true}
+		if err := run(o); err != nil {
+			t.Errorf("%s: %v", c.name, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	base := runOpts{budget: "1", limit: "1h", alpha: 0.5, steps: 5, queries: 3,
+		freq: 1, provider: "aws-2012", instance: "small", fleet: 5, rows: 10_000_000}
+	for name, mut := range map[string]func(*runOpts){
+		"unknown scenario":      func(o *runOpts) { o.scenario = "warp" },
+		"bad budget":            func(o *runOpts) { o.scenario = "mv1"; o.budget = "not-money" },
+		"bad duration":          func(o *runOpts) { o.scenario = "mv2"; o.limit = "not-a-duration" },
+		"unknown provider":      func(o *runOpts) { o.scenario = "mv1"; o.provider = "nonexistent-cloud" },
+		"oversized workload":    func(o *runOpts) { o.scenario = "mv1"; o.queries = 99 },
+		"missing provider file": func(o *runOpts) { o.scenario = "mv1"; o.providerFile = "/nonexistent/tariff.json" },
+	} {
+		o := base
+		mut(&o)
+		if err := run(o); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestPrintTariffs(t *testing.T) {
+	printTariffs() // must not panic
+}

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"vmcloud/internal/datagen"
+)
+
+func writeScript(t *testing.T, src string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "q.pig")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const q1 = `raw = LOAD 'sales' AS (day, month, year, department, region, country, profit);
+grp = GROUP raw BY (year, country);
+out = FOREACH grp GENERATE group, SUM(raw.profit) AS total;
+STORE out INTO 'result';
+`
+
+func TestRunGeneratedData(t *testing.T) {
+	script := writeScript(t, q1)
+	if err := run(script, "", 2000, 5, 2, 2, 5); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSavedDataset(t *testing.T) {
+	ds, err := datagen.GenerateSales(datagen.Config{Rows: 500, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dataPath := filepath.Join(t.TempDir(), "sales.ds")
+	if err := ds.SaveFile(dataPath); err != nil {
+		t.Fatal(err)
+	}
+	script := writeScript(t, q1)
+	if err := run(script, dataPath, 0, 0, 0, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(filepath.Join(t.TempDir(), "missing.pig"), "", 100, 1, 0, 0, 10); err == nil {
+		t.Error("missing script accepted")
+	}
+	bad := writeScript(t, "this is not piglet;")
+	if err := run(bad, "", 100, 1, 0, 0, 10); err == nil {
+		t.Error("bad script accepted")
+	}
+	script := writeScript(t, q1)
+	if err := run(script, filepath.Join(t.TempDir(), "missing.ds"), 0, 0, 0, 0, 10); err == nil {
+		t.Error("missing dataset accepted")
+	}
+	if err := run(script, "", 0, 1, 0, 0, 10); err == nil {
+		t.Error("zero generated rows accepted")
+	}
+}

@@ -1,0 +1,51 @@
+// Budget planner: sweep monthly budgets for the paper's scenario MV1 and
+// show how response time buys down as the budget grows — the marginal
+// value of each extra dollar spent on materialized views.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vmcloud"
+	"vmcloud/internal/report"
+)
+
+func main() {
+	l, err := vmcloud.NewLattice(vmcloud.SalesSchema(), 200_000_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	w, err := vmcloud.SalesWorkload(l, 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := range w.Queries {
+		w.Queries[i].Frequency = 30
+	}
+	adv, err := vmcloud.NewAdvisor(vmcloud.AdvisorConfig{Workload: w})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	t := report.NewTable("MV1 budget sweep — 10-query sales workload, daily",
+		"budget", "feasible", "workload time", "monthly bill", "views", "time improvement")
+	chart := report.NewBarChart("response time by budget", "h")
+	for _, budget := range []float64{10, 15, 20, 25, 35, 50} {
+		rec, err := adv.AdviseBudget(vmcloud.Dollars(budget))
+		if err != nil {
+			log.Fatal(err)
+		}
+		t.AddRow(
+			vmcloud.Dollars(budget),
+			rec.Selection.Feasible,
+			fmt.Sprintf("%.3fh", rec.Selection.Time.Hours()),
+			rec.Selection.Bill.Total(),
+			len(rec.Selection.Points),
+			report.Percent(rec.TimeImprovement()),
+		)
+		chart.Add(fmt.Sprintf("$%g", budget), rec.Selection.Time.Hours())
+	}
+	fmt.Println(t)
+	fmt.Println(chart)
+}

@@ -1,0 +1,42 @@
+// Quickstart: size a sales warehouse in the cloud, ask the advisor which
+// views to materialize under a monthly budget, and print the itemized
+// comparison — the README's five-minute tour of the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vmcloud"
+)
+
+func main() {
+	// A ~10 GB sales warehouse (200M facts at ≈50 B/row).
+	l, err := vmcloud.NewLattice(vmcloud.SalesSchema(), 200_000_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The paper's 10-query analytical workload, run daily.
+	w, err := vmcloud.SalesWorkload(l, 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := range w.Queries {
+		w.Queries[i].Frequency = 30
+	}
+
+	// Default setting: AWS-2012 tariff, five small instances.
+	adv, err := vmcloud.NewAdvisor(vmcloud.AdvisorConfig{Workload: w})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Scenario MV1: the fastest workload money ≤ $25/month can buy.
+	rec, err := adv.AdviseBudget(vmcloud.Dollars(25))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(rec.Render())
+	fmt.Printf("\ncandidates considered: %d\n", len(adv.Candidates))
+}

@@ -1,0 +1,63 @@
+// Scale-out vs views: the paper's introductory framing made concrete.
+// For each fleet size, compare the no-view configuration against the
+// optimizer's view set, then answer the operational question: to bring the
+// daily workload under a deadline, is it cheaper to rent more instances or
+// to materialize views?
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"vmcloud"
+	"vmcloud/internal/report"
+	"vmcloud/internal/scaling"
+)
+
+func main() {
+	l, err := vmcloud.NewLattice(vmcloud.SalesSchema(), 200_000_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	w, err := vmcloud.SalesWorkload(l, 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := range w.Queries {
+		w.Queries[i].Frequency = 30
+	}
+
+	opts, err := scaling.Sweep(scaling.Config{FleetSizes: []int{2, 5, 10, 20, 40}}, w)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	t := report.NewTable("fleet sweep — 10-query sales workload, daily",
+		"instances", "views", "workload time", "monthly bill")
+	for _, o := range opts {
+		label := "—"
+		if o.WithViews {
+			label = fmt.Sprintf("%d", o.Views)
+		}
+		t.AddRow(o.Instances, label, fmt.Sprintf("%.2fh", o.Time.Hours()), o.Bill.Total())
+	}
+	fmt.Println(t)
+
+	deadline := 16 * time.Hour
+	fmt.Printf("Question: the month's workload must fit in %v of cluster time.\n\n", deadline)
+	without, with := scaling.Crossover(opts, deadline)
+	if without > 0 {
+		fmt.Printf("  scale-out answer: %d view-less instances\n", without)
+	} else {
+		fmt.Println("  scale-out answer: no swept fleet meets it without views")
+	}
+	if with > 0 {
+		fmt.Printf("  views answer:     %d instances with materialized views\n", with)
+	}
+	best, ok := scaling.CheapestMeeting(opts, deadline)
+	if ok {
+		fmt.Printf("  cheapest overall: %d instances, views=%v, %v/month (%.2fh)\n",
+			best.Instances, best.WithViews, best.Bill.Total(), best.Time.Hours())
+	}
+}

@@ -1,0 +1,51 @@
+// SLA tuner: the paper's scenario MV2 — given ever-tighter response-time
+// limits, find the cheapest view set meeting each one and report what the
+// service level costs.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"vmcloud"
+	"vmcloud/internal/report"
+)
+
+func main() {
+	l, err := vmcloud.NewLattice(vmcloud.SalesSchema(), 200_000_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	w, err := vmcloud.SalesWorkload(l, 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := range w.Queries {
+		w.Queries[i].Frequency = 30
+	}
+	adv, err := vmcloud.NewAdvisor(vmcloud.AdvisorConfig{Workload: w})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	t := report.NewTable("MV2 deadline sweep — 10-query sales workload, daily",
+		"time limit", "met", "achieved time", "monthly bill", "views")
+	for _, hours := range []float64{32, 24, 16, 8, 4, 2, 0.5} {
+		limit := time.Duration(hours * float64(time.Hour))
+		rec, err := adv.AdviseDeadline(limit)
+		if err != nil {
+			log.Fatal(err)
+		}
+		t.AddRow(
+			fmt.Sprintf("%.1fh", hours),
+			rec.Selection.Feasible,
+			fmt.Sprintf("%.3fh", rec.Selection.Time.Hours()),
+			rec.Selection.Bill.Total(),
+			len(rec.Selection.Points),
+		)
+	}
+	fmt.Println(t)
+	fmt.Println("Rows marked met=false are best-effort: no view set reaches that limit on this fleet;")
+	fmt.Println("scale the fleet up (AdvisorConfig.Instances) or relax the SLA.")
+}

@@ -1,0 +1,198 @@
+package vmcloud
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"vmcloud/internal/cluster"
+	"vmcloud/internal/datagen"
+	"vmcloud/internal/engine"
+	"vmcloud/internal/pricing"
+	"vmcloud/internal/scaling"
+	"vmcloud/internal/units"
+	"vmcloud/internal/views"
+	"vmcloud/internal/workload"
+)
+
+// TestMeasuredCalibration closes the loop between the execution substrate
+// and the analytical cost model: the workload runs for real on a 1/1000-
+// scale generated dataset, the cluster simulator converts measured bytes
+// into cloud hours via DataScale, and the result must agree with the
+// analytical estimator's prediction for the full-size dataset — the whole
+// premise of client-side view selection.
+func TestMeasuredCalibration(t *testing.T) {
+	const (
+		localRows = 200_000
+		fullRows  = 200_000_000
+		scale     = float64(fullRows) / float64(localRows)
+	)
+	ds, err := datagen.GenerateSales(datagen.Config{Rows: localRows, Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := engine.NewExecutor(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cl, err := cluster.New(pricing.AWS2012(), "small", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.DataScale = scale
+
+	// Measured: run the ten queries against the base table.
+	w, err := workload.Sales(ex.Lat, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex.ResetStats()
+	for _, q := range w.Queries {
+		if _, err := ex.Answer(q.Point, engine.Options{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	measured := cl.TimeForStats(ex.CumulativeStats())
+
+	// Analytical: the estimator's prediction at full scale on an identical
+	// but unscaled cluster (no per-job overhead on either path).
+	fullLat, err := NewLattice(SalesSchema(), fullRows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullW, err := SalesWorkload(fullLat, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	analyticCl, err := cluster.New(pricing.AWS2012(), "small", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	analytic := fullW.ScanTime(fullLat, nil, analyticCl.TimeFor)
+
+	// The two must agree closely: both are 10 full scans of ~10 GB.
+	ratio := float64(measured) / float64(analytic)
+	if math.Abs(ratio-1) > 0.05 {
+		t.Errorf("measured %v vs analytic %v (ratio %.3f), want within 5%%",
+			measured, analytic, ratio)
+	}
+}
+
+// TestMeasuredViewSpeedup verifies the same calibration WITH views: the
+// measured speedup from materializing the advisor's candidates approaches
+// the analytic prediction.
+func TestMeasuredViewSpeedup(t *testing.T) {
+	ds, err := datagen.GenerateSales(datagen.Config{Rows: 100_000, Seed: 37})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := engine.NewExecutor(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := workload.Sales(ex.Lat, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands, err := views.GenerateCandidates(ex.Lat, w, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Measured: bytes scanned without views...
+	ex.ResetStats()
+	for _, q := range w.Queries {
+		if _, err := ex.Answer(q.Point, engine.Options{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	withoutBytes := ex.CumulativeStats().BytesScanned
+
+	// ...then with the candidates materialized (materialization excluded
+	// from the query-path measurement).
+	for _, c := range cands {
+		if _, err := ex.Materialize(c.Point); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ex.ResetStats()
+	for _, q := range w.Queries {
+		if _, err := ex.Answer(q.Point, engine.Options{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	withBytes := ex.CumulativeStats().BytesScanned
+
+	measuredReduction := 1 - float64(withBytes)/float64(withoutBytes)
+	if measuredReduction < 0.5 {
+		t.Errorf("views only cut scanned bytes by %.1f%%, expected a large reduction", measuredReduction*100)
+	}
+
+	// Analytic prediction of the same reduction at local scale.
+	base := w.ScanTime(ex.Lat, nil, linearTime)
+	withViews := w.ScanTime(ex.Lat, views.Points(cands), linearTime)
+	analyticReduction := 1 - float64(withViews)/float64(base)
+	if math.Abs(measuredReduction-analyticReduction) > 0.15 {
+		t.Errorf("measured reduction %.3f vs analytic %.3f", measuredReduction, analyticReduction)
+	}
+}
+
+// linearTime is a unit-throughput volume→time stand-in for ratio checks.
+func linearTime(s units.DataSize) time.Duration {
+	return time.Duration(s)
+}
+
+// TestScaleOutFacade exercises the scaling sweep through realistic knobs.
+func TestScaleOutFacade(t *testing.T) {
+	l, err := NewLattice(SalesSchema(), 200_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := SalesWorkload(l, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range w.Queries {
+		w.Queries[i].Frequency = 30
+	}
+	opts, err := scaling.SweepTypes(
+		scaling.Config{FleetSizes: []int{2, 5}},
+		[]string{"small", "large"},
+		w,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(opts) != 8 { // 2 types × 2 sizes × (with/without)
+		t.Fatalf("options = %d, want 8", len(opts))
+	}
+	// Large instances are 4× the price for 4× the ECU: faster wall clock.
+	var smallT, largeT time.Duration
+	for _, o := range opts {
+		if o.Instances == 2 && !o.WithViews {
+			switch o.InstanceType {
+			case "small":
+				smallT = o.Time
+			case "large":
+				largeT = o.Time
+			}
+		}
+	}
+	if largeT >= smallT {
+		t.Errorf("large instances not faster: %v vs %v", largeT, smallT)
+	}
+	if _, ok := scaling.CheapestTypedMeeting(opts, time.Nanosecond); ok {
+		t.Error("impossible limit met")
+	}
+	best, ok := scaling.CheapestTypedMeeting(opts, 1000*time.Hour)
+	if !ok {
+		t.Fatal("generous limit unmet")
+	}
+	if best.InstanceType == "" {
+		t.Error("typed option lost its type")
+	}
+	if _, err := scaling.SweepTypes(scaling.Config{}, nil, w); err == nil {
+		t.Error("empty type list accepted")
+	}
+}

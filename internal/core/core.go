@@ -1,0 +1,310 @@
+// Package core wires the full view-materialization advisor — the paper's
+// end-to-end workflow: describe a dataset, a workload and a cloud tariff;
+// generate candidate views; and solve one of the three optimization
+// scenarios (budget limit, response-time limit, time/cost tradeoff) into a
+// concrete recommendation with an itemized bill.
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"vmcloud/internal/cluster"
+	"vmcloud/internal/costmodel"
+	"vmcloud/internal/lattice"
+	"vmcloud/internal/money"
+	"vmcloud/internal/optimizer"
+	"vmcloud/internal/pricing"
+	"vmcloud/internal/report"
+	"vmcloud/internal/schema"
+	"vmcloud/internal/units"
+	"vmcloud/internal/views"
+	"vmcloud/internal/workload"
+)
+
+// Config describes an advisory problem. Zero values select the paper's
+// experimental defaults.
+type Config struct {
+	// Provider is the cloud tariff; defaults to AWS2012.
+	Provider *pricing.Provider
+	// InstanceType names the rented configuration; defaults to "small".
+	InstanceType string
+	// Instances is the fleet size nbIC; defaults to 5.
+	Instances int
+	// Schema defaults to the sales star schema.
+	Schema *schema.Schema
+	// FactRows sizes the dataset; defaults to 200M rows (≈10 GB).
+	FactRows int64
+	// Months is the billing period; defaults to 1.
+	Months float64
+	// Workload is required: the queries to optimize for.
+	Workload workload.Workload
+	// CandidateBudget caps the pre-selected candidate views; default 8.
+	CandidateBudget int
+	// MaintenanceRuns and UpdateRatio tune the maintenance model;
+	// defaults 4 runs/month over 20% churn.
+	MaintenanceRuns int
+	UpdateRatio     float64
+	// MaintenancePolicy selects immediate (default) or deferred refresh.
+	MaintenancePolicy views.MaintenancePolicy
+	// JobOverhead is the per-job startup floor; default 2 minutes.
+	JobOverhead time.Duration
+	// Granularity overrides the provider's billing rounding if non-nil.
+	Granularity *units.BillingGranularity
+}
+
+// Advisor is a wired advisory session.
+type Advisor struct {
+	Lat        *lattice.Lattice
+	Cl         *cluster.Cluster
+	Est        *views.Estimator
+	W          workload.Workload
+	Ev         *optimizer.Evaluator
+	Candidates []views.Candidate
+}
+
+// New builds an advisor from a config.
+func New(cfg Config) (*Advisor, error) {
+	prov := pricing.AWS2012()
+	if cfg.Provider != nil {
+		prov = *cfg.Provider
+	}
+	if cfg.Granularity != nil {
+		prov.Compute.Granularity = *cfg.Granularity
+	}
+	if cfg.InstanceType == "" {
+		cfg.InstanceType = "small"
+	}
+	if cfg.Instances == 0 {
+		cfg.Instances = 5
+	}
+	if cfg.Schema == nil {
+		cfg.Schema = schema.Sales()
+	}
+	if cfg.FactRows == 0 {
+		cfg.FactRows = 200_000_000
+	}
+	if cfg.Months == 0 {
+		cfg.Months = 1
+	}
+	if cfg.CandidateBudget == 0 {
+		cfg.CandidateBudget = 8
+	}
+	if cfg.MaintenanceRuns == 0 {
+		cfg.MaintenanceRuns = 4
+	}
+	if cfg.UpdateRatio == 0 {
+		cfg.UpdateRatio = 0.20
+	}
+	if cfg.JobOverhead == 0 {
+		cfg.JobOverhead = 2 * time.Minute
+	}
+
+	l, err := lattice.New(cfg.Schema, cfg.FactRows)
+	if err != nil {
+		return nil, err
+	}
+	cl, err := cluster.New(prov, cfg.InstanceType, cfg.Instances)
+	if err != nil {
+		return nil, err
+	}
+	cl.JobOverhead = cfg.JobOverhead
+	est := views.NewEstimator(l, cl)
+	est.MaintenanceRuns = cfg.MaintenanceRuns
+	est.UpdateRatio = cfg.UpdateRatio
+	est.Policy = cfg.MaintenancePolicy
+
+	if err := cfg.Workload.Validate(l); err != nil {
+		return nil, err
+	}
+	egress, err := cfg.Workload.ResultBytes(l)
+	if err != nil {
+		return nil, err
+	}
+	baseNode, err := l.Node(l.Base())
+	if err != nil {
+		return nil, err
+	}
+	base := costmodel.Plan{
+		Cluster:       cl,
+		Months:        cfg.Months,
+		DatasetSize:   baseNode.Size,
+		MonthlyEgress: egress,
+	}
+	ev, err := optimizer.NewEvaluator(est, cfg.Workload, base)
+	if err != nil {
+		return nil, err
+	}
+	cands, err := views.GenerateCandidates(l, cfg.Workload, cfg.CandidateBudget)
+	if err != nil {
+		return nil, err
+	}
+	return &Advisor{
+		Lat:        l,
+		Cl:         cl,
+		Est:        est,
+		W:          cfg.Workload,
+		Ev:         ev,
+		Candidates: cands,
+	}, nil
+}
+
+// Recommendation is a solved scenario with context for reporting.
+type Recommendation struct {
+	Scenario     string
+	Selection    optimizer.Selection
+	BaselineTime time.Duration
+	BaselineBill costmodel.Bill
+	ViewNames    []string
+}
+
+// TimeImprovement is (Tbase − Twith)/Tbase.
+func (r Recommendation) TimeImprovement() float64 {
+	if r.BaselineTime <= 0 {
+		return 0
+	}
+	return float64(r.BaselineTime-r.Selection.Time) / float64(r.BaselineTime)
+}
+
+// CostImprovement is (Cbase − Cwith)/Cbase; negative means views cost more.
+func (r Recommendation) CostImprovement() float64 {
+	base := r.BaselineBill.Total().Dollars()
+	if base <= 0 {
+		return 0
+	}
+	return (base - r.Selection.Bill.Total().Dollars()) / base
+}
+
+// Render produces a human-readable report.
+func (r Recommendation) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Scenario %s — %s\n", r.Scenario, feasibility(r.Selection.Feasible))
+	t := report.NewTable("",
+		"", "workload time", "total cost", "compute", "storage", "transfer")
+	t.AddRow("without views", fmt.Sprintf("%.3fh", r.BaselineTime.Hours()),
+		r.BaselineBill.Total(), r.BaselineBill.Compute.Total(), r.BaselineBill.Storage, r.BaselineBill.Transfer)
+	t.AddRow("with views", fmt.Sprintf("%.3fh", r.Selection.Time.Hours()),
+		r.Selection.Bill.Total(), r.Selection.Bill.Compute.Total(), r.Selection.Bill.Storage, r.Selection.Bill.Transfer)
+	sb.WriteString(t.String())
+	fmt.Fprintf(&sb, "time improvement: %s   cost improvement: %s\n",
+		report.Percent(r.TimeImprovement()), report.Percent(r.CostImprovement()))
+	if len(r.ViewNames) == 0 {
+		sb.WriteString("materialize: nothing\n")
+	} else {
+		fmt.Fprintf(&sb, "materialize: %s\n", strings.Join(r.ViewNames, ", "))
+	}
+	return sb.String()
+}
+
+func feasibility(ok bool) string {
+	if ok {
+		return "constraint satisfied"
+	}
+	return "CONSTRAINT NOT SATISFIABLE (best effort shown)"
+}
+
+func (a *Advisor) recommend(scenario string, sel optimizer.Selection) (Recommendation, error) {
+	baseT, baseBill, err := a.Ev.Evaluate(nil)
+	if err != nil {
+		return Recommendation{}, err
+	}
+	names := make([]string, len(sel.Points))
+	for i, p := range sel.Points {
+		names[i] = a.Lat.Name(p)
+	}
+	return Recommendation{
+		Scenario:     scenario,
+		Selection:    sel,
+		BaselineTime: baseT,
+		BaselineBill: baseBill,
+		ViewNames:    names,
+	}, nil
+}
+
+// PlanFor reconstructs the priced plan behind a selection, enabling
+// itemized invoice rendering (costmodel.Itemize).
+func (a *Advisor) PlanFor(sel optimizer.Selection) costmodel.Plan {
+	return a.Ev.Base.WithViews(
+		a.Est.ViewsSize(sel.Points),
+		a.Est.WorkloadTime(a.W, sel.Points),
+		a.Est.MaintenanceTimeForWorkload(sel.Points, a.W),
+		a.Est.TotalMaterializationTime(sel.Points),
+	)
+}
+
+// AdviseBudget solves scenario MV1: fastest workload within the budget.
+func (a *Advisor) AdviseBudget(budget money.Money) (Recommendation, error) {
+	sel, err := a.Ev.SolveMV1(a.Candidates, budget)
+	if err != nil {
+		return Recommendation{}, err
+	}
+	return a.recommend("MV1 (budget limit)", sel)
+}
+
+// AdviseDeadline solves scenario MV2: cheapest bill within the time limit.
+func (a *Advisor) AdviseDeadline(limit time.Duration) (Recommendation, error) {
+	sel, err := a.Ev.SolveMV2(a.Candidates, limit)
+	if err != nil {
+		return Recommendation{}, err
+	}
+	return a.recommend("MV2 (response-time limit)", sel)
+}
+
+// AdviseTradeoff solves scenario MV3 with the given α weight on time.
+func (a *Advisor) AdviseTradeoff(alpha float64) (Recommendation, error) {
+	sel, err := a.Ev.SolveMV3(a.Candidates, alpha, optimizer.RawTradeoff)
+	if err != nil {
+		return Recommendation{}, err
+	}
+	return a.recommend(fmt.Sprintf("MV3 (tradeoff, α=%.2g)", alpha), sel)
+}
+
+// ParetoPoint is one (time, cost) outcome on the tradeoff frontier.
+type ParetoPoint struct {
+	Alpha float64
+	Time  time.Duration
+	Cost  money.Money
+	Views int
+}
+
+// ParetoFront sweeps α over [0,1] in the given number of steps and returns
+// the non-dominated (time, cost) outcomes — the frontier Figures 2–4 of
+// the paper sketch.
+func (a *Advisor) ParetoFront(steps int) ([]ParetoPoint, error) {
+	if steps < 2 {
+		return nil, fmt.Errorf("core: need at least 2 sweep steps, got %d", steps)
+	}
+	var all []ParetoPoint
+	for i := 0; i < steps; i++ {
+		alpha := float64(i) / float64(steps-1)
+		sel, err := a.Ev.SolveMV3(a.Candidates, alpha, optimizer.NormalizedTradeoff)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, ParetoPoint{
+			Alpha: alpha,
+			Time:  sel.Time,
+			Cost:  sel.Bill.Total(),
+			Views: len(sel.Points),
+		})
+	}
+	// Filter to the non-dominated set.
+	var front []ParetoPoint
+	for i, p := range all {
+		dominated := false
+		for j, q := range all {
+			if i == j {
+				continue
+			}
+			if q.Time <= p.Time && q.Cost <= p.Cost && (q.Time < p.Time || q.Cost < p.Cost) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			front = append(front, p)
+		}
+	}
+	return front, nil
+}

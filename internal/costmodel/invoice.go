@@ -1,0 +1,73 @@
+package costmodel
+
+import (
+	"fmt"
+	"strings"
+
+	"vmcloud/internal/money"
+)
+
+// LineItem is one row of an itemized invoice.
+type LineItem struct {
+	// Section groups items ("Compute", "Storage", "Transfer").
+	Section string
+	// Description explains the charge.
+	Description string
+	// Amount is the charge.
+	Amount money.Money
+}
+
+// Invoice is an itemized rendering of a Bill, in the style of a cloud
+// provider's monthly statement.
+type Invoice struct {
+	Items []LineItem
+	// GrandTotal is the bill total (Formula 1).
+	GrandTotal money.Money
+}
+
+// Itemize decomposes a bill into invoice line items using the plan's
+// parameters for the descriptions. Zero-amount items are omitted.
+func Itemize(p Plan, b Bill) Invoice {
+	var inv Invoice
+	add := func(section, desc string, amount money.Money) {
+		if amount == 0 {
+			return
+		}
+		inv.Items = append(inv.Items, LineItem{Section: section, Description: desc, Amount: amount})
+	}
+	nb := 0
+	instance := "instance"
+	if p.Cluster != nil {
+		nb = p.Cluster.NbInstances
+		instance = p.Cluster.Instance.Name
+	}
+	add("Compute", fmt.Sprintf("query processing: %.2f h/month × %d×%s × %.2g month(s)",
+		p.MonthlyProcessing.Hours(), nb, instance, p.Months), b.Compute.Processing)
+	add("Compute", fmt.Sprintf("view maintenance: %.2f h/month × %d×%s × %.2g month(s)",
+		p.MonthlyMaintenance.Hours(), nb, instance, p.Months), b.Compute.Maintenance)
+	add("Compute", fmt.Sprintf("view materialization (one-off): %.2f h × %d×%s",
+		p.Materialization.Hours(), nb, instance), b.Compute.Materialization)
+	add("Storage", fmt.Sprintf("data at rest: %v dataset + %v views × %.2g month(s)",
+		p.DatasetSize, p.ViewsSize, p.Months), b.Storage)
+	add("Transfer", fmt.Sprintf("query-result egress: %v/month × %.2g month(s)",
+		p.MonthlyEgress, p.Months), b.Transfer)
+	inv.GrandTotal = b.Total()
+	return inv
+}
+
+// String renders the invoice as aligned text.
+func (inv Invoice) String() string {
+	var sb strings.Builder
+	width := 0
+	for _, it := range inv.Items {
+		if n := len(it.Section) + 2 + len(it.Description); n > width {
+			width = n
+		}
+	}
+	for _, it := range inv.Items {
+		label := it.Section + ": " + it.Description
+		fmt.Fprintf(&sb, "%-*s  %12s\n", width, label, it.Amount)
+	}
+	fmt.Fprintf(&sb, "%-*s  %12s\n", width, "TOTAL", inv.GrandTotal)
+	return sb.String()
+}

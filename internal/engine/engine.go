@@ -1,0 +1,273 @@
+// Package engine executes aggregation queries over columnar tables: scan,
+// optional dimension filters, hash group-by to any coarser lattice point,
+// and measure re-aggregation.
+//
+// It is the single-node stand-in for the paper's Pig-on-Hadoop execution
+// layer. Because it can aggregate *any* table whose grain is fine enough —
+// not just the base fact table — the same code path both materializes views
+// and answers queries from them (rollup), which is exactly the capability
+// the paper's processing-cost model (Formula 9/10) prices.
+//
+// Measure semantics under re-aggregation: Sum sums, MinAgg takes the min,
+// MaxAgg takes the max, and Count *sums stored counts* — a base fact table
+// with a Count measure stores 1 per row, so counts roll up correctly from
+// partially aggregated views.
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"vmcloud/internal/lattice"
+	"vmcloud/internal/schema"
+	"vmcloud/internal/storage"
+	"vmcloud/internal/units"
+)
+
+// Stats records the work performed by one aggregation, the currency the
+// cluster simulator converts into cloud compute hours.
+type Stats struct {
+	// RowsScanned is the number of source rows read.
+	RowsScanned int64
+	// BytesScanned is the estimated volume read (rows × schema row width).
+	BytesScanned units.DataSize
+	// Groups is the number of output rows produced.
+	Groups int
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.RowsScanned += other.RowsScanned
+	s.BytesScanned += other.BytesScanned
+	s.Groups += other.Groups
+}
+
+// Result is an aggregation output: a table at the target point plus stats.
+type Result struct {
+	Table *storage.Table
+	Stats Stats
+}
+
+// Filter restricts a scan to rows whose key, lifted to the given level of
+// the given dimension, equals Code. Example: {Dim: 1, Level: 2, Code: 0}
+// keeps only rows in country 0.
+type Filter struct {
+	Dim   int
+	Level int
+	Code  int32
+}
+
+// Options tunes an aggregation.
+type Options struct {
+	// Filters are conjunctive dimension filters applied during the scan.
+	Filters []Filter
+	// Name overrides the output table name.
+	Name string
+}
+
+// Aggregate rolls table src up to the coarser point target, producing a new
+// table. src must be at least as fine as target in every dimension.
+// Output rows are sorted by composite key, so results are deterministic.
+func Aggregate(ds *storage.Dataset, src *storage.Table, target lattice.Point, opts Options) (*Result, error) {
+	if ds == nil || src == nil {
+		return nil, fmt.Errorf("engine: nil dataset or source")
+	}
+	if len(target) != len(ds.Schema.Dimensions) {
+		return nil, fmt.Errorf("engine: target %v has %d dims, schema has %d", target, len(target), len(ds.Schema.Dimensions))
+	}
+	if !src.Point.FinerOrEqual(target) {
+		return nil, fmt.Errorf("engine: table %s at %v cannot answer point %v", src.Name, src.Point, target)
+	}
+	if len(src.Measures) != len(ds.Schema.Measures) {
+		return nil, fmt.Errorf("engine: table %s has %d measures, schema has %d", src.Name, len(src.Measures), len(ds.Schema.Measures))
+	}
+
+	lifts, radices, err := buildLifts(ds, src, target)
+	if err != nil {
+		return nil, err
+	}
+	filters, err := buildFilters(ds, src, opts.Filters)
+	if err != nil {
+		return nil, err
+	}
+
+	name := opts.Name
+	if name == "" {
+		name = fmt.Sprintf("agg(%s)", src.Name)
+	}
+
+	kinds := make([]schema.MeasureKind, len(ds.Schema.Measures))
+	for i, m := range ds.Schema.Measures {
+		kinds[i] = m.Kind
+	}
+
+	type group struct {
+		keys []int32
+		vals []int64
+	}
+	groups := map[int64]*group{}
+	n := src.Rows()
+	rowKeys := make([]int32, len(target))
+
+scan:
+	for r := 0; r < n; r++ {
+		for _, f := range filters {
+			if f.lift(src.Keys[f.dim][r]) != f.code {
+				continue scan
+			}
+		}
+		var composite int64
+		for d := range target {
+			var k int32
+			if lifts[d] != nil {
+				k = lifts[d](src.Keys[d][r])
+			}
+			rowKeys[d] = k
+			composite = composite*radices[d] + int64(k)
+		}
+		g, ok := groups[composite]
+		if !ok {
+			g = &group{keys: append([]int32(nil), rowKeys...), vals: make([]int64, len(kinds))}
+			for m, kind := range kinds {
+				g.vals[m] = identity(kind)
+			}
+			groups[composite] = g
+		}
+		for m, kind := range kinds {
+			g.vals[m] = combine(kind, g.vals[m], src.Measures[m][r])
+		}
+	}
+
+	// Deterministic output order.
+	ids := make([]int64, 0, len(groups))
+	for id := range groups {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+	out := storage.NewTable(name, target, len(kinds), len(groups))
+	for _, id := range ids {
+		g := groups[id]
+		if err := out.Append(g.keys, g.vals); err != nil {
+			return nil, err
+		}
+	}
+	// Null out key columns at ALL levels: their codes are always 0 and the
+	// convention is a nil column.
+	for d := range target {
+		if target[d] == len(ds.Schema.Dimensions[d].Levels)-1 {
+			out.Keys[d] = nil
+		}
+	}
+	return &Result{
+		Table: out,
+		Stats: Stats{
+			RowsScanned:  int64(n),
+			BytesScanned: ds.Schema.RowBytes.MulInt(int64(n)),
+			Groups:       out.Rows(),
+		},
+	}, nil
+}
+
+// lifter maps a source-level key code to the target-level code.
+type liftFn func(int32) int32
+
+func buildLifts(ds *storage.Dataset, src *storage.Table, target lattice.Point) ([]liftFn, []int64, error) {
+	lifts := make([]liftFn, len(target))
+	radices := make([]int64, len(target))
+	for d := range target {
+		dim := ds.Schema.Dimensions[d]
+		radices[d] = int64(dim.Levels[target[d]].Cardinality)
+		if target[d] == len(dim.Levels)-1 {
+			lifts[d] = nil // ALL level: constant 0
+			continue
+		}
+		chain, err := ds.MapChain(d, src.Point[d], target[d])
+		if err != nil {
+			return nil, nil, err
+		}
+		if len(chain) == 0 {
+			lifts[d] = func(k int32) int32 { return k }
+			continue
+		}
+		c := chain
+		lifts[d] = func(k int32) int32 {
+			for _, m := range c {
+				k = m[k]
+			}
+			return k
+		}
+	}
+	return lifts, radices, nil
+}
+
+type boundFilter struct {
+	dim  int
+	code int32
+	lift liftFn
+}
+
+func buildFilters(ds *storage.Dataset, src *storage.Table, fs []Filter) ([]boundFilter, error) {
+	out := make([]boundFilter, 0, len(fs))
+	for _, f := range fs {
+		if f.Dim < 0 || f.Dim >= len(ds.Schema.Dimensions) {
+			return nil, fmt.Errorf("engine: filter dimension %d out of range", f.Dim)
+		}
+		dim := ds.Schema.Dimensions[f.Dim]
+		if f.Level < 0 || f.Level >= len(dim.Levels) {
+			return nil, fmt.Errorf("engine: filter level %d out of range for %s", f.Level, dim.Name)
+		}
+		if f.Level == len(dim.Levels)-1 {
+			if f.Code != 0 {
+				return nil, fmt.Errorf("engine: filter on ALL level with non-zero code %d", f.Code)
+			}
+			continue // matches everything
+		}
+		if f.Level < src.Point[f.Dim] {
+			return nil, fmt.Errorf("engine: filter level %s[%d] finer than table grain %d", dim.Name, f.Level, src.Point[f.Dim])
+		}
+		if int(f.Code) < 0 || int(f.Code) >= dim.Levels[f.Level].Cardinality {
+			return nil, fmt.Errorf("engine: filter code %d out of range for %s level %d", f.Code, dim.Name, f.Level)
+		}
+		chain, err := ds.MapChain(f.Dim, src.Point[f.Dim], f.Level)
+		if err != nil {
+			return nil, err
+		}
+		lift := func(k int32) int32 {
+			for _, m := range chain {
+				k = m[k]
+			}
+			return k
+		}
+		out = append(out, boundFilter{dim: f.Dim, code: f.Code, lift: lift})
+	}
+	return out, nil
+}
+
+func identity(k schema.MeasureKind) int64 {
+	switch k {
+	case schema.MinAgg:
+		return int64(^uint64(0) >> 1) // MaxInt64
+	case schema.MaxAgg:
+		return -int64(^uint64(0)>>1) - 1 // MinInt64
+	default:
+		return 0
+	}
+}
+
+func combine(k schema.MeasureKind, acc, v int64) int64 {
+	switch k {
+	case schema.MinAgg:
+		if v < acc {
+			return v
+		}
+		return acc
+	case schema.MaxAgg:
+		if v > acc {
+			return v
+		}
+		return acc
+	default: // Sum and Count both sum stored values
+		return acc + v
+	}
+}

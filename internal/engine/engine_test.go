@@ -1,0 +1,380 @@
+package engine
+
+import (
+	"testing"
+
+	"vmcloud/internal/datagen"
+	"vmcloud/internal/lattice"
+	"vmcloud/internal/storage"
+)
+
+func salesDS(t testing.TB, rows int) *storage.Dataset {
+	t.Helper()
+	ds, err := datagen.GenerateSales(datagen.Config{Rows: rows, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func totalProfit(tb *storage.Table) int64 {
+	var sum int64
+	for _, v := range tb.Measures[0] {
+		sum += v
+	}
+	return sum
+}
+
+func TestAggregateToApexMatchesDirectSum(t *testing.T) {
+	ds := salesDS(t, 10_000)
+	ex, err := NewExecutor(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ex.Answer(ex.Lat.Apex(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Table.Rows() != 1 {
+		t.Fatalf("apex rows = %d, want 1", res.Table.Rows())
+	}
+	if got, want := res.Table.Measures[0][0], totalProfit(ds.Facts); got != want {
+		t.Errorf("apex total = %d, direct sum = %d", got, want)
+	}
+	// ALL-level key columns are nil by convention.
+	if res.Table.Keys[0] != nil || res.Table.Keys[1] != nil {
+		t.Error("apex key columns should be nil")
+	}
+}
+
+// Total profit is invariant at every cuboid of the lattice.
+func TestTotalProfitInvariantAcrossLattice(t *testing.T) {
+	ds := salesDS(t, 20_000)
+	ex, err := NewExecutor(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := totalProfit(ds.Facts)
+	for _, n := range ex.Lat.Nodes() {
+		res, err := Aggregate(ds, ds.Facts, n.Point, Options{})
+		if err != nil {
+			t.Fatalf("aggregate to %v: %v", ex.Lat.Name(n.Point), err)
+		}
+		if got := totalProfit(res.Table); got != want {
+			t.Errorf("cuboid %s total = %d, want %d", ex.Lat.Name(n.Point), got, want)
+		}
+		if res.Stats.RowsScanned != int64(ds.Facts.Rows()) {
+			t.Errorf("cuboid %s scanned %d rows, want %d", ex.Lat.Name(n.Point), res.Stats.RowsScanned, ds.Facts.Rows())
+		}
+		if res.Stats.Groups != res.Table.Rows() {
+			t.Errorf("cuboid %s stats groups mismatch", ex.Lat.Name(n.Point))
+		}
+	}
+}
+
+// Rollup transitivity: base→target equals base→mid→target for every
+// comparable pair.
+func TestRollupFromViewEqualsDirect(t *testing.T) {
+	ds := salesDS(t, 15_000)
+	ex, err := NewExecutor(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	monthRegion, _ := ex.Lat.PointOf("month", "region")
+	mid, err := Aggregate(ds, ds.Facts, monthRegion, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range ex.Lat.Descendants(monthRegion) {
+		direct, err := Aggregate(ds, ds.Facts, n.Point, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		viaView, err := Aggregate(ds, mid.Table, n.Point, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertTablesEqual(t, ex.Lat.Name(n.Point), direct.Table, viaView.Table)
+	}
+}
+
+func assertTablesEqual(t *testing.T, label string, a, b *storage.Table) {
+	t.Helper()
+	if a.Rows() != b.Rows() {
+		t.Fatalf("%s: rows %d vs %d", label, a.Rows(), b.Rows())
+	}
+	for r := 0; r < a.Rows(); r++ {
+		for d := range a.Keys {
+			av, bv := int32(0), int32(0)
+			if a.Keys[d] != nil {
+				av = a.Keys[d][r]
+			}
+			if b.Keys[d] != nil {
+				bv = b.Keys[d][r]
+			}
+			if av != bv {
+				t.Fatalf("%s: row %d dim %d key %d vs %d", label, r, d, av, bv)
+			}
+		}
+		for m := range a.Measures {
+			if a.Measures[m][r] != b.Measures[m][r] {
+				t.Fatalf("%s: row %d measure %d: %d vs %d", label, r, m, a.Measures[m][r], b.Measures[m][r])
+			}
+		}
+	}
+}
+
+func TestAggregateRejectsCoarserSource(t *testing.T) {
+	ds := salesDS(t, 1000)
+	ex, _ := NewExecutor(ds)
+	yearCountry, _ := ex.Lat.PointOf("year", "country")
+	monthCountry, _ := ex.Lat.PointOf("month", "country")
+	coarse, err := Aggregate(ds, ds.Facts, yearCountry, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Aggregate(ds, coarse.Table, monthCountry, Options{}); err == nil {
+		t.Error("aggregating a coarser table into a finer point was accepted")
+	}
+}
+
+func TestAggregateArgumentErrors(t *testing.T) {
+	ds := salesDS(t, 100)
+	if _, err := Aggregate(nil, ds.Facts, lattice.Point{0, 0}, Options{}); err == nil {
+		t.Error("nil dataset accepted")
+	}
+	if _, err := Aggregate(ds, nil, lattice.Point{0, 0}, Options{}); err == nil {
+		t.Error("nil source accepted")
+	}
+	if _, err := Aggregate(ds, ds.Facts, lattice.Point{0}, Options{}); err == nil {
+		t.Error("wrong-arity point accepted")
+	}
+}
+
+func TestFilters(t *testing.T) {
+	ds := salesDS(t, 20_000)
+	ex, _ := NewExecutor(ds)
+	yearAll, _ := ex.Lat.PointOf("year", "all")
+	// Sum per year for country 0 + country 1 + ... = sum per year unfiltered.
+	unfiltered, err := Aggregate(ds, ds.Facts, yearAll, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var totalFiltered int64
+	nCountries := ds.Schema.Dimensions[1].Levels[2].Cardinality
+	for c := 0; c < nCountries; c++ {
+		res, err := Aggregate(ds, ds.Facts, yearAll, Options{
+			Filters: []Filter{{Dim: 1, Level: 2, Code: int32(c)}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		totalFiltered += totalProfit(res.Table)
+	}
+	if got, want := totalFiltered, totalProfit(unfiltered.Table); got != want {
+		t.Errorf("partitioned totals = %d, want %d", got, want)
+	}
+}
+
+func TestFilterOnAllLevelMatchesEverything(t *testing.T) {
+	ds := salesDS(t, 5000)
+	ex, _ := NewExecutor(ds)
+	apex := ex.Lat.Apex()
+	res, err := Aggregate(ds, ds.Facts, apex, Options{
+		Filters: []Filter{{Dim: 0, Level: 3, Code: 0}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := totalProfit(res.Table), totalProfit(ds.Facts); got != want {
+		t.Errorf("filtered total = %d, want %d", got, want)
+	}
+	if _, err := Aggregate(ds, ds.Facts, apex, Options{
+		Filters: []Filter{{Dim: 0, Level: 3, Code: 1}},
+	}); err == nil {
+		t.Error("non-zero ALL filter accepted")
+	}
+}
+
+func TestFilterErrors(t *testing.T) {
+	ds := salesDS(t, 100)
+	ex, _ := NewExecutor(ds)
+	apex := ex.Lat.Apex()
+	bad := []Filter{
+		{Dim: 9, Level: 0, Code: 0},
+		{Dim: 0, Level: 9, Code: 0},
+		{Dim: 1, Level: 2, Code: 99},
+	}
+	for i, f := range bad {
+		if _, err := Aggregate(ds, ds.Facts, apex, Options{Filters: []Filter{f}}); err == nil {
+			t.Errorf("bad filter %d accepted", i)
+		}
+	}
+	// Filter finer than the source grain must be rejected.
+	yearCountry, _ := ex.Lat.PointOf("year", "country")
+	coarse, _ := Aggregate(ds, ds.Facts, yearCountry, Options{})
+	if _, err := Aggregate(ds, coarse.Table, ex.Lat.Apex(), Options{
+		Filters: []Filter{{Dim: 0, Level: 0, Code: 0}},
+	}); err == nil {
+		t.Error("filter finer than source grain accepted")
+	}
+}
+
+func TestExecutorRoutesToCheapestView(t *testing.T) {
+	ds := salesDS(t, 20_000)
+	ex, err := NewExecutor(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	monthCountry, _ := ex.Lat.PointOf("month", "country")
+	yearCountry, _ := ex.Lat.PointOf("year", "country")
+
+	baseline, err := ex.Answer(yearCountry, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ex.Materialize(monthCountry); err != nil {
+		t.Fatal(err)
+	}
+	if src := ex.SourceFor(yearCountry); src.Name != "mv:month×country" {
+		t.Errorf("routed to %s, want mv:month×country", src.Name)
+	}
+	fromView, err := ex.Answer(yearCountry, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertTablesEqual(t, "year×country", baseline.Table, fromView.Table)
+	if fromView.Stats.RowsScanned >= baseline.Stats.RowsScanned {
+		t.Errorf("view answer scanned %d rows, base scanned %d — view should be cheaper",
+			fromView.Stats.RowsScanned, baseline.Stats.RowsScanned)
+	}
+}
+
+func TestExecutorMaterializeFromFinerView(t *testing.T) {
+	ds := salesDS(t, 10_000)
+	ex, _ := NewExecutor(ds)
+	monthCountry, _ := ex.Lat.PointOf("month", "country")
+	yearCountry, _ := ex.Lat.PointOf("year", "country")
+	if _, err := ex.Materialize(monthCountry); err != nil {
+		t.Fatal(err)
+	}
+	res, err := ex.Materialize(yearCountry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Should have scanned the month×country view, not the base table.
+	mc, _ := ex.View(monthCountry)
+	if res.Stats.RowsScanned != int64(mc.Rows()) {
+		t.Errorf("materialization scanned %d rows, want view's %d", res.Stats.RowsScanned, mc.Rows())
+	}
+	direct, _ := Aggregate(ds, ds.Facts, yearCountry, Options{})
+	yc, _ := ex.View(yearCountry)
+	assertTablesEqual(t, "year×country", direct.Table, yc)
+}
+
+func TestExecutorDropAndViews(t *testing.T) {
+	ds := salesDS(t, 2000)
+	ex, _ := NewExecutor(ds)
+	monthCountry, _ := ex.Lat.PointOf("month", "country")
+	if _, err := ex.Materialize(monthCountry); err != nil {
+		t.Fatal(err)
+	}
+	if len(ex.Views()) != 1 {
+		t.Fatalf("views = %v", ex.Views())
+	}
+	ex.Drop(monthCountry)
+	if len(ex.Views()) != 0 {
+		t.Error("drop did not remove view")
+	}
+	if _, err := ex.Materialize(monthCountry); err != nil {
+		t.Fatal(err)
+	}
+	ex.DropAll()
+	if len(ex.Views()) != 0 {
+		t.Error("DropAll did not remove views")
+	}
+	if _, err := ex.Materialize(ex.Lat.Base()); err == nil {
+		t.Error("materializing base accepted")
+	}
+}
+
+func TestCumulativeStats(t *testing.T) {
+	ds := salesDS(t, 3000)
+	ex, _ := NewExecutor(ds)
+	ex.ResetStats()
+	apex := ex.Lat.Apex()
+	if _, err := ex.Answer(apex, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := ex.CumulativeStats().RowsScanned; got != 3000 {
+		t.Errorf("cumulative rows = %d, want 3000", got)
+	}
+	if _, err := ex.Answer(apex, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := ex.CumulativeStats().RowsScanned; got != 6000 {
+		t.Errorf("cumulative rows = %d, want 6000", got)
+	}
+	ex.ResetStats()
+	if got := ex.CumulativeStats(); got != (Stats{}) {
+		t.Errorf("stats after reset = %+v", got)
+	}
+}
+
+func TestDeterministicOutputOrder(t *testing.T) {
+	ds := salesDS(t, 5000)
+	ex, _ := NewExecutor(ds)
+	yearCountry, _ := ex.Lat.PointOf("year", "country")
+	a, err := Aggregate(ds, ds.Facts, yearCountry, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Aggregate(ds, ds.Facts, yearCountry, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertTablesEqual(t, "determinism", a.Table, b.Table)
+	// Keys must be sorted by composite (year, country) order.
+	for r := 1; r < a.Table.Rows(); r++ {
+		py, pc := a.Table.Keys[0][r-1], a.Table.Keys[1][r-1]
+		cy, cc := a.Table.Keys[0][r], a.Table.Keys[1][r]
+		if cy < py || (cy == py && cc <= pc) {
+			t.Fatalf("output not sorted at row %d: (%d,%d) after (%d,%d)", r, cy, cc, py, pc)
+		}
+	}
+}
+
+func BenchmarkAggregateBaseToYearCountry(b *testing.B) {
+	ds := salesDS(b, 100_000)
+	ex, err := NewExecutor(ds)
+	if err != nil {
+		b.Fatal(err)
+	}
+	yearCountry, _ := ex.Lat.PointOf("year", "country")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Aggregate(ds, ds.Facts, yearCountry, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAggregateFromView(b *testing.B) {
+	ds := salesDS(b, 100_000)
+	ex, err := NewExecutor(ds)
+	if err != nil {
+		b.Fatal(err)
+	}
+	monthCountry, _ := ex.Lat.PointOf("month", "country")
+	yearCountry, _ := ex.Lat.PointOf("year", "country")
+	if _, err := ex.Materialize(monthCountry); err != nil {
+		b.Fatal(err)
+	}
+	src, _ := ex.View(monthCountry)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Aggregate(ds, src, yearCountry, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"vmcloud/internal/lattice"
+	"vmcloud/internal/storage"
+)
+
+// Executor owns a dataset, its lattice, and a set of materialized views,
+// and routes each query to the cheapest table able to answer it (the
+// smallest answering view, else the base fact table) — the processing model
+// the paper's Formula 9 assumes.
+type Executor struct {
+	DS  *storage.Dataset
+	Lat *lattice.Lattice
+
+	views map[string]*storage.Table // keyed by lattice point name
+	stats Stats                     // cumulative work across all calls
+}
+
+// NewExecutor builds an executor over the dataset.
+func NewExecutor(ds *storage.Dataset) (*Executor, error) {
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	lat, err := lattice.New(ds.Schema, int64(ds.Facts.Rows()))
+	if err != nil {
+		return nil, err
+	}
+	return &Executor{DS: ds, Lat: lat, views: map[string]*storage.Table{}}, nil
+}
+
+// Materialize computes and retains the view at point p, sourcing from the
+// cheapest already-materialized finer view (or the base table). Returns the
+// materialization result. Re-materializing an existing view overwrites it.
+func (e *Executor) Materialize(p lattice.Point) (*Result, error) {
+	if p.Equal(e.Lat.Base()) {
+		return nil, fmt.Errorf("engine: refusing to materialize the base cuboid")
+	}
+	src := e.cheapestSource(p)
+	res, err := Aggregate(e.DS, src, p, Options{Name: "mv:" + e.Lat.Name(p)})
+	if err != nil {
+		return nil, err
+	}
+	e.views[e.Lat.Name(p)] = res.Table
+	e.stats.Add(res.Stats)
+	return res, nil
+}
+
+// Drop discards the view at p, if materialized.
+func (e *Executor) Drop(p lattice.Point) {
+	delete(e.views, e.Lat.Name(p))
+}
+
+// DropAll discards every materialized view.
+func (e *Executor) DropAll() {
+	e.views = map[string]*storage.Table{}
+}
+
+// Views returns the currently materialized points, sorted by name.
+func (e *Executor) Views() []lattice.Point {
+	names := make([]string, 0, len(e.views))
+	for n := range e.views {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]lattice.Point, 0, len(names))
+	for _, n := range names {
+		out = append(out, e.views[n].Point)
+	}
+	return out
+}
+
+// View returns the materialized table at p, if present.
+func (e *Executor) View(p lattice.Point) (*storage.Table, bool) {
+	t, ok := e.views[e.Lat.Name(p)]
+	return t, ok
+}
+
+// Answer evaluates the query at point q against the cheapest answering
+// table.
+func (e *Executor) Answer(q lattice.Point, opts Options) (*Result, error) {
+	src := e.cheapestSource(q)
+	if opts.Name == "" {
+		opts.Name = "q:" + e.Lat.Name(q)
+	}
+	res, err := Aggregate(e.DS, src, q, opts)
+	if err != nil {
+		return nil, err
+	}
+	e.stats.Add(res.Stats)
+	return res, nil
+}
+
+// cheapestSource returns the smallest table (by actual rows) able to answer
+// point p; the base fact table always qualifies. A view exactly at p counts:
+// answering from it is a plain scan.
+func (e *Executor) cheapestSource(p lattice.Point) *storage.Table {
+	best := e.DS.Facts
+	for _, t := range e.views {
+		if t.Point.FinerOrEqual(p) && t.Rows() < best.Rows() {
+			best = t
+		}
+	}
+	return best
+}
+
+// SourceFor exposes the routing decision: the table Answer would scan for a
+// query at p.
+func (e *Executor) SourceFor(p lattice.Point) *storage.Table { return e.cheapestSource(p) }
+
+// CumulativeStats returns the total work performed by this executor across
+// all Materialize and Answer calls.
+func (e *Executor) CumulativeStats() Stats { return e.stats }
+
+// ResetStats zeroes the cumulative work counters.
+func (e *Executor) ResetStats() { e.stats = Stats{} }

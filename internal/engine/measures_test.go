@@ -1,0 +1,127 @@
+package engine
+
+import (
+	"testing"
+
+	"vmcloud/internal/lattice"
+	"vmcloud/internal/schema"
+	"vmcloud/internal/storage"
+)
+
+// multiMeasureDataset exercises all four measure kinds: a fact table with
+// sum, count, min and max columns (count stores 1 per base row).
+func multiMeasureDataset(t *testing.T) *storage.Dataset {
+	t.Helper()
+	s := &schema.Schema{
+		Name: "multi",
+		Dimensions: []schema.Dimension{
+			schema.NewDimension("time",
+				schema.Level{Name: "day", Cardinality: 4},
+				schema.Level{Name: "month", Cardinality: 2},
+			),
+			schema.NewDimension("geo",
+				schema.Level{Name: "city", Cardinality: 4},
+				schema.Level{Name: "country", Cardinality: 2},
+			),
+		},
+		Measures: []schema.Measure{
+			{Name: "profit", Kind: schema.Sum},
+			{Name: "sales", Kind: schema.Count},
+			{Name: "lowest", Kind: schema.MinAgg},
+			{Name: "highest", Kind: schema.MaxAgg},
+		},
+		RowBytes: 40,
+	}
+	facts := storage.NewTable("facts", lattice.Point{0, 0}, 4, 8)
+	rows := []struct {
+		day, city      int32
+		profit, lo, hi int64
+	}{
+		{0, 0, 10, 10, 10},
+		{0, 1, 20, 20, 20},
+		{1, 0, 5, 5, 5},
+		{2, 2, 40, 40, 40},
+		{3, 3, 8, 8, 8},
+		{3, 3, 12, 12, 12},
+	}
+	for _, r := range rows {
+		if err := facts.Append([]int32{r.day, r.city}, []int64{r.profit, 1, r.lo, r.hi}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ds := &storage.Dataset{
+		Schema: s,
+		Facts:  facts,
+		Maps: map[string][]int32{
+			schema.MapName("day", "month"):    {0, 0, 1, 1},
+			schema.MapName("city", "country"): {0, 0, 1, 1},
+		},
+	}
+	if err := ds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestAllMeasureKindsAtApex(t *testing.T) {
+	ds := multiMeasureDataset(t)
+	apex := lattice.Point{2, 2}
+	res, err := Aggregate(ds, ds.Facts, apex, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Table.Rows() != 1 {
+		t.Fatalf("apex rows = %d", res.Table.Rows())
+	}
+	if got := res.Table.Measures[0][0]; got != 95 {
+		t.Errorf("sum = %d, want 95", got)
+	}
+	if got := res.Table.Measures[1][0]; got != 6 {
+		t.Errorf("count = %d, want 6", got)
+	}
+	if got := res.Table.Measures[2][0]; got != 5 {
+		t.Errorf("min = %d, want 5", got)
+	}
+	if got := res.Table.Measures[3][0]; got != 40 {
+		t.Errorf("max = %d, want 40", got)
+	}
+}
+
+// All measure kinds must survive two-step rollup (base → view → coarser)
+// identically to the direct computation: sum of sums, sum of counts, min of
+// mins, max of maxes.
+func TestAllMeasureKindsRollupTwoStep(t *testing.T) {
+	ds := multiMeasureDataset(t)
+	mid := lattice.Point{0, 1} // day × country
+	top := lattice.Point{1, 2} // month × ALL
+	midRes, err := Aggregate(ds, ds.Facts, mid, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := Aggregate(ds, ds.Facts, top, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaView, err := Aggregate(ds, midRes.Table, top, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertTablesEqual(t, "multi-measure rollup", direct.Table, viaView.Table)
+}
+
+func TestCountMeasureCountsBaseRows(t *testing.T) {
+	ds := multiMeasureDataset(t)
+	monthAll := lattice.Point{1, 2}
+	res, err := Aggregate(ds, ds.Facts, monthAll, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Month 0 holds days 0-1 (3 rows), month 1 holds days 2-3 (3 rows).
+	var total int64
+	for r := 0; r < res.Table.Rows(); r++ {
+		total += res.Table.Measures[1][r]
+	}
+	if total != 6 {
+		t.Errorf("counts sum to %d, want 6", total)
+	}
+}

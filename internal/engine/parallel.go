@@ -1,0 +1,158 @@
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"vmcloud/internal/lattice"
+	"vmcloud/internal/schema"
+	"vmcloud/internal/storage"
+)
+
+// AggregateParallel is Aggregate with partitioned execution: the source
+// rows are split into shards, each shard is aggregated by its own
+// goroutine into a private hash table, and the partial tables are merged —
+// the same plan the MapReduce runtime executes across "machines", applied
+// to cores. Results are identical to Aggregate (measure kinds are
+// associative and commutative); Stats count the same logical work.
+// workers ≤ 0 selects GOMAXPROCS.
+func AggregateParallel(ds *storage.Dataset, src *storage.Table, target lattice.Point, opts Options, workers int) (*Result, error) {
+	if ds == nil || src == nil {
+		return nil, fmt.Errorf("engine: nil dataset or source")
+	}
+	if len(target) != len(ds.Schema.Dimensions) {
+		return nil, fmt.Errorf("engine: target %v has %d dims, schema has %d", target, len(target), len(ds.Schema.Dimensions))
+	}
+	if !src.Point.FinerOrEqual(target) {
+		return nil, fmt.Errorf("engine: table %s at %v cannot answer point %v", src.Name, src.Point, target)
+	}
+	if len(src.Measures) != len(ds.Schema.Measures) {
+		return nil, fmt.Errorf("engine: table %s has %d measures, schema has %d", src.Name, len(src.Measures), len(ds.Schema.Measures))
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	n := src.Rows()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		return Aggregate(ds, src, target, opts)
+	}
+
+	filters, err := buildFilters(ds, src, opts.Filters)
+	if err != nil {
+		return nil, err
+	}
+	kinds := make([]schema.MeasureKind, len(ds.Schema.Measures))
+	for i, m := range ds.Schema.Measures {
+		kinds[i] = m.Kind
+	}
+
+	type group struct {
+		keys []int32
+		vals []int64
+	}
+	shards := make([]map[int64]*group, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for wkr := 0; wkr < workers; wkr++ {
+		lo := n * wkr / workers
+		hi := n * (wkr + 1) / workers
+		wg.Add(1)
+		go func(wkr, lo, hi int) {
+			defer wg.Done()
+			// Per-goroutine lifts: the closures carry no mutable state, but
+			// building them locally keeps the hot loop allocation-free.
+			lifts, radices, err := buildLifts(ds, src, target)
+			if err != nil {
+				errs[wkr] = err
+				return
+			}
+			groups := make(map[int64]*group)
+			rowKeys := make([]int32, len(target))
+		scan:
+			for r := lo; r < hi; r++ {
+				for _, f := range filters {
+					if f.lift(src.Keys[f.dim][r]) != f.code {
+						continue scan
+					}
+				}
+				var composite int64
+				for d := range target {
+					var k int32
+					if lifts[d] != nil {
+						k = lifts[d](src.Keys[d][r])
+					}
+					rowKeys[d] = k
+					composite = composite*radices[d] + int64(k)
+				}
+				g, ok := groups[composite]
+				if !ok {
+					g = &group{keys: append([]int32(nil), rowKeys...), vals: make([]int64, len(kinds))}
+					for m, kind := range kinds {
+						g.vals[m] = identity(kind)
+					}
+					groups[composite] = g
+				}
+				for m, kind := range kinds {
+					g.vals[m] = combine(kind, g.vals[m], src.Measures[m][r])
+				}
+			}
+			shards[wkr] = groups
+		}(wkr, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Merge shard tables.
+	merged := shards[0]
+	for _, shard := range shards[1:] {
+		for id, g := range shard {
+			dst, ok := merged[id]
+			if !ok {
+				merged[id] = g
+				continue
+			}
+			for m, kind := range kinds {
+				dst.vals[m] = combine(kind, dst.vals[m], g.vals[m])
+			}
+		}
+	}
+
+	name := opts.Name
+	if name == "" {
+		name = fmt.Sprintf("agg(%s)", src.Name)
+	}
+	ids := make([]int64, 0, len(merged))
+	for id := range merged {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := storage.NewTable(name, target, len(kinds), len(merged))
+	for _, id := range ids {
+		g := merged[id]
+		if err := out.Append(g.keys, g.vals); err != nil {
+			return nil, err
+		}
+	}
+	for d := range target {
+		if target[d] == len(ds.Schema.Dimensions[d].Levels)-1 {
+			out.Keys[d] = nil
+		}
+	}
+	return &Result{
+		Table: out,
+		Stats: Stats{
+			RowsScanned:  int64(n),
+			BytesScanned: ds.Schema.RowBytes.MulInt(int64(n)),
+			Groups:       out.Rows(),
+		},
+	}, nil
+}

@@ -1,0 +1,134 @@
+package engine
+
+import (
+	"testing"
+	"testing/quick"
+
+	"vmcloud/internal/lattice"
+)
+
+func TestAggregateParallelMatchesSequential(t *testing.T) {
+	ds := salesDS(t, 30_000)
+	ex, err := NewExecutor(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range ex.Lat.Nodes() {
+		seq, err := Aggregate(ds, ds.Facts, n.Point, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 3, 8} {
+			par, err := AggregateParallel(ds, ds.Facts, n.Point, Options{}, workers)
+			if err != nil {
+				t.Fatalf("%v workers=%d: %v", n.Point, workers, err)
+			}
+			assertTablesEqual(t, ex.Lat.Name(n.Point), seq.Table, par.Table)
+			if par.Stats != seq.Stats {
+				t.Errorf("%v workers=%d: stats %+v vs %+v", n.Point, workers, par.Stats, seq.Stats)
+			}
+		}
+	}
+}
+
+func TestAggregateParallelWithFilters(t *testing.T) {
+	ds := salesDS(t, 20_000)
+	ex, _ := NewExecutor(ds)
+	yearAll, _ := ex.Lat.PointOf("year", "all")
+	opts := Options{Filters: []Filter{{Dim: 1, Level: 2, Code: 1}}}
+	seq, err := Aggregate(ds, ds.Facts, yearAll, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := AggregateParallel(ds, ds.Facts, yearAll, opts, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertTablesEqual(t, "filtered parallel", seq.Table, par.Table)
+}
+
+// Property: any worker count produces the same grand total.
+func TestAggregateParallelTotalProperty(t *testing.T) {
+	ds := salesDS(t, 10_000)
+	ex, _ := NewExecutor(ds)
+	want := totalProfit(ds.Facts)
+	apex := ex.Lat.Apex()
+	f := func(w uint8) bool {
+		workers := int(w%16) + 1
+		res, err := AggregateParallel(ds, ds.Facts, apex, Options{}, workers)
+		if err != nil {
+			return false
+		}
+		return res.Table.Measures[0][0] == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAggregateParallelFallbacks(t *testing.T) {
+	ds := salesDS(t, 100)
+	ex, _ := NewExecutor(ds)
+	apex := ex.Lat.Apex()
+	// workers ≤ 1 delegates to the sequential path.
+	res, err := AggregateParallel(ds, ds.Facts, apex, Options{}, 1)
+	if err != nil || res.Table.Rows() != 1 {
+		t.Errorf("workers=1: %v, %v", res, err)
+	}
+	// workers > rows clamps.
+	if _, err := AggregateParallel(ds, ds.Facts, apex, Options{}, 10_000); err != nil {
+		t.Errorf("workers>rows: %v", err)
+	}
+	// zero selects GOMAXPROCS.
+	if _, err := AggregateParallel(ds, ds.Facts, apex, Options{}, 0); err != nil {
+		t.Errorf("workers=0: %v", err)
+	}
+}
+
+func TestAggregateParallelErrors(t *testing.T) {
+	ds := salesDS(t, 100)
+	if _, err := AggregateParallel(nil, ds.Facts, lattice.Point{0, 0}, Options{}, 2); err == nil {
+		t.Error("nil dataset accepted")
+	}
+	if _, err := AggregateParallel(ds, nil, lattice.Point{0, 0}, Options{}, 2); err == nil {
+		t.Error("nil source accepted")
+	}
+	if _, err := AggregateParallel(ds, ds.Facts, lattice.Point{0}, Options{}, 2); err == nil {
+		t.Error("bad arity accepted")
+	}
+	ex, _ := NewExecutor(ds)
+	yc, _ := ex.Lat.PointOf("year", "country")
+	coarse, _ := Aggregate(ds, ds.Facts, yc, Options{})
+	if _, err := AggregateParallel(ds, coarse.Table, lattice.Point{0, 0}, Options{}, 2); err == nil {
+		t.Error("coarser source accepted")
+	}
+	if _, err := AggregateParallel(ds, ds.Facts, lattice.Point{0, 0}, Options{
+		Filters: []Filter{{Dim: 9}},
+	}, 2); err == nil {
+		t.Error("bad filter accepted")
+	}
+}
+
+func BenchmarkAggregateSequential100k(b *testing.B) {
+	benchAggWorkers(b, 1)
+}
+
+func BenchmarkAggregateParallel4x100k(b *testing.B) {
+	benchAggWorkers(b, 4)
+}
+
+func benchAggWorkers(b *testing.B, workers int) {
+	b.Helper()
+	ds := salesDS(b, 100_000)
+	ex, err := NewExecutor(ds)
+	if err != nil {
+		b.Fatal(err)
+	}
+	monthRegion, _ := ex.Lat.PointOf("month", "region")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := AggregateParallel(ds, ds.Facts, monthRegion, Options{}, workers); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,153 @@
+package experiments
+
+import (
+	"time"
+
+	"vmcloud/internal/cluster"
+	"vmcloud/internal/costmodel"
+	"vmcloud/internal/money"
+	"vmcloud/internal/pricing"
+	"vmcloud/internal/simtime"
+	"vmcloud/internal/units"
+)
+
+// ExampleCheck compares one of the paper's worked examples against the
+// library's computation.
+type ExampleCheck struct {
+	ID          string
+	Description string
+	Computed    string
+	Paper       string
+	Match       bool
+	Note        string
+}
+
+// runningExampleCluster is the running example's fleet: two small EC2
+// instances with per-started-hour billing (Table 2).
+func runningExampleCluster() (*cluster.Cluster, error) {
+	return cluster.New(pricing.AWS2012(), "small", 2)
+}
+
+// RunWorkedExamples recomputes the paper's Examples 1–9 with the library
+// and reports each against the paper's printed value.
+func RunWorkedExamples() ([]ExampleCheck, error) {
+	cl, err := runningExampleCluster()
+	if err != nil {
+		return nil, err
+	}
+	aws := pricing.AWS2012()
+	var checks []ExampleCheck
+	add := func(id, desc string, computed, paper money.Money, note string) {
+		checks = append(checks, ExampleCheck{
+			ID: id, Description: desc,
+			Computed: computed.String(), Paper: paper.String(),
+			Match: computed == paper, Note: note,
+		})
+	}
+
+	// Example 1: 10 GB of result egress, first GB free.
+	add("Example 1", "transfer cost of a 10 GB query result",
+		costmodel.TransferCost(aws, 10*units.GB), money.FromDollars(1.08), "")
+
+	// Example 2: 50 h workload on two small instances.
+	add("Example 2", "computing cost of a 50 h workload on 2 small instances",
+		cl.ComputeCost(50*time.Hour), money.FromDollars(12), "")
+
+	// Example 3: 512 GB for 12 months, +2 TB at month 7.
+	ex3, err := costmodel.StorageCost(aws, simtime.Timeline{
+		Initial: 512 * units.GB,
+		Horizon: 12,
+		Events:  []simtime.Event{{At: 7, Delta: 2048 * units.GB}},
+	})
+	if err != nil {
+		return nil, err
+	}
+	add("Example 3", "storage cost over two intervals",
+		ex3, money.FromDollars(2131.76),
+		"paper prints $2131.76 but its own expression evaluates to $2101.76; the library reproduces the formula")
+
+	// Example 4: materializing V1 takes 1 h on two small instances.
+	add("Example 4", "materialization cost of V1 (1 h)",
+		cl.ComputeCost(1*time.Hour), money.FromDollars(0.24), "")
+
+	// Example 5/6: processing the workload with views takes 40 h → $9.60.
+	add("Example 6", "processing cost with views (40 h)",
+		cl.ComputeCost(40*time.Hour), money.FromDollars(9.6), "")
+
+	// Example 7/8: maintenance takes 5 h → $1.20.
+	add("Example 8", "maintenance cost of V (5 h)",
+		cl.ComputeCost(5*time.Hour), money.FromDollars(1.2), "")
+
+	// Example 9: 550 GB stored for a year.
+	ex9, err := costmodel.StorageCost(aws, simtime.Timeline{Initial: 550 * units.GB, Horizon: 12})
+	if err != nil {
+		return nil, err
+	}
+	add("Example 9", "storage cost of dataset + views for 12 months",
+		ex9, money.FromDollars(924), "")
+
+	return checks, nil
+}
+
+// IntroProvider is the introduction's fictitious tariff: storage $0.10 per
+// GB-month flat, computing $0.24 per hour, free transfer.
+func IntroProvider() pricing.Provider {
+	return pricing.Provider{
+		Name: "intro-example",
+		Compute: pricing.ComputeTariff{
+			Granularity: units.BillPerHour,
+			Instances: map[string]pricing.InstanceType{
+				"node": {Name: "node", PricePerHour: money.MustParse("$0.24"), RAM: units.GB, ECU: 1},
+			},
+		},
+		Storage: pricing.StorageTariff{
+			Table: pricing.Flat(pricing.Slab, money.MustParse("$0.10")),
+		},
+		Transfer: pricing.TransferTariff{
+			IngressFree: true,
+			Egress:      pricing.Flat(pricing.Graduated, 0),
+		},
+	}
+}
+
+// IntroExample reproduces the introduction's motivating example: a 500 GB
+// dataset stored for a month, a 50 h workload ($62 total), against the
+// with-views variant (40 h processing, +50 GB storage, $64.6 total:
+// 20% faster, 4% more expensive).
+type IntroExample struct {
+	Without costmodel.Bill
+	With    costmodel.Bill
+	// SpeedupRate is the workload-time improvement (0.2 in the paper).
+	SpeedupRate float64
+	// CostIncreaseRate is the relative bill increase (≈0.042 in the paper).
+	CostIncreaseRate float64
+}
+
+// RunIntroExample computes the introduction example.
+func RunIntroExample() (IntroExample, error) {
+	cl, err := cluster.New(IntroProvider(), "node", 1)
+	if err != nil {
+		return IntroExample{}, err
+	}
+	without := costmodel.Plan{
+		Cluster:           cl,
+		Months:            1,
+		DatasetSize:       500 * units.GB,
+		MonthlyProcessing: 50 * time.Hour,
+	}
+	withViews := without.WithViews(50*units.GB, 40*time.Hour, 0, 0)
+	wb, err := without.Bill()
+	if err != nil {
+		return IntroExample{}, err
+	}
+	vb, err := withViews.Bill()
+	if err != nil {
+		return IntroExample{}, err
+	}
+	return IntroExample{
+		Without:          wb,
+		With:             vb,
+		SpeedupRate:      rate(50, 40),
+		CostIncreaseRate: -rate(wb.Total().Dollars(), vb.Total().Dollars()),
+	}, nil
+}

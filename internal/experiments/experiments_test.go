@@ -1,0 +1,226 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"vmcloud/internal/money"
+)
+
+func TestRunMV1ShapeMatchesPaper(t *testing.T) {
+	rows, err := RunMV1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	for _, r := range rows {
+		if !r.Feasible {
+			t.Errorf("%dq: selection infeasible", r.Queries)
+		}
+		// The paper's headline: views are always desirable — response time
+		// strictly improves under the same budget.
+		if r.TimeWith >= r.TimeWithout {
+			t.Errorf("%dq: time with views %v not better than without %v", r.Queries, r.TimeWith, r.TimeWithout)
+		}
+		if r.IPRate <= 0 || r.IPRate >= 1 {
+			t.Errorf("%dq: IP rate %v out of (0,1)", r.Queries, r.IPRate)
+		}
+		if r.BillWith.Total() > r.Budget {
+			t.Errorf("%dq: bill %v exceeds budget %v", r.Queries, r.BillWith.Total(), r.Budget)
+		}
+		if len(r.Views) == 0 {
+			t.Errorf("%dq: no views selected", r.Queries)
+		}
+	}
+	// Table 6's shape: the improvement rate grows with the workload size
+	// (25% → 36% → 60% in the paper).
+	if !(rows[0].IPRate < rows[1].IPRate && rows[1].IPRate < rows[2].IPRate) {
+		t.Errorf("IP rates not increasing: %v / %v / %v",
+			rows[0].IPRate, rows[1].IPRate, rows[2].IPRate)
+	}
+	// And the magnitudes sit in the paper's band (roughly 15–75%).
+	for _, r := range rows {
+		if r.IPRate < 0.10 || r.IPRate > 0.85 {
+			t.Errorf("%dq: IP rate %.1f%% far outside the paper's band", r.Queries, r.IPRate*100)
+		}
+	}
+}
+
+func TestRunMV2ShapeMatchesPaper(t *testing.T) {
+	rows, err := RunMV2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	for _, r := range rows {
+		if !r.Feasible {
+			t.Errorf("%dq: time limit %v not met (time %v)", r.Queries, r.Limit, r.TimeWith)
+		}
+		if r.TimeWith > r.Limit {
+			t.Errorf("%dq: time %v exceeds limit %v", r.Queries, r.TimeWith, r.Limit)
+		}
+		// Table 7's shape: the bill with views is far below the no-view
+		// bill (72–75% in the paper); we require a substantial (>25%)
+		// and sane (<95%) improvement.
+		if r.ICRate < 0.25 || r.ICRate > 0.95 {
+			t.Errorf("%dq: IC rate %.1f%% outside the expected band", r.Queries, r.ICRate*100)
+		}
+		if len(r.Views) == 0 {
+			t.Errorf("%dq: no views selected", r.Queries)
+		}
+	}
+	// Flat-ish across workload sizes: max/min within a factor 2.
+	min, max := rows[0].ICRate, rows[0].ICRate
+	for _, r := range rows {
+		if r.ICRate < min {
+			min = r.ICRate
+		}
+		if r.ICRate > max {
+			max = r.ICRate
+		}
+	}
+	if max > 2*min {
+		t.Errorf("IC rates not roughly flat: min %.1f%%, max %.1f%%", min*100, max*100)
+	}
+}
+
+func TestRunMV3ShapeMatchesPaper(t *testing.T) {
+	for _, alpha := range []float64{0.3, 0.65, 0.7} {
+		rows, err := RunMV3(alpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rows) != 3 {
+			t.Fatalf("α=%g: rows = %d", alpha, len(rows))
+		}
+		for _, r := range rows {
+			// Views always at least match the no-view objective.
+			if r.ObjWith > r.ObjWithout {
+				t.Errorf("α=%g %dq: objective worsened (%.3f → %.3f)", alpha, r.Queries, r.ObjWithout, r.ObjWith)
+			}
+			if r.Rate < 0 || r.Rate > 0.95 {
+				t.Errorf("α=%g %dq: rate %.1f%% out of band", alpha, r.Queries, r.Rate*100)
+			}
+			if len(r.Views) == 0 {
+				t.Errorf("α=%g %dq: no views selected", alpha, r.Queries)
+			}
+		}
+	}
+}
+
+func TestTablesRender(t *testing.T) {
+	mv1, err := RunMV1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := Table6(mv1).String(); !strings.Contains(s, "IP rate") {
+		t.Errorf("Table6 rendering:\n%s", s)
+	}
+	if s := Figure5a(mv1).String(); !strings.Contains(s, "without") {
+		t.Errorf("Figure5a rendering:\n%s", s)
+	}
+	mv2, err := RunMV2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := Table7(mv2).String(); !strings.Contains(s, "IC rate") {
+		t.Errorf("Table7 rendering:\n%s", s)
+	}
+	if s := Figure5b(mv2).String(); !strings.Contains(s, "$") {
+		t.Errorf("Figure5b rendering:\n%s", s)
+	}
+	a, err := RunMV3(0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunMV3(0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := Table8(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := tbl.String(); !strings.Contains(s, "α=0.3") {
+		t.Errorf("Table8 rendering:\n%s", s)
+	}
+	if s := Figure5cd(a, "c").String(); !strings.Contains(s, "α=0.3") {
+		t.Errorf("Figure5cd rendering:\n%s", s)
+	}
+	if _, err := Table8(a, nil); err == nil {
+		t.Error("mismatched Table8 inputs accepted")
+	}
+}
+
+func TestWorkedExamples(t *testing.T) {
+	checks, err := RunWorkedExamples()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(checks) != 7 {
+		t.Fatalf("checks = %d, want 7", len(checks))
+	}
+	for _, c := range checks {
+		if c.ID == "Example 3" {
+			// The known paper typo: we must NOT match the printed value...
+			if c.Match {
+				t.Errorf("Example 3 unexpectedly matches the paper's misprinted $2131.76")
+			}
+			// ...but must match the corrected evaluation.
+			if c.Computed != money.FromDollars(2101.76).String() {
+				t.Errorf("Example 3 computed %s, want $2101.76", c.Computed)
+			}
+			if c.Note == "" {
+				t.Error("Example 3 should carry the typo note")
+			}
+			continue
+		}
+		if !c.Match {
+			t.Errorf("%s: computed %s, paper %s", c.ID, c.Computed, c.Paper)
+		}
+	}
+}
+
+func TestIntroExample(t *testing.T) {
+	ex, err := RunIntroExample()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ex.Without.Total(); got != money.FromDollars(62) {
+		t.Errorf("without views total = %v, want $62", got)
+	}
+	if got := ex.With.Total(); got != money.FromDollars(64.6) {
+		t.Errorf("with views total = %v, want $64.60", got)
+	}
+	if ex.SpeedupRate != 0.2 {
+		t.Errorf("speedup = %v, want 0.2", ex.SpeedupRate)
+	}
+	// ≈ 4.19%.
+	if ex.CostIncreaseRate < 0.041 || ex.CostIncreaseRate > 0.043 {
+		t.Errorf("cost increase = %v, want ≈0.042", ex.CostIncreaseRate)
+	}
+}
+
+func TestSetupHelpers(t *testing.T) {
+	s, err := NewSetup(3, OneShot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.MV1Budget(); err != nil {
+		t.Error(err)
+	}
+	if _, err := s.MV2Limit(); err != nil {
+		t.Error(err)
+	}
+	bad, err := NewSetup(4, OneShot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bad.MV1Budget(); err == nil {
+		t.Error("budget for unlisted workload size accepted")
+	}
+}

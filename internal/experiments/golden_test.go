@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+// Golden pins for the calibrated reproduction rates recorded in
+// EXPERIMENTS.md. These are deterministic (analytical pipeline, fixed
+// tariffs and budgets); any drift means the calibration — and the
+// documented paper-vs-measured comparison — silently changed.
+func TestGoldenRates(t *testing.T) {
+	const tol = 0.002 // rates are pure ratios; allow float jitter only
+
+	mv1, err := RunMV1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantIP := []float64{0.2303, 0.2764, 0.3454}
+	for i, r := range mv1 {
+		if math.Abs(r.IPRate-wantIP[i]) > tol {
+			t.Errorf("MV1 %dq IP rate = %.4f, golden %.4f (EXPERIMENTS.md §2 is stale)",
+				r.Queries, r.IPRate, wantIP[i])
+		}
+	}
+
+	mv2, err := RunMV2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantIC := []float64{0.4799, 0.5211, 0.4352}
+	for i, r := range mv2 {
+		if math.Abs(r.ICRate-wantIC[i]) > tol {
+			t.Errorf("MV2 %dq IC rate = %.4f, golden %.4f", r.Queries, r.ICRate, wantIC[i])
+		}
+	}
+
+	mv3a, err := RunMV3(0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want3 := []float64{0.5570, 0.5863, 0.4815}
+	for i, r := range mv3a {
+		if math.Abs(r.Rate-want3[i]) > tol {
+			t.Errorf("MV3 α=0.3 %dq rate = %.4f, golden %.4f", r.Queries, r.Rate, want3[i])
+		}
+	}
+
+	mv3b, err := RunMV3(0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want7 := []float64{0.6398, 0.6523, 0.5268}
+	for i, r := range mv3b {
+		if math.Abs(r.Rate-want7[i]) > tol {
+			t.Errorf("MV3 α=0.7 %dq rate = %.4f, golden %.4f", r.Queries, r.Rate, want7[i])
+		}
+	}
+}

@@ -1,0 +1,180 @@
+package experiments
+
+import (
+	"fmt"
+
+	"vmcloud/internal/datagen"
+	"vmcloud/internal/engine"
+	"vmcloud/internal/mapreduce"
+	"vmcloud/internal/piglet"
+	"vmcloud/internal/views"
+	"vmcloud/internal/workload"
+)
+
+// ValidationRow compares, for one workload query, the measured engine scan
+// against the analytical model's prediction: the cost models assume query
+// time is proportional to the scanned source's size, so the measured
+// rows-scanned ratio between the with-views and no-views runs should track
+// the lattice's row-count ratio.
+type ValidationRow struct {
+	Query string
+	// Source is the table the executor routed the query to with views on.
+	Source string
+	// MeasuredBase/MeasuredView are rows actually scanned by the engine.
+	MeasuredBase int64
+	MeasuredView int64
+	// AnalyticBase/AnalyticView are the lattice estimates at local scale.
+	AnalyticBase int64
+	AnalyticView int64
+}
+
+// MeasuredRatio is the observed scan reduction (view/base).
+func (r ValidationRow) MeasuredRatio() float64 {
+	if r.MeasuredBase == 0 {
+		return 0
+	}
+	return float64(r.MeasuredView) / float64(r.MeasuredBase)
+}
+
+// AnalyticRatio is the predicted scan reduction.
+func (r ValidationRow) AnalyticRatio() float64 {
+	if r.AnalyticBase == 0 {
+		return 0
+	}
+	return float64(r.AnalyticView) / float64(r.AnalyticBase)
+}
+
+// RunEngineValidation executes the n-query sales workload for real on a
+// generated dataset of sampleRows facts — once against the base table,
+// once with the HRU candidate views materialized — and reports measured
+// versus analytical scan volumes per query. This is the "engine validates
+// the plan" leg of DESIGN.md §4.
+func RunEngineValidation(sampleRows, nQueries int) ([]ValidationRow, error) {
+	ds, err := datagen.GenerateSales(datagen.Config{Rows: sampleRows, Seed: 17})
+	if err != nil {
+		return nil, err
+	}
+	ex, err := engine.NewExecutor(ds)
+	if err != nil {
+		return nil, err
+	}
+	w, err := workload.Sales(ex.Lat, nQueries)
+	if err != nil {
+		return nil, err
+	}
+	cands, err := views.GenerateCandidates(ex.Lat, w, CandidateBudget)
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range cands {
+		if _, err := ex.Materialize(c.Point); err != nil {
+			return nil, err
+		}
+	}
+	baseNode, err := ex.Lat.Node(ex.Lat.Base())
+	if err != nil {
+		return nil, err
+	}
+	var rows []ValidationRow
+	for _, q := range w.Queries {
+		src := ex.SourceFor(q.Point)
+		withViews, err := ex.Answer(q.Point, engine.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s with views: %w", q.Name, err)
+		}
+		// Re-answer from the base table for the no-view measurement.
+		direct, err := engine.Aggregate(ds, ds.Facts, q.Point, engine.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s from base: %w", q.Name, err)
+		}
+		_, analyticView := ex.Lat.CheapestAnswering(views.Points(cands), q.Point)
+		rows = append(rows, ValidationRow{
+			Query:        q.Name,
+			Source:       src.Name,
+			MeasuredBase: direct.Stats.RowsScanned,
+			MeasuredView: withViews.Stats.RowsScanned,
+			AnalyticBase: baseNode.Rows,
+			AnalyticView: analyticView.Rows,
+		})
+	}
+	return rows, nil
+}
+
+// PigletValidationRow compares one workload query computed by the engine
+// against the same query expressed as a Piglet script and executed on the
+// MapReduce runtime — the paper's Pig-on-Hadoop execution path.
+type PigletValidationRow struct {
+	Query       string
+	EngineTotal int64
+	PigletTotal int64
+	PigletJobs  int
+	Groups      int
+}
+
+// Agrees reports whether both paths produced the same grand total.
+func (r PigletValidationRow) Agrees() bool { return r.EngineTotal == r.PigletTotal }
+
+// RunPigletValidation cross-checks every query of the n-query workload:
+// the columnar engine's result total must equal the Piglet/MapReduce
+// result total on the same generated data.
+func RunPigletValidation(sampleRows, nQueries int) ([]PigletValidationRow, error) {
+	ds, err := datagen.GenerateSales(datagen.Config{Rows: sampleRows, Seed: 23})
+	if err != nil {
+		return nil, err
+	}
+	ex, err := engine.NewExecutor(ds)
+	if err != nil {
+		return nil, err
+	}
+	rel, err := piglet.DatasetRelation(ds)
+	if err != nil {
+		return nil, err
+	}
+	rn := &piglet.Runner{
+		Catalog: piglet.Catalog{"sales": rel},
+		MR:      mapreduce.Config{Mappers: 4, Reducers: 4},
+	}
+	w, err := workload.Sales(ex.Lat, nQueries)
+	if err != nil {
+		return nil, err
+	}
+	var out []PigletValidationRow
+	for _, q := range w.Queries {
+		eng, err := ex.Answer(q.Point, engine.Options{})
+		if err != nil {
+			return nil, err
+		}
+		var engTotal int64
+		for _, v := range eng.Table.Measures[0] {
+			engTotal += v
+		}
+		script, err := q.PigScript(ex.Lat)
+		if err != nil {
+			return nil, err
+		}
+		res, err := rn.RunScript(script)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: piglet %s: %w", q.Name, err)
+		}
+		pig, ok := res.Output("result")
+		if !ok {
+			return nil, fmt.Errorf("experiments: piglet %s produced no result", q.Name)
+		}
+		totalCol, err := pig.ColIndex("total")
+		if err != nil {
+			return nil, err
+		}
+		var pigTotal int64
+		for _, row := range pig.Rows {
+			pigTotal += row[totalCol].Int
+		}
+		out = append(out, PigletValidationRow{
+			Query:       q.Name,
+			EngineTotal: engTotal,
+			PigletTotal: pigTotal,
+			PigletJobs:  res.Jobs,
+			Groups:      len(pig.Rows),
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,196 @@
+// Package mapreduce is a small in-process MapReduce runtime: parallel
+// mappers, optional combiners, hash-partitioned shuffle, parallel reducers
+// and job counters. It stands in for the Hadoop 0.20 cluster the paper ran
+// its Pig Latin workload on — same programming model, same execution
+// phases, scaled to goroutines instead of VMs.
+package mapreduce
+
+import (
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sync"
+)
+
+// Mapper transforms one input record into zero or more key/value pairs via
+// the emit callback.
+type Mapper[I any, K comparable, V any] func(input I, emit func(K, V))
+
+// Combiner merges two values for the same key map-side, cutting shuffle
+// volume. It must be associative and commutative.
+type Combiner[V any] func(a, b V) V
+
+// Reducer folds all values of one key into a single output value.
+type Reducer[K comparable, V any, O any] func(key K, values []V) O
+
+// Counters reports the work a job performed, mirroring Hadoop's built-in
+// counters.
+type Counters struct {
+	// InputRecords is the number of records fed to mappers.
+	InputRecords int64
+	// MapOutputRecords counts pairs emitted by mappers (pre-combine).
+	MapOutputRecords int64
+	// ShuffledRecords counts pairs crossing the shuffle (post-combine).
+	ShuffledRecords int64
+	// DistinctKeys is the number of reduce groups.
+	DistinctKeys int64
+	// OutputRecords is the number of reducer outputs.
+	OutputRecords int64
+}
+
+// Config sizes the runtime.
+type Config struct {
+	// Mappers is the number of parallel map tasks; 0 selects GOMAXPROCS.
+	Mappers int
+	// Reducers is the number of parallel reduce partitions; 0 selects
+	// GOMAXPROCS.
+	Reducers int
+}
+
+func (c Config) normalized() Config {
+	n := runtime.GOMAXPROCS(0)
+	if c.Mappers <= 0 {
+		c.Mappers = n
+	}
+	if c.Reducers <= 0 {
+		c.Reducers = n
+	}
+	return c
+}
+
+// Run executes a full map/combine/shuffle/reduce job over inputs and
+// returns the reduce outputs keyed by reduce key. A nil combiner disables
+// map-side combining. Mapper or reducer panics are recovered and reported
+// as errors.
+func Run[I any, K comparable, V any, O any](
+	cfg Config,
+	inputs []I,
+	mapper Mapper[I, K, V],
+	combiner Combiner[V],
+	reducer Reducer[K, V, O],
+) (map[K]O, Counters, error) {
+	if mapper == nil || reducer == nil {
+		return nil, Counters{}, fmt.Errorf("mapreduce: mapper and reducer are required")
+	}
+	cfg = cfg.normalized()
+	var counters Counters
+	counters.InputRecords = int64(len(inputs))
+
+	// ---- Map phase -------------------------------------------------------
+	// Each map task owns one partition set (one map per reduce partition) so
+	// no locking is needed until merge.
+	type partitionSet struct {
+		parts   []map[K][]V
+		emitted int64
+	}
+	nm := cfg.Mappers
+	if nm > len(inputs) && len(inputs) > 0 {
+		nm = len(inputs)
+	}
+	if nm == 0 {
+		nm = 1
+	}
+	sets := make([]partitionSet, nm)
+	var wg sync.WaitGroup
+	errCh := make(chan error, nm+cfg.Reducers)
+	for t := 0; t < nm; t++ {
+		sets[t].parts = make([]map[K][]V, cfg.Reducers)
+		for p := range sets[t].parts {
+			sets[t].parts[p] = make(map[K][]V)
+		}
+		lo := len(inputs) * t / nm
+		hi := len(inputs) * (t + 1) / nm
+		wg.Add(1)
+		go func(set *partitionSet, shard []I) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					errCh <- fmt.Errorf("mapreduce: map task panicked: %v", r)
+				}
+			}()
+			emit := func(k K, v V) {
+				set.emitted++
+				p := partition(k, cfg.Reducers)
+				bucket := set.parts[p]
+				if combiner != nil {
+					if prev, ok := bucket[k]; ok {
+						bucket[k] = []V{combiner(prev[0], v)}
+						return
+					}
+					bucket[k] = []V{v}
+					return
+				}
+				bucket[k] = append(bucket[k], v)
+			}
+			for _, in := range shard {
+				mapper(in, emit)
+			}
+		}(&sets[t], inputs[lo:hi])
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return nil, counters, err
+	default:
+	}
+	for t := range sets {
+		counters.MapOutputRecords += sets[t].emitted
+	}
+
+	// ---- Shuffle: merge map-side partitions per reducer ------------------
+	merged := make([]map[K][]V, cfg.Reducers)
+	for p := 0; p < cfg.Reducers; p++ {
+		merged[p] = make(map[K][]V)
+		for t := range sets {
+			for k, vs := range sets[t].parts[p] {
+				merged[p][k] = append(merged[p][k], vs...)
+				counters.ShuffledRecords += int64(len(vs))
+			}
+		}
+	}
+
+	// ---- Reduce phase ----------------------------------------------------
+	outs := make([]map[K]O, cfg.Reducers)
+	for p := 0; p < cfg.Reducers; p++ {
+		outs[p] = make(map[K]O, len(merged[p]))
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					errCh <- fmt.Errorf("mapreduce: reduce task panicked: %v", r)
+				}
+			}()
+			for k, vs := range merged[p] {
+				outs[p][k] = reducer(k, vs)
+			}
+		}(p)
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return nil, counters, err
+	default:
+	}
+
+	result := make(map[K]O)
+	for p := range outs {
+		for k, o := range outs[p] {
+			result[k] = o
+			counters.OutputRecords++
+		}
+	}
+	counters.DistinctKeys = counters.OutputRecords
+	return result, counters, nil
+}
+
+// partition assigns a key to a reduce partition by FNV hash of its
+// fmt-rendered form — stable across runs for any comparable key type.
+func partition[K comparable](k K, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	h := fnv.New32a()
+	fmt.Fprintf(h, "%v", k)
+	return int(h.Sum32() % uint32(n))
+}

@@ -1,0 +1,236 @@
+package mapreduce
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func sumReducer(_ string, vs []int64) int64 {
+	var s int64
+	for _, v := range vs {
+		s += v
+	}
+	return s
+}
+
+func TestWordCount(t *testing.T) {
+	lines := []string{
+		"the quick brown fox",
+		"the lazy dog",
+		"the quick dog",
+	}
+	mapper := func(line string, emit func(string, int64)) {
+		for _, w := range strings.Fields(line) {
+			emit(w, 1)
+		}
+	}
+	out, counters, err := Run(Config{Mappers: 2, Reducers: 3}, lines, mapper, nil, sumReducer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]int64{"the": 3, "quick": 2, "brown": 1, "fox": 1, "lazy": 2, "dog": 2}
+	want["lazy"] = 1
+	if len(out) != len(want) {
+		t.Fatalf("got %d keys, want %d: %v", len(out), len(want), out)
+	}
+	for k, v := range want {
+		if out[k] != v {
+			t.Errorf("count[%q] = %d, want %d", k, out[k], v)
+		}
+	}
+	if counters.InputRecords != 3 {
+		t.Errorf("InputRecords = %d, want 3", counters.InputRecords)
+	}
+	if counters.MapOutputRecords != 10 {
+		t.Errorf("MapOutputRecords = %d, want 10", counters.MapOutputRecords)
+	}
+	if counters.OutputRecords != int64(len(want)) {
+		t.Errorf("OutputRecords = %d, want %d", counters.OutputRecords, len(want))
+	}
+}
+
+func TestCombinerReducesShuffleVolume(t *testing.T) {
+	inputs := make([]int, 10_000)
+	mapper := func(_ int, emit func(string, int64)) { emit("k", 1) }
+	add := func(a, b int64) int64 { return a + b }
+
+	_, noComb, err := Run(Config{Mappers: 4, Reducers: 2}, inputs, mapper, nil, sumReducer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, withComb, err := Run(Config{Mappers: 4, Reducers: 2}, inputs, mapper, add, sumReducer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out["k"] != 10_000 {
+		t.Errorf("combined sum = %d, want 10000", out["k"])
+	}
+	if withComb.ShuffledRecords >= noComb.ShuffledRecords {
+		t.Errorf("combiner did not reduce shuffle: %d vs %d", withComb.ShuffledRecords, noComb.ShuffledRecords)
+	}
+	if withComb.ShuffledRecords > 4 {
+		t.Errorf("with combiner, shuffle should be ≤ one record per map task: %d", withComb.ShuffledRecords)
+	}
+}
+
+// Property: MapReduce sum over random int slices equals the sequential sum,
+// for any mapper/reducer parallelism.
+func TestSumEquivalenceProperty(t *testing.T) {
+	f := func(vals []int32, m, r uint8) bool {
+		inputs := make([]int64, len(vals))
+		var want int64
+		for i, v := range vals {
+			inputs[i] = int64(v)
+			want += int64(v)
+		}
+		mapper := func(v int64, emit func(int, int64)) { emit(0, v) }
+		out, _, err := Run(Config{Mappers: int(m%8) + 1, Reducers: int(r%8) + 1},
+			inputs, mapper, func(a, b int64) int64 { return a + b },
+			func(_ int, vs []int64) int64 {
+				var s int64
+				for _, v := range vs {
+					s += v
+				}
+				return s
+			})
+		if err != nil {
+			return false
+		}
+		if len(inputs) == 0 {
+			return len(out) == 0
+		}
+		return out[0] == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	out, counters, err := Run(Config{}, nil,
+		func(int, func(string, int64)) {}, nil, sumReducer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 0 || counters.InputRecords != 0 {
+		t.Errorf("empty input produced %v, %+v", out, counters)
+	}
+}
+
+func TestNilFuncsRejected(t *testing.T) {
+	if _, _, err := Run[int, string, int64, int64](Config{}, []int{1}, nil, nil, nil); err == nil {
+		t.Error("nil mapper accepted")
+	}
+	if _, _, err := Run(Config{}, []int{1},
+		func(int, func(string, int64)) {}, nil, Reducer[string, int64, int64](nil)); err == nil {
+		t.Error("nil reducer accepted")
+	}
+}
+
+func TestMapperPanicRecovered(t *testing.T) {
+	_, _, err := Run(Config{Mappers: 2, Reducers: 2}, []int{1, 2, 3},
+		func(v int, emit func(string, int64)) {
+			if v == 2 {
+				panic("boom")
+			}
+			emit("k", 1)
+		}, nil, sumReducer)
+	if err == nil || !strings.Contains(err.Error(), "map task panicked") {
+		t.Errorf("err = %v, want map panic report", err)
+	}
+}
+
+func TestReducerPanicRecovered(t *testing.T) {
+	_, _, err := Run(Config{Mappers: 1, Reducers: 1}, []int{1},
+		func(v int, emit func(string, int64)) { emit("k", 1) },
+		nil,
+		func(string, []int64) int64 { panic("reduce boom") })
+	if err == nil || !strings.Contains(err.Error(), "reduce task panicked") {
+		t.Errorf("err = %v, want reduce panic report", err)
+	}
+}
+
+func TestManyMoreMappersThanInputs(t *testing.T) {
+	out, _, err := Run(Config{Mappers: 64, Reducers: 64}, []int{5},
+		func(v int, emit func(string, int64)) { emit("only", int64(v)) },
+		nil, sumReducer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out["only"] != 5 {
+		t.Errorf("out = %v", out)
+	}
+}
+
+func TestPartitionStableAndInRange(t *testing.T) {
+	for _, n := range []int{1, 2, 7, 16} {
+		for _, k := range []string{"a", "b", "year=2000", ""} {
+			p1 := partition(k, n)
+			p2 := partition(k, n)
+			if p1 != p2 {
+				t.Errorf("partition(%q,%d) unstable", k, n)
+			}
+			if p1 < 0 || p1 >= n {
+				t.Errorf("partition(%q,%d) = %d out of range", k, n, p1)
+			}
+		}
+	}
+	if partition("x", 0) != 0 {
+		t.Error("n≤1 should map to 0")
+	}
+}
+
+func TestStructKeys(t *testing.T) {
+	type yearCountry struct {
+		Year    int
+		Country string
+	}
+	type row struct {
+		yc     yearCountry
+		profit int64
+	}
+	rows := []row{
+		{yearCountry{2000, "FR"}, 10},
+		{yearCountry{2000, "FR"}, 20},
+		{yearCountry{2001, "IT"}, 5},
+	}
+	out, _, err := Run(Config{Mappers: 2, Reducers: 2}, rows,
+		func(r row, emit func(yearCountry, int64)) { emit(r.yc, r.profit) },
+		func(a, b int64) int64 { return a + b },
+		func(_ yearCountry, vs []int64) int64 {
+			var s int64
+			for _, v := range vs {
+				s += v
+			}
+			return s
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[yearCountry{2000, "FR"}] != 30 || out[yearCountry{2001, "IT"}] != 5 {
+		t.Errorf("out = %v", out)
+	}
+}
+
+func BenchmarkShuffleHeavy(b *testing.B) {
+	inputs := make([]int, 50_000)
+	for i := range inputs {
+		inputs[i] = i
+	}
+	mapper := func(v int, emit func(int, int64)) { emit(v%1000, 1) }
+	add := func(a, b int64) int64 { return a + b }
+	red := func(_ int, vs []int64) int64 {
+		var s int64
+		for _, v := range vs {
+			s += v
+		}
+		return s
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Run(Config{Mappers: 4, Reducers: 4}, inputs, mapper, add, red); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

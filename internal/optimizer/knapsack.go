@@ -1,0 +1,181 @@
+// Package optimizer implements the paper's optimization process (Section
+// 5): selecting the subset of candidate materialized views under the three
+// objective scenarios MV1 (minimize workload time under a budget), MV2
+// (minimize monetary cost under a response-time limit) and MV3 (minimize
+// the weighted time/cost tradeoff), solved — as in the paper — as a 0/1
+// knapsack via dynamic programming, with an exhaustive oracle and a greedy
+// heuristic as baselines.
+package optimizer
+
+import (
+	"fmt"
+	"math"
+)
+
+// maxDPCells bounds the size of the dynamic-programming tables; larger
+// capacities are scaled down (with conservative rounding) to fit.
+const maxDPCells = 1 << 21
+
+// Knapsack01 solves the 0/1 knapsack problem: choose a subset of items
+// maximizing Σ values[i] subject to Σ weights[i] ≤ capacity. Values and
+// weights must be non-negative. Returns the chosen indices in increasing
+// order. When the capacity is large, weights are scaled down with
+// round-up so the returned subset never exceeds the true capacity.
+func Knapsack01(values, weights []int64, capacity int64) ([]int, error) {
+	if len(values) != len(weights) {
+		return nil, fmt.Errorf("optimizer: %d values vs %d weights", len(values), len(weights))
+	}
+	for i := range values {
+		if values[i] < 0 || weights[i] < 0 {
+			return nil, fmt.Errorf("optimizer: negative value/weight at item %d", i)
+		}
+	}
+	if capacity < 0 {
+		return nil, nil
+	}
+	n := len(values)
+	if n == 0 {
+		return nil, nil
+	}
+	// Scale weights so the DP table fits. Round weights UP so that a
+	// selection feasible in scaled units is feasible in true units.
+	scale := int64(1)
+	if capacity+1 > int64(maxDPCells/max(n, 1)) {
+		scale = (capacity + 1 + int64(maxDPCells/max(n, 1)) - 1) / int64(maxDPCells/max(n, 1))
+	}
+	cap := capacity / scale
+	w := make([]int64, n)
+	for i := range weights {
+		w[i] = (weights[i] + scale - 1) / scale
+	}
+
+	const minusInf = math.MinInt64 / 4
+	dp := make([]int64, cap+1)
+	keep := make([][]bool, n)
+	for i := range keep {
+		keep[i] = make([]bool, cap+1)
+	}
+	for i := 0; i < n; i++ {
+		for c := cap; c >= w[i]; c-- {
+			cand := dp[c-w[i]] + values[i]
+			if cand > dp[c] && dp[c-w[i]] > minusInf {
+				dp[c] = cand
+				keep[i][c] = true
+			}
+		}
+	}
+	// Trace back.
+	var chosen []int
+	c := cap
+	for i := n - 1; i >= 0; i-- {
+		if keep[i][c] {
+			chosen = append(chosen, i)
+			c -= w[i]
+		}
+	}
+	reverse(chosen)
+	return chosen, nil
+}
+
+// MinCostCover chooses a subset minimizing Σ costs[i] subject to
+// Σ gains[i] ≥ need. Costs and gains must be non-negative. Returns the
+// chosen indices and whether the need is coverable at all. Gains are
+// scaled down with round-down, so the returned subset always truly covers
+// the need.
+func MinCostCover(costs, gains []int64, need int64) ([]int, bool, error) {
+	if len(costs) != len(gains) {
+		return nil, false, fmt.Errorf("optimizer: %d costs vs %d gains", len(costs), len(gains))
+	}
+	for i := range costs {
+		if costs[i] < 0 || gains[i] < 0 {
+			return nil, false, fmt.Errorf("optimizer: negative cost/gain at item %d", i)
+		}
+	}
+	if need <= 0 {
+		return nil, true, nil
+	}
+	n := len(costs)
+	var totalGain int64
+	for _, g := range gains {
+		totalGain += g
+	}
+	if totalGain < need {
+		return nil, false, nil
+	}
+	// Scale gains down (round DOWN) so a scaled cover is a true cover; the
+	// need is scaled up correspondingly.
+	scale := int64(1)
+	if need+1 > int64(maxDPCells/max(n, 1)) {
+		scale = (need + 1 + int64(maxDPCells/max(n, 1)) - 1) / int64(maxDPCells/max(n, 1))
+	}
+	g := make([]int64, n)
+	var scaledTotal int64
+	for i := range gains {
+		g[i] = gains[i] / scale
+		scaledTotal += g[i]
+	}
+	target := (need + scale - 1) / scale
+	if scaledTotal < target {
+		// Rounding destroyed feasibility; fall back to taking everything
+		// (feasible in true units by the totalGain check above).
+		all := make([]int, n)
+		for i := range all {
+			all[i] = i
+		}
+		return all, true, nil
+	}
+
+	const inf = math.MaxInt64 / 4
+	// dp[s] = min cost to reach scaled gain ≥ s (s capped at target).
+	dp := make([]int64, target+1)
+	keep := make([][]bool, n)
+	for i := range dp {
+		dp[i] = inf
+	}
+	dp[0] = 0
+	for i := 0; i < n; i++ {
+		keep[i] = make([]bool, target+1)
+		for s := target; s >= 1; s-- {
+			from := s - g[i]
+			if from < 0 {
+				from = 0
+			}
+			if from == s {
+				continue // zero-gain item never helps coverage
+			}
+			if dp[from] < inf && dp[from]+costs[i] < dp[s] {
+				dp[s] = dp[from] + costs[i]
+				keep[i][s] = true
+			}
+		}
+	}
+	if dp[target] >= inf {
+		return nil, false, nil
+	}
+	var chosen []int
+	s := target
+	for i := n - 1; i >= 0; i-- {
+		if s > 0 && keep[i][s] {
+			chosen = append(chosen, i)
+			s -= g[i]
+			if s < 0 {
+				s = 0
+			}
+		}
+	}
+	reverse(chosen)
+	return chosen, true, nil
+}
+
+func reverse(xs []int) {
+	for i, j := 0, len(xs)-1; i < j; i, j = i+1, j-1 {
+		xs[i], xs[j] = xs[j], xs[i]
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

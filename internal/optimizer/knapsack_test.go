@@ -1,0 +1,239 @@
+package optimizer
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// bruteKnapsack maximizes value under the weight cap by enumeration.
+func bruteKnapsack(values, weights []int64, cap int64) int64 {
+	n := len(values)
+	var best int64
+	for mask := 0; mask < 1<<n; mask++ {
+		var v, w int64
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				v += values[i]
+				w += weights[i]
+			}
+		}
+		if w <= cap && v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+func sumAt(vals []int64, idx []int) int64 {
+	var s int64
+	for _, i := range idx {
+		s += vals[i]
+	}
+	return s
+}
+
+func TestKnapsack01Basic(t *testing.T) {
+	values := []int64{60, 100, 120}
+	weights := []int64{10, 20, 30}
+	idx, err := Knapsack01(values, weights, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sumAt(values, idx); got != 220 {
+		t.Errorf("value = %d, want 220 (items 1,2)", got)
+	}
+	if got := sumAt(weights, idx); got > 50 {
+		t.Errorf("weight = %d exceeds capacity", got)
+	}
+}
+
+func TestKnapsack01Edges(t *testing.T) {
+	if idx, err := Knapsack01(nil, nil, 10); err != nil || len(idx) != 0 {
+		t.Errorf("empty = %v, %v", idx, err)
+	}
+	if idx, err := Knapsack01([]int64{5}, []int64{3}, -1); err != nil || len(idx) != 0 {
+		t.Errorf("negative cap = %v, %v", idx, err)
+	}
+	if idx, err := Knapsack01([]int64{5}, []int64{0}, 0); err != nil || len(idx) != 1 {
+		t.Errorf("zero-weight item = %v, %v", idx, err)
+	}
+	if _, err := Knapsack01([]int64{1}, []int64{1, 2}, 5); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := Knapsack01([]int64{-1}, []int64{1}, 5); err == nil {
+		t.Error("negative value accepted")
+	}
+	if _, err := Knapsack01([]int64{1}, []int64{-1}, 5); err == nil {
+		t.Error("negative weight accepted")
+	}
+}
+
+// Property: the DP matches brute force on random small instances.
+func TestKnapsack01MatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(10) + 1
+		values := make([]int64, n)
+		weights := make([]int64, n)
+		for i := range values {
+			values[i] = int64(rng.Intn(100))
+			weights[i] = int64(rng.Intn(50))
+		}
+		cap := int64(rng.Intn(120))
+		idx, err := Knapsack01(values, weights, cap)
+		if err != nil {
+			return false
+		}
+		if sumAt(weights, idx) > cap {
+			return false
+		}
+		return sumAt(values, idx) == bruteKnapsack(values, weights, cap)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Scaled capacities stay feasible (round-up on weights) even when the DP
+// table cannot hold the raw capacity.
+func TestKnapsack01ScalingStaysFeasible(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := 12
+	values := make([]int64, n)
+	weights := make([]int64, n)
+	for i := range values {
+		values[i] = int64(rng.Intn(1000) + 1)
+		weights[i] = int64(rng.Intn(1_000_000_000) + 1) // ~$1000 in micros
+	}
+	cap := int64(3_000_000_000)
+	idx, err := Knapsack01(values, weights, cap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sumAt(weights, idx); got > cap {
+		t.Errorf("scaled solution weight %d exceeds capacity %d", got, cap)
+	}
+	if len(idx) == 0 {
+		t.Error("scaled knapsack selected nothing despite generous capacity")
+	}
+}
+
+// bruteCover minimizes cost subject to gain ≥ need by enumeration.
+func bruteCover(costs, gains []int64, need int64) (int64, bool) {
+	n := len(costs)
+	best := int64(-1)
+	for mask := 0; mask < 1<<n; mask++ {
+		var c, g int64
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				c += costs[i]
+				g += gains[i]
+			}
+		}
+		if g >= need && (best < 0 || c < best) {
+			best = c
+		}
+	}
+	return best, best >= 0
+}
+
+func TestMinCostCoverBasic(t *testing.T) {
+	costs := []int64{10, 4, 7}
+	gains := []int64{5, 3, 4}
+	idx, ok, err := MinCostCover(costs, gains, 7)
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	if got := sumAt(gains, idx); got < 7 {
+		t.Errorf("gain = %d < need", got)
+	}
+	if got := sumAt(costs, idx); got != 11 {
+		t.Errorf("cost = %d, want 11 (items 1,2)", got)
+	}
+}
+
+func TestMinCostCoverEdges(t *testing.T) {
+	if idx, ok, err := MinCostCover(nil, nil, 0); err != nil || !ok || len(idx) != 0 {
+		t.Errorf("need 0 = %v %v %v", idx, ok, err)
+	}
+	if _, ok, err := MinCostCover([]int64{1}, []int64{2}, 10); err != nil || ok {
+		t.Errorf("uncoverable need reported ok=%v err=%v", ok, err)
+	}
+	if _, _, err := MinCostCover([]int64{1}, []int64{1, 2}, 1); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, _, err := MinCostCover([]int64{-1}, []int64{1}, 1); err == nil {
+		t.Error("negative cost accepted")
+	}
+}
+
+// Property: MinCostCover matches brute force on random small instances.
+func TestMinCostCoverMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(9) + 1
+		costs := make([]int64, n)
+		gains := make([]int64, n)
+		for i := range costs {
+			costs[i] = int64(rng.Intn(100))
+			gains[i] = int64(rng.Intn(40))
+		}
+		need := int64(rng.Intn(100))
+		idx, ok, err := MinCostCover(costs, gains, need)
+		if err != nil {
+			return false
+		}
+		wantCost, wantOK := bruteCover(costs, gains, need)
+		if ok != wantOK {
+			return false
+		}
+		if !ok {
+			return true
+		}
+		if sumAt(gains, idx) < need {
+			return false
+		}
+		return sumAt(costs, idx) == wantCost
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// With scaling, covers remain true covers.
+func TestMinCostCoverScalingStaysValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 12
+	costs := make([]int64, n)
+	gains := make([]int64, n)
+	for i := range costs {
+		costs[i] = int64(rng.Intn(100) + 1)
+		gains[i] = int64(rng.Intn(2_000_000_000) + 1_000_000_000) // ~1h in ns
+	}
+	need := int64(8_000_000_000)
+	idx, ok, err := MinCostCover(costs, gains, need)
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	if got := sumAt(gains, idx); got < need {
+		t.Errorf("scaled cover gain %d < need %d", got, need)
+	}
+}
+
+func BenchmarkKnapsack01(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	n := 16
+	values := make([]int64, n)
+	weights := make([]int64, n)
+	for i := range values {
+		values[i] = int64(rng.Intn(10_000) + 1)
+		weights[i] = int64(rng.Intn(500_000) + 1)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Knapsack01(values, weights, 2_000_000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

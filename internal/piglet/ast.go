@@ -1,0 +1,213 @@
+package piglet
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Program is a parsed script: a sequence of statements.
+type Program struct {
+	Statements []Statement
+}
+
+// Statement is either an alias assignment or an output statement.
+type Statement interface{ stmt() }
+
+// Assign binds a relational expression to an alias: `x = LOAD ...;`.
+type Assign struct {
+	Alias string
+	Expr  RelExpr
+}
+
+// Store marks a relation for output under a target name: `STORE x INTO 'y';`.
+type Store struct {
+	Alias  string
+	Target string
+}
+
+// Dump marks a relation for output under its own alias: `DUMP x;`.
+type Dump struct {
+	Alias string
+}
+
+func (Assign) stmt() {}
+func (Store) stmt()  {}
+func (Dump) stmt()   {}
+
+// RelExpr is a relational operator expression.
+type RelExpr interface{ rel() }
+
+// Load reads a named source with a declared column list.
+type Load struct {
+	Source  string
+	Columns []string
+}
+
+// FilterExpr keeps rows satisfying all comparisons (AND semantics).
+type FilterExpr struct {
+	Input string
+	Preds []Comparison
+}
+
+// GroupExpr groups a relation by one or more columns, or — with All set —
+// collapses it into a single group (Pig's GROUP rel ALL, used for grand
+// totals).
+type GroupExpr struct {
+	Input string
+	Keys  []string
+	All   bool
+}
+
+// ForeachExpr projects or aggregates. When its input is a GROUP alias the
+// generates may include `group` and aggregate calls; over a plain relation
+// only bare column projections are allowed.
+type ForeachExpr struct {
+	Input     string
+	Generates []Generate
+}
+
+// OrderExpr sorts a relation by one column.
+type OrderExpr struct {
+	Input string
+	Col   string
+	Desc  bool
+}
+
+// LimitExpr keeps the first N rows of a relation.
+type LimitExpr struct {
+	Input string
+	N     int64
+}
+
+// JoinExpr is an equi-join of two relations (Pig's reduce-side JOIN):
+// `j = JOIN a BY x, b BY y;`. Output columns are alias-qualified
+// ("a::x", "b::y", ...) as in Pig.
+type JoinExpr struct {
+	LeftRel  string
+	LeftCol  string
+	RightRel string
+	RightCol string
+}
+
+func (Load) rel()        {}
+func (FilterExpr) rel()  {}
+func (GroupExpr) rel()   {}
+func (ForeachExpr) rel() {}
+func (OrderExpr) rel()   {}
+func (LimitExpr) rel()   {}
+func (JoinExpr) rel()    {}
+
+// Generate is one output expression of a FOREACH.
+type Generate struct {
+	// Kind discriminates the payload.
+	Kind GenKind
+	// Column is the projected column (GenColumn) or aggregate input field
+	// (GenAgg).
+	Column string
+	// Func is the aggregate function name for GenAgg (SUM, COUNT, MIN,
+	// MAX, AVG).
+	Func string
+	// Rel optionally qualifies the aggregate field (`SUM(raw.profit)`).
+	Rel string
+	// As renames the output column.
+	As string
+}
+
+// GenKind discriminates Generate payloads.
+type GenKind int
+
+const (
+	// GenGroup emits the group key columns (`group`).
+	GenGroup GenKind = iota
+	// GenColumn projects a plain column.
+	GenColumn
+	// GenAgg computes an aggregate over the grouped rows.
+	GenAgg
+)
+
+// Comparison is `field op literal`.
+type Comparison struct {
+	Field string
+	Op    string // == != < <= > >=
+	// StrVal/IntVal hold the literal; IsInt selects which.
+	StrVal string
+	IntVal int64
+	IsInt  bool
+}
+
+// String renders the comparison roughly as written.
+func (c Comparison) String() string {
+	if c.IsInt {
+		return fmt.Sprintf("%s %s %d", c.Field, c.Op, c.IntVal)
+	}
+	return fmt.Sprintf("%s %s '%s'", c.Field, c.Op, c.StrVal)
+}
+
+// String renders a parse-tree summary, useful in error messages and tests.
+func (p *Program) String() string {
+	var sb strings.Builder
+	for _, s := range p.Statements {
+		switch st := s.(type) {
+		case Assign:
+			fmt.Fprintf(&sb, "%s = %s;\n", st.Alias, relString(st.Expr))
+		case Store:
+			fmt.Fprintf(&sb, "STORE %s INTO '%s';\n", st.Alias, st.Target)
+		case Dump:
+			fmt.Fprintf(&sb, "DUMP %s;\n", st.Alias)
+		}
+	}
+	return sb.String()
+}
+
+func relString(e RelExpr) string {
+	switch r := e.(type) {
+	case Load:
+		return fmt.Sprintf("LOAD '%s' AS (%s)", r.Source, strings.Join(r.Columns, ", "))
+	case FilterExpr:
+		parts := make([]string, len(r.Preds))
+		for i, p := range r.Preds {
+			parts[i] = p.String()
+		}
+		return fmt.Sprintf("FILTER %s BY %s", r.Input, strings.Join(parts, " AND "))
+	case GroupExpr:
+		if r.All {
+			return fmt.Sprintf("GROUP %s ALL", r.Input)
+		}
+		if len(r.Keys) == 1 {
+			return fmt.Sprintf("GROUP %s BY %s", r.Input, r.Keys[0])
+		}
+		return fmt.Sprintf("GROUP %s BY (%s)", r.Input, strings.Join(r.Keys, ", "))
+	case OrderExpr:
+		dir := "ASC"
+		if r.Desc {
+			dir = "DESC"
+		}
+		return fmt.Sprintf("ORDER %s BY %s %s", r.Input, r.Col, dir)
+	case LimitExpr:
+		return fmt.Sprintf("LIMIT %s %d", r.Input, r.N)
+	case JoinExpr:
+		return fmt.Sprintf("JOIN %s BY %s, %s BY %s", r.LeftRel, r.LeftCol, r.RightRel, r.RightCol)
+	case ForeachExpr:
+		parts := make([]string, len(r.Generates))
+		for i, g := range r.Generates {
+			switch g.Kind {
+			case GenGroup:
+				parts[i] = "group"
+			case GenColumn:
+				parts[i] = g.Column
+			case GenAgg:
+				field := g.Column
+				if g.Rel != "" {
+					field = g.Rel + "." + g.Column
+				}
+				parts[i] = fmt.Sprintf("%s(%s)", g.Func, field)
+			}
+			if g.As != "" {
+				parts[i] += " AS " + g.As
+			}
+		}
+		return fmt.Sprintf("FOREACH %s GENERATE %s", r.Input, strings.Join(parts, ", "))
+	default:
+		return fmt.Sprintf("%T", e)
+	}
+}

@@ -1,0 +1,513 @@
+package piglet
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"vmcloud/internal/mapreduce"
+)
+
+// Runner executes parsed Piglet programs against a catalog of input
+// relations, compiling each GROUP+FOREACH pair into one MapReduce job —
+// the same shape the Pig 0.7 compiler produced for the paper's workload.
+type Runner struct {
+	Catalog Catalog
+	MR      mapreduce.Config
+}
+
+// Output is one STOREd or DUMPed relation.
+type Output struct {
+	Name string
+	Rel  *Relation
+}
+
+// RunResult carries all outputs plus the accumulated MapReduce counters.
+type RunResult struct {
+	Outputs  []Output
+	Counters mapreduce.Counters
+	// Jobs is the number of MapReduce jobs launched.
+	Jobs int
+}
+
+// Output returns the named output relation, if present.
+func (r *RunResult) Output(name string) (*Relation, bool) {
+	for _, o := range r.Outputs {
+		if o.Name == name {
+			return o.Rel, true
+		}
+	}
+	return nil, false
+}
+
+// evalRel is an environment entry: either a concrete relation or a pending
+// (lazy) grouping awaiting its FOREACH.
+type evalRel struct {
+	rel     *Relation
+	grouped *groupedRel
+}
+
+type groupedRel struct {
+	input *Relation
+	keys  []string
+	all   bool
+}
+
+// Run evaluates the program. Statement order matters; aliases may be
+// reassigned. Outputs appear in statement order.
+func (rn *Runner) Run(prog *Program) (*RunResult, error) {
+	if prog == nil || len(prog.Statements) == 0 {
+		return nil, fmt.Errorf("piglet: empty program")
+	}
+	env := map[string]*evalRel{}
+	res := &RunResult{}
+	for _, st := range prog.Statements {
+		switch s := st.(type) {
+		case Assign:
+			er, err := rn.eval(env, s.Expr, res)
+			if err != nil {
+				return nil, err
+			}
+			env[s.Alias] = er
+		case Store:
+			rel, err := concrete(env, s.Alias)
+			if err != nil {
+				return nil, err
+			}
+			res.Outputs = append(res.Outputs, Output{Name: s.Target, Rel: rel})
+		case Dump:
+			rel, err := concrete(env, s.Alias)
+			if err != nil {
+				return nil, err
+			}
+			res.Outputs = append(res.Outputs, Output{Name: s.Alias, Rel: rel})
+		}
+	}
+	if len(res.Outputs) == 0 {
+		return nil, fmt.Errorf("piglet: program has no STORE or DUMP statement")
+	}
+	return res, nil
+}
+
+func concrete(env map[string]*evalRel, alias string) (*Relation, error) {
+	er, ok := env[alias]
+	if !ok {
+		return nil, fmt.Errorf("piglet: undefined alias %q", alias)
+	}
+	if er.grouped != nil {
+		return nil, fmt.Errorf("piglet: alias %q is a bare GROUP; consume it with FOREACH ... GENERATE", alias)
+	}
+	return er.rel, nil
+}
+
+func (rn *Runner) eval(env map[string]*evalRel, e RelExpr, res *RunResult) (*evalRel, error) {
+	switch x := e.(type) {
+	case Load:
+		src, ok := rn.Catalog[x.Source]
+		if !ok {
+			return nil, fmt.Errorf("piglet: LOAD: unknown source %q", x.Source)
+		}
+		if len(x.Columns) != len(src.Cols) {
+			return nil, fmt.Errorf("piglet: LOAD %q declares %d columns, source has %d", x.Source, len(x.Columns), len(src.Cols))
+		}
+		// Rebind column names as declared; rows are shared (read-only).
+		return &evalRel{rel: &Relation{Cols: x.Columns, Rows: src.Rows}}, nil
+
+	case FilterExpr:
+		in, err := concrete(env, x.Input)
+		if err != nil {
+			return nil, err
+		}
+		return rn.evalFilter(in, x.Preds)
+
+	case GroupExpr:
+		in, err := concrete(env, x.Input)
+		if err != nil {
+			return nil, err
+		}
+		if x.All {
+			return &evalRel{grouped: &groupedRel{input: in, all: true}}, nil
+		}
+		for _, k := range x.Keys {
+			if _, err := in.ColIndex(k); err != nil {
+				return nil, fmt.Errorf("piglet: GROUP BY: %w", err)
+			}
+		}
+		return &evalRel{grouped: &groupedRel{input: in, keys: x.Keys}}, nil
+
+	case OrderExpr:
+		in, err := concrete(env, x.Input)
+		if err != nil {
+			return nil, err
+		}
+		col, err := in.ColIndex(x.Col)
+		if err != nil {
+			return nil, fmt.Errorf("piglet: ORDER BY: %w", err)
+		}
+		out := &Relation{Cols: in.Cols, Rows: append([][]Value(nil), in.Rows...)}
+		sort.SliceStable(out.Rows, func(a, b int) bool {
+			va, vb := out.Rows[a][col], out.Rows[b][col]
+			var less bool
+			if va.IsInt && vb.IsInt {
+				less = va.Int < vb.Int
+			} else {
+				less = va.String() < vb.String()
+			}
+			if x.Desc {
+				return !less && va != vb
+			}
+			return less
+		})
+		return &evalRel{rel: out}, nil
+
+	case LimitExpr:
+		in, err := concrete(env, x.Input)
+		if err != nil {
+			return nil, err
+		}
+		n := x.N
+		if n > int64(len(in.Rows)) {
+			n = int64(len(in.Rows))
+		}
+		return &evalRel{rel: &Relation{Cols: in.Cols, Rows: in.Rows[:n]}}, nil
+
+	case JoinExpr:
+		rel, err := rn.evalJoin(env, x, res)
+		if err != nil {
+			return nil, err
+		}
+		return &evalRel{rel: rel}, nil
+
+	case ForeachExpr:
+		er, ok := env[x.Input]
+		if !ok {
+			return nil, fmt.Errorf("piglet: FOREACH: undefined alias %q", x.Input)
+		}
+		if er.grouped != nil {
+			rel, err := rn.evalAggregate(er.grouped, x.Generates, res)
+			if err != nil {
+				return nil, err
+			}
+			return &evalRel{rel: rel}, nil
+		}
+		rel, err := rn.evalProjection(er.rel, x.Generates)
+		if err != nil {
+			return nil, err
+		}
+		return &evalRel{rel: rel}, nil
+
+	default:
+		return nil, fmt.Errorf("piglet: unsupported expression %T", e)
+	}
+}
+
+func (rn *Runner) evalFilter(in *Relation, preds []Comparison) (*evalRel, error) {
+	type boundPred struct {
+		col int
+		cmp Comparison
+	}
+	bound := make([]boundPred, len(preds))
+	for i, p := range preds {
+		c, err := in.ColIndex(p.Field)
+		if err != nil {
+			return nil, fmt.Errorf("piglet: FILTER: %w", err)
+		}
+		bound[i] = boundPred{col: c, cmp: p}
+	}
+	out := &Relation{Cols: in.Cols}
+	for _, row := range in.Rows {
+		ok := true
+		for _, bp := range bound {
+			match, err := matches(row[bp.col], bp.cmp)
+			if err != nil {
+				return nil, err
+			}
+			if !match {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return &evalRel{rel: out}, nil
+}
+
+func matches(v Value, c Comparison) (bool, error) {
+	var cmp int
+	if c.IsInt {
+		if !v.IsInt {
+			return false, fmt.Errorf("piglet: comparing string column %q with integer literal", c.Field)
+		}
+		switch {
+		case v.Int < c.IntVal:
+			cmp = -1
+		case v.Int > c.IntVal:
+			cmp = 1
+		}
+	} else {
+		if v.IsInt {
+			return false, fmt.Errorf("piglet: comparing integer column %q with string literal", c.Field)
+		}
+		cmp = strings.Compare(v.Str, c.StrVal)
+	}
+	switch c.Op {
+	case "==":
+		return cmp == 0, nil
+	case "!=":
+		return cmp != 0, nil
+	case "<":
+		return cmp < 0, nil
+	case "<=":
+		return cmp <= 0, nil
+	case ">":
+		return cmp > 0, nil
+	case ">=":
+		return cmp >= 0, nil
+	default:
+		return false, fmt.Errorf("piglet: unknown operator %q", c.Op)
+	}
+}
+
+func (rn *Runner) evalProjection(in *Relation, gens []Generate) (*Relation, error) {
+	cols := make([]int, 0, len(gens))
+	names := make([]string, 0, len(gens))
+	for _, g := range gens {
+		if g.Kind != GenColumn {
+			return nil, fmt.Errorf("piglet: FOREACH over an ungrouped relation supports only column projection")
+		}
+		c, err := in.ColIndex(g.Column)
+		if err != nil {
+			return nil, fmt.Errorf("piglet: FOREACH: %w", err)
+		}
+		cols = append(cols, c)
+		name := g.Column
+		if g.As != "" {
+			name = g.As
+		}
+		names = append(names, name)
+	}
+	out := &Relation{Cols: names, Rows: make([][]Value, len(in.Rows))}
+	for r, row := range in.Rows {
+		projected := make([]Value, len(cols))
+		for i, c := range cols {
+			projected[i] = row[c]
+		}
+		out.Rows[r] = projected
+	}
+	return out, nil
+}
+
+// aggPartial is the per-aggregate combiner state carried through the
+// shuffle.
+type aggPartial struct {
+	Sum   int64
+	Count int64
+	Min   int64
+	Max   int64
+}
+
+func newPartial(v int64) aggPartial {
+	return aggPartial{Sum: v, Count: 1, Min: v, Max: v}
+}
+
+func mergePartial(a, b aggPartial) aggPartial {
+	out := aggPartial{Sum: a.Sum + b.Sum, Count: a.Count + b.Count, Min: a.Min, Max: a.Max}
+	if b.Min < out.Min {
+		out.Min = b.Min
+	}
+	if b.Max > out.Max {
+		out.Max = b.Max
+	}
+	return out
+}
+
+func (p aggPartial) finalize(fn string) int64 {
+	switch fn {
+	case "SUM":
+		return p.Sum
+	case "COUNT":
+		return p.Count
+	case "MIN":
+		return p.Min
+	case "MAX":
+		return p.Max
+	case "AVG":
+		if p.Count == 0 {
+			return 0
+		}
+		return p.Sum / p.Count
+	default:
+		return 0
+	}
+}
+
+// evalAggregate fuses GROUP + FOREACH-with-aggregates into one MapReduce
+// job: map emits (encoded group key, per-agg partials), combiner merges
+// partials, reduce finalizes.
+func (rn *Runner) evalAggregate(g *groupedRel, gens []Generate, res *RunResult) (*Relation, error) {
+	in := g.input
+	keyCols := make([]int, len(g.keys))
+	for i, k := range g.keys {
+		c, err := in.ColIndex(k)
+		if err != nil {
+			return nil, err
+		}
+		keyCols[i] = c
+	}
+
+	type aggSpec struct {
+		col  int
+		fn   string
+		name string
+	}
+	var (
+		aggs      []aggSpec
+		outCols   []string
+		emitGroup = -1 // position of the group columns in output
+	)
+	for _, gen := range gens {
+		switch gen.Kind {
+		case GenGroup:
+			if emitGroup >= 0 {
+				return nil, fmt.Errorf("piglet: duplicate `group` in GENERATE")
+			}
+			emitGroup = len(outCols)
+			if g.all {
+				outCols = append(outCols, "group")
+			} else {
+				outCols = append(outCols, g.keys...)
+			}
+		case GenAgg:
+			if gen.Rel != "" {
+				// The qualifier must reference the grouped relation's alias;
+				// column resolution below is what actually matters.
+				_ = gen.Rel
+			}
+			c, err := in.ColIndex(gen.Column)
+			if err != nil {
+				return nil, fmt.Errorf("piglet: %s(): %w", gen.Func, err)
+			}
+			name := gen.As
+			if name == "" {
+				name = strings.ToLower(gen.Func) + "_" + gen.Column
+			}
+			aggs = append(aggs, aggSpec{col: c, fn: gen.Func, name: name})
+			outCols = append(outCols, name)
+		case GenColumn:
+			return nil, fmt.Errorf("piglet: bare column %q in grouped FOREACH; use `group` or an aggregate", gen.Column)
+		}
+	}
+	if len(aggs) == 0 {
+		return nil, fmt.Errorf("piglet: grouped FOREACH needs at least one aggregate")
+	}
+
+	mapper := func(row []Value, emit func(string, []aggPartial)) {
+		key := "s:all"
+		if !g.all {
+			parts := make([]string, len(keyCols))
+			for i, c := range keyCols {
+				parts[i] = row[c].encode()
+			}
+			key = strings.Join(parts, "\x1f")
+		}
+		ps := make([]aggPartial, len(aggs))
+		for i, a := range aggs {
+			v := row[a.col]
+			if !v.IsInt {
+				panic(fmt.Sprintf("aggregate %s over non-numeric column %q", a.fn, in.Cols[a.col]))
+			}
+			ps[i] = newPartial(v.Int)
+		}
+		emit(key, ps)
+	}
+	combiner := func(a, b []aggPartial) []aggPartial {
+		out := make([]aggPartial, len(a))
+		for i := range a {
+			out[i] = mergePartial(a[i], b[i])
+		}
+		return out
+	}
+	reducer := func(_ string, vs [][]aggPartial) []int64 {
+		acc := vs[0]
+		for _, v := range vs[1:] {
+			acc = combiner(acc, v)
+		}
+		out := make([]int64, len(aggs))
+		for i, a := range aggs {
+			out[i] = acc[i].finalize(a.fn)
+		}
+		return out
+	}
+
+	results, counters, err := mapreduce.Run(rn.MR, in.Rows, mapper, combiner, reducer)
+	if err != nil {
+		return nil, err
+	}
+	res.Counters.InputRecords += counters.InputRecords
+	res.Counters.MapOutputRecords += counters.MapOutputRecords
+	res.Counters.ShuffledRecords += counters.ShuffledRecords
+	res.Counters.DistinctKeys += counters.DistinctKeys
+	res.Counters.OutputRecords += counters.OutputRecords
+	res.Jobs++
+
+	// Deterministic ordering: sort by encoded key.
+	keys := make([]string, 0, len(results))
+	for k := range results {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	nKeyCols := len(keyCols)
+	if g.all {
+		nKeyCols = 1
+	}
+	out := &Relation{Cols: outCols, Rows: make([][]Value, 0, len(keys))}
+	for _, k := range keys {
+		vals := results[k]
+		row := make([]Value, 0, len(outCols))
+		keyVals, err := decodeKey(k, nKeyCols)
+		if err != nil {
+			return nil, err
+		}
+		ai := 0
+		for pos := 0; pos < len(outCols); {
+			if pos == emitGroup {
+				row = append(row, keyVals...)
+				pos += len(keyVals)
+				continue
+			}
+			row = append(row, IntV(vals[ai]))
+			ai++
+			pos++
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+func decodeKey(k string, n int) ([]Value, error) {
+	parts := strings.Split(k, "\x1f")
+	if len(parts) != n {
+		return nil, fmt.Errorf("piglet: key %q has %d parts, want %d", k, len(parts), n)
+	}
+	out := make([]Value, n)
+	for i, p := range parts {
+		v, err := decodeValue(p)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// RunScript parses and runs a script in one call.
+func (rn *Runner) RunScript(src string) (*RunResult, error) {
+	prog, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return rn.Run(prog)
+}

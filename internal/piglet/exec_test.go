@@ -1,0 +1,281 @@
+package piglet
+
+import (
+	"strings"
+	"testing"
+
+	"vmcloud/internal/datagen"
+	"vmcloud/internal/engine"
+	"vmcloud/internal/mapreduce"
+	"vmcloud/internal/storage"
+)
+
+func smallCatalog() Catalog {
+	return Catalog{
+		"sales": {
+			Cols: []string{"year", "country", "profit"},
+			Rows: [][]Value{
+				{IntV(2000), Str("France"), IntV(35)},
+				{IntV(2000), Str("France"), IntV(40)},
+				{IntV(2000), Str("Italy"), IntV(23)},
+				{IntV(1999), Str("Italy"), IntV(50)},
+			},
+		},
+	}
+}
+
+func TestEndToEndSumPerYearCountry(t *testing.T) {
+	rn := &Runner{Catalog: smallCatalog(), MR: mapreduce.Config{Mappers: 2, Reducers: 2}}
+	res, err := rn.RunScript(`
+raw = LOAD 'sales' AS (year, country, profit);
+grp = GROUP raw BY (year, country);
+out = FOREACH grp GENERATE group, SUM(raw.profit) AS total;
+STORE out INTO 'q1';
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, ok := res.Output("q1")
+	if !ok {
+		t.Fatal("q1 missing from outputs")
+	}
+	if len(rel.Cols) != 3 || rel.Cols[2] != "total" {
+		t.Fatalf("cols = %v", rel.Cols)
+	}
+	want := map[string]int64{
+		"1999|Italy":  50,
+		"2000|France": 75,
+		"2000|Italy":  23,
+	}
+	if len(rel.Rows) != len(want) {
+		t.Fatalf("rows = %d, want %d:\n%s", len(rel.Rows), len(want), rel)
+	}
+	for _, row := range rel.Rows {
+		key := row[0].String() + "|" + row[1].String()
+		if row[2].Int != want[key] {
+			t.Errorf("total[%s] = %d, want %d", key, row[2].Int, want[key])
+		}
+	}
+	if res.Jobs != 1 {
+		t.Errorf("jobs = %d, want 1", res.Jobs)
+	}
+	if res.Counters.InputRecords != 4 {
+		t.Errorf("counters = %+v", res.Counters)
+	}
+}
+
+func TestFilterThenAggregate(t *testing.T) {
+	rn := &Runner{Catalog: smallCatalog()}
+	res, err := rn.RunScript(`
+raw = LOAD 'sales' AS (year, country, profit);
+fr = FILTER raw BY country == 'France';
+grp = GROUP fr BY year;
+out = FOREACH grp GENERATE group, SUM(fr.profit), COUNT(fr.profit) AS n;
+DUMP out;
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, _ := res.Output("out")
+	if len(rel.Rows) != 1 {
+		t.Fatalf("rows:\n%s", rel)
+	}
+	row := rel.Rows[0]
+	if row[0].Int != 2000 || row[1].Int != 75 || row[2].Int != 2 {
+		t.Errorf("row = %v", row)
+	}
+	if rel.Cols[1] != "sum_profit" || rel.Cols[2] != "n" {
+		t.Errorf("cols = %v", rel.Cols)
+	}
+}
+
+func TestAllAggregates(t *testing.T) {
+	rn := &Runner{Catalog: smallCatalog()}
+	res, err := rn.RunScript(`
+raw = LOAD 'sales' AS (year, country, profit);
+grp = GROUP raw BY country;
+out = FOREACH grp GENERATE group, SUM(raw.profit), MIN(raw.profit), MAX(raw.profit), AVG(raw.profit), COUNT(raw.profit);
+DUMP out;
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, _ := res.Output("out")
+	byCountry := map[string][]int64{}
+	for _, row := range rel.Rows {
+		vals := make([]int64, 5)
+		for i := 0; i < 5; i++ {
+			vals[i] = row[i+1].Int
+		}
+		byCountry[row[0].Str] = vals
+	}
+	fr := byCountry["France"]
+	if fr[0] != 75 || fr[1] != 35 || fr[2] != 40 || fr[3] != 37 || fr[4] != 2 {
+		t.Errorf("France = %v (sum,min,max,avg,count)", fr)
+	}
+	it := byCountry["Italy"]
+	if it[0] != 73 || it[1] != 23 || it[2] != 50 || it[3] != 36 || it[4] != 2 {
+		t.Errorf("Italy = %v", it)
+	}
+}
+
+func TestProjectionNoJob(t *testing.T) {
+	rn := &Runner{Catalog: smallCatalog()}
+	res, err := rn.RunScript(`
+raw = LOAD 'sales' AS (year, country, profit);
+p = FOREACH raw GENERATE country, profit AS p;
+DUMP p;
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, _ := res.Output("p")
+	if len(rel.Cols) != 2 || rel.Cols[1] != "p" || len(rel.Rows) != 4 {
+		t.Errorf("projection = %v\n%s", rel.Cols, rel)
+	}
+	if res.Jobs != 0 {
+		t.Errorf("projection launched %d MR jobs, want 0", res.Jobs)
+	}
+}
+
+func TestRuntimeErrors(t *testing.T) {
+	rn := &Runner{Catalog: smallCatalog()}
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{"unknown source", `r = LOAD 'nope' AS (a); DUMP r;`, "unknown source"},
+		{"column arity", `r = LOAD 'sales' AS (a, b); DUMP r;`, "declares 2 columns"},
+		{"undefined alias", `r = LOAD 'sales' AS (y, c, p); DUMP zzz;`, "undefined alias"},
+		{"dump bare group", `r = LOAD 'sales' AS (y, c, p); g = GROUP r BY y; DUMP g;`, "bare GROUP"},
+		{"no outputs", `r = LOAD 'sales' AS (y, c, p);`, "no STORE or DUMP"},
+		{"bad group key", `r = LOAD 'sales' AS (y, c, p); g = GROUP r BY nope; o = FOREACH g GENERATE group, SUM(p); DUMP o;`, "no column"},
+		{"bad filter col", `r = LOAD 'sales' AS (y, c, p); f = FILTER r BY nope == 3; DUMP f;`, "no column"},
+		{"type mismatch", `r = LOAD 'sales' AS (y, c, p); f = FILTER r BY c == 3; DUMP f;`, "string column"},
+		{"type mismatch2", `r = LOAD 'sales' AS (y, c, p); f = FILTER r BY y == 'x'; DUMP f;`, "integer column"},
+		{"agg without group", `r = LOAD 'sales' AS (y, c, p); g = GROUP r BY y; o = FOREACH g GENERATE group, c; DUMP o;`, "bare column"},
+		{"no aggregate", `r = LOAD 'sales' AS (y, c, p); g = GROUP r BY y; o = FOREACH g GENERATE group; DUMP o;`, "at least one aggregate"},
+		{"agg bad col", `r = LOAD 'sales' AS (y, c, p); g = GROUP r BY y; o = FOREACH g GENERATE group, SUM(zz); DUMP o;`, "no column"},
+		{"agg non-numeric", `r = LOAD 'sales' AS (y, c, p); g = GROUP r BY y; o = FOREACH g GENERATE group, SUM(c); DUMP o;`, "non-numeric"},
+		{"projection of agg", `r = LOAD 'sales' AS (y, c, p); o = FOREACH r GENERATE SUM(p); DUMP o;`, "only column projection"},
+	}
+	for _, c := range cases {
+		_, err := rn.RunScript(c.src)
+		if err == nil {
+			t.Errorf("%s: run succeeded, want error containing %q", c.name, c.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not contain %q", c.name, err, c.want)
+		}
+	}
+}
+
+// The headline integration test: the paper's Q1 ("sales per year and
+// country") computed by Piglet-on-MapReduce must agree with the columnar
+// engine's lattice rollup, on real generated data.
+func TestPigletMatchesEngine(t *testing.T) {
+	ds, err := datagen.GenerateSales(datagen.Config{Rows: 20_000, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := DatasetRelation(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rn := &Runner{Catalog: Catalog{"sales": rel}, MR: mapreduce.Config{Mappers: 4, Reducers: 4}}
+	res, err := rn.RunScript(`
+raw = LOAD 'sales' AS (day, month, year, department, region, country, profit);
+grp = GROUP raw BY (year, country);
+out = FOREACH grp GENERATE group, SUM(raw.profit) AS total;
+STORE out INTO 'q1';
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pig, _ := res.Output("q1")
+
+	ex, err := engine.NewExecutor(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	yearCountry, err := ex.Lat.PointOf("year", "country")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := ex.Answer(yearCountry, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	engTotals := map[string]int64{}
+	for r := 0; r < eng.Table.Rows(); r++ {
+		y := eng.Table.Keys[0][r]
+		c := eng.Table.Keys[1][r]
+		key := ds.Labels["year"][y] + "|" + ds.Labels["country"][c]
+		engTotals[key] = eng.Table.Measures[0][r]
+	}
+	if len(pig.Rows) != len(engTotals) {
+		t.Fatalf("piglet rows = %d, engine rows = %d", len(pig.Rows), len(engTotals))
+	}
+	for _, row := range pig.Rows {
+		key := row[0].String() + "|" + row[1].String()
+		want, ok := engTotals[key]
+		if !ok {
+			t.Errorf("engine lacks group %s", key)
+			continue
+		}
+		if row[2].Int != want {
+			t.Errorf("group %s: piglet %d, engine %d", key, row[2].Int, want)
+		}
+	}
+}
+
+func TestDatasetRelationShape(t *testing.T) {
+	ds, err := datagen.GenerateSales(datagen.Config{Rows: 100, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := DatasetRelation(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rel.Rows) != 100 {
+		t.Fatalf("rows = %d", len(rel.Rows))
+	}
+	if len(rel.Cols) != 7 {
+		t.Fatalf("cols = %v", rel.Cols)
+	}
+	row := rel.Rows[0]
+	if !row[6].IsInt || row[6].Int <= 0 {
+		t.Errorf("profit cell = %+v", row[6])
+	}
+	if !row[2].IsInt || row[2].Int < 2000 || row[2].Int > 2010 {
+		t.Errorf("year cell = %+v", row[2])
+	}
+	if row[5].IsInt {
+		t.Errorf("country cell should be a string: %+v", row[5])
+	}
+	if _, err := DatasetRelation(&storage.Dataset{}); err == nil {
+		t.Error("invalid dataset accepted")
+	}
+}
+
+func TestValueEncodeDecodeRoundTrip(t *testing.T) {
+	for _, v := range []Value{Str("France"), Str(""), IntV(0), IntV(-42), IntV(2010)} {
+		got, err := decodeValue(v.encode())
+		if err != nil {
+			t.Fatalf("decode(%q): %v", v.encode(), err)
+		}
+		if got != v {
+			t.Errorf("round trip %+v → %+v", v, got)
+		}
+	}
+	if _, err := decodeValue("x:bad"); err == nil {
+		t.Error("bad tag accepted")
+	}
+	if _, err := decodeValue("i:notanumber"); err == nil {
+		t.Error("bad int accepted")
+	}
+}

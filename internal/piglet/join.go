@@ -1,0 +1,108 @@
+package piglet
+
+import (
+	"fmt"
+	"sort"
+
+	"vmcloud/internal/mapreduce"
+)
+
+// taggedRow carries a row through the join shuffle with its side marker —
+// the classic reduce-side join encoding.
+type taggedRow struct {
+	left bool
+	row  []Value
+}
+
+// joinedGroup accumulates both sides of one join key in the reducer.
+type joinedGroup struct {
+	lefts  [][]Value
+	rights [][]Value
+}
+
+// evalJoin executes an equi-join as one MapReduce job: mappers tag rows
+// with their side and emit them under the encoded join key; reducers build
+// the per-key cross product.
+func (rn *Runner) evalJoin(env map[string]*evalRel, x JoinExpr, res *RunResult) (*Relation, error) {
+	left, err := concrete(env, x.LeftRel)
+	if err != nil {
+		return nil, err
+	}
+	right, err := concrete(env, x.RightRel)
+	if err != nil {
+		return nil, err
+	}
+	lc, err := left.ColIndex(x.LeftCol)
+	if err != nil {
+		return nil, fmt.Errorf("piglet: JOIN: %w", err)
+	}
+	rc, err := right.ColIndex(x.RightCol)
+	if err != nil {
+		return nil, fmt.Errorf("piglet: JOIN: %w", err)
+	}
+
+	inputs := make([]taggedRow, 0, len(left.Rows)+len(right.Rows))
+	for _, row := range left.Rows {
+		inputs = append(inputs, taggedRow{left: true, row: row})
+	}
+	for _, row := range right.Rows {
+		inputs = append(inputs, taggedRow{left: false, row: row})
+	}
+
+	mapper := func(tr taggedRow, emit func(string, taggedRow)) {
+		col := rc
+		if tr.left {
+			col = lc
+		}
+		emit(tr.row[col].encode(), tr)
+	}
+	reducer := func(_ string, vs []taggedRow) *joinedGroup {
+		g := &joinedGroup{}
+		for _, v := range vs {
+			if v.left {
+				g.lefts = append(g.lefts, v.row)
+			} else {
+				g.rights = append(g.rights, v.row)
+			}
+		}
+		return g
+	}
+	groups, counters, err := mapreduce.Run(rn.MR, inputs, mapper, nil, reducer)
+	if err != nil {
+		return nil, err
+	}
+	res.Counters.InputRecords += counters.InputRecords
+	res.Counters.MapOutputRecords += counters.MapOutputRecords
+	res.Counters.ShuffledRecords += counters.ShuffledRecords
+	res.Counters.DistinctKeys += counters.DistinctKeys
+	res.Counters.OutputRecords += counters.OutputRecords
+	res.Jobs++
+
+	// Alias-qualified output columns, Pig style: a::col, b::col.
+	out := &Relation{}
+	for _, c := range left.Cols {
+		out.Cols = append(out.Cols, x.LeftRel+"::"+c)
+	}
+	for _, c := range right.Cols {
+		out.Cols = append(out.Cols, x.RightRel+"::"+c)
+	}
+
+	// Deterministic order: by join key, then input order within a key.
+	keys := make([]string, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		g := groups[k]
+		for _, l := range g.lefts {
+			for _, r := range g.rights {
+				row := make([]Value, 0, len(l)+len(r))
+				row = append(row, l...)
+				row = append(row, r...)
+				out.Rows = append(out.Rows, row)
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,285 @@
+package piglet
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestOrderByAscending(t *testing.T) {
+	rn := &Runner{Catalog: smallCatalog()}
+	res, err := rn.RunScript(`
+raw = LOAD 'sales' AS (year, country, profit);
+srt = ORDER raw BY profit;
+DUMP srt;
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, _ := res.Output("srt")
+	prev := int64(-1 << 62)
+	for _, row := range rel.Rows {
+		if row[2].Int < prev {
+			t.Fatalf("not ascending:\n%s", rel)
+		}
+		prev = row[2].Int
+	}
+}
+
+func TestOrderByDescendingAndLimit(t *testing.T) {
+	rn := &Runner{Catalog: smallCatalog()}
+	res, err := rn.RunScript(`
+raw = LOAD 'sales' AS (year, country, profit);
+grp = GROUP raw BY country;
+tot = FOREACH grp GENERATE group, SUM(raw.profit) AS total;
+srt = ORDER tot BY total DESC;
+top = LIMIT srt 1;
+DUMP top;
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, _ := res.Output("top")
+	if len(rel.Rows) != 1 {
+		t.Fatalf("rows = %d, want 1:\n%s", len(rel.Rows), rel)
+	}
+	// France: 75, Italy: 73 → top-1 is France.
+	if rel.Rows[0][0].Str != "France" || rel.Rows[0][1].Int != 75 {
+		t.Errorf("top row = %v", rel.Rows[0])
+	}
+}
+
+func TestOrderByStringColumn(t *testing.T) {
+	rn := &Runner{Catalog: smallCatalog()}
+	res, err := rn.RunScript(`
+raw = LOAD 'sales' AS (year, country, profit);
+srt = ORDER raw BY country DESC;
+DUMP srt;
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, _ := res.Output("srt")
+	if rel.Rows[0][1].Str != "Italy" {
+		t.Errorf("first row = %v, want Italy first (DESC)", rel.Rows[0])
+	}
+	if rel.Rows[len(rel.Rows)-1][1].Str != "France" {
+		t.Errorf("last row = %v", rel.Rows[len(rel.Rows)-1])
+	}
+}
+
+func TestOrderStability(t *testing.T) {
+	// Equal keys keep their input order (stable sort).
+	rn := &Runner{Catalog: smallCatalog()}
+	res, err := rn.RunScript(`
+raw = LOAD 'sales' AS (year, country, profit);
+srt = ORDER raw BY year;
+DUMP srt;
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, _ := res.Output("srt")
+	// Input order within year 2000: France(35), France(40), Italy(23).
+	var y2000 []int64
+	for _, row := range rel.Rows {
+		if row[0].Int == 2000 {
+			y2000 = append(y2000, row[2].Int)
+		}
+	}
+	if len(y2000) != 3 || y2000[0] != 35 || y2000[1] != 40 || y2000[2] != 23 {
+		t.Errorf("2000 rows = %v, want [35 40 23]", y2000)
+	}
+}
+
+func TestLimitLargerThanRelation(t *testing.T) {
+	rn := &Runner{Catalog: smallCatalog()}
+	res, err := rn.RunScript(`
+raw = LOAD 'sales' AS (year, country, profit);
+top = LIMIT raw 100;
+DUMP top;
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, _ := res.Output("top")
+	if len(rel.Rows) != 4 {
+		t.Errorf("rows = %d, want all 4", len(rel.Rows))
+	}
+}
+
+func TestLimitZero(t *testing.T) {
+	rn := &Runner{Catalog: smallCatalog()}
+	res, err := rn.RunScript(`
+raw = LOAD 'sales' AS (year, country, profit);
+top = LIMIT raw 0;
+DUMP top;
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, _ := res.Output("top")
+	if len(rel.Rows) != 0 {
+		t.Errorf("rows = %d, want 0", len(rel.Rows))
+	}
+}
+
+func TestOrderLimitErrors(t *testing.T) {
+	rn := &Runner{Catalog: smallCatalog()}
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{"order unknown col", `r = LOAD 'sales' AS (y, c, p); s = ORDER r BY nope; DUMP s;`, "no column"},
+		{"order on group", `r = LOAD 'sales' AS (y, c, p); g = GROUP r BY y; s = ORDER g BY y; DUMP s;`, "bare GROUP"},
+		{"limit negative", `r = LOAD 'sales' AS (y, c, p); s = LIMIT r -1; DUMP s;`, "non-negative"},
+		{"limit no count", `r = LOAD 'sales' AS (y, c, p); s = LIMIT r; DUMP s;`, "expected number"},
+		{"order missing by", `r = LOAD 'sales' AS (y, c, p); s = ORDER r y; DUMP s;`, "expected BY"},
+	}
+	for _, c := range cases {
+		_, err := rn.RunScript(c.src)
+		if err == nil {
+			t.Errorf("%s: accepted", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not contain %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestOrderLimitRenderRoundTrip(t *testing.T) {
+	src := `raw = LOAD 'sales' AS (year, country, profit);
+srt = ORDER raw BY profit DESC;
+up = ORDER raw BY profit ASC;
+top = LIMIT srt 3;
+DUMP top;
+`
+	p1, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Parse(p1.String())
+	if err != nil {
+		t.Fatalf("re-parse failed: %v\n%s", err, p1.String())
+	}
+	if p1.String() != p2.String() {
+		t.Errorf("render unstable:\n%s\nvs\n%s", p1, p2)
+	}
+}
+
+func TestGroupAll(t *testing.T) {
+	rn := &Runner{Catalog: smallCatalog()}
+	res, err := rn.RunScript(`
+raw = LOAD 'sales' AS (year, country, profit);
+g = GROUP raw ALL;
+out = FOREACH g GENERATE group, SUM(raw.profit) AS total, COUNT(raw.profit) AS n;
+DUMP out;
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, _ := res.Output("out")
+	if len(rel.Rows) != 1 {
+		t.Fatalf("rows = %d, want 1:\n%s", len(rel.Rows), rel)
+	}
+	row := rel.Rows[0]
+	if row[0].Str != "all" {
+		t.Errorf("group cell = %v, want all", row[0])
+	}
+	if row[1].Int != 148 { // 35+40+23+50
+		t.Errorf("total = %d, want 148", row[1].Int)
+	}
+	if row[2].Int != 4 {
+		t.Errorf("count = %d, want 4", row[2].Int)
+	}
+}
+
+func TestGroupAllWithoutGroupColumn(t *testing.T) {
+	rn := &Runner{Catalog: smallCatalog()}
+	res, err := rn.RunScript(`
+raw = LOAD 'sales' AS (year, country, profit);
+g = GROUP raw ALL;
+out = FOREACH g GENERATE SUM(raw.profit) AS total;
+DUMP out;
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, _ := res.Output("out")
+	if len(rel.Rows) != 1 || len(rel.Cols) != 1 || rel.Rows[0][0].Int != 148 {
+		t.Errorf("result:\n%s", rel)
+	}
+}
+
+func TestGroupAllRenderRoundTrip(t *testing.T) {
+	src := `raw = LOAD 'sales' AS (year, country, profit);
+g = GROUP raw ALL;
+out = FOREACH g GENERATE group, SUM(raw.profit) AS total;
+DUMP out;
+`
+	p1, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Parse(p1.String())
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, p1.String())
+	}
+	if p1.String() != p2.String() {
+		t.Errorf("unstable render:\n%s", p1.String())
+	}
+}
+
+// A multi-statement program compiling to several MapReduce jobs: the whole
+// 3-query workload in one script, plus a joined enrichment — the shape of
+// a real Pig analysis session.
+func TestMultiJobProgram(t *testing.T) {
+	rn := &Runner{Catalog: joinCatalog()}
+	res, err := rn.RunScript(`
+raw = LOAD 'sales' AS (year, country, profit);
+geo = LOAD 'countries' AS (name, continent);
+
+-- Q1: profit per year and country
+g1 = GROUP raw BY (year, country);
+q1 = FOREACH g1 GENERATE group, SUM(raw.profit) AS total;
+STORE q1 INTO 'q1';
+
+-- Q2: profit per country, top-1
+g2 = GROUP raw BY country;
+q2 = FOREACH g2 GENERATE group, SUM(raw.profit) AS total;
+s2 = ORDER q2 BY total DESC;
+t2 = LIMIT s2 1;
+STORE t2 INTO 'q2_top';
+
+-- Q3: grand total
+g3 = GROUP raw ALL;
+q3 = FOREACH g3 GENERATE SUM(raw.profit) AS total;
+STORE q3 INTO 'q3';
+
+-- enrichment join
+j = JOIN raw BY country, geo BY name;
+DUMP j;
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Jobs != 4 { // three aggregations + one join
+		t.Errorf("jobs = %d, want 4", res.Jobs)
+	}
+	if len(res.Outputs) != 4 {
+		t.Fatalf("outputs = %d, want 4", len(res.Outputs))
+	}
+	q3, _ := res.Output("q3")
+	if q3.Rows[0][0].Int != 148 {
+		t.Errorf("grand total = %d, want 148", q3.Rows[0][0].Int)
+	}
+	top, _ := res.Output("q2_top")
+	if top.Rows[0][0].Str != "France" {
+		t.Errorf("top country = %v", top.Rows[0])
+	}
+	q1, _ := res.Output("q1")
+	if len(q1.Rows) != 3 {
+		t.Errorf("q1 groups = %d, want 3", len(q1.Rows))
+	}
+}

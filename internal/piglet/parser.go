@@ -1,0 +1,411 @@
+package piglet
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse lexes and parses a Piglet script into a Program.
+func Parse(src string) (*Program, error) {
+	toks, err := newLexer(src).tokens()
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog := &Program{}
+	for !p.at(tokEOF) {
+		st, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		prog.Statements = append(prog.Statements, st)
+	}
+	if len(prog.Statements) == 0 {
+		return nil, fmt.Errorf("piglet: empty script")
+	}
+	return prog, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) at(k tokenKind) bool { return p.cur().kind == k }
+
+func (p *parser) atKeyword(kw string) bool {
+	return p.cur().kind == tokKeyword && p.cur().text == kw
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	t := p.cur()
+	return fmt.Errorf("piglet: %d:%d: %s", t.line, t.col, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) expect(k tokenKind) (token, error) {
+	if !p.at(k) {
+		return token{}, p.errorf("expected %s, found %s", k, p.cur())
+	}
+	return p.next(), nil
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.atKeyword(kw) {
+		return p.errorf("expected %s, found %s", kw, p.cur())
+	}
+	p.next()
+	return nil
+}
+
+func (p *parser) statement() (Statement, error) {
+	switch {
+	case p.atKeyword("STORE"):
+		p.next()
+		alias, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("INTO"); err != nil {
+			return nil, err
+		}
+		target, err := p.expect(tokString)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokSemicolon); err != nil {
+			return nil, err
+		}
+		return Store{Alias: alias.text, Target: target.text}, nil
+
+	case p.atKeyword("DUMP"):
+		p.next()
+		alias, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokSemicolon); err != nil {
+			return nil, err
+		}
+		return Dump{Alias: alias.text}, nil
+
+	case p.at(tokIdent):
+		alias := p.next()
+		if _, err := p.expect(tokEquals); err != nil {
+			return nil, err
+		}
+		expr, err := p.relExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokSemicolon); err != nil {
+			return nil, err
+		}
+		return Assign{Alias: alias.text, Expr: expr}, nil
+
+	default:
+		return nil, p.errorf("expected statement, found %s", p.cur())
+	}
+}
+
+func (p *parser) relExpr() (RelExpr, error) {
+	switch {
+	case p.atKeyword("LOAD"):
+		return p.loadExpr()
+	case p.atKeyword("FILTER"):
+		return p.filterExpr()
+	case p.atKeyword("GROUP"):
+		return p.groupExpr()
+	case p.atKeyword("FOREACH"):
+		return p.foreachExpr()
+	case p.atKeyword("ORDER"):
+		return p.orderExpr()
+	case p.atKeyword("LIMIT"):
+		return p.limitExpr()
+	case p.atKeyword("JOIN"):
+		return p.joinExpr()
+	default:
+		return nil, p.errorf("expected LOAD, FILTER, GROUP, FOREACH, ORDER, LIMIT or JOIN, found %s", p.cur())
+	}
+}
+
+func (p *parser) loadExpr() (RelExpr, error) {
+	p.next() // LOAD
+	src, err := p.expect(tokString)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("AS"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokLParen); err != nil {
+		return nil, err
+	}
+	var cols []string
+	for {
+		c, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		cols = append(cols, c.text)
+		if p.at(tokComma) {
+			p.next()
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return nil, err
+	}
+	return Load{Source: src.text, Columns: cols}, nil
+}
+
+func (p *parser) filterExpr() (RelExpr, error) {
+	p.next() // FILTER
+	input, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("BY"); err != nil {
+		return nil, err
+	}
+	var preds []Comparison
+	for {
+		c, err := p.comparison()
+		if err != nil {
+			return nil, err
+		}
+		preds = append(preds, c)
+		if p.atKeyword("AND") {
+			p.next()
+			continue
+		}
+		break
+	}
+	return FilterExpr{Input: input.text, Preds: preds}, nil
+}
+
+func (p *parser) comparison() (Comparison, error) {
+	field, err := p.expect(tokIdent)
+	if err != nil {
+		return Comparison{}, err
+	}
+	op, err := p.expect(tokOp)
+	if err != nil {
+		return Comparison{}, err
+	}
+	switch p.cur().kind {
+	case tokString:
+		v := p.next()
+		return Comparison{Field: field.text, Op: op.text, StrVal: v.text}, nil
+	case tokNumber:
+		v := p.next()
+		n, err := strconv.ParseInt(v.text, 10, 64)
+		if err != nil {
+			return Comparison{}, p.errorf("bad number %q: %v", v.text, err)
+		}
+		return Comparison{Field: field.text, Op: op.text, IntVal: n, IsInt: true}, nil
+	default:
+		return Comparison{}, p.errorf("expected literal after %s, found %s", op.text, p.cur())
+	}
+}
+
+func (p *parser) groupExpr() (RelExpr, error) {
+	p.next() // GROUP
+	input, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if p.atKeyword("ALL") {
+		p.next()
+		return GroupExpr{Input: input.text, All: true}, nil
+	}
+	if err := p.expectKeyword("BY"); err != nil {
+		return nil, err
+	}
+	var keys []string
+	if p.at(tokLParen) {
+		p.next()
+		for {
+			k, err := p.expect(tokIdent)
+			if err != nil {
+				return nil, err
+			}
+			keys = append(keys, k.text)
+			if p.at(tokComma) {
+				p.next()
+				continue
+			}
+			break
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+	} else {
+		k, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		keys = append(keys, k.text)
+	}
+	return GroupExpr{Input: input.text, Keys: keys}, nil
+}
+
+func (p *parser) orderExpr() (RelExpr, error) {
+	p.next() // ORDER
+	input, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("BY"); err != nil {
+		return nil, err
+	}
+	col, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	out := OrderExpr{Input: input.text, Col: col.text}
+	if p.atKeyword("DESC") {
+		p.next()
+		out.Desc = true
+	} else if p.atKeyword("ASC") {
+		p.next()
+	}
+	return out, nil
+}
+
+func (p *parser) limitExpr() (RelExpr, error) {
+	p.next() // LIMIT
+	input, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	n, err := p.expect(tokNumber)
+	if err != nil {
+		return nil, err
+	}
+	v, err := strconv.ParseInt(n.text, 10, 64)
+	if err != nil || v < 0 {
+		return nil, p.errorf("LIMIT wants a non-negative count, got %q", n.text)
+	}
+	return LimitExpr{Input: input.text, N: v}, nil
+}
+
+func (p *parser) joinExpr() (RelExpr, error) {
+	p.next() // JOIN
+	left, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("BY"); err != nil {
+		return nil, err
+	}
+	leftCol, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokComma); err != nil {
+		return nil, err
+	}
+	right, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("BY"); err != nil {
+		return nil, err
+	}
+	rightCol, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	return JoinExpr{
+		LeftRel: left.text, LeftCol: leftCol.text,
+		RightRel: right.text, RightCol: rightCol.text,
+	}, nil
+}
+
+func (p *parser) foreachExpr() (RelExpr, error) {
+	p.next() // FOREACH
+	input, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("GENERATE"); err != nil {
+		return nil, err
+	}
+	var gens []Generate
+	for {
+		g, err := p.generate()
+		if err != nil {
+			return nil, err
+		}
+		gens = append(gens, g)
+		if p.at(tokComma) {
+			p.next()
+			continue
+		}
+		break
+	}
+	return ForeachExpr{Input: input.text, Generates: gens}, nil
+}
+
+func (p *parser) generate() (Generate, error) {
+	// `group` is also the GROUP keyword; in GENERATE position it means the
+	// grouping key tuple.
+	if p.atKeyword("GROUP") {
+		p.next()
+		g := Generate{Kind: GenGroup}
+		if p.atKeyword("AS") {
+			p.next()
+			name, err := p.expect(tokIdent)
+			if err != nil {
+				return Generate{}, err
+			}
+			g.As = name.text
+		}
+		return g, nil
+	}
+	id, err := p.expect(tokIdent)
+	if err != nil {
+		return Generate{}, err
+	}
+	var g Generate
+	up := strings.ToUpper(id.text)
+	switch {
+	case aggFuncs[up]:
+		if _, err := p.expect(tokLParen); err != nil {
+			return Generate{}, err
+		}
+		first, err := p.expect(tokIdent)
+		if err != nil {
+			return Generate{}, err
+		}
+		g = Generate{Kind: GenAgg, Func: up, Column: first.text}
+		if p.at(tokDot) {
+			p.next()
+			field, err := p.expect(tokIdent)
+			if err != nil {
+				return Generate{}, err
+			}
+			g.Rel = first.text
+			g.Column = field.text
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return Generate{}, err
+		}
+	default:
+		g = Generate{Kind: GenColumn, Column: id.text}
+	}
+	if p.atKeyword("AS") {
+		p.next()
+		name, err := p.expect(tokIdent)
+		if err != nil {
+			return Generate{}, err
+		}
+		g.As = name.text
+	}
+	return g, nil
+}

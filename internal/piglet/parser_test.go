@@ -1,0 +1,184 @@
+package piglet
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseFullScript(t *testing.T) {
+	src := `
+-- the paper's Q1: sales per year and country
+raw = LOAD 'sales' AS (day, month, year, department, region, country, profit);
+grp = GROUP raw BY (year, country);
+out = FOREACH grp GENERATE group, SUM(raw.profit) AS total;
+STORE out INTO 'q1';
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Statements) != 4 {
+		t.Fatalf("statements = %d, want 4", len(prog.Statements))
+	}
+	load := prog.Statements[0].(Assign).Expr.(Load)
+	if load.Source != "sales" || len(load.Columns) != 7 {
+		t.Errorf("load = %+v", load)
+	}
+	grp := prog.Statements[1].(Assign).Expr.(GroupExpr)
+	if grp.Input != "raw" || len(grp.Keys) != 2 || grp.Keys[0] != "year" || grp.Keys[1] != "country" {
+		t.Errorf("group = %+v", grp)
+	}
+	fe := prog.Statements[2].(Assign).Expr.(ForeachExpr)
+	if len(fe.Generates) != 2 {
+		t.Fatalf("generates = %+v", fe.Generates)
+	}
+	if fe.Generates[0].Kind != GenGroup {
+		t.Errorf("first generate = %+v, want group", fe.Generates[0])
+	}
+	agg := fe.Generates[1]
+	if agg.Kind != GenAgg || agg.Func != "SUM" || agg.Rel != "raw" || agg.Column != "profit" || agg.As != "total" {
+		t.Errorf("agg = %+v", agg)
+	}
+	store := prog.Statements[3].(Store)
+	if store.Alias != "out" || store.Target != "q1" {
+		t.Errorf("store = %+v", store)
+	}
+}
+
+func TestParseFilterPredicates(t *testing.T) {
+	src := `raw = LOAD 's' AS (country, year, profit);
+fr = FILTER raw BY country == 'France' AND year >= 2005 AND profit != 0;
+DUMP fr;`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fe := prog.Statements[1].(Assign).Expr.(FilterExpr)
+	if len(fe.Preds) != 3 {
+		t.Fatalf("preds = %+v", fe.Preds)
+	}
+	if fe.Preds[0].Field != "country" || fe.Preds[0].Op != "==" || fe.Preds[0].StrVal != "France" || fe.Preds[0].IsInt {
+		t.Errorf("pred0 = %+v", fe.Preds[0])
+	}
+	if fe.Preds[1].Op != ">=" || !fe.Preds[1].IsInt || fe.Preds[1].IntVal != 2005 {
+		t.Errorf("pred1 = %+v", fe.Preds[1])
+	}
+	if fe.Preds[2].Op != "!=" || fe.Preds[2].IntVal != 0 {
+		t.Errorf("pred2 = %+v", fe.Preds[2])
+	}
+}
+
+func TestParseSingleGroupKeyAndDump(t *testing.T) {
+	prog, err := Parse(`r = LOAD 's' AS (a, b);
+g = GROUP r BY a;
+o = FOREACH g GENERATE group, COUNT(b);
+DUMP o;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grp := prog.Statements[1].(Assign).Expr.(GroupExpr)
+	if len(grp.Keys) != 1 || grp.Keys[0] != "a" {
+		t.Errorf("group = %+v", grp)
+	}
+	if _, ok := prog.Statements[3].(Dump); !ok {
+		t.Error("DUMP not parsed")
+	}
+}
+
+func TestParseProjection(t *testing.T) {
+	prog, err := Parse(`r = LOAD 's' AS (a, b, c);
+p = FOREACH r GENERATE a, c AS renamed;
+DUMP p;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fe := prog.Statements[1].(Assign).Expr.(ForeachExpr)
+	if fe.Generates[0].Kind != GenColumn || fe.Generates[0].Column != "a" {
+		t.Errorf("gen0 = %+v", fe.Generates[0])
+	}
+	if fe.Generates[1].As != "renamed" {
+		t.Errorf("gen1 = %+v", fe.Generates[1])
+	}
+}
+
+func TestParseCaseInsensitiveKeywords(t *testing.T) {
+	if _, err := Parse(`r = load 's' as (a);
+g = group r by a;
+o = foreach g generate group, sum(a);
+dump o;`); err != nil {
+		t.Errorf("lower-case keywords rejected: %v", err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{"empty", "", "empty script"},
+		{"comment only", "-- nothing\n", "empty script"},
+		{"missing semicolon", "r = LOAD 's' AS (a)", "expected ';'"},
+		{"missing as", "r = LOAD 's' (a);", "expected AS"},
+		{"bad load source", "r = LOAD sales AS (a);", "expected string"},
+		{"bad start", "LOAD 's' AS (a);", "expected statement"},
+		{"bare expr", "= LOAD 's' AS (a);", "expected statement"},
+		{"missing into", "r = LOAD 's' AS (a); STORE r 'x';", "expected INTO"},
+		{"missing pred literal", "r = LOAD 's' AS (a); f = FILTER r BY a == ;", "expected literal"},
+		{"bad op", "r = LOAD 's' AS (a); f = FILTER r BY a ! 3;", "expected '='"},
+		{"unterminated string", "r = LOAD 'sales AS (a);", "unterminated string"},
+		{"unknown rune", "r = LOAD 's' AS (a); @", "unexpected character"},
+		{"missing generate", "r = LOAD 's' AS (a); g = GROUP r BY a; o = FOREACH g;", "expected GENERATE"},
+		{"unclosed agg", "r = LOAD 's' AS (a); g = GROUP r BY a; o = FOREACH g GENERATE SUM(a;", "expected ')'"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src)
+		if err == nil {
+			t.Errorf("%s: parse succeeded, want error containing %q", c.name, c.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not contain %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestProgramStringRoundTripsThroughParser(t *testing.T) {
+	src := `raw = LOAD 'sales' AS (year, country, profit);
+fr = FILTER raw BY country == 'France' AND profit > 5;
+grp = GROUP fr BY (year, country);
+out = FOREACH grp GENERATE group, SUM(fr.profit) AS total, AVG(fr.profit);
+STORE out INTO 'result';
+DUMP fr;
+`
+	p1, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rendered := p1.String()
+	p2, err := Parse(rendered)
+	if err != nil {
+		t.Fatalf("re-parse of rendered program failed: %v\n%s", err, rendered)
+	}
+	if p1.String() != p2.String() {
+		t.Errorf("render not stable:\n%s\nvs\n%s", p1.String(), p2.String())
+	}
+}
+
+func TestLexerPositions(t *testing.T) {
+	_, err := Parse("r = LOAD 's' AS (a);\nr2 = BADKW x;\n")
+	if err == nil || !strings.Contains(err.Error(), "2:") {
+		t.Errorf("error should carry line 2 position: %v", err)
+	}
+}
+
+func TestNegativeNumberLiteral(t *testing.T) {
+	prog, err := Parse(`r = LOAD 's' AS (a); f = FILTER r BY a > -5; DUMP f;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fe := prog.Statements[1].(Assign).Expr.(FilterExpr)
+	if fe.Preds[0].IntVal != -5 {
+		t.Errorf("literal = %+v", fe.Preds[0])
+	}
+}

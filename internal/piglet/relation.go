@@ -1,0 +1,140 @@
+package piglet
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"vmcloud/internal/schema"
+	"vmcloud/internal/storage"
+)
+
+// Value is a Piglet cell: a string or an int64 (Pig's chararray/long).
+type Value struct {
+	Str   string
+	Int   int64
+	IsInt bool
+}
+
+// Str builds a string Value.
+func Str(s string) Value { return Value{Str: s} }
+
+// IntV builds an integer Value.
+func IntV(n int64) Value { return Value{Int: n, IsInt: true} }
+
+// String renders the cell.
+func (v Value) String() string {
+	if v.IsInt {
+		return strconv.FormatInt(v.Int, 10)
+	}
+	return v.Str
+}
+
+// encode renders the value with a type tag for shuffle keys.
+func (v Value) encode() string {
+	if v.IsInt {
+		return "i:" + strconv.FormatInt(v.Int, 10)
+	}
+	return "s:" + v.Str
+}
+
+func decodeValue(s string) (Value, error) {
+	switch {
+	case strings.HasPrefix(s, "i:"):
+		n, err := strconv.ParseInt(s[2:], 10, 64)
+		if err != nil {
+			return Value{}, fmt.Errorf("piglet: bad encoded int %q", s)
+		}
+		return IntV(n), nil
+	case strings.HasPrefix(s, "s:"):
+		return Str(s[2:]), nil
+	default:
+		return Value{}, fmt.Errorf("piglet: bad encoded value %q", s)
+	}
+}
+
+// Relation is a named-column rowset.
+type Relation struct {
+	Cols []string
+	Rows [][]Value
+}
+
+// ColIndex finds a column by name.
+func (r *Relation) ColIndex(name string) (int, error) {
+	for i, c := range r.Cols {
+		if c == name {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("piglet: relation has no column %q (have %v)", name, r.Cols)
+}
+
+// String renders the relation as a small tab-separated listing.
+func (r *Relation) String() string {
+	var sb strings.Builder
+	sb.WriteString(strings.Join(r.Cols, "\t"))
+	sb.WriteByte('\n')
+	for _, row := range r.Rows {
+		parts := make([]string, len(row))
+		for i, v := range row {
+			parts[i] = v.String()
+		}
+		sb.WriteString(strings.Join(parts, "\t"))
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Catalog maps LOAD source names to relations.
+type Catalog map[string]*Relation
+
+// DatasetRelation denormalizes a star-schema dataset into the flat rowset
+// Pig scripts load — one row per fact with all hierarchy attributes spelled
+// out, exactly like the paper's Table 1 (Year, Month, Day, Country, Region,
+// Department, Profit).
+func DatasetRelation(ds *storage.Dataset) (*Relation, error) {
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	d2m, ok := ds.Maps[schema.MapName("day", "month")]
+	if !ok {
+		return nil, fmt.Errorf("piglet: dataset lacks day->month map")
+	}
+	m2y := ds.Maps[schema.MapName("month", "year")]
+	d2r := ds.Maps[schema.MapName("department", "region")]
+	r2c := ds.Maps[schema.MapName("region", "country")]
+	if m2y == nil || d2r == nil || r2c == nil {
+		return nil, fmt.Errorf("piglet: dataset lacks sales hierarchy maps")
+	}
+	label := func(level string, code int32, fallbackPrefix string) Value {
+		if names, ok := ds.Labels[level]; ok && int(code) < len(names) {
+			return Str(names[code])
+		}
+		return Str(fmt.Sprintf("%s%d", fallbackPrefix, code))
+	}
+	rel := &Relation{
+		Cols: []string{"day", "month", "year", "department", "region", "country", "profit"},
+		Rows: make([][]Value, 0, ds.Facts.Rows()),
+	}
+	days := ds.Facts.Keys[0]
+	depts := ds.Facts.Keys[1]
+	profits := ds.Facts.Measures[0]
+	for r := 0; r < ds.Facts.Rows(); r++ {
+		day := days[r]
+		month := d2m[day]
+		year := m2y[month]
+		dept := depts[r]
+		region := d2r[dept]
+		country := r2c[region]
+		rel.Rows = append(rel.Rows, []Value{
+			label("day", day, "day"),
+			label("month", month, "month"),
+			IntV(int64(2000 + year)),
+			label("department", dept, "dept"),
+			label("region", region, "region"),
+			label("country", country, "country"),
+			IntV(profits[r]),
+		})
+	}
+	return rel, nil
+}

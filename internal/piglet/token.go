@@ -1,0 +1,272 @@
+// Package piglet implements a small Pig-Latin-like dataflow language — the
+// stand-in for the Pig 0.7 scripts the paper's workload was written in.
+// Scripts are parsed into logical plans and executed on the in-process
+// MapReduce runtime (package mapreduce).
+//
+// Supported statements, mirroring the Pig subset the paper's ten
+// aggregation queries need:
+//
+//	raw = LOAD 'sales' AS (day, month, year, department, region, country, profit);
+//	fr  = FILTER raw BY country == 'France' AND profit > 100;
+//	grp = GROUP fr BY (year, country);
+//	out = FOREACH grp GENERATE group, SUM(fr.profit) AS total;
+//	prj = FOREACH raw GENERATE year, profit;
+//	all = GROUP raw ALL;
+//	tot = FOREACH all GENERATE SUM(raw.profit);
+//	j   = JOIN raw BY country, geo BY name;
+//	srt = ORDER out BY total DESC;
+//	top = LIMIT srt 5;
+//	STORE out INTO 'result';
+//	DUMP out;
+package piglet
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind enumerates lexical token classes.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokKeyword
+	tokString // 'single quoted'
+	tokNumber
+	tokEquals    // =
+	tokSemicolon // ;
+	tokComma     // ,
+	tokLParen    // (
+	tokRParen    // )
+	tokDot       // .
+	tokOp        // == != < <= > >=
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "identifier"
+	case tokKeyword:
+		return "keyword"
+	case tokString:
+		return "string"
+	case tokNumber:
+		return "number"
+	case tokEquals:
+		return "'='"
+	case tokSemicolon:
+		return "';'"
+	case tokComma:
+		return "','"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokDot:
+		return "'.'"
+	case tokOp:
+		return "comparison operator"
+	default:
+		return fmt.Sprintf("token(%d)", int(k))
+	}
+}
+
+// keywords of the language; matched case-insensitively per Pig convention.
+var keywords = map[string]bool{
+	"LOAD": true, "AS": true, "GROUP": true, "BY": true,
+	"FOREACH": true, "GENERATE": true, "FILTER": true,
+	"STORE": true, "INTO": true, "DUMP": true, "AND": true,
+	"ORDER": true, "DESC": true, "ASC": true, "LIMIT": true, "ALL": true,
+	"JOIN": true,
+}
+
+// aggregate function names.
+var aggFuncs = map[string]bool{
+	"SUM": true, "COUNT": true, "MIN": true, "MAX": true, "AVG": true,
+}
+
+type token struct {
+	kind tokenKind
+	text string // keywords upper-cased; identifiers as written
+	line int
+	col  int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+// lexer tokenizes a script.
+type lexer struct {
+	src  []rune
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: []rune(src), line: 1, col: 1}
+}
+
+func (l *lexer) errorf(format string, args ...any) error {
+	return fmt.Errorf("piglet: %d:%d: %s", l.line, l.col, fmt.Sprintf(format, args...))
+}
+
+func (l *lexer) peek() rune {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) advance() rune {
+	r := l.src[l.pos]
+	l.pos++
+	if r == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return r
+}
+
+// tokens lexes the whole input.
+func (l *lexer) tokens() ([]token, error) {
+	var out []token
+	for {
+		l.skipSpaceAndComments()
+		if l.pos >= len(l.src) {
+			out = append(out, token{kind: tokEOF, line: l.line, col: l.col})
+			return out, nil
+		}
+		line, col := l.line, l.col
+		r := l.peek()
+		switch {
+		case unicode.IsLetter(r) || r == '_':
+			word := l.lexWord()
+			up := strings.ToUpper(word)
+			if keywords[up] {
+				out = append(out, token{tokKeyword, up, line, col})
+			} else {
+				out = append(out, token{tokIdent, word, line, col})
+			}
+		case unicode.IsDigit(r) || (r == '-' && l.pos+1 < len(l.src) && unicode.IsDigit(l.src[l.pos+1])):
+			out = append(out, token{tokNumber, l.lexNumber(), line, col})
+		case r == '\'':
+			s, err := l.lexString()
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, token{tokString, s, line, col})
+		case r == '=':
+			l.advance()
+			if l.peek() == '=' {
+				l.advance()
+				out = append(out, token{tokOp, "==", line, col})
+			} else {
+				out = append(out, token{tokEquals, "=", line, col})
+			}
+		case r == '!':
+			l.advance()
+			if l.peek() != '=' {
+				return nil, l.errorf("expected '=' after '!'")
+			}
+			l.advance()
+			out = append(out, token{tokOp, "!=", line, col})
+		case r == '<' || r == '>':
+			l.advance()
+			op := string(r)
+			if l.peek() == '=' {
+				l.advance()
+				op += "="
+			}
+			out = append(out, token{tokOp, op, line, col})
+		case r == ';':
+			l.advance()
+			out = append(out, token{tokSemicolon, ";", line, col})
+		case r == ',':
+			l.advance()
+			out = append(out, token{tokComma, ",", line, col})
+		case r == '(':
+			l.advance()
+			out = append(out, token{tokLParen, "(", line, col})
+		case r == ')':
+			l.advance()
+			out = append(out, token{tokRParen, ")", line, col})
+		case r == '.':
+			l.advance()
+			out = append(out, token{tokDot, ".", line, col})
+		default:
+			return nil, l.errorf("unexpected character %q", r)
+		}
+	}
+}
+
+func (l *lexer) skipSpaceAndComments() {
+	for l.pos < len(l.src) {
+		r := l.peek()
+		if unicode.IsSpace(r) {
+			l.advance()
+			continue
+		}
+		// "--" line comments, Pig style.
+		if r == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-' {
+			for l.pos < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+			continue
+		}
+		return
+	}
+}
+
+func (l *lexer) lexWord() string {
+	start := l.pos
+	for l.pos < len(l.src) {
+		r := l.peek()
+		if unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' {
+			l.advance()
+		} else {
+			break
+		}
+	}
+	return string(l.src[start:l.pos])
+}
+
+func (l *lexer) lexNumber() string {
+	start := l.pos
+	if l.peek() == '-' {
+		l.advance()
+	}
+	for l.pos < len(l.src) && unicode.IsDigit(l.peek()) {
+		l.advance()
+	}
+	return string(l.src[start:l.pos])
+}
+
+func (l *lexer) lexString() (string, error) {
+	l.advance() // opening quote
+	var sb strings.Builder
+	for {
+		if l.pos >= len(l.src) {
+			return "", l.errorf("unterminated string")
+		}
+		r := l.advance()
+		if r == '\'' {
+			return sb.String(), nil
+		}
+		if r == '\\' && l.pos < len(l.src) {
+			sb.WriteRune(l.advance())
+			continue
+		}
+		sb.WriteRune(r)
+	}
+}

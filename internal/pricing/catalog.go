@@ -1,0 +1,180 @@
+package pricing
+
+import (
+	"fmt"
+	"sort"
+
+	"vmcloud/internal/money"
+	"vmcloud/internal/units"
+)
+
+// AWS2012 returns the provider fixture reproducing the paper's Tables 2
+// (EC2 compute), 3 (bandwidth) and 4 (S3 storage) exactly.
+func AWS2012() Provider {
+	return Provider{
+		Name: "aws-2012",
+		Compute: ComputeTariff{
+			Granularity: units.BillPerHour,
+			Instances: map[string]InstanceType{
+				"micro": {
+					Name:         "micro",
+					PricePerHour: money.MustParse("$0.03"),
+					RAM:          613 * units.MB,
+					ECU:          0.25,
+					LocalStorage: 0,
+				},
+				"small": {
+					Name:         "small",
+					PricePerHour: money.MustParse("$0.12"),
+					RAM:          units.FromGB(1.7),
+					ECU:          1,
+					LocalStorage: 160 * units.GB,
+				},
+				"large": {
+					Name:         "large",
+					PricePerHour: money.MustParse("$0.48"),
+					RAM:          units.FromGB(7.5),
+					ECU:          4,
+					LocalStorage: 850 * units.GB,
+				},
+				"xlarge": {
+					Name:         "xlarge",
+					PricePerHour: money.MustParse("$0.96"),
+					RAM:          15 * units.GB,
+					ECU:          8,
+					LocalStorage: 1690 * units.GB,
+				},
+			},
+		},
+		// Table 4: first 1 TB $0.14/GB/month, next 49 TB $0.125, next 450 TB
+		// $0.11. Slab mode matches Formula 5's cs(DS)·s(DS) and Example 3.
+		Storage: StorageTariff{
+			Table: TierTable{
+				Mode: Slab,
+				Tiers: []Tier{
+					{UpTo: 1 * units.TB, PricePerGB: money.MustParse("$0.14")},
+					{UpTo: 50 * units.TB, PricePerGB: money.MustParse("$0.125")},
+					{UpTo: 500 * units.TB, PricePerGB: money.MustParse("$0.11")},
+					{UpTo: 0, PricePerGB: money.MustParse("$0.095")},
+				},
+			},
+		},
+		// Table 3: input free; output first GB free, up to 10 TB $0.12/GB,
+		// next 40 TB $0.09, next 100 TB $0.07. Graduated mode matches
+		// Example 1's (10−1)×0.12.
+		Transfer: TransferTariff{
+			IngressFree: true,
+			Egress: TierTable{
+				Mode: Graduated,
+				Tiers: []Tier{
+					{UpTo: 1 * units.GB, PricePerGB: 0},
+					{UpTo: 10 * units.TB, PricePerGB: money.MustParse("$0.12")},
+					{UpTo: 50 * units.TB, PricePerGB: money.MustParse("$0.09")},
+					{UpTo: 150 * units.TB, PricePerGB: money.MustParse("$0.07")},
+					{UpTo: 0, PricePerGB: money.MustParse("$0.05")},
+				},
+			},
+		},
+	}
+}
+
+// StratusCloud returns a synthetic alternative provider with cheaper storage
+// but pricier compute and per-minute billing — used by the multi-CSP
+// comparison the paper lists as future work (§8).
+func StratusCloud() Provider {
+	return Provider{
+		Name: "stratus",
+		Compute: ComputeTariff{
+			Granularity: units.BillPerMinute,
+			Instances: map[string]InstanceType{
+				"micro": {Name: "micro", PricePerHour: money.MustParse("$0.04"), RAM: units.GB, ECU: 0.3},
+				"small": {Name: "small", PricePerHour: money.MustParse("$0.15"), RAM: 2 * units.GB, ECU: 1.1, LocalStorage: 100 * units.GB},
+				"large": {Name: "large", PricePerHour: money.MustParse("$0.55"), RAM: 8 * units.GB, ECU: 4.4, LocalStorage: 500 * units.GB},
+			},
+		},
+		Storage: StorageTariff{
+			Table: TierTable{
+				Mode: Slab,
+				Tiers: []Tier{
+					{UpTo: 5 * units.TB, PricePerGB: money.MustParse("$0.10")},
+					{UpTo: 0, PricePerGB: money.MustParse("$0.08")},
+				},
+			},
+		},
+		Transfer: TransferTariff{
+			IngressFree: true,
+			Egress: TierTable{
+				Mode: Graduated,
+				Tiers: []Tier{
+					{UpTo: 5 * units.GB, PricePerGB: 0},
+					{UpTo: 0, PricePerGB: money.MustParse("$0.15")},
+				},
+			},
+		},
+	}
+}
+
+// NimbusCompute returns a synthetic compute-optimised provider: cheap
+// per-second-billed instances, expensive storage and egress.
+func NimbusCompute() Provider {
+	return Provider{
+		Name: "nimbus",
+		Compute: ComputeTariff{
+			Granularity: units.BillPerSecond,
+			Instances: map[string]InstanceType{
+				"small":  {Name: "small", PricePerHour: money.MustParse("$0.09"), RAM: 2 * units.GB, ECU: 1.2, LocalStorage: 80 * units.GB},
+				"large":  {Name: "large", PricePerHour: money.MustParse("$0.36"), RAM: 8 * units.GB, ECU: 4.8, LocalStorage: 400 * units.GB},
+				"xlarge": {Name: "xlarge", PricePerHour: money.MustParse("$0.72"), RAM: 16 * units.GB, ECU: 9.6, LocalStorage: 800 * units.GB},
+			},
+		},
+		Storage: StorageTariff{
+			Table: TierTable{
+				Mode: Slab,
+				Tiers: []Tier{
+					{UpTo: 1 * units.TB, PricePerGB: money.MustParse("$0.18")},
+					{UpTo: 0, PricePerGB: money.MustParse("$0.16")},
+				},
+			},
+		},
+		Transfer: TransferTariff{
+			IngressFree:  false,
+			IngressPerGB: money.MustParse("$0.01"),
+			Egress: TierTable{
+				Mode: Graduated,
+				Tiers: []Tier{
+					{UpTo: 0, PricePerGB: money.MustParse("$0.18")},
+				},
+			},
+		},
+	}
+}
+
+// Catalog returns all built-in providers keyed by name.
+func Catalog() map[string]Provider {
+	ps := []Provider{AWS2012(), StratusCloud(), NimbusCompute()}
+	out := make(map[string]Provider, len(ps))
+	for _, p := range ps {
+		out[p.Name] = p
+	}
+	return out
+}
+
+// ProviderNames returns the sorted names of the built-in catalog.
+func ProviderNames() []string {
+	c := Catalog()
+	names := make([]string, 0, len(c))
+	for n := range c {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Lookup returns a built-in provider by name.
+func Lookup(name string) (Provider, error) {
+	p, ok := Catalog()[name]
+	if !ok {
+		return Provider{}, fmt.Errorf("pricing: unknown provider %q (have %v)", name, ProviderNames())
+	}
+	return p, nil
+}

@@ -1,0 +1,189 @@
+package pricing
+
+import (
+	"testing"
+	"time"
+
+	"vmcloud/internal/money"
+	"vmcloud/internal/units"
+)
+
+// Table 2 prices, verbatim.
+func TestAWS2012ComputePrices(t *testing.T) {
+	aws := AWS2012()
+	want := map[string]string{
+		"micro":  "$0.03",
+		"small":  "$0.12",
+		"large":  "$0.48",
+		"xlarge": "$0.96",
+	}
+	for name, price := range want {
+		it, err := aws.Compute.Instance(name)
+		if err != nil {
+			t.Fatalf("Instance(%q): %v", name, err)
+		}
+		if it.PricePerHour != money.MustParse(price) {
+			t.Errorf("%s price = %v, want %s", name, it.PricePerHour, price)
+		}
+	}
+	if _, err := aws.Compute.Instance("mega"); err == nil {
+		t.Error("unknown instance accepted")
+	}
+}
+
+// Paper Example 2: one small instance for 50 h costs RoundUp(50)·$0.12 = $6;
+// two instances cost $12 (computed by the caller as 2×HourCost).
+func TestHourCostExample2(t *testing.T) {
+	aws := AWS2012()
+	small, _ := aws.Compute.Instance("small")
+	got := aws.Compute.HourCost(small, 50*time.Hour)
+	if want := money.FromDollars(6); got != want {
+		t.Errorf("HourCost(small, 50h) = %v, want %v", got, want)
+	}
+	// Every started hour is charged.
+	got = aws.Compute.HourCost(small, 50*time.Hour+time.Minute)
+	if want := money.FromDollars(0.12).MulInt(51); got != want {
+		t.Errorf("HourCost(small, 50h01m) = %v, want %v", got, want)
+	}
+}
+
+func TestStorageTariffCostFor(t *testing.T) {
+	aws := AWS2012()
+	// Example 9: 550 GB for 12 months at $0.14 = $924.
+	got := aws.Storage.CostFor(550*units.GB, 12)
+	if want := money.FromDollars(924); got != want {
+		t.Errorf("CostFor(550GB, 12mo) = %v, want %v", got, want)
+	}
+	if aws.Storage.CostFor(550*units.GB, 0) != 0 {
+		t.Error("zero months should cost zero")
+	}
+	if aws.Storage.CostFor(550*units.GB, -3) != 0 {
+		t.Error("negative months should cost zero")
+	}
+}
+
+func TestTransferTariff(t *testing.T) {
+	aws := AWS2012()
+	if aws.Transfer.IngressCost(500*units.GB) != 0 {
+		t.Error("AWS ingress should be free")
+	}
+	if got, want := aws.Transfer.EgressCost(10*units.GB), money.FromDollars(1.08); got != want {
+		t.Errorf("EgressCost(10GB) = %v, want %v", got, want)
+	}
+	nimbus := NimbusCompute()
+	if got, want := nimbus.Transfer.IngressCost(100*units.GB), money.FromDollars(1); got != want {
+		t.Errorf("nimbus ingress(100GB) = %v, want %v", got, want)
+	}
+	if nimbus.Transfer.IngressCost(-units.GB) != 0 {
+		t.Error("negative ingress should cost zero")
+	}
+}
+
+func TestCatalogValidates(t *testing.T) {
+	for name, p := range Catalog() {
+		if err := p.Validate(); err != nil {
+			t.Errorf("provider %s invalid: %v", name, err)
+		}
+	}
+}
+
+func TestLookup(t *testing.T) {
+	p, err := Lookup("aws-2012")
+	if err != nil || p.Name != "aws-2012" {
+		t.Errorf("Lookup(aws-2012) = %v, %v", p.Name, err)
+	}
+	if _, err := Lookup("nonexistent"); err == nil {
+		t.Error("unknown provider accepted")
+	}
+	names := ProviderNames()
+	if len(names) != 3 {
+		t.Errorf("ProviderNames = %v, want 3 entries", names)
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Errorf("ProviderNames not sorted: %v", names)
+		}
+	}
+}
+
+func TestProviderValidateRejectsBadConfigs(t *testing.T) {
+	good := AWS2012()
+
+	p := good
+	p.Name = ""
+	if err := p.Validate(); err == nil {
+		t.Error("unnamed provider accepted")
+	}
+
+	p = AWS2012()
+	p.Compute.Instances = nil
+	if err := p.Validate(); err == nil {
+		t.Error("provider without instances accepted")
+	}
+
+	p = AWS2012()
+	p.Compute.Instances = map[string]InstanceType{
+		"small": {Name: "mismatch", PricePerHour: money.Dollar, ECU: 1},
+	}
+	if err := p.Validate(); err == nil {
+		t.Error("mismatched instance key accepted")
+	}
+
+	p = AWS2012()
+	p.Compute.Instances = map[string]InstanceType{
+		"small": {Name: "small", PricePerHour: -money.Dollar, ECU: 1},
+	}
+	if err := p.Validate(); err == nil {
+		t.Error("negative instance price accepted")
+	}
+
+	p = AWS2012()
+	p.Compute.Instances = map[string]InstanceType{
+		"small": {Name: "small", PricePerHour: money.Dollar, ECU: 0},
+	}
+	if err := p.Validate(); err == nil {
+		t.Error("zero-ECU instance accepted")
+	}
+
+	p = AWS2012()
+	p.Storage.Table.Tiers = nil
+	if err := p.Validate(); err == nil {
+		t.Error("empty storage table accepted")
+	}
+
+	p = AWS2012()
+	p.Transfer.Egress.Tiers = []Tier{{UpTo: 0, PricePerGB: 1}, {UpTo: units.GB, PricePerGB: 1}}
+	if err := p.Validate(); err == nil {
+		t.Error("bad egress table accepted")
+	}
+}
+
+func TestInstanceNamesSorted(t *testing.T) {
+	names := AWS2012().Compute.InstanceNames()
+	want := []string{"large", "micro", "small", "xlarge"}
+	if len(names) != len(want) {
+		t.Fatalf("got %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("got %v, want %v", names, want)
+		}
+	}
+}
+
+func TestGranularitiesDiffer(t *testing.T) {
+	// Stratus bills per minute: 90 minutes cost 1.5 h.
+	st := StratusCloud()
+	small, _ := st.Compute.Instance("small")
+	got := st.Compute.HourCost(small, 90*time.Minute)
+	if want := money.FromDollars(0.15).MulFloat(1.5); got != want {
+		t.Errorf("stratus 90m = %v, want %v", got, want)
+	}
+	// Nimbus bills per second.
+	nb := NimbusCompute()
+	nsmall, _ := nb.Compute.Instance("small")
+	got = nb.Compute.HourCost(nsmall, 30*time.Minute)
+	if want := money.FromDollars(0.09).MulFloat(0.5); got != want {
+		t.Errorf("nimbus 30m = %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,153 @@
+// Package pricing models cloud service provider tariffs: per-instance-hour
+// compute prices, volume-tiered storage rates, and volume-tiered data
+// transfer rates, as billed by 2012-era AWS (the paper's Tables 2, 3, 4).
+//
+// Two tier-evaluation semantics coexist in the paper and are both provided:
+//
+//   - Graduated (marginal) pricing charges each bracket's rate only on the
+//     volume falling inside that bracket. The paper's bandwidth Example 1
+//     uses it: the first GB is free and the next 9 GB cost $0.12 each.
+//   - Slab (bracket-of-total) pricing picks a single rate from the bracket
+//     the *total* volume falls into and applies it to the whole volume.
+//     The paper's storage Formula 5 — cs(DS)·s(DS) — and its Example 3 use
+//     it: 2.5 TB is charged entirely at the second-tier rate.
+package pricing
+
+import (
+	"fmt"
+
+	"vmcloud/internal/money"
+	"vmcloud/internal/units"
+)
+
+// TierMode selects how a TierTable converts a volume into a charge.
+type TierMode int
+
+const (
+	// Graduated charges each bracket marginally (bandwidth semantics).
+	Graduated TierMode = iota
+	// Slab charges the whole volume at the rate of the bracket that the
+	// total volume falls into (the paper's storage semantics).
+	Slab
+)
+
+// String implements fmt.Stringer.
+func (m TierMode) String() string {
+	switch m {
+	case Graduated:
+		return "graduated"
+	case Slab:
+		return "slab"
+	default:
+		return fmt.Sprintf("TierMode(%d)", int(m))
+	}
+}
+
+// Tier is one pricing bracket: volumes up to UpTo (cumulative) are priced at
+// PricePerGB. The final tier of a table uses UpTo == 0 meaning "unbounded".
+type Tier struct {
+	// UpTo is the inclusive cumulative upper bound of the bracket;
+	// zero means unbounded (must be the last tier).
+	UpTo units.DataSize
+	// PricePerGB is the rate applied to volume in this bracket.
+	PricePerGB money.Money
+}
+
+// TierTable is an ordered list of pricing brackets with an evaluation mode.
+type TierTable struct {
+	Mode  TierMode
+	Tiers []Tier
+}
+
+// Validate checks structural invariants: at least one tier, strictly
+// increasing bounds, unbounded tier only in last position, no negative
+// prices.
+func (t TierTable) Validate() error {
+	if len(t.Tiers) == 0 {
+		return fmt.Errorf("pricing: tier table has no tiers")
+	}
+	var prev units.DataSize
+	for i, tier := range t.Tiers {
+		if tier.PricePerGB < 0 {
+			return fmt.Errorf("pricing: tier %d has negative price %v", i, tier.PricePerGB)
+		}
+		last := i == len(t.Tiers)-1
+		if tier.UpTo == 0 {
+			if !last {
+				return fmt.Errorf("pricing: unbounded tier %d is not last", i)
+			}
+			continue
+		}
+		if tier.UpTo <= prev {
+			return fmt.Errorf("pricing: tier %d bound %v not above previous bound %v", i, tier.UpTo, prev)
+		}
+		prev = tier.UpTo
+	}
+	return nil
+}
+
+// Cost returns the charge for the given volume under the table's mode.
+// Volumes larger than the last bounded tier are charged at the last tier's
+// rate (matching the "..." rows of the paper's tables). Non-positive volumes
+// cost nothing.
+func (t TierTable) Cost(size units.DataSize) money.Money {
+	if size <= 0 || len(t.Tiers) == 0 {
+		return 0
+	}
+	switch t.Mode {
+	case Slab:
+		return t.RateFor(size).MulFloat(size.GBs())
+	default:
+		return t.graduatedCost(size)
+	}
+}
+
+// RateFor returns the single per-GB rate of the bracket the total volume
+// falls into (slab semantics — the paper's cs(DS) function).
+func (t TierTable) RateFor(size units.DataSize) money.Money {
+	if len(t.Tiers) == 0 {
+		return 0
+	}
+	for _, tier := range t.Tiers {
+		if tier.UpTo == 0 || size <= tier.UpTo {
+			return tier.PricePerGB
+		}
+	}
+	return t.Tiers[len(t.Tiers)-1].PricePerGB
+}
+
+func (t TierTable) graduatedCost(size units.DataSize) money.Money {
+	var total money.Money
+	var prev units.DataSize
+	remaining := size
+	for _, tier := range t.Tiers {
+		var width units.DataSize
+		if tier.UpTo == 0 {
+			width = remaining
+		} else {
+			width = tier.UpTo - prev
+			if width > remaining {
+				width = remaining
+			}
+			prev = tier.UpTo
+		}
+		if width > 0 {
+			total = total.Add(tier.PricePerGB.MulFloat(width.GBs()))
+			remaining -= width
+		}
+		if remaining <= 0 {
+			return total
+		}
+	}
+	// Volume beyond the last bounded tier: charge at the last rate.
+	if remaining > 0 {
+		last := t.Tiers[len(t.Tiers)-1]
+		total = total.Add(last.PricePerGB.MulFloat(remaining.GBs()))
+	}
+	return total
+}
+
+// Flat builds a single-tier table charging rate per GB for any volume.
+func Flat(mode TierMode, ratePerGB money.Money) TierTable {
+	return TierTable{Mode: mode, Tiers: []Tier{{UpTo: 0, PricePerGB: ratePerGB}}}
+}

@@ -1,0 +1,172 @@
+package pricing
+
+import (
+	"testing"
+	"testing/quick"
+
+	"vmcloud/internal/money"
+	"vmcloud/internal/units"
+)
+
+func awsStorage() TierTable { return AWS2012().Storage.Table }
+func awsEgress() TierTable  { return AWS2012().Transfer.Egress }
+
+// Paper Example 1: 10 GB egress with the first GB free costs (10−1)·$0.12 = $1.08.
+func TestGraduatedEgressExample1(t *testing.T) {
+	got := awsEgress().Cost(10 * units.GB)
+	if want := money.FromDollars(1.08); got != want {
+		t.Errorf("egress(10GB) = %v, want %v", got, want)
+	}
+}
+
+func TestGraduatedEgressBoundaries(t *testing.T) {
+	eg := awsEgress()
+	cases := []struct {
+		size units.DataSize
+		want money.Money
+	}{
+		{0, 0},
+		{-units.GB, 0},
+		{units.GB, 0}, // entirely in the free bracket
+		{2 * units.GB, money.FromDollars(0.12)},
+		{10 * units.TB, money.FromDollars(0.12).MulFloat(10*1024 - 1)},
+		// 1 GB free + (10T−1G)@0.12 + 1T@0.09
+		{11 * units.TB, money.FromDollars(0.12).MulFloat(10*1024 - 1).Add(money.FromDollars(0.09).MulFloat(1024))},
+	}
+	for _, c := range cases {
+		if got := eg.Cost(c.size); got != c.want {
+			t.Errorf("egress(%v) = %v, want %v", c.size, got, c.want)
+		}
+	}
+}
+
+// Paper Example 9 charges 550 GB at the first-tier rate $0.14.
+func TestSlabStorageFirstTier(t *testing.T) {
+	st := awsStorage()
+	got := st.Cost(550 * units.GB)
+	if want := money.FromDollars(0.14).MulFloat(550); got != want {
+		t.Errorf("storage(550GB) = %v, want %v", got, want)
+	}
+}
+
+// Paper Example 3 charges 2560 GB (2.5 TB) entirely at the second-tier rate
+// $0.125 — slab semantics.
+func TestSlabStorageSecondTier(t *testing.T) {
+	st := awsStorage()
+	got := st.Cost(2560 * units.GB)
+	if want := money.FromDollars(0.125).MulFloat(2560); got != want {
+		t.Errorf("storage(2560GB) = %v, want %v", got, want)
+	}
+}
+
+func TestSlabRateFor(t *testing.T) {
+	st := awsStorage()
+	cases := []struct {
+		size units.DataSize
+		want money.Money
+	}{
+		{units.GB, money.FromDollars(0.14)},
+		{units.TB, money.FromDollars(0.14)}, // boundary inclusive
+		{units.TB + 1, money.FromDollars(0.125)},
+		{50 * units.TB, money.FromDollars(0.125)},
+		{100 * units.TB, money.FromDollars(0.11)},
+		{900 * units.TB, money.FromDollars(0.095)}, // unbounded tail
+	}
+	for _, c := range cases {
+		if got := st.RateFor(c.size); got != c.want {
+			t.Errorf("RateFor(%v) = %v, want %v", c.size, got, c.want)
+		}
+	}
+}
+
+func TestGraduatedBeyondLastBoundedTier(t *testing.T) {
+	tt := TierTable{Mode: Graduated, Tiers: []Tier{
+		{UpTo: 10 * units.GB, PricePerGB: money.FromDollars(1)},
+	}}
+	// 15 GB: 10 @ $1 + 5 charged at the last (only) rate.
+	if got, want := tt.Cost(15*units.GB), money.FromDollars(15); got != want {
+		t.Errorf("cost = %v, want %v", got, want)
+	}
+}
+
+func TestFlat(t *testing.T) {
+	tt := Flat(Graduated, money.FromDollars(0.5))
+	if got := tt.Cost(4 * units.GB); got != money.FromDollars(2) {
+		t.Errorf("flat cost = %v, want $2", got)
+	}
+	if err := tt.Validate(); err != nil {
+		t.Errorf("flat table invalid: %v", err)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []TierTable{
+		{},
+		{Tiers: []Tier{{UpTo: 0, PricePerGB: 1}, {UpTo: units.GB, PricePerGB: 1}}},            // unbounded not last
+		{Tiers: []Tier{{UpTo: 2 * units.GB, PricePerGB: 1}, {UpTo: units.GB, PricePerGB: 1}}}, // decreasing
+		{Tiers: []Tier{{UpTo: units.GB, PricePerGB: -1}}},                                     // negative price
+		{Tiers: []Tier{{UpTo: units.GB, PricePerGB: 1}, {UpTo: units.GB, PricePerGB: 1}}},     // equal bounds
+	}
+	for i, tt := range bad {
+		if err := tt.Validate(); err == nil {
+			t.Errorf("case %d: invalid table accepted", i)
+		}
+	}
+	if err := awsStorage().Validate(); err != nil {
+		t.Errorf("AWS storage table rejected: %v", err)
+	}
+	if err := awsEgress().Validate(); err != nil {
+		t.Errorf("AWS egress table rejected: %v", err)
+	}
+}
+
+// Property: graduated cost is monotone non-decreasing in volume.
+func TestGraduatedMonotone(t *testing.T) {
+	eg := awsEgress()
+	f := func(a, b uint32) bool {
+		x := units.DataSize(a) * units.MB
+		y := units.DataSize(b) * units.MB
+		if x > y {
+			x, y = y, x
+		}
+		return eg.Cost(x) <= eg.Cost(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: graduated never charges more than the top-rate flat price and,
+// with a free first bracket, never more than rate×size in any case.
+func TestGraduatedBounded(t *testing.T) {
+	eg := awsEgress()
+	top := money.FromDollars(0.12)
+	f := func(a uint32) bool {
+		size := units.DataSize(a) * units.MB
+		return eg.Cost(size) <= top.MulFloat(size.GBs()).Add(money.Cent)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: slab cost equals rate(size)·size exactly.
+func TestSlabDefinition(t *testing.T) {
+	st := awsStorage()
+	f := func(a uint32) bool {
+		size := units.DataSize(a) * units.MB
+		return st.Cost(size) == st.RateFor(size).MulFloat(size.GBs())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTierModeString(t *testing.T) {
+	if Graduated.String() != "graduated" || Slab.String() != "slab" {
+		t.Error("TierMode.String wrong")
+	}
+	if TierMode(9).String() == "" {
+		t.Error("unknown mode should render")
+	}
+}

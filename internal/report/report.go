@@ -1,0 +1,184 @@
+// Package report renders experiment results as fixed-width text tables,
+// horizontal bar charts (the Figure 5 analogue) and CSV.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a simple column-aligned text table.
+type Table struct {
+	Title   string
+	Headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; cells are printf-formatted with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		row[i] = fmt.Sprintf("%v", c)
+	}
+	t.rows = append(t.rows, row)
+}
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len([]rune(h))
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len([]rune(c)) > widths[i] {
+				widths[i] = len([]rune(c))
+			}
+		}
+	}
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n", t.Title); err != nil {
+			return err
+		}
+	}
+	line := func(cells []string) string {
+		parts := make([]string, len(widths))
+		for i := range widths {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			parts[i] = pad(c, widths[i])
+		}
+		return "| " + strings.Join(parts, " | ") + " |"
+	}
+	sep := make([]string, len(widths))
+	for i, wd := range widths {
+		sep[i] = strings.Repeat("-", wd)
+	}
+	out := []string{line(t.Headers), "|-" + strings.Join(sep, "-|-") + "-|"}
+	for _, row := range t.rows {
+		out = append(out, line(row))
+	}
+	_, err := fmt.Fprintln(w, strings.Join(out, "\n"))
+	return err
+}
+
+// String renders to a string.
+func (t *Table) String() string {
+	var sb strings.Builder
+	_ = t.Render(&sb)
+	return sb.String()
+}
+
+// CSV writes the table as comma-separated values (cells with commas or
+// quotes are quoted).
+func (t *Table) CSV(w io.Writer) error {
+	writeRow := func(cells []string) error {
+		quoted := make([]string, len(cells))
+		for i, c := range cells {
+			if strings.ContainsAny(c, ",\"\n") {
+				quoted[i] = `"` + strings.ReplaceAll(c, `"`, `""`) + `"`
+			} else {
+				quoted[i] = c
+			}
+		}
+		_, err := fmt.Fprintln(w, strings.Join(quoted, ","))
+		return err
+	}
+	if err := writeRow(t.Headers); err != nil {
+		return err
+	}
+	for _, row := range t.rows {
+		if err := writeRow(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func pad(s string, w int) string {
+	n := w - len([]rune(s))
+	if n <= 0 {
+		return s
+	}
+	return s + strings.Repeat(" ", n)
+}
+
+// BarChart renders grouped horizontal bars — the text analogue of the
+// paper's Figure 5 bar groups.
+type BarChart struct {
+	Title string
+	// Unit is appended to values, e.g. "h" or "$".
+	Unit string
+	// Width is the maximum bar width in characters (default 40).
+	Width int
+	bars  []bar
+}
+
+type bar struct {
+	label string
+	value float64
+}
+
+// NewBarChart creates a chart.
+func NewBarChart(title, unit string) *BarChart {
+	return &BarChart{Title: title, Unit: unit, Width: 40}
+}
+
+// Add appends one bar.
+func (c *BarChart) Add(label string, value float64) {
+	c.bars = append(c.bars, bar{label, value})
+}
+
+// Render writes the chart to w.
+func (c *BarChart) Render(w io.Writer) error {
+	if c.Title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n", c.Title); err != nil {
+			return err
+		}
+	}
+	maxLabel, maxVal := 0, 0.0
+	for _, b := range c.bars {
+		if len(b.label) > maxLabel {
+			maxLabel = len(b.label)
+		}
+		if b.value > maxVal {
+			maxVal = b.value
+		}
+	}
+	width := c.Width
+	if width <= 0 {
+		width = 40
+	}
+	for _, b := range c.bars {
+		n := 0
+		if maxVal > 0 {
+			n = int(b.value / maxVal * float64(width))
+		}
+		if b.value > 0 && n == 0 {
+			n = 1
+		}
+		if _, err := fmt.Fprintf(w, "%s %s %.3f%s\n",
+			pad(b.label, maxLabel), strings.Repeat("█", n), b.value, c.Unit); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// String renders to a string.
+func (c *BarChart) String() string {
+	var sb strings.Builder
+	_ = c.Render(&sb)
+	return sb.String()
+}
+
+// Percent formats a ratio as a percentage string, e.g. 0.25 → "25.0%".
+func Percent(r float64) string { return fmt.Sprintf("%.1f%%", r*100) }

@@ -1,0 +1,126 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("Prices", "instance", "price")
+	tb.AddRow("small", "$0.12")
+	tb.AddRow("extra large", "$0.96")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if lines[0] != "Prices" {
+		t.Errorf("title line = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "instance") || !strings.Contains(lines[1], "price") {
+		t.Errorf("header = %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[2], "|-") {
+		t.Errorf("separator = %q", lines[2])
+	}
+	// Column alignment: all rows the same width.
+	for _, l := range lines[1:] {
+		if len([]rune(l)) != len([]rune(lines[1])) {
+			t.Errorf("misaligned line %q", l)
+		}
+	}
+	if !strings.Contains(out, "extra large") {
+		t.Error("row content missing")
+	}
+}
+
+func TestTableNoTitle(t *testing.T) {
+	tb := NewTable("", "a")
+	tb.AddRow(1)
+	if strings.HasPrefix(tb.String(), "\n") {
+		t.Error("empty title should not emit a blank line")
+	}
+}
+
+func TestTableMixedCellTypes(t *testing.T) {
+	tb := NewTable("", "n", "ok", "ratio")
+	tb.AddRow(42, true, 0.5)
+	out := tb.String()
+	for _, frag := range []string{"42", "true", "0.5"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("missing %q in %q", frag, out)
+		}
+	}
+}
+
+func TestTableShortRow(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.AddRow("only")
+	if !strings.Contains(tb.String(), "only") {
+		t.Error("short row dropped")
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tb := NewTable("ignored", "name", "note")
+	tb.AddRow("plain", "hello")
+	tb.AddRow("comma", "a,b")
+	tb.AddRow("quote", `say "hi"`)
+	var sb strings.Builder
+	if err := tb.CSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	want := "name,note\nplain,hello\ncomma,\"a,b\"\nquote,\"say \"\"hi\"\"\"\n"
+	if got != want {
+		t.Errorf("CSV = %q, want %q", got, want)
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	c := NewBarChart("Times", "h")
+	c.Add("without", 2.0)
+	c.Add("with", 0.5)
+	c.Add("zero", 0)
+	out := c.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if lines[0] != "Times" {
+		t.Errorf("title = %q", lines[0])
+	}
+	// The larger value gets the longer bar.
+	withBar := strings.Count(lines[2], "█")
+	withoutBar := strings.Count(lines[1], "█")
+	if withoutBar <= withBar {
+		t.Errorf("bar lengths: without=%d with=%d", withoutBar, withBar)
+	}
+	// Non-zero values always render at least one block.
+	if withBar < 1 {
+		t.Error("small value lost its bar")
+	}
+	if strings.Count(lines[3], "█") != 0 {
+		t.Error("zero value rendered a bar")
+	}
+	if !strings.Contains(lines[1], "2.000h") {
+		t.Errorf("value suffix missing: %q", lines[1])
+	}
+}
+
+func TestBarChartDefaults(t *testing.T) {
+	c := &BarChart{}
+	c.Add("x", 1)
+	if !strings.Contains(c.String(), "█") {
+		t.Error("zero-width default did not fall back to 40")
+	}
+}
+
+func TestPercent(t *testing.T) {
+	if Percent(0.25) != "25.0%" {
+		t.Errorf("Percent = %q", Percent(0.25))
+	}
+	if Percent(-0.031) != "-3.1%" {
+		t.Errorf("Percent = %q", Percent(-0.031))
+	}
+}
+
+func TestPad(t *testing.T) {
+	if pad("ab", 4) != "ab  " || pad("abcd", 2) != "abcd" {
+		t.Error("pad wrong")
+	}
+}

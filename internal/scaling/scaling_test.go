@@ -1,0 +1,183 @@
+package scaling
+
+import (
+	"testing"
+	"time"
+
+	"vmcloud/internal/lattice"
+	"vmcloud/internal/money"
+	"vmcloud/internal/schema"
+	"vmcloud/internal/workload"
+)
+
+func salesWorkload(t *testing.T, n, freq int) workload.Workload {
+	t.Helper()
+	l, err := lattice.New(schema.Sales(), 200_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := workload.Sales(l, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range w.Queries {
+		w.Queries[i].Frequency = freq
+	}
+	return w
+}
+
+func TestSweepShape(t *testing.T) {
+	w := salesWorkload(t, 10, 30)
+	opts, err := Sweep(Config{FleetSizes: []int{2, 5, 10}}, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(opts) != 6 {
+		t.Fatalf("options = %d, want 6", len(opts))
+	}
+	// Pairs: (without, with) per fleet size.
+	for i := 0; i < len(opts); i += 2 {
+		without, with := opts[i], opts[i+1]
+		if without.WithViews || !with.WithViews {
+			t.Fatalf("pair %d mis-ordered", i/2)
+		}
+		if without.Instances != with.Instances {
+			t.Fatalf("pair %d mixes fleet sizes", i/2)
+		}
+		// Views always reduce workload time on this workload.
+		if with.Time >= without.Time {
+			t.Errorf("fleet %d: views did not cut time (%v vs %v)", with.Instances, with.Time, without.Time)
+		}
+		if with.Views == 0 {
+			t.Errorf("fleet %d: no views selected", with.Instances)
+		}
+	}
+	// Scaling out cuts the no-view wall clock.
+	if !(opts[0].Time > opts[2].Time && opts[2].Time > opts[4].Time) {
+		t.Errorf("no-view times not decreasing with fleet size: %v %v %v",
+			opts[0].Time, opts[2].Time, opts[4].Time)
+	}
+}
+
+// The paper's claim in sweep form: a small fleet with views meets deadlines
+// that a much larger fleet without views needs — and more cheaply.
+func TestViewsBeatScaleOut(t *testing.T) {
+	w := salesWorkload(t, 10, 30)
+	opts, err := Sweep(Config{FleetSizes: []int{2, 5, 10, 20}}, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find the no-view time of the 20-instance fleet.
+	var bigFleetTime time.Duration
+	for _, o := range opts {
+		if o.Instances == 20 && !o.WithViews {
+			bigFleetTime = o.Time
+		}
+	}
+	if bigFleetTime == 0 {
+		t.Fatal("missing 20-instance option")
+	}
+	// Some with-views option on a smaller fleet meets that time cheaper.
+	best, ok := CheapestMeeting(opts, bigFleetTime)
+	if !ok {
+		t.Fatal("no option meets the big-fleet time")
+	}
+	if !best.WithViews {
+		t.Errorf("cheapest option meeting %v is view-less: %+v", bigFleetTime, best)
+	}
+	if best.Instances >= 20 {
+		t.Errorf("views did not replace hardware: still %d instances", best.Instances)
+	}
+	var bigFleetBill money.Money
+	for _, o := range opts {
+		if o.Instances == 20 && !o.WithViews {
+			bigFleetBill = o.Bill.Total()
+		}
+	}
+	if best.Bill.Total() >= bigFleetBill {
+		t.Errorf("views not cheaper: %v vs %v", best.Bill.Total(), bigFleetBill)
+	}
+}
+
+func TestCheapestMeetingAndFastestWithin(t *testing.T) {
+	w := salesWorkload(t, 5, 30)
+	opts, err := Sweep(Config{FleetSizes: []int{2, 8}}, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := CheapestMeeting(opts, time.Nanosecond); ok {
+		t.Error("impossible limit met")
+	}
+	all, ok := CheapestMeeting(opts, 1000*time.Hour)
+	if !ok {
+		t.Fatal("generous limit unmet")
+	}
+	for _, o := range opts {
+		if o.Bill.Total() < all.Bill.Total() {
+			t.Errorf("CheapestMeeting missed cheaper option %+v", o)
+		}
+	}
+	if _, ok := FastestWithin(opts, money.FromDollars(0.01)); ok {
+		t.Error("impossible budget met")
+	}
+	fast, ok := FastestWithin(opts, money.FromDollars(10_000))
+	if !ok {
+		t.Fatal("generous budget unmet")
+	}
+	for _, o := range opts {
+		if o.Time < fast.Time {
+			t.Errorf("FastestWithin missed faster option %+v", o)
+		}
+	}
+}
+
+func TestCrossover(t *testing.T) {
+	w := salesWorkload(t, 10, 30)
+	opts, err := Sweep(Config{FleetSizes: []int{2, 5, 10, 20}}, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pick a limit met by the biggest no-view fleet.
+	var limit time.Duration
+	for _, o := range opts {
+		if o.Instances == 20 && !o.WithViews {
+			limit = o.Time + time.Minute
+		}
+	}
+	without, with := Crossover(opts, limit)
+	if without == -1 {
+		t.Fatal("no no-view fleet meets its own time")
+	}
+	if with == -1 {
+		t.Fatal("no with-view fleet meets the limit")
+	}
+	if with > without {
+		t.Errorf("views need MORE hardware (%d) than scale-out (%d)?", with, without)
+	}
+	// Unreachable limit.
+	w2, w3 := Crossover(opts, time.Nanosecond)
+	if w2 != -1 || w3 != -1 {
+		t.Error("nanosecond limit reported reachable")
+	}
+}
+
+func TestSweepErrors(t *testing.T) {
+	w := salesWorkload(t, 3, 1)
+	if _, err := Sweep(Config{FleetSizes: []int{0}}, w); err == nil {
+		t.Error("zero fleet size accepted")
+	}
+	if _, err := Sweep(Config{}, workload.Workload{}); err == nil {
+		t.Error("empty workload accepted")
+	}
+}
+
+func TestSweepDefaults(t *testing.T) {
+	w := salesWorkload(t, 3, 30)
+	opts, err := Sweep(Config{}, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(opts) != 10 { // 5 default fleet sizes × 2
+		t.Errorf("options = %d, want 10", len(opts))
+	}
+}

@@ -1,0 +1,114 @@
+package storage
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"vmcloud/internal/lattice"
+)
+
+// WriteFactsCSV exports the base fact table as CSV with one header row.
+// Columns are the finest-level key codes per dimension followed by the
+// measures — the raw interchange format for external tooling (the
+// denormalized, human-readable form lives in piglet.DatasetRelation).
+func (ds *Dataset) WriteFactsCSV(w io.Writer) error {
+	if err := ds.Validate(); err != nil {
+		return err
+	}
+	cw := csv.NewWriter(w)
+	header := make([]string, 0, len(ds.Schema.Dimensions)+len(ds.Schema.Measures))
+	for _, d := range ds.Schema.Dimensions {
+		header = append(header, d.Finest().Name)
+	}
+	for _, m := range ds.Schema.Measures {
+		header = append(header, m.Name)
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	rec := make([]string, len(header))
+	for r := 0; r < ds.Facts.Rows(); r++ {
+		i := 0
+		for d := range ds.Schema.Dimensions {
+			rec[i] = strconv.FormatInt(int64(ds.Facts.Keys[d][r]), 10)
+			i++
+		}
+		for m := range ds.Schema.Measures {
+			rec[i] = strconv.FormatInt(ds.Facts.Measures[m][r], 10)
+			i++
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadFactsCSV replaces the dataset's fact table with rows parsed from CSV
+// written by WriteFactsCSV. The header must match the schema; key codes
+// are validated against level cardinalities.
+func (ds *Dataset) ReadFactsCSV(r io.Reader) error {
+	if ds.Schema == nil {
+		return fmt.Errorf("storage: dataset has no schema")
+	}
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return fmt.Errorf("storage: read CSV header: %w", err)
+	}
+	want := len(ds.Schema.Dimensions) + len(ds.Schema.Measures)
+	if len(header) != want {
+		return fmt.Errorf("storage: CSV has %d columns, schema needs %d", len(header), want)
+	}
+	for d, dim := range ds.Schema.Dimensions {
+		if header[d] != dim.Finest().Name {
+			return fmt.Errorf("storage: CSV column %d is %q, want %q", d, header[d], dim.Finest().Name)
+		}
+	}
+	for m, meas := range ds.Schema.Measures {
+		idx := len(ds.Schema.Dimensions) + m
+		if header[idx] != meas.Name {
+			return fmt.Errorf("storage: CSV column %d is %q, want %q", idx, header[idx], meas.Name)
+		}
+	}
+	facts := NewTable("facts", make(lattice.Point, len(ds.Schema.Dimensions)), len(ds.Schema.Measures), 1024)
+	keys := make([]int32, len(ds.Schema.Dimensions))
+	vals := make([]int64, len(ds.Schema.Measures))
+	line := 1
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		line++
+		if err != nil {
+			return fmt.Errorf("storage: CSV line %d: %w", line, err)
+		}
+		for d, dim := range ds.Schema.Dimensions {
+			v, err := strconv.ParseInt(rec[d], 10, 32)
+			if err != nil {
+				return fmt.Errorf("storage: CSV line %d key %s: %w", line, dim.Name, err)
+			}
+			if v < 0 || v >= int64(dim.Finest().Cardinality) {
+				return fmt.Errorf("storage: CSV line %d: %s code %d out of range [0,%d)",
+					line, dim.Finest().Name, v, dim.Finest().Cardinality)
+			}
+			keys[d] = int32(v)
+		}
+		for m := range ds.Schema.Measures {
+			v, err := strconv.ParseInt(rec[len(ds.Schema.Dimensions)+m], 10, 64)
+			if err != nil {
+				return fmt.Errorf("storage: CSV line %d measure %s: %w", line, ds.Schema.Measures[m].Name, err)
+			}
+			vals[m] = v
+		}
+		if err := facts.Append(keys, vals); err != nil {
+			return err
+		}
+	}
+	ds.Facts = facts
+	return ds.Validate()
+}

@@ -1,0 +1,85 @@
+package storage
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestFactsCSVRoundTrip(t *testing.T) {
+	ds := tinyDataset(t)
+	var buf bytes.Buffer
+	if err := ds.WriteFactsCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "day,city,profit\n") {
+		t.Fatalf("header wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "0,0,10\n") || !strings.Contains(out, "5,2,60\n") {
+		t.Errorf("rows missing:\n%s", out)
+	}
+
+	restored := tinyDataset(t)
+	restored.Facts = nil
+	restored.Facts = NewTable("facts", ds.Facts.Point, 1, 1)
+	if err := restored.ReadFactsCSV(strings.NewReader(out)); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Facts.Rows() != ds.Facts.Rows() {
+		t.Fatalf("rows = %d, want %d", restored.Facts.Rows(), ds.Facts.Rows())
+	}
+	for r := 0; r < ds.Facts.Rows(); r++ {
+		if restored.Facts.Keys[0][r] != ds.Facts.Keys[0][r] ||
+			restored.Facts.Keys[1][r] != ds.Facts.Keys[1][r] ||
+			restored.Facts.Measures[0][r] != ds.Facts.Measures[0][r] {
+			t.Fatalf("row %d differs", r)
+		}
+	}
+}
+
+func TestWriteFactsCSVRejectsInvalid(t *testing.T) {
+	ds := tinyDataset(t)
+	ds.Maps = nil
+	var buf bytes.Buffer
+	if err := ds.WriteFactsCSV(&buf); err == nil {
+		t.Error("invalid dataset exported")
+	}
+}
+
+func TestReadFactsCSVErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		csv  string
+	}{
+		{"empty", ""},
+		{"wrong column count", "day,city\n0,0\n"},
+		{"wrong key name", "date,city,profit\n0,0,1\n"},
+		{"wrong measure name", "day,city,revenue\n0,0,1\n"},
+		{"non-numeric key", "day,city,profit\nx,0,1\n"},
+		{"non-numeric measure", "day,city,profit\n0,0,x\n"},
+		{"key out of range", "day,city,profit\n99,0,1\n"},
+		{"negative key", "day,city,profit\n-1,0,1\n"},
+		{"ragged row", "day,city,profit\n0,0\n"},
+	}
+	for _, c := range cases {
+		ds := tinyDataset(t)
+		if err := ds.ReadFactsCSV(strings.NewReader(c.csv)); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+	var nilSchema Dataset
+	if err := nilSchema.ReadFactsCSV(strings.NewReader("x\n")); err == nil {
+		t.Error("nil schema accepted")
+	}
+}
+
+func TestReadFactsCSVEmptyBody(t *testing.T) {
+	ds := tinyDataset(t)
+	if err := ds.ReadFactsCSV(strings.NewReader("day,city,profit\n")); err != nil {
+		t.Fatal(err)
+	}
+	if ds.Facts.Rows() != 0 {
+		t.Errorf("rows = %d, want 0", ds.Facts.Rows())
+	}
+}

@@ -1,0 +1,156 @@
+package storage
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+
+	"vmcloud/internal/lattice"
+	"vmcloud/internal/schema"
+	"vmcloud/internal/units"
+)
+
+// persistedTable mirrors Table with the unexported row count made explicit.
+type persistedTable struct {
+	Name     string
+	Point    lattice.Point
+	Keys     [][]int32
+	Measures [][]int64
+	Rows     int
+}
+
+// persistedDataset is the on-disk form of a Dataset (the schema is carried
+// along so a file is self-describing).
+type persistedDataset struct {
+	Facts  persistedTable
+	Maps   map[string][]int32
+	Labels map[string][]string
+	Schema persistedSchema
+}
+
+type persistedSchema struct {
+	Name       string
+	Dimensions []persistedDimension
+	Measures   []persistedMeasure
+	RowBytes   int64
+}
+
+type persistedDimension struct {
+	Name   string
+	Levels []persistedLevel
+}
+
+type persistedLevel struct {
+	Name        string
+	Cardinality int
+}
+
+type persistedMeasure struct {
+	Name string
+	Kind int
+}
+
+// Encode serializes the dataset with encoding/gob.
+func (ds *Dataset) Encode(w io.Writer) error {
+	if err := ds.Validate(); err != nil {
+		return fmt.Errorf("storage: refusing to persist invalid dataset: %w", err)
+	}
+	pd := persistedDataset{
+		Facts: persistedTable{
+			Name:     ds.Facts.Name,
+			Point:    ds.Facts.Point,
+			Keys:     ds.Facts.Keys,
+			Measures: ds.Facts.Measures,
+			Rows:     ds.Facts.rows,
+		},
+		Maps:   ds.Maps,
+		Labels: ds.Labels,
+		Schema: persistedSchema{
+			Name:     ds.Schema.Name,
+			RowBytes: int64(ds.Schema.RowBytes),
+		},
+	}
+	for _, d := range ds.Schema.Dimensions {
+		pdim := persistedDimension{Name: d.Name}
+		for _, l := range d.Levels {
+			pdim.Levels = append(pdim.Levels, persistedLevel{Name: l.Name, Cardinality: l.Cardinality})
+		}
+		pd.Schema.Dimensions = append(pd.Schema.Dimensions, pdim)
+	}
+	for _, m := range ds.Schema.Measures {
+		pd.Schema.Measures = append(pd.Schema.Measures, persistedMeasure{Name: m.Name, Kind: int(m.Kind)})
+	}
+	return gob.NewEncoder(w).Encode(pd)
+}
+
+// ReadDataset deserializes a dataset written by Encode and validates it.
+func ReadDataset(r io.Reader) (*Dataset, error) {
+	var pd persistedDataset
+	if err := gob.NewDecoder(r).Decode(&pd); err != nil {
+		return nil, fmt.Errorf("storage: decode dataset: %w", err)
+	}
+	ds := &Dataset{
+		Facts: &Table{
+			Name:     pd.Facts.Name,
+			Point:    pd.Facts.Point,
+			Keys:     pd.Facts.Keys,
+			Measures: pd.Facts.Measures,
+			rows:     pd.Facts.Rows,
+		},
+		Maps:   pd.Maps,
+		Labels: pd.Labels,
+	}
+	ds.Schema = pd.Schema.toSchema()
+	if err := ds.Validate(); err != nil {
+		return nil, fmt.Errorf("storage: decoded dataset invalid: %w", err)
+	}
+	return ds, nil
+}
+
+// SaveFile writes the dataset to path.
+func (ds *Dataset) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(f)
+	if err := ds.Encode(bw); err != nil {
+		f.Close()
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a dataset from path.
+func LoadFile(path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadDataset(bufio.NewReader(f))
+}
+
+func (ps persistedSchema) toSchema() *schema.Schema {
+	s := &schema.Schema{
+		Name:     ps.Name,
+		RowBytes: units.DataSize(ps.RowBytes),
+	}
+	for _, d := range ps.Dimensions {
+		dim := schema.Dimension{Name: d.Name}
+		for _, l := range d.Levels {
+			dim.Levels = append(dim.Levels, schema.Level{Name: l.Name, Cardinality: l.Cardinality})
+		}
+		s.Dimensions = append(s.Dimensions, dim)
+	}
+	for _, m := range ps.Measures {
+		s.Measures = append(s.Measures, schema.Measure{Name: m.Name, Kind: schema.MeasureKind(m.Kind)})
+	}
+	return s
+}

@@ -1,0 +1,192 @@
+// Package units provides the measurement types shared by the cost models:
+// data sizes and billable durations.
+//
+// The paper (and the 2012 AWS price list it mirrors) quotes sizes in GB and
+// TB using binary multiples — its Example 3 treats 0.5 TB as 512 GB — so
+// DataSize constants here are powers of 1024. Durations are billed in
+// "started" units (every started hour is charged, cf. the paper's Example 2),
+// which BillingGranularity models.
+package units
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// DataSize is a data volume in bytes.
+type DataSize int64
+
+// Binary size multiples, matching the paper's GB/TB arithmetic.
+const (
+	Byte DataSize = 1
+	KB   DataSize = 1 << 10
+	MB   DataSize = 1 << 20
+	GB   DataSize = 1 << 30
+	TB   DataSize = 1 << 40
+	PB   DataSize = 1 << 50
+)
+
+// FromGB builds a DataSize from a (possibly fractional) number of gigabytes.
+func FromGB(gb float64) DataSize {
+	return DataSize(math.Round(gb * float64(GB)))
+}
+
+// GBs returns the size as a float64 number of gigabytes.
+func (s DataSize) GBs() float64 { return float64(s) / float64(GB) }
+
+// TBs returns the size as a float64 number of terabytes.
+func (s DataSize) TBs() float64 { return float64(s) / float64(TB) }
+
+// Bytes returns the raw byte count.
+func (s DataSize) Bytes() int64 { return int64(s) }
+
+// Add returns s + o.
+func (s DataSize) Add(o DataSize) DataSize { return s + o }
+
+// Sub returns s - o.
+func (s DataSize) Sub(o DataSize) DataSize { return s - o }
+
+// MulInt returns s * n.
+func (s DataSize) MulInt(n int64) DataSize { return s * DataSize(n) }
+
+// MulFloat returns s scaled by f, rounded to the nearest byte.
+func (s DataSize) MulFloat(f float64) DataSize {
+	return DataSize(math.Round(float64(s) * f))
+}
+
+// String renders the size with a binary unit suffix, e.g. "500.00 GB".
+func (s DataSize) String() string {
+	neg := s < 0
+	v := s
+	if neg {
+		v = -v
+	}
+	var out string
+	switch {
+	case v >= PB:
+		out = fmt.Sprintf("%.2f PB", float64(v)/float64(PB))
+	case v >= TB:
+		out = fmt.Sprintf("%.2f TB", float64(v)/float64(TB))
+	case v >= GB:
+		out = fmt.Sprintf("%.2f GB", float64(v)/float64(GB))
+	case v >= MB:
+		out = fmt.Sprintf("%.2f MB", float64(v)/float64(MB))
+	case v >= KB:
+		out = fmt.Sprintf("%.2f KB", float64(v)/float64(KB))
+	default:
+		out = fmt.Sprintf("%d B", v)
+	}
+	if neg {
+		out = "-" + out
+	}
+	return out
+}
+
+// ParseDataSize parses strings like "500GB", "1.5 TB", "10gb", "42" (bytes).
+func ParseDataSize(s string) (DataSize, error) {
+	orig := s
+	s = strings.TrimSpace(strings.ToUpper(s))
+	mult := Byte
+	for _, u := range []struct {
+		suffix string
+		m      DataSize
+	}{
+		{"PB", PB}, {"TB", TB}, {"GB", GB}, {"MB", MB}, {"KB", KB}, {"B", Byte},
+	} {
+		if strings.HasSuffix(s, u.suffix) {
+			mult = u.m
+			s = strings.TrimSpace(strings.TrimSuffix(s, u.suffix))
+			break
+		}
+	}
+	if s == "" {
+		return 0, fmt.Errorf("units: cannot parse size %q", orig)
+	}
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("units: cannot parse size %q: %v", orig, err)
+	}
+	return DataSize(math.Round(f * float64(mult))), nil
+}
+
+// MustParseDataSize is ParseDataSize that panics on error, for fixtures.
+func MustParseDataSize(s string) DataSize {
+	v, err := ParseDataSize(s)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// BillingGranularity selects how a provider rounds compute time before
+// charging it. AWS in 2012 charged every started instance-hour; modern
+// providers charge per second. Exact is useful for analytical comparisons.
+type BillingGranularity int
+
+const (
+	// BillPerHour charges every started hour (the paper's RoundUp).
+	BillPerHour BillingGranularity = iota
+	// BillPerMinute charges every started minute.
+	BillPerMinute
+	// BillPerSecond charges every started second.
+	BillPerSecond
+	// BillExact charges the exact fractional duration.
+	BillExact
+)
+
+// String implements fmt.Stringer.
+func (g BillingGranularity) String() string {
+	switch g {
+	case BillPerHour:
+		return "per-hour"
+	case BillPerMinute:
+		return "per-minute"
+	case BillPerSecond:
+		return "per-second"
+	case BillExact:
+		return "exact"
+	default:
+		return fmt.Sprintf("BillingGranularity(%d)", int(g))
+	}
+}
+
+// BillableHours returns the number of hours charged for running duration d
+// under granularity g. The result is fractional for sub-hour granularities
+// (e.g. 90 minutes billed per-minute is 1.5 hours) and an integer number of
+// hours for BillPerHour (the paper's "every started hour is charged").
+// Negative durations charge zero.
+func (g BillingGranularity) BillableHours(d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	switch g {
+	case BillPerHour:
+		return float64(ceilDiv(int64(d), int64(time.Hour)))
+	case BillPerMinute:
+		return float64(ceilDiv(int64(d), int64(time.Minute))) / 60
+	case BillPerSecond:
+		return float64(ceilDiv(int64(d), int64(time.Second))) / 3600
+	default:
+		return d.Hours()
+	}
+}
+
+func ceilDiv(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 {
+		q++
+	}
+	return q
+}
+
+// HoursToDuration converts a fractional hour count to a time.Duration.
+func HoursToDuration(h float64) time.Duration {
+	return time.Duration(math.Round(h * float64(time.Hour)))
+}
+
+// DurationFromHours is an alias of HoursToDuration kept for readability at
+// call sites that mirror the paper's "t = 0.2 hour" parameters.
+func DurationFromHours(h float64) time.Duration { return HoursToDuration(h) }

@@ -1,0 +1,167 @@
+package views
+
+import (
+	"fmt"
+
+	"vmcloud/internal/engine"
+	"vmcloud/internal/schema"
+	"vmcloud/internal/storage"
+)
+
+// ApplyInsertBatch performs incremental view maintenance: the batch (new
+// fact rows at base grain) is aggregated once per materialized view and
+// merged into it, then appended to the base table. This is the maintenance
+// procedure whose cost Formula 11/12 models — each view pays for a delta
+// scan plus a merge, not for full recomputation. The returned stats report
+// the refresh work performed (delta scans plus merge reads).
+func ApplyInsertBatch(ex *engine.Executor, batch *storage.Table) (engine.Stats, error) {
+	var stats engine.Stats
+	if ex == nil || batch == nil {
+		return stats, fmt.Errorf("views: nil executor or batch")
+	}
+	if err := batch.Validate(); err != nil {
+		return stats, err
+	}
+	if !batch.Point.Equal(ex.Lat.Base()) {
+		return stats, fmt.Errorf("views: insert batch must be at base grain %v, got %v", ex.Lat.Base(), batch.Point)
+	}
+	if len(batch.Measures) != len(ex.DS.Schema.Measures) {
+		return stats, fmt.Errorf("views: batch has %d measures, schema has %d", len(batch.Measures), len(ex.DS.Schema.Measures))
+	}
+	// Refresh every materialized view from the delta.
+	for _, p := range ex.Views() {
+		viewTable, ok := ex.View(p)
+		if !ok {
+			continue
+		}
+		agg, err := engine.Aggregate(ex.DS, batch, p, engine.Options{Name: "delta:" + ex.Lat.Name(p)})
+		if err != nil {
+			return stats, fmt.Errorf("views: aggregating delta for %s: %w", ex.Lat.Name(p), err)
+		}
+		stats.Add(agg.Stats)
+		// The merge reads the existing view once (hash build).
+		stats.Add(engine.Stats{
+			RowsScanned:  int64(viewTable.Rows()),
+			BytesScanned: ex.DS.Schema.RowBytes.MulInt(int64(viewTable.Rows())),
+		})
+		if err := mergeInto(ex.DS, viewTable, agg.Table); err != nil {
+			return stats, fmt.Errorf("views: merging delta into %s: %w", ex.Lat.Name(p), err)
+		}
+	}
+	// Append the delta to the base table.
+	keys := make([]int32, len(batch.Keys))
+	vals := make([]int64, len(batch.Measures))
+	for r := 0; r < batch.Rows(); r++ {
+		for d := range keys {
+			keys[d] = batch.Keys[d][r]
+		}
+		for m := range vals {
+			vals[m] = batch.Measures[m][r]
+		}
+		if err := ex.DS.Facts.Append(keys, vals); err != nil {
+			return stats, err
+		}
+	}
+	return stats, nil
+}
+
+// mergeInto folds delta (at the same lattice point as dst) into dst,
+// combining measures per their schema kinds and appending unseen keys.
+// The destination is re-sorted afterwards so results stay deterministic.
+func mergeInto(ds *storage.Dataset, dst, delta *storage.Table) error {
+	if !dst.Point.Equal(delta.Point) {
+		return fmt.Errorf("views: merge grain mismatch: %v vs %v", dst.Point, delta.Point)
+	}
+	radices := make([]int64, len(dst.Point))
+	for d, lv := range dst.Point {
+		radices[d] = int64(ds.Schema.Dimensions[d].Levels[lv].Cardinality)
+	}
+	composite := func(t *storage.Table, r int) int64 {
+		var key int64
+		for d := range t.Keys {
+			var k int32
+			if t.Keys[d] != nil {
+				k = t.Keys[d][r]
+			}
+			key = key*radices[d] + int64(k)
+		}
+		return key
+	}
+	index := make(map[int64]int, dst.Rows())
+	for r := 0; r < dst.Rows(); r++ {
+		index[composite(dst, r)] = r
+	}
+	kinds := ds.Schema.Measures
+	keys := make([]int32, len(dst.Keys))
+	vals := make([]int64, len(dst.Measures))
+	for r := 0; r < delta.Rows(); r++ {
+		key := composite(delta, r)
+		if i, ok := index[key]; ok {
+			for m := range dst.Measures {
+				dst.Measures[m][i] = combineMeasure(kinds[m].Kind, dst.Measures[m][i], delta.Measures[m][r])
+			}
+			continue
+		}
+		for d := range keys {
+			if delta.Keys[d] != nil {
+				keys[d] = delta.Keys[d][r]
+			} else {
+				keys[d] = 0
+			}
+		}
+		for m := range vals {
+			vals[m] = delta.Measures[m][r]
+		}
+		// New group: the destination may carry nil key columns for ALL
+		// levels; Append requires aligned columns, so rebuild them as
+		// explicit zero columns first if needed.
+		for d := range dst.Keys {
+			if dst.Keys[d] == nil && dst.Point[d] != len(ds.Schema.Dimensions[d].Levels)-1 {
+				return fmt.Errorf("views: destination %s key column %d unexpectedly nil", dst.Name, d)
+			}
+		}
+		if err := appendAligned(dst, keys, vals); err != nil {
+			return err
+		}
+		index[key] = dst.Rows() - 1
+	}
+	dst.SortByKeys()
+	return nil
+}
+
+// appendAligned appends a row to a table that may have nil (ALL-level) key
+// columns, keeping those columns nil.
+func appendAligned(t *storage.Table, keys []int32, vals []int64) error {
+	nilCols := make([]bool, len(t.Keys))
+	for d := range t.Keys {
+		nilCols[d] = t.Keys[d] == nil
+		if nilCols[d] {
+			// Temporarily give Append an aligned column of zeros.
+			t.Keys[d] = make([]int32, t.Rows())
+		}
+	}
+	err := t.Append(keys, vals)
+	for d := range t.Keys {
+		if nilCols[d] {
+			t.Keys[d] = nil
+		}
+	}
+	return err
+}
+
+func combineMeasure(k schema.MeasureKind, a, b int64) int64 {
+	switch k {
+	case schema.MinAgg:
+		if b < a {
+			return b
+		}
+		return a
+	case schema.MaxAgg:
+		if b > a {
+			return b
+		}
+		return a
+	default: // Sum, Count
+		return a + b
+	}
+}

@@ -1,0 +1,289 @@
+// Package views provides the materialized-view machinery the paper builds
+// on: candidate generation (the "existing materialized view selection
+// method [8]" of Section 2.3, implemented as HRU-style greedy
+// benefit-per-unit-space selection over the cuboid lattice), analytical
+// estimation of materialization / maintenance / query-processing times,
+// and incremental view maintenance for insert batches.
+package views
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"vmcloud/internal/cluster"
+	"vmcloud/internal/lattice"
+	"vmcloud/internal/units"
+	"vmcloud/internal/workload"
+)
+
+// Candidate is a view the optimizer may decide to materialize.
+type Candidate struct {
+	// Point is the cuboid.
+	Point lattice.Point
+	// Rows and Size are the lattice estimates.
+	Rows int64
+	Size units.DataSize
+	// Benefit is the HRU benefit (frequency-weighted rows saved across the
+	// workload) recorded when the candidate was generated.
+	Benefit int64
+}
+
+// GenerateCandidates runs greedy benefit-per-unit-space selection (Harinarayan,
+// Rajaraman & Ullman's algorithm, the standard the paper's reference [8]
+// builds on) and returns up to k candidate views, in selection order.
+// Views with no positive benefit for the workload are never returned; the
+// base cuboid is excluded (materializing it duplicates the fact table).
+func GenerateCandidates(l *lattice.Lattice, w workload.Workload, k int) ([]Candidate, error) {
+	if err := w.Validate(l); err != nil {
+		return nil, err
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("views: non-positive candidate budget %d", k)
+	}
+	base := l.Base()
+	var pool []lattice.Node
+	for _, n := range l.Nodes() {
+		if !n.Point.Equal(base) {
+			pool = append(pool, n)
+		}
+	}
+	var selected []Candidate
+	chosen := make([]lattice.Point, 0, k)
+	for len(selected) < k {
+		bestIdx := -1
+		var bestBenefit int64
+		var bestPerByte float64
+		for i, n := range pool {
+			if n.Point == nil {
+				continue // already selected
+			}
+			b := benefit(l, w, chosen, n)
+			if b <= 0 {
+				continue
+			}
+			perByte := float64(b) / float64(n.Size)
+			if bestIdx == -1 || perByte > bestPerByte {
+				bestIdx, bestBenefit, bestPerByte = i, b, perByte
+			}
+		}
+		if bestIdx == -1 {
+			break // nothing beneficial left
+		}
+		n := pool[bestIdx]
+		selected = append(selected, Candidate{
+			Point:   n.Point,
+			Rows:    n.Rows,
+			Size:    n.Size,
+			Benefit: bestBenefit,
+		})
+		chosen = append(chosen, n.Point)
+		pool[bestIdx].Point = nil
+	}
+	return selected, nil
+}
+
+// benefit computes the frequency-weighted reduction in scanned rows across
+// the workload if v is added to the already-chosen set.
+func benefit(l *lattice.Lattice, w workload.Workload, chosen []lattice.Point, v lattice.Node) int64 {
+	var total int64
+	withV := append(append([]lattice.Point(nil), chosen...), v.Point)
+	for _, q := range w.Queries {
+		_, before := l.CheapestAnswering(chosen, q.Point)
+		_, after := l.CheapestAnswering(withV, q.Point)
+		if after.Rows < before.Rows {
+			total += int64(q.Frequency) * (before.Rows - after.Rows)
+		}
+	}
+	return total
+}
+
+// Points extracts the lattice points of a candidate list.
+func Points(cands []Candidate) []lattice.Point {
+	out := make([]lattice.Point, len(cands))
+	for i, c := range cands {
+		out[i] = c.Point
+	}
+	return out
+}
+
+// TotalSize sums candidate sizes.
+func TotalSize(cands []Candidate) units.DataSize {
+	var s units.DataSize
+	for _, c := range cands {
+		s += c.Size
+	}
+	return s
+}
+
+// MaintenancePolicy selects when views are refreshed.
+type MaintenancePolicy int
+
+const (
+	// ImmediateMaintenance refreshes every view in every maintenance
+	// window (the paper's model: querying by day, maintenance by night).
+	ImmediateMaintenance MaintenancePolicy = iota
+	// DeferredMaintenance refreshes a view lazily, just before a query
+	// actually reads it (Zhou et al.'s lazy maintenance, the paper's
+	// reference [27]): a view pays for at most as many refreshes as it
+	// serves query executions in the period.
+	DeferredMaintenance
+)
+
+// Estimator prices view operations in time on a concrete cluster, feeding
+// the paper's computing-cost formulas (Section 4.2).
+type Estimator struct {
+	Lat *lattice.Lattice
+	Cl  *cluster.Cluster
+	// UpdateRatio is the fraction of the base volume arriving as fresh data
+	// per maintenance run (drives incremental-maintenance cost).
+	UpdateRatio float64
+	// MaintenanceRuns is the number of maintenance windows per month (the
+	// paper separates day-time querying from night-time maintenance).
+	MaintenanceRuns int
+	// Policy selects immediate (default) or deferred maintenance.
+	Policy MaintenancePolicy
+}
+
+// NewEstimator builds an estimator with the defaults used by the
+// experiments: 5% update ratio, 4 maintenance runs per month.
+func NewEstimator(l *lattice.Lattice, cl *cluster.Cluster) *Estimator {
+	return &Estimator{Lat: l, Cl: cl, UpdateRatio: 0.05, MaintenanceRuns: 4}
+}
+
+// baseSize returns the base cuboid's data volume.
+func (e *Estimator) baseSize() units.DataSize {
+	n, _ := e.Lat.Node(e.Lat.Base())
+	return n.Size
+}
+
+// MaterializationTime estimates t_materialization(V_k): one job scanning
+// the base table and writing the view (Formula 7's per-view term).
+func (e *Estimator) MaterializationTime(p lattice.Point) time.Duration {
+	return e.Cl.TimeForJob(e.baseSize())
+}
+
+// TotalMaterializationTime is Formula 7: the sum over the view set.
+func (e *Estimator) TotalMaterializationTime(ps []lattice.Point) time.Duration {
+	var total time.Duration
+	for _, p := range ps {
+		total += e.MaterializationTime(p)
+	}
+	return total
+}
+
+// TotalMaterializationTimePipelined estimates building the whole view set
+// in one pass where each view is computed from the smallest finer view
+// built before it (falling back to the base table) — the strategy
+// engine.Executor.Materialize actually uses. Formula 7 charges every view
+// a full base scan; pipelining is strictly cheaper whenever the set
+// contains comparable views, an optimization the paper does not model.
+func (e *Estimator) TotalMaterializationTimePipelined(ps []lattice.Point) time.Duration {
+	// Build finest-first so coarser views can reuse finer ones.
+	order := make([]lattice.Point, len(ps))
+	copy(order, ps)
+	sort.SliceStable(order, func(i, j int) bool {
+		ni, erri := e.Lat.Node(order[i])
+		nj, errj := e.Lat.Node(order[j])
+		if erri != nil || errj != nil {
+			return false
+		}
+		return ni.Rows > nj.Rows
+	})
+	var total time.Duration
+	var built []lattice.Point
+	for _, p := range order {
+		_, src := e.Lat.CheapestAnswering(built, p)
+		total += e.Cl.TimeForJob(src.Size)
+		built = append(built, p)
+	}
+	return total
+}
+
+// MaintenanceTime estimates t_maintenance(V_k) per month: each run scans
+// the arriving delta and merges it into the view (incremental maintenance,
+// so cost scales with delta + view size, not with the base).
+func (e *Estimator) MaintenanceTime(p lattice.Point) time.Duration {
+	n, err := e.Lat.Node(p)
+	if err != nil {
+		return 0
+	}
+	delta := e.baseSize().MulFloat(e.UpdateRatio)
+	perRun := e.Cl.TimeForJob(delta + n.Size)
+	return time.Duration(e.MaintenanceRuns) * perRun
+}
+
+// TotalMaintenanceTime is Formula 11: the sum over the view set.
+func (e *Estimator) TotalMaintenanceTime(ps []lattice.Point) time.Duration {
+	var total time.Duration
+	for _, p := range ps {
+		total += e.MaintenanceTime(p)
+	}
+	return total
+}
+
+// MaintenanceTimeForWorkload prices maintenance under the estimator's
+// policy. Immediate maintenance is workload-independent (Formula 11);
+// deferred maintenance caps each view's refresh count at the number of
+// query executions it actually serves under cheapest-answering routing.
+func (e *Estimator) MaintenanceTimeForWorkload(ps []lattice.Point, w workload.Workload) time.Duration {
+	if e.Policy == ImmediateMaintenance {
+		return e.TotalMaintenanceTime(ps)
+	}
+	// Count monthly executions served per view.
+	served := make(map[string]int, len(ps))
+	for _, q := range w.Queries {
+		src, _ := e.Lat.CheapestAnswering(ps, q.Point)
+		if src.Equal(e.Lat.Base()) {
+			continue
+		}
+		served[e.Lat.Name(src)] += q.Frequency
+	}
+	if e.MaintenanceRuns <= 0 {
+		return 0
+	}
+	var total time.Duration
+	for _, p := range ps {
+		runs := e.MaintenanceRuns
+		if hits := served[e.Lat.Name(p)]; hits < runs {
+			runs = hits
+		}
+		if runs <= 0 {
+			continue
+		}
+		perRun := e.MaintenanceTime(p) / time.Duration(e.MaintenanceRuns)
+		total += time.Duration(runs) * perRun
+	}
+	return total
+}
+
+// QueryTime estimates t_iV: the scan of the cheapest source answering q
+// among the materialized set (or the base table).
+func (e *Estimator) QueryTime(q lattice.Point, materialized []lattice.Point) time.Duration {
+	_, node := e.Lat.CheapestAnswering(materialized, q)
+	return e.Cl.TimeForJob(node.Size)
+}
+
+// WorkloadTime is Formula 9: Σ t_iV over the workload (frequency-weighted),
+// per month.
+func (e *Estimator) WorkloadTime(w workload.Workload, materialized []lattice.Point) time.Duration {
+	return w.ScanTime(e.Lat, materialized, e.Cl.TimeForJob)
+}
+
+// ViewsSize sums the estimated stored size of the given points (the
+// duplicated data of Section 4.3).
+func (e *Estimator) ViewsSize(ps []lattice.Point) units.DataSize {
+	var total units.DataSize
+	for _, p := range ps {
+		if n, err := e.Lat.Node(p); err == nil {
+			total += n.Size
+		}
+	}
+	return total
+}
+
+// SortCandidatesBySize orders candidates by ascending size (stable), a
+// useful presentation order for reports.
+func SortCandidatesBySize(cands []Candidate) {
+	sort.SliceStable(cands, func(i, j int) bool { return cands[i].Size < cands[j].Size })
+}

@@ -1,0 +1,111 @@
+// Package vmcloud is a Go reproduction of "Cost Models for View
+// Materialization in the Cloud" (Nguyen, d'Orazio, Bimonte, Darmont —
+// EDBT/ICDT DanaC workshop, 2012).
+//
+// It provides monetary cost models for running analytical workloads on
+// pay-as-you-go clouds (compute instance-hours, tiered storage, tiered
+// egress) and a materialized-view advisor that solves the paper's three
+// optimization scenarios over a star-schema cuboid lattice:
+//
+//   - MV1: minimize workload response time under a budget limit,
+//   - MV2: minimize the monetary bill under a response-time limit,
+//   - MV3: minimize the weighted tradeoff α·T + (1−α)·C,
+//
+// each solved as a 0/1 knapsack by dynamic programming over candidate
+// views produced by a greedy benefit-per-space pre-selection.
+//
+// Quick start:
+//
+//	l, _ := vmcloud.NewLattice(vmcloud.SalesSchema(), 200_000_000)
+//	w, _ := vmcloud.SalesWorkload(l, 10)
+//	adv, _ := vmcloud.NewAdvisor(vmcloud.AdvisorConfig{Workload: w})
+//	rec, _ := adv.AdviseBudget(vmcloud.Dollars(5))
+//	fmt.Println(rec.Render())
+//
+// The facade re-exports the supported surface of the internal packages;
+// see the examples/ directory for runnable programs and DESIGN.md for the
+// system inventory.
+package vmcloud
+
+import (
+	"vmcloud/internal/core"
+	"vmcloud/internal/lattice"
+	"vmcloud/internal/money"
+	"vmcloud/internal/pricing"
+	"vmcloud/internal/schema"
+	"vmcloud/internal/units"
+	"vmcloud/internal/workload"
+)
+
+// Money is an exact currency amount in micro-dollars.
+type Money = money.Money
+
+// Dollars converts a float dollar amount to Money.
+func Dollars(d float64) Money { return money.FromDollars(d) }
+
+// ParseMoney parses "$1.08"-style strings.
+func ParseMoney(s string) (Money, error) { return money.Parse(s) }
+
+// DataSize is a data volume in bytes; GB and TB are binary multiples.
+type DataSize = units.DataSize
+
+// Data size constants.
+const (
+	MB = units.MB
+	GB = units.GB
+	TB = units.TB
+)
+
+// Provider is a cloud service provider tariff (compute, storage, egress).
+type Provider = pricing.Provider
+
+// AWS2012 returns the tariff fixture matching the paper's Tables 2–4.
+func AWS2012() Provider { return pricing.AWS2012() }
+
+// Providers returns every built-in tariff by name.
+func Providers() map[string]Provider { return pricing.Catalog() }
+
+// Schema describes a star schema with dimension hierarchies.
+type Schema = schema.Schema
+
+// SalesSchema returns the paper's supply-chain sales schema (Table 1).
+func SalesSchema() *Schema { return schema.Sales() }
+
+// Lattice is the cuboid lattice of a schema.
+type Lattice = lattice.Lattice
+
+// Point identifies one cuboid (one hierarchy level per dimension).
+type Point = lattice.Point
+
+// NewLattice builds the lattice of a schema at a fact-table row count.
+func NewLattice(s *Schema, factRows int64) (*Lattice, error) {
+	return lattice.New(s, factRows)
+}
+
+// Workload is a set of aggregation queries with monthly frequencies.
+type Workload = workload.Workload
+
+// Query is one workload query.
+type Query = workload.Query
+
+// SalesWorkload builds the paper's n-query sales workload (n ∈ 1..10).
+func SalesWorkload(l *Lattice, n int) (Workload, error) {
+	return workload.Sales(l, n)
+}
+
+// AdvisorConfig configures an advisory session; zero values select the
+// paper's experimental defaults (AWS 2012 tariff, 5 small instances,
+// ≈10 GB sales dataset, monthly billing).
+type AdvisorConfig = core.Config
+
+// Advisor recommends view sets under the paper's three scenarios.
+type Advisor = core.Advisor
+
+// Recommendation is a solved scenario with its exact bill.
+type Recommendation = core.Recommendation
+
+// ParetoPoint is one point of the time/cost frontier.
+type ParetoPoint = core.ParetoPoint
+
+// NewAdvisor wires an advisory session.
+func NewAdvisor(cfg AdvisorConfig) (*Advisor, error) { return core.New(cfg) }

@@ -1,0 +1,90 @@
+package vmcloud
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestQuickstart exercises the documented facade path end to end.
+func TestQuickstart(t *testing.T) {
+	l, err := NewLattice(SalesSchema(), 200_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := SalesWorkload(l, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range w.Queries {
+		w.Queries[i].Frequency = 30
+	}
+	adv, err := NewAdvisor(AdvisorConfig{Workload: w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := adv.AdviseBudget(Dollars(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.Selection.Feasible {
+		t.Fatalf("generous budget infeasible: %s", rec.Render())
+	}
+	if rec.TimeImprovement() <= 0 {
+		t.Errorf("no improvement: %s", rec.Render())
+	}
+	if !strings.Contains(rec.Render(), "materialize:") {
+		t.Error("render missing recommendation")
+	}
+}
+
+func TestFacadeHelpers(t *testing.T) {
+	if Dollars(1.08).String() != "$1.08" {
+		t.Errorf("Dollars = %v", Dollars(1.08))
+	}
+	m, err := ParseMoney("$2.40")
+	if err != nil || m != Dollars(2.4) {
+		t.Errorf("ParseMoney = %v, %v", m, err)
+	}
+	if AWS2012().Name != "aws-2012" {
+		t.Error("AWS2012 wiring wrong")
+	}
+	if len(Providers()) < 3 {
+		t.Error("built-in catalog too small")
+	}
+	if TB/GB != 1024 || GB/MB != 1024 {
+		t.Error("size constants wrong")
+	}
+}
+
+func TestFacadeDeadlineAndPareto(t *testing.T) {
+	l, err := NewLattice(SalesSchema(), 200_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := SalesWorkload(l, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range w.Queries {
+		w.Queries[i].Frequency = 30
+	}
+	adv, err := NewAdvisor(AdvisorConfig{Workload: w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := adv.AdviseDeadline(4 * time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Selection.Feasible && rec.Selection.Time > 4*time.Hour {
+		t.Error("deadline violated")
+	}
+	front, err := adv.ParetoFront(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(front) == 0 {
+		t.Error("empty Pareto front")
+	}
+}
