@@ -1,0 +1,126 @@
+// Command mvcloudd is the advisory daemon: a long-running HTTP server
+// exposing the view-materialization advisor as a JSON API, with an LRU
+// cache over solved recommendations (the advisor is deterministic, so
+// identical configurations are served from memory).
+//
+// Usage:
+//
+//	mvcloudd [-addr :8080] [-cache-size 256] [-cache-max-mb 64]
+//	         [-request-timeout 30s] [-shutdown-grace 10s]
+//
+// Endpoints:
+//
+//	POST /v1/advise   solve mv1/mv2/mv3 or sweep the pareto frontier
+//	GET  /v1/tariffs  the built-in provider catalog
+//	GET  /v1/stats    serving and cache counters
+//	GET  /healthz     liveness probe
+//
+// Example:
+//
+//	curl -s localhost:8080/v1/advise -d '{"scenario":"mv1","budget":25}'
+//
+// The daemon shuts down gracefully on SIGINT/SIGTERM, draining in-flight
+// requests for up to -shutdown-grace.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"vmcloud/internal/server"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		cache    = flag.Int("cache-size", 256, "max memoized recommendations (negative disables)")
+		cacheMB  = flag.Int64("cache-max-mb", 64, "max resident megabytes per cache (negative unbounds)")
+		reqTO    = flag.Duration("request-timeout", 30*time.Second, "per-request solve timeout")
+		graceTO  = flag.Duration("shutdown-grace", 10*time.Second, "graceful shutdown drain window")
+		maxRows  = flag.Int64("max-fact-rows", 0, "largest accepted fact_rows (0 = server default)")
+		maxSteps = flag.Int("max-pareto-steps", 0, "largest accepted pareto sweep (0 = server default)")
+	)
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, options{
+		addr: *addr, cacheSize: *cache, cacheMaxBytes: *cacheMB << 20, requestTimeout: *reqTO,
+		shutdownGrace: *graceTO, maxFactRows: *maxRows, maxParetoSteps: *maxSteps,
+		logf: log.Printf,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "mvcloudd:", err)
+		os.Exit(1)
+	}
+}
+
+type options struct {
+	addr           string
+	cacheSize      int
+	cacheMaxBytes  int64
+	requestTimeout time.Duration
+	shutdownGrace  time.Duration
+	maxFactRows    int64
+	maxParetoSteps int
+	// ready, if non-nil, receives the bound address once listening —
+	// lets tests use ":0" and discover the port.
+	ready chan<- string
+	logf  func(format string, args ...any)
+}
+
+// run serves until ctx is cancelled, then drains gracefully.
+func run(ctx context.Context, o options) error {
+	if o.logf == nil {
+		o.logf = func(string, ...any) {}
+	}
+	api := server.New(server.Options{
+		CacheSize:      o.cacheSize,
+		CacheMaxBytes:  o.cacheMaxBytes,
+		RequestTimeout: o.requestTimeout,
+		MaxFactRows:    o.maxFactRows,
+		MaxParetoSteps: o.maxParetoSteps,
+	})
+	hs := &http.Server{
+		Handler:           api,
+		ReadHeaderTimeout: 5 * time.Second,
+		// WriteTimeout backstops the handler's own solve timeout.
+		WriteTimeout: o.requestTimeout + 10*time.Second,
+		IdleTimeout:  2 * time.Minute,
+	}
+	ln, err := net.Listen("tcp", o.addr)
+	if err != nil {
+		return err
+	}
+	o.logf("mvcloudd listening on %s (cache %d entries, request timeout %v)",
+		ln.Addr(), o.cacheSize, o.requestTimeout)
+	if o.ready != nil {
+		o.ready <- ln.Addr().String()
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	o.logf("mvcloudd draining (grace %v)", o.shutdownGrace)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), o.shutdownGrace)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

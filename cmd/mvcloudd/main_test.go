@@ -1,0 +1,118 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestServeAndShutdown boots the daemon on an ephemeral port, exercises
+// the API over real TCP, then checks graceful shutdown.
+func TestServeAndShutdown(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ready := make(chan string, 1)
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run(ctx, options{
+			addr: "127.0.0.1:0", cacheSize: 32,
+			requestTimeout: 30 * time.Second, shutdownGrace: 5 * time.Second,
+			ready: ready,
+		})
+	}()
+	var base string
+	select {
+	case addr := <-ready:
+		base = "http://" + addr
+	case err := <-errc:
+		t.Fatalf("server exited early: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never became ready")
+	}
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(b)
+	}
+	if code, body := get("/healthz"); code != 200 || !strings.Contains(body, "ok") {
+		t.Fatalf("healthz: %d %s", code, body)
+	}
+	post := func() (*http.Response, string) {
+		resp, err := http.Post(base+"/v1/advise", "application/json",
+			strings.NewReader(`{"scenario":"mv1","budget":25,"fact_rows":10000000,"queries":5}`))
+		if err != nil {
+			t.Fatalf("POST advise: %v", err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp, string(b)
+	}
+	if resp, body := post(); resp.StatusCode != 200 || !strings.Contains(body, `"recommendation"`) {
+		t.Fatalf("advise: %d %s", resp.StatusCode, body)
+	}
+	if resp, _ := post(); resp.Header.Get("X-Cache") != "hit" {
+		t.Error("repeated advise did not hit the cache")
+	}
+	if code, body := get("/v1/tariffs"); code != 200 || !strings.Contains(body, "aws-2012") {
+		t.Fatalf("tariffs: %d %s", code, body)
+	}
+	if code, body := get("/v1/stats"); code != 200 || !strings.Contains(body, `"cache_hits":1`) {
+		t.Fatalf("stats: %d %s", code, body)
+	}
+
+	cancel()
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("shutdown: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never shut down")
+	}
+}
+
+// TestRunBadAddr checks the listen-failure path.
+func TestRunBadAddr(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := run(ctx, options{addr: "256.0.0.1:bogus", shutdownGrace: time.Second}); err == nil {
+		t.Fatal("bad address accepted")
+	}
+}
+
+// TestLogf covers the default no-op logger wiring.
+func TestLogf(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	ready := make(chan string, 1)
+	errc := make(chan error, 1)
+	var logged []string
+	go func() {
+		errc <- run(ctx, options{
+			addr: "127.0.0.1:0", shutdownGrace: time.Second, ready: ready,
+			logf: func(format string, args ...any) {
+				logged = append(logged, fmt.Sprintf(format, args...))
+			},
+		})
+	}()
+	select {
+	case <-ready:
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never became ready")
+	}
+	cancel()
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+	if len(logged) < 2 || !strings.Contains(logged[0], "listening") {
+		t.Errorf("log lines: %q", logged)
+	}
+}

@@ -1,0 +1,3 @@
+module vmcloud
+
+go 1.24

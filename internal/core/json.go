@@ -1,0 +1,340 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"vmcloud/internal/costmodel"
+	"vmcloud/internal/lattice"
+	"vmcloud/internal/money"
+	"vmcloud/internal/pricing"
+	"vmcloud/internal/schema"
+	"vmcloud/internal/units"
+	"vmcloud/internal/views"
+	"vmcloud/internal/workload"
+)
+
+// ConfigJSON is the wire form of Config, as accepted by the mvcloudd API.
+// Every field is optional; zero values select the paper's experimental
+// defaults, exactly as Config does. The schema is always the sales star
+// schema — the only one the wire format names levels for.
+type ConfigJSON struct {
+	// Provider names a built-in tariff (see pricing.Catalog); ignored when
+	// ProviderSpec is given.
+	Provider string `json:"provider,omitempty"`
+	// ProviderSpec is an inline tariff in the pricing JSON wire format.
+	ProviderSpec json.RawMessage `json:"provider_spec,omitempty"`
+	InstanceType string          `json:"instance_type,omitempty"`
+	Instances    int             `json:"instances,omitempty"`
+	FactRows     int64           `json:"fact_rows,omitempty"`
+	Months       float64         `json:"months,omitempty"`
+	// Queries selects the paper's n-query sales workload (1..10); ignored
+	// when Workload lists queries explicitly.
+	Queries int `json:"queries,omitempty"`
+	// Frequency overrides every query's monthly execution count (≥ 1).
+	Frequency int                  `json:"frequency,omitempty"`
+	Workload  []workload.QueryJSON `json:"workload,omitempty"`
+	// CandidateBudget caps the pre-selected candidate views.
+	CandidateBudget int     `json:"candidate_budget,omitempty"`
+	MaintenanceRuns int     `json:"maintenance_runs,omitempty"`
+	UpdateRatio     float64 `json:"update_ratio,omitempty"`
+	// MaintenancePolicy is "immediate" (default) or "deferred".
+	MaintenancePolicy string `json:"maintenance_policy,omitempty"`
+	// JobOverhead is a Go duration string, e.g. "2m".
+	JobOverhead string `json:"job_overhead,omitempty"`
+}
+
+// Normalize fills every defaulted field with its concrete value and
+// rewrites the workload in fully resolved form (levels + point + name +
+// frequency), so that two requests describing the same advisory problem
+// normalize to identical structs. It reports the first validation error.
+func (cj *ConfigJSON) Normalize() error {
+	if len(cj.ProviderSpec) > 0 {
+		p, err := pricing.UnmarshalProvider(cj.ProviderSpec)
+		if err != nil {
+			return err
+		}
+		// Re-marshal so formatting differences don't fragment the form.
+		canon, err := pricing.MarshalProvider(p)
+		if err != nil {
+			return err
+		}
+		cj.ProviderSpec = canon
+		cj.Provider = ""
+	} else {
+		if cj.Provider == "" {
+			cj.Provider = pricing.AWS2012().Name
+		}
+		if _, err := pricing.Lookup(cj.Provider); err != nil {
+			return err
+		}
+	}
+	if cj.InstanceType == "" {
+		cj.InstanceType = "small"
+	}
+	if cj.Instances == 0 {
+		cj.Instances = 5
+	}
+	if cj.Instances < 0 {
+		return fmt.Errorf("core: negative fleet size %d", cj.Instances)
+	}
+	if cj.FactRows == 0 {
+		cj.FactRows = 200_000_000
+	}
+	if cj.FactRows < 0 {
+		return fmt.Errorf("core: negative fact_rows %d", cj.FactRows)
+	}
+	if cj.Months == 0 {
+		cj.Months = 1
+	}
+	if cj.Months < 0 {
+		return fmt.Errorf("core: negative months %g", cj.Months)
+	}
+	if cj.CandidateBudget == 0 {
+		cj.CandidateBudget = 8
+	}
+	if cj.MaintenanceRuns == 0 {
+		cj.MaintenanceRuns = 4
+	}
+	if cj.MaintenanceRuns < 0 {
+		return fmt.Errorf("core: negative maintenance_runs %d", cj.MaintenanceRuns)
+	}
+	if cj.UpdateRatio == 0 {
+		cj.UpdateRatio = 0.20
+	}
+	if cj.UpdateRatio < 0 || cj.UpdateRatio > 1 {
+		return fmt.Errorf("core: update_ratio %g out of [0,1]", cj.UpdateRatio)
+	}
+	if cj.CandidateBudget < 0 {
+		return fmt.Errorf("core: negative candidate_budget %d", cj.CandidateBudget)
+	}
+	switch cj.MaintenancePolicy {
+	case "":
+		cj.MaintenancePolicy = "immediate"
+	case "immediate", "deferred":
+	default:
+		return fmt.Errorf("core: unknown maintenance policy %q (want immediate or deferred)", cj.MaintenancePolicy)
+	}
+	if cj.JobOverhead == "" {
+		cj.JobOverhead = "2m"
+	}
+	d, err := time.ParseDuration(cj.JobOverhead)
+	if err != nil {
+		return fmt.Errorf("core: job_overhead: %w", err)
+	}
+	if d < 0 {
+		return fmt.Errorf("core: negative job_overhead %v", d)
+	}
+	cj.JobOverhead = d.String()
+
+	// Resolve the workload to its explicit form against the lattice this
+	// config will build.
+	l, err := lattice.New(schema.Sales(), cj.FactRows)
+	if err != nil {
+		return err
+	}
+	var w workload.Workload
+	if len(cj.Workload) > 0 {
+		w, err = workload.FromJSON(l, cj.Workload)
+		if err != nil {
+			return err
+		}
+		cj.Queries = 0
+	} else {
+		if cj.Queries == 0 {
+			cj.Queries = 10
+		}
+		w, err = workload.Sales(l, cj.Queries)
+		if err != nil {
+			return err
+		}
+	}
+	if cj.Frequency < 0 {
+		return fmt.Errorf("core: negative frequency %d", cj.Frequency)
+	}
+	if cj.Frequency > 0 {
+		for i := range w.Queries {
+			w.Queries[i].Frequency = cj.Frequency
+		}
+		cj.Frequency = 0
+	}
+	cj.Workload = w.JSON(l)
+	return nil
+}
+
+// Config resolves the wire form into a Config ready for New. It calls
+// Normalize first, so defaults and validation match the wire semantics.
+func (cj ConfigJSON) Config() (Config, error) {
+	if err := cj.Normalize(); err != nil {
+		return Config{}, err
+	}
+	return cj.Resolve()
+}
+
+// Resolve resolves an already-normalized wire config into a Config
+// without re-running Normalize — the hot path for servers that
+// canonicalized the request earlier. Callers holding arbitrary input
+// should use Config instead.
+func (cj ConfigJSON) Resolve() (Config, error) {
+	cfg := Config{
+		InstanceType:    cj.InstanceType,
+		Instances:       cj.Instances,
+		FactRows:        cj.FactRows,
+		Months:          cj.Months,
+		CandidateBudget: cj.CandidateBudget,
+		MaintenanceRuns: cj.MaintenanceRuns,
+		UpdateRatio:     cj.UpdateRatio,
+	}
+	if len(cj.ProviderSpec) > 0 {
+		p, err := pricing.UnmarshalProvider(cj.ProviderSpec)
+		if err != nil {
+			return Config{}, err
+		}
+		cfg.Provider = &p
+	} else {
+		p, err := pricing.Lookup(cj.Provider)
+		if err != nil {
+			return Config{}, err
+		}
+		cfg.Provider = &p
+	}
+	if cj.MaintenancePolicy == "deferred" {
+		cfg.MaintenancePolicy = views.DeferredMaintenance
+	}
+	d, err := time.ParseDuration(cj.JobOverhead)
+	if err != nil {
+		return Config{}, fmt.Errorf("core: job_overhead: %w", err)
+	}
+	cfg.JobOverhead = d
+	l, err := lattice.New(schema.Sales(), cj.FactRows)
+	if err != nil {
+		return Config{}, err
+	}
+	cfg.Workload, err = workload.FromJSON(l, cj.Workload)
+	if err != nil {
+		return Config{}, err
+	}
+	return cfg, nil
+}
+
+// BillJSON is the wire form of a priced bill (Formula 1 decomposed).
+type BillJSON struct {
+	Total           money.Money `json:"total"`
+	Compute         money.Money `json:"compute"`
+	Processing      money.Money `json:"processing"`
+	Maintenance     money.Money `json:"maintenance"`
+	Materialization money.Money `json:"materialization"`
+	Storage         money.Money `json:"storage"`
+	Transfer        money.Money `json:"transfer"`
+}
+
+// NewBillJSON flattens a Bill for the wire.
+func NewBillJSON(b costmodel.Bill) BillJSON {
+	return BillJSON{
+		Total:           b.Total(),
+		Compute:         b.Compute.Total(),
+		Processing:      b.Compute.Processing,
+		Maintenance:     b.Compute.Maintenance,
+		Materialization: b.Compute.Materialization,
+		Storage:         b.Storage,
+		Transfer:        b.Transfer,
+	}
+}
+
+// RecommendationJSON is the wire form of a Recommendation.
+type RecommendationJSON struct {
+	Scenario string `json:"scenario"`
+	Feasible bool   `json:"feasible"`
+	Strategy string `json:"strategy"`
+	// Views names the selected cuboids ("year×country"); Points carries
+	// the raw lattice coordinates for programmatic callers.
+	Views  []string        `json:"views"`
+	Points [][]int         `json:"points"`
+	Time   string          `json:"time"`
+	Hours  float64         `json:"time_hours"`
+	Bill   BillJSON        `json:"bill"`
+	Base   BaselineJSON    `json:"baseline"`
+	Gains  ImprovementJSON `json:"improvement"`
+	// Report is the human-readable rendering (Recommendation.Render).
+	Report string `json:"report"`
+}
+
+// BaselineJSON is the no-view reference configuration.
+type BaselineJSON struct {
+	Time  string   `json:"time"`
+	Hours float64  `json:"time_hours"`
+	Bill  BillJSON `json:"bill"`
+}
+
+// ImprovementJSON carries the relative gains over the baseline.
+type ImprovementJSON struct {
+	Time float64 `json:"time"`
+	Cost float64 `json:"cost"`
+}
+
+// JSON renders the recommendation in wire form.
+func (r Recommendation) JSON() RecommendationJSON {
+	views := r.ViewNames
+	if views == nil {
+		views = []string{}
+	}
+	points := make([][]int, len(r.Selection.Points))
+	for i, p := range r.Selection.Points {
+		points[i] = []int(p.Clone())
+	}
+	return RecommendationJSON{
+		Scenario: r.Scenario,
+		Feasible: r.Selection.Feasible,
+		Strategy: r.Selection.Strategy,
+		Views:    views,
+		Points:   points,
+		Time:     r.Selection.Time.String(),
+		Hours:    r.Selection.Time.Hours(),
+		Bill:     NewBillJSON(r.Selection.Bill),
+		Base: BaselineJSON{
+			Time:  r.BaselineTime.String(),
+			Hours: r.BaselineTime.Hours(),
+			Bill:  NewBillJSON(r.BaselineBill),
+		},
+		Gains: ImprovementJSON{
+			Time: r.TimeImprovement(),
+			Cost: r.CostImprovement(),
+		},
+		Report: r.Render(),
+	}
+}
+
+// ParetoPointJSON is the wire form of one frontier point.
+type ParetoPointJSON struct {
+	Alpha float64     `json:"alpha"`
+	Time  string      `json:"time"`
+	Hours float64     `json:"time_hours"`
+	Cost  money.Money `json:"cost"`
+	Views int         `json:"views"`
+}
+
+// ParetoJSON renders a frontier in wire form.
+func ParetoJSON(front []ParetoPoint) []ParetoPointJSON {
+	out := make([]ParetoPointJSON, len(front))
+	for i, p := range front {
+		out[i] = ParetoPointJSON{
+			Alpha: p.Alpha,
+			Time:  p.Time.String(),
+			Hours: p.Time.Hours(),
+			Cost:  p.Cost,
+			Views: p.Views,
+		}
+	}
+	return out
+}
+
+// DatasetSizeOf reports the base cuboid volume a config implies — handy
+// context for API responses.
+func DatasetSizeOf(a *Advisor) units.DataSize {
+	n, err := a.Lat.Node(a.Lat.Base())
+	if err != nil {
+		return 0
+	}
+	return n.Size
+}

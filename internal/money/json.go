@@ -1,0 +1,36 @@
+package money
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Money marshals as its display string ("$1.08") so JSON payloads stay
+// human-readable and exact; it unmarshals from either that string form
+// (with or without the "$") or a bare JSON number of dollars, so
+// hand-written request bodies can say "budget": 25.
+
+// MarshalJSON renders the amount as a quoted dollar string.
+func (m Money) MarshalJSON() ([]byte, error) {
+	return json.Marshal(m.String())
+}
+
+// UnmarshalJSON parses a dollar string ("$1.08", "1.08") or a JSON number
+// of dollars.
+func (m *Money) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err == nil {
+		v, err := Parse(s)
+		if err != nil {
+			return err
+		}
+		*m = v
+		return nil
+	}
+	var f float64
+	if err := json.Unmarshal(data, &f); err != nil {
+		return fmt.Errorf("money: cannot unmarshal %s", data)
+	}
+	*m = FromDollars(f)
+	return nil
+}

@@ -1,0 +1,71 @@
+package money
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	for _, m := range []Money{0, Cent, Dollar, MustParse("$1.08"), MustParse("-$2131.76"), Microdollar} {
+		b, err := json.Marshal(m)
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		var got Money
+		if err := json.Unmarshal(b, &got); err != nil {
+			t.Fatalf("%s: %v", b, err)
+		}
+		if got != m {
+			t.Errorf("round trip %v → %s → %v", m, b, got)
+		}
+	}
+}
+
+func TestUnmarshalForms(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Money
+	}{
+		{`"$1.08"`, MustParse("$1.08")},
+		{`"1.08"`, MustParse("$1.08")},
+		{`25`, 25 * Dollar},
+		{`0.12`, MustParse("$0.12")},
+		{`-3`, -3 * Dollar},
+	}
+	for _, c := range cases {
+		var got Money
+		if err := json.Unmarshal([]byte(c.in), &got); err != nil {
+			t.Errorf("%s: %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("%s = %v, want %v", c.in, got, c.want)
+		}
+	}
+	for _, bad := range []string{`"not-money"`, `true`, `{"a":1}`, `"$1.2345678"`} {
+		var got Money
+		if err := json.Unmarshal([]byte(bad), &got); err == nil {
+			t.Errorf("%s: accepted as %v", bad, got)
+		}
+	}
+}
+
+func TestJSONInsideStruct(t *testing.T) {
+	type bill struct {
+		Total Money `json:"total"`
+	}
+	b, err := json.Marshal(bill{Total: MustParse("$0.12")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != `{"total":"$0.12"}` {
+		t.Errorf("marshal = %s", b)
+	}
+	var got bill
+	if err := json.Unmarshal([]byte(`{"total":25}`), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Total != 25*Dollar {
+		t.Errorf("total = %v", got.Total)
+	}
+}

@@ -1,0 +1,34 @@
+package report
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestTableJSON(t *testing.T) {
+	tbl := NewTable("prices", "item", "cost")
+	tbl.AddRow("small", "$0.12")
+	tbl.AddRow("large", 4)
+	b, err := json.Marshal(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"title":"prices","headers":["item","cost"],"rows":[["small","$0.12"],["large","4"]]}`
+	if string(b) != want {
+		t.Errorf("marshal = %s\nwant      %s", b, want)
+	}
+	if got := tbl.Rows(); len(got) != 2 || got[1][1] != "4" {
+		t.Errorf("Rows() = %v", got)
+	}
+}
+
+func TestTableJSONEmpty(t *testing.T) {
+	b, err := json.Marshal(NewTable("", "h"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"headers":["h"],"rows":[]}`
+	if string(b) != want {
+		t.Errorf("marshal = %s, want %s", b, want)
+	}
+}

@@ -1,0 +1,69 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"net/http/httptest"
+	"testing"
+)
+
+// The acceptance bar for the serving layer: an advise request answered
+// from the LRU cache must be at least an order of magnitude faster than
+// the cold path (advisor construction + candidate generation + knapsack
+// solve + response marshaling). Run with:
+//
+//	go test ./internal/server -bench BenchmarkAdvise -benchmem
+
+var benchBody = []byte(`{"scenario":"mv1","budget":25,"queries":10,"frequency":30}`)
+
+func postAdvise(b *testing.B, s *Server, body []byte) *httptest.ResponseRecorder {
+	req := httptest.NewRequest("POST", "/v1/advise", bytes.NewReader(body))
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, req)
+	if w.Code != 200 {
+		b.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+	return w
+}
+
+// BenchmarkAdviseCold measures the uncached path: every iteration uses a
+// fresh server, so the full lattice + candidates + DP + marshal pipeline
+// runs each time.
+func BenchmarkAdviseCold(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := New(Options{})
+		postAdvise(b, s, benchBody)
+	}
+}
+
+// BenchmarkAdviseCacheHit measures the memoized path: one server, the
+// cache primed, every timed iteration is an identical request.
+func BenchmarkAdviseCacheHit(b *testing.B) {
+	s := New(Options{})
+	w := postAdvise(b, s, benchBody)
+	if w.Header().Get("X-Cache") != "miss" {
+		b.Fatal("prime request did not miss")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := postAdvise(b, s, benchBody)
+		if w.Header().Get("X-Cache") != "hit" {
+			b.Fatal("hit path fell through to a solve")
+		}
+	}
+}
+
+// BenchmarkAdviseCacheMissDistinct measures the steady-state miss path on
+// a warm server: each iteration is a distinct config (unique frequency),
+// so lattice construction and the solve run every time but server setup
+// does not.
+func BenchmarkAdviseCacheMissDistinct(b *testing.B) {
+	s := New(Options{CacheSize: 1}) // keep the cache from absorbing the sweep
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		body := fmt.Appendf(nil, `{"scenario":"mv1","budget":25,"queries":10,"frequency":%d}`, i%1000+1)
+		postAdvise(b, s, body)
+	}
+}

@@ -1,0 +1,103 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+)
+
+// lruCache is a size-bounded, mutex-guarded LRU map from canonical
+// request keys to marshaled response bodies. It is bounded both in
+// entry count and in resident bytes (keys + values), so operators can
+// cap the daemon's cache memory. Values are treated as immutable once
+// inserted — callers must not modify a returned slice — which is what
+// lets a single entry serve concurrent readers without copying.
+type lruCache struct {
+	mu       sync.Mutex
+	cap      int
+	capBytes int64
+	bytes    int64
+	order    *list.List // front = most recently used
+	entries  map[string]*list.Element
+}
+
+type lruEntry struct {
+	key string
+	val []byte
+}
+
+func (e *lruEntry) size() int64 { return int64(len(e.key) + len(e.val)) }
+
+// newLRUCache builds a cache holding at most capacity entries and
+// maxBytes resident bytes; capacity < 1 disables caching (every Get
+// misses, every Put is dropped), maxBytes < 1 means unbounded bytes.
+func newLRUCache(capacity int, maxBytes int64) *lruCache {
+	return &lruCache{
+		cap:      capacity,
+		capBytes: maxBytes,
+		order:    list.New(),
+		entries:  make(map[string]*list.Element),
+	}
+}
+
+// Get returns the cached value and marks it most recently used.
+func (c *lruCache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*lruEntry).val, true
+}
+
+// Put inserts or refreshes a value, evicting least recently used
+// entries while either bound is exceeded. An entry larger than the
+// byte bound is not cached at all.
+func (c *lruCache) Put(key string, val []byte) {
+	if c.cap < 1 {
+		return
+	}
+	entry := &lruEntry{key: key, val: val}
+	if c.capBytes > 0 && entry.size() > c.capBytes {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		old := el.Value.(*lruEntry)
+		c.bytes += entry.size() - old.size()
+		old.val = val
+	} else {
+		c.entries[key] = c.order.PushFront(entry)
+		c.bytes += entry.size()
+	}
+	for c.order.Len() > c.cap || (c.capBytes > 0 && c.bytes > c.capBytes) {
+		oldest := c.order.Back()
+		if oldest == nil {
+			break
+		}
+		c.order.Remove(oldest)
+		e := oldest.Value.(*lruEntry)
+		delete(c.entries, e.key)
+		c.bytes -= e.size()
+	}
+}
+
+// Len returns the current entry count.
+func (c *lruCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// Bytes returns the resident key+value byte count.
+func (c *lruCache) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}
+
+// Cap returns the configured entry capacity.
+func (c *lruCache) Cap() int { return c.cap }

@@ -1,0 +1,106 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestLRUBasics(t *testing.T) {
+	c := newLRUCache(2, 0)
+	if _, ok := c.Get("a"); ok {
+		t.Error("empty cache hit")
+	}
+	c.Put("a", []byte("1"))
+	c.Put("b", []byte("2"))
+	if v, ok := c.Get("a"); !ok || string(v) != "1" {
+		t.Errorf("a = %q, %v", v, ok)
+	}
+	// "a" is now most recent; inserting "c" must evict "b".
+	c.Put("c", []byte("3"))
+	if _, ok := c.Get("b"); ok {
+		t.Error("b survived eviction")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Error("a evicted despite recent use")
+	}
+	if _, ok := c.Get("c"); !ok {
+		t.Error("c missing")
+	}
+	if c.Len() != 2 {
+		t.Errorf("len = %d, want 2", c.Len())
+	}
+}
+
+func TestLRUUpdateExisting(t *testing.T) {
+	c := newLRUCache(2, 0)
+	c.Put("a", []byte("1"))
+	c.Put("a", []byte("one"))
+	if c.Len() != 1 {
+		t.Errorf("len = %d, want 1", c.Len())
+	}
+	if v, _ := c.Get("a"); string(v) != "one" {
+		t.Errorf("a = %q", v)
+	}
+}
+
+func TestLRUDisabled(t *testing.T) {
+	for _, capacity := range []int{0, -1} {
+		c := newLRUCache(capacity, 0)
+		c.Put("a", []byte("1"))
+		if _, ok := c.Get("a"); ok {
+			t.Errorf("cap %d: cache stored an entry", capacity)
+		}
+		if c.Len() != 0 {
+			t.Errorf("cap %d: len = %d", capacity, c.Len())
+		}
+	}
+}
+
+func TestLRUConcurrent(t *testing.T) {
+	c := newLRUCache(16, 0)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("k%d", (g+i)%32)
+				c.Put(key, []byte(key))
+				if v, ok := c.Get(key); ok && string(v) != key {
+					t.Errorf("got %q for %q", v, key)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() > 16 {
+		t.Errorf("len = %d exceeds cap", c.Len())
+	}
+}
+
+func TestLRUByteBound(t *testing.T) {
+	c := newLRUCache(100, 10)
+	c.Put("a", []byte("123"))  // 4 bytes
+	c.Put("b", []byte("4567")) // 5 bytes
+	if c.Bytes() != 9 || c.Len() != 2 {
+		t.Fatalf("bytes=%d len=%d", c.Bytes(), c.Len())
+	}
+	c.Put("c", []byte("89")) // 3 bytes → over 10, evicts "a"
+	if _, ok := c.Get("a"); ok {
+		t.Error("a survived byte eviction")
+	}
+	if c.Bytes() != 8 || c.Len() != 2 {
+		t.Errorf("after eviction bytes=%d len=%d", c.Bytes(), c.Len())
+	}
+	// An entry alone exceeding the bound is not cached.
+	c.Put("huge", []byte("0123456789ab"))
+	if _, ok := c.Get("huge"); ok {
+		t.Error("oversized entry cached")
+	}
+	// Refreshing an entry adjusts the byte account.
+	c.Put("b", []byte("4"))
+	if c.Bytes() != 5 {
+		t.Errorf("after refresh bytes=%d", c.Bytes())
+	}
+}

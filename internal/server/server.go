@@ -1,0 +1,472 @@
+// Package server exposes the view-materialization advisor as a JSON HTTP
+// API — the serving layer of cmd/mvcloudd.
+//
+// Endpoints:
+//
+//	POST /v1/advise  — solve one of the paper's scenarios (mv1/mv2/mv3)
+//	                   or sweep the pareto frontier for a JSON-described
+//	                   advisory problem
+//	GET  /v1/tariffs — the built-in provider catalog, structured and as
+//	                   pre-rendered tables
+//	GET  /v1/stats   — serving counters: requests, cache hits/misses,
+//	                   per-scenario breakdown
+//	GET  /healthz    — liveness probe
+//
+// The advisor is deterministic: the same advisory problem always yields
+// the same recommendation. Advise responses are therefore memoized in a
+// size-bounded LRU cache keyed by the canonicalized request (defaults
+// applied, workload resolved, tariff re-marshaled), so a repeated
+// configuration skips lattice construction, candidate generation and the
+// knapsack DP entirely. Handlers are safe for concurrent use; cached
+// bodies are immutable byte slices shared across readers.
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"vmcloud/internal/core"
+	"vmcloud/internal/money"
+	"vmcloud/internal/pricing"
+	"vmcloud/internal/report"
+)
+
+// Options tunes a Server. Zero values select sensible defaults.
+type Options struct {
+	// CacheSize bounds the advise cache entry count; default 256.
+	// Negative disables caching.
+	CacheSize int
+	// CacheMaxBytes bounds the resident bytes of each advise cache
+	// (responses and raw-body keys are bounded separately); default
+	// 64 MB. Negative removes the byte bound.
+	CacheMaxBytes int64
+	// RequestTimeout bounds one advise solve; default 30s. The solve
+	// itself is not cancellable mid-knapsack, so a timed-out request
+	// returns 503 while the orphaned solve finishes (and still warms the
+	// cache for the retry).
+	RequestTimeout time.Duration
+	// MaxFactRows rejects absurd dataset sizes; default 100 billion rows.
+	MaxFactRows int64
+	// MaxQueries bounds an explicit workload; default 64.
+	MaxQueries int
+	// MaxCandidates bounds candidate_budget; default 16 (the lattice has
+	// 16 cuboids).
+	MaxCandidates int
+	// MaxParetoSteps bounds a pareto sweep; default 101.
+	MaxParetoSteps int
+}
+
+func (o Options) withDefaults() Options {
+	if o.CacheSize == 0 {
+		o.CacheSize = 256
+	}
+	if o.CacheMaxBytes == 0 {
+		o.CacheMaxBytes = 64 << 20
+	}
+	if o.RequestTimeout == 0 {
+		o.RequestTimeout = 30 * time.Second
+	}
+	if o.MaxFactRows == 0 {
+		o.MaxFactRows = 100_000_000_000
+	}
+	if o.MaxQueries == 0 {
+		o.MaxQueries = 64
+	}
+	if o.MaxCandidates == 0 {
+		o.MaxCandidates = 16
+	}
+	if o.MaxParetoSteps == 0 {
+		o.MaxParetoSteps = 101
+	}
+	return o
+}
+
+// Server is the HTTP serving layer over the advisor core.
+type Server struct {
+	opts  Options
+	mux   *http.ServeMux
+	cache *lruCache
+	// rawKeys maps verbatim request bodies to their canonical cache key,
+	// letting byte-identical repeats skip JSON decoding and request
+	// canonicalization (which builds a lattice to resolve the workload).
+	rawKeys *lruCache
+	stats   *stats
+}
+
+// New builds a server.
+func New(opts Options) *Server {
+	s := &Server{
+		opts:  opts.withDefaults(),
+		stats: newStats(time.Now()),
+	}
+	s.cache = newLRUCache(s.opts.CacheSize, s.opts.CacheMaxBytes)
+	s.rawKeys = newLRUCache(s.opts.CacheSize, s.opts.CacheMaxBytes)
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/advise", s.counted("advise", s.handleAdvise))
+	s.mux.HandleFunc("GET /v1/tariffs", s.counted("tariffs", s.handleTariffs))
+	s.mux.HandleFunc("GET /v1/stats", s.counted("stats", s.handleStats))
+	s.mux.HandleFunc("GET /healthz", s.counted("healthz", s.handleHealthz))
+	return s
+}
+
+// ServeHTTP dispatches to the API mux.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func (s *Server) counted(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.stats.request(endpoint)
+		h(w, r)
+	}
+}
+
+// AdviseRequest is the body of POST /v1/advise: a scenario selector, its
+// parameter, and the advisory problem (flattened ConfigJSON fields).
+type AdviseRequest struct {
+	// Scenario is "mv1" (budget), "mv2" (deadline), "mv3" (tradeoff) or
+	// "pareto"; default "mv1".
+	Scenario string `json:"scenario,omitempty"`
+	// Budget is the MV1 spending limit ("$25.00" or a number of dollars);
+	// required for mv1.
+	Budget *money.Money `json:"budget,omitempty"`
+	// Limit is the MV2 response-time limit as a Go duration ("4h");
+	// required for mv2.
+	Limit string `json:"limit,omitempty"`
+	// Alpha is the MV3 weight on time in [0,1]; default 0.5.
+	Alpha *float64 `json:"alpha,omitempty"`
+	// Steps is the pareto sweep resolution; default 11.
+	Steps int `json:"steps,omitempty"`
+
+	core.ConfigJSON
+}
+
+// normalize canonicalizes the request in place: scenario defaults and
+// parameter validation, scenario-irrelevant parameters zeroed (so they
+// cannot fragment the cache), and the config fully resolved.
+func (s *Server) normalize(req *AdviseRequest) error {
+	req.Scenario = strings.ToLower(strings.TrimSpace(req.Scenario))
+	if req.Scenario == "" {
+		req.Scenario = "mv1"
+	}
+	switch req.Scenario {
+	case "mv1":
+		if req.Budget == nil {
+			return errors.New("budget required for scenario mv1")
+		}
+		if req.Budget.IsNegative() {
+			return fmt.Errorf("negative budget %v", *req.Budget)
+		}
+		req.Limit, req.Alpha, req.Steps = "", nil, 0
+	case "mv2":
+		if req.Limit == "" {
+			return errors.New("limit required for scenario mv2")
+		}
+		d, err := time.ParseDuration(req.Limit)
+		if err != nil {
+			return fmt.Errorf("limit: %v", err)
+		}
+		if d <= 0 {
+			return fmt.Errorf("non-positive limit %v", d)
+		}
+		req.Limit = d.String()
+		req.Budget, req.Alpha, req.Steps = nil, nil, 0
+	case "mv3":
+		if req.Alpha == nil {
+			a := 0.5
+			req.Alpha = &a
+		}
+		if *req.Alpha < 0 || *req.Alpha > 1 {
+			return fmt.Errorf("alpha %g out of [0,1]", *req.Alpha)
+		}
+		req.Budget, req.Limit, req.Steps = nil, "", 0
+	case "pareto":
+		if req.Steps == 0 {
+			req.Steps = 11
+		}
+		if req.Steps < 2 || req.Steps > s.opts.MaxParetoSteps {
+			return fmt.Errorf("steps %d out of [2,%d]", req.Steps, s.opts.MaxParetoSteps)
+		}
+		req.Budget, req.Limit, req.Alpha = nil, "", nil
+	default:
+		return fmt.Errorf("unknown scenario %q (want mv1, mv2, mv3 or pareto)", req.Scenario)
+	}
+	if err := req.ConfigJSON.Normalize(); err != nil {
+		return err
+	}
+	if req.FactRows > s.opts.MaxFactRows {
+		return fmt.Errorf("fact_rows %d exceeds the server limit %d", req.FactRows, s.opts.MaxFactRows)
+	}
+	if len(req.Workload) > s.opts.MaxQueries {
+		return fmt.Errorf("workload of %d queries exceeds the server limit %d", len(req.Workload), s.opts.MaxQueries)
+	}
+	if req.CandidateBudget > s.opts.MaxCandidates {
+		return fmt.Errorf("candidate_budget %d exceeds the server limit %d", req.CandidateBudget, s.opts.MaxCandidates)
+	}
+	return nil
+}
+
+// outcome is a finished solve: the marshaled response body or an error.
+type outcome struct {
+	body []byte
+	err  error
+}
+
+// AdviseResponse is the body of a successful POST /v1/advise.
+type AdviseResponse struct {
+	Scenario string `json:"scenario"`
+	// DatasetSize is the base cuboid volume the config implies.
+	DatasetSize string `json:"dataset_size"`
+	// Candidates is the size of the pre-selected candidate view pool.
+	Candidates     int                      `json:"candidates"`
+	Recommendation *core.RecommendationJSON `json:"recommendation,omitempty"`
+	Pareto         []core.ParetoPointJSON   `json:"pareto,omitempty"`
+}
+
+func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
+	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		s.stats.failure()
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("read request: %v", err))
+		return
+	}
+
+	// Fast path: a byte-identical body seen before maps straight to its
+	// canonical cache key (stored as "<scenario> <key>"), skipping JSON
+	// decoding and canonicalization — which builds a lattice to resolve
+	// the workload — on every repeat.
+	var req AdviseRequest
+	var key string
+	decoded := false
+	if packed, ok := s.rawKeys.Get(string(raw)); ok {
+		scenario, ck, found := strings.Cut(string(packed), " ")
+		if found {
+			req.Scenario, key = scenario, ck
+		}
+	}
+	if key == "" {
+		dec := json.NewDecoder(bytes.NewReader(raw))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			s.stats.failure()
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("parse request: %v", err))
+			return
+		}
+		if err := s.normalize(&req); err != nil {
+			s.stats.failure()
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		kb, err := json.Marshal(req)
+		if err != nil {
+			s.stats.failure()
+			writeError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		key = string(kb)
+		decoded = true
+		s.rawKeys.Put(string(raw), []byte(req.Scenario+" "+key))
+	}
+	if cached, ok := s.cache.Get(key); ok {
+		s.stats.advise(req.Scenario, true)
+		writeBody(w, http.StatusOK, cached, "hit")
+		return
+	}
+	if !decoded {
+		// The fast path skipped decoding but the response was evicted; the
+		// canonical key is itself a normalized request body, so rebuild
+		// the request from it before solving.
+		if err := json.Unmarshal([]byte(key), &req); err != nil {
+			s.stats.failure()
+			writeError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+	}
+
+	done := make(chan outcome, 1)
+	go func() {
+		resp, err := s.solve(req)
+		if err != nil {
+			done <- outcome{nil, err}
+			return
+		}
+		b, err := json.Marshal(resp)
+		if err == nil {
+			b = append(b, '\n')
+		}
+		done <- outcome{b, err}
+	}()
+
+	ctx := r.Context()
+	timeout := time.NewTimer(s.opts.RequestTimeout)
+	defer timeout.Stop()
+	select {
+	case out := <-done:
+		if out.err != nil {
+			s.stats.failure()
+			writeError(w, http.StatusBadRequest, out.err.Error())
+			return
+		}
+		s.cache.Put(key, out.body)
+		s.stats.advise(req.Scenario, false)
+		writeBody(w, http.StatusOK, out.body, "miss")
+	case <-timeout.C:
+		s.warmLater(key, done)
+		s.stats.failure()
+		writeError(w, http.StatusServiceUnavailable, "request timed out")
+	case <-ctx.Done():
+		s.warmLater(key, done)
+		s.stats.failure()
+		writeError(w, http.StatusServiceUnavailable, "request cancelled")
+	}
+}
+
+// warmLater lets an orphaned solve (timed-out or cancelled request)
+// finish in the background and warm the cache for the retry.
+func (s *Server) warmLater(key string, done <-chan outcome) {
+	go func() {
+		if out := <-done; out.err == nil {
+			s.cache.Put(key, out.body)
+		}
+	}()
+}
+
+// solve runs the expensive path: advisor construction (lattice +
+// candidate generation) and the scenario solve. The request is already
+// normalized, so the config resolves without re-canonicalizing.
+func (s *Server) solve(req AdviseRequest) (AdviseResponse, error) {
+	cfg, err := req.ConfigJSON.Resolve()
+	if err != nil {
+		return AdviseResponse{}, err
+	}
+	adv, err := core.New(cfg)
+	if err != nil {
+		return AdviseResponse{}, err
+	}
+	resp := AdviseResponse{
+		Scenario:    req.Scenario,
+		DatasetSize: core.DatasetSizeOf(adv).String(),
+		Candidates:  len(adv.Candidates),
+	}
+	switch req.Scenario {
+	case "mv1":
+		rec, err := adv.AdviseBudget(*req.Budget)
+		if err != nil {
+			return AdviseResponse{}, err
+		}
+		rj := rec.JSON()
+		resp.Recommendation = &rj
+	case "mv2":
+		limit, err := time.ParseDuration(req.Limit)
+		if err != nil {
+			return AdviseResponse{}, err
+		}
+		rec, err := adv.AdviseDeadline(limit)
+		if err != nil {
+			return AdviseResponse{}, err
+		}
+		rj := rec.JSON()
+		resp.Recommendation = &rj
+	case "mv3":
+		rec, err := adv.AdviseTradeoff(*req.Alpha)
+		if err != nil {
+			return AdviseResponse{}, err
+		}
+		rj := rec.JSON()
+		resp.Recommendation = &rj
+	case "pareto":
+		front, err := adv.ParetoFront(req.Steps)
+		if err != nil {
+			return AdviseResponse{}, err
+		}
+		resp.Pareto = core.ParetoJSON(front)
+	default:
+		return AdviseResponse{}, fmt.Errorf("unknown scenario %q", req.Scenario)
+	}
+	return resp, nil
+}
+
+// TariffsResponse is the body of GET /v1/tariffs: each built-in provider
+// in the pricing wire format, plus pre-rendered tables for display.
+type TariffsResponse struct {
+	Providers []json.RawMessage `json:"providers"`
+	Tables    []*report.Table   `json:"tables"`
+}
+
+func (s *Server) handleTariffs(w http.ResponseWriter, r *http.Request) {
+	var resp TariffsResponse
+	for _, name := range pricing.ProviderNames() {
+		p, err := pricing.Lookup(name)
+		if err != nil {
+			s.stats.failure()
+			writeError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		raw, err := pricing.MarshalProvider(p)
+		if err != nil {
+			s.stats.failure()
+			writeError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		resp.Providers = append(resp.Providers, raw)
+
+		ct := report.NewTable(fmt.Sprintf("%s — compute (%s billing)", p.Name, p.Compute.Granularity),
+			"instance", "$/hour", "RAM", "ECU", "local storage")
+		for _, in := range p.Compute.InstanceNames() {
+			it, _ := p.Compute.Instance(in)
+			ct.AddRow(it.Name, it.PricePerHour, it.RAM, it.ECU, it.LocalStorage)
+		}
+		st := report.NewTable(fmt.Sprintf("%s — storage ($/GB/month, %s)", p.Name, p.Storage.Table.Mode),
+			"up to", "price")
+		for _, tier := range p.Storage.Table.Tiers {
+			bound := "∞"
+			if tier.UpTo != 0 {
+				bound = tier.UpTo.String()
+			}
+			st.AddRow(bound, tier.PricePerGB)
+		}
+		resp.Tables = append(resp.Tables, ct, st)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	snap := s.stats.snapshot(time.Now(), s.cache.Len(), s.cache.Cap())
+	snap.Cache.Bytes = s.cache.Bytes() + s.rawKeys.Bytes()
+	writeJSON(w, http.StatusOK, snap)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeBody(w, status, append(b, '\n'), "")
+}
+
+// writeBody sends a pre-marshaled, newline-terminated JSON body. Cached
+// bodies are shared across goroutines, so the slice is never modified.
+func writeBody(w http.ResponseWriter, status int, body []byte, cache string) {
+	w.Header().Set("Content-Type", "application/json")
+	if cache != "" {
+		w.Header().Set("X-Cache", cache)
+	}
+	w.WriteHeader(status)
+	w.Write(body)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	b, _ := json.Marshal(map[string]string{"error": msg})
+	writeBody(w, status, append(b, '\n'), "")
+}

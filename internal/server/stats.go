@@ -1,0 +1,98 @@
+package server
+
+import (
+	"sync"
+	"time"
+)
+
+// stats aggregates serving counters for GET /v1/stats. A single mutex is
+// plenty: counter updates are nanoseconds next to an advisor solve.
+type stats struct {
+	mu         sync.Mutex
+	start      time.Time
+	requests   int64
+	byEndpoint map[string]int64
+	byScenario map[string]int64
+	hits       int64
+	misses     int64
+	errors     int64
+}
+
+func newStats(now time.Time) *stats {
+	return &stats{
+		start:      now,
+		byEndpoint: make(map[string]int64),
+		byScenario: make(map[string]int64),
+	}
+}
+
+func (s *stats) request(endpoint string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.requests++
+	s.byEndpoint[endpoint]++
+}
+
+func (s *stats) advise(scenario string, hit bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.byScenario[scenario]++
+	if hit {
+		s.hits++
+	} else {
+		s.misses++
+	}
+}
+
+func (s *stats) failure() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.errors++
+}
+
+// statsJSON is the wire form of the counters.
+type statsJSON struct {
+	UptimeSeconds float64          `json:"uptime_seconds"`
+	Requests      int64            `json:"requests"`
+	ByEndpoint    map[string]int64 `json:"by_endpoint"`
+	Advise        adviseStatsJSON  `json:"advise"`
+	Cache         cacheStatsJSON   `json:"cache"`
+}
+
+type adviseStatsJSON struct {
+	CacheHits   int64            `json:"cache_hits"`
+	CacheMisses int64            `json:"cache_misses"`
+	Errors      int64            `json:"errors"`
+	ByScenario  map[string]int64 `json:"by_scenario"`
+}
+
+type cacheStatsJSON struct {
+	Entries  int   `json:"entries"`
+	Capacity int   `json:"capacity"`
+	Bytes    int64 `json:"bytes"`
+}
+
+func (s *stats) snapshot(now time.Time, cacheLen, cacheCap int) statsJSON {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	byEndpoint := make(map[string]int64, len(s.byEndpoint))
+	for k, v := range s.byEndpoint {
+		byEndpoint[k] = v
+	}
+	byScenario := make(map[string]int64, len(s.byScenario))
+	for k, v := range s.byScenario {
+		byScenario[k] = v
+	}
+	return statsJSON{
+		UptimeSeconds: now.Sub(s.start).Seconds(),
+		Requests:      s.requests,
+		ByEndpoint:    byEndpoint,
+		Advise: adviseStatsJSON{
+			CacheHits:   s.hits,
+			CacheMisses: s.misses,
+			Errors:      s.errors,
+			ByScenario:  byScenario,
+		},
+		Cache: cacheStatsJSON{Entries: cacheLen, Capacity: cacheCap},
+	}
+}

@@ -1,0 +1,51 @@
+package units
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestDataSizeJSON(t *testing.T) {
+	b, err := json.Marshal(500 * GB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != `"500.00 GB"` {
+		t.Errorf("marshal = %s", b)
+	}
+	var got DataSize
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got != 500*GB {
+		t.Errorf("round trip = %v", got)
+	}
+}
+
+func TestDataSizeUnmarshalForms(t *testing.T) {
+	cases := []struct {
+		in   string
+		want DataSize
+	}{
+		{`"500GB"`, 500 * GB},
+		{`"1.5 TB"`, FromGB(1536)},
+		{`1024`, KB},
+		{`0`, 0},
+	}
+	for _, c := range cases {
+		var got DataSize
+		if err := json.Unmarshal([]byte(c.in), &got); err != nil {
+			t.Errorf("%s: %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("%s = %v, want %v", c.in, got, c.want)
+		}
+	}
+	for _, bad := range []string{`"huge"`, `true`, `[1]`} {
+		var got DataSize
+		if err := json.Unmarshal([]byte(bad), &got); err == nil {
+			t.Errorf("%s: accepted as %v", bad, got)
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package workload
+
+import (
+	"fmt"
+
+	"vmcloud/internal/lattice"
+)
+
+// QueryJSON is the wire form of a Query. A query's cuboid can be named
+// either by per-dimension level names ("year","country") or by the raw
+// lattice point ([2,3]); when both are present the levels win. Encoding
+// always emits both so responses are self-describing.
+type QueryJSON struct {
+	Name      string   `json:"name,omitempty"`
+	Levels    []string `json:"levels,omitempty"`
+	Point     []int    `json:"point,omitempty"`
+	Frequency int      `json:"frequency,omitempty"`
+}
+
+// JSON renders the workload in wire form, resolving level names against
+// the lattice's schema.
+func (w Workload) JSON(l *lattice.Lattice) []QueryJSON {
+	out := make([]QueryJSON, len(w.Queries))
+	for i, q := range w.Queries {
+		qj := QueryJSON{Name: q.Name, Point: q.Point, Frequency: q.Frequency}
+		if len(q.Point) == len(l.Schema.Dimensions) {
+			levels := make([]string, len(q.Point))
+			ok := true
+			for d, lv := range q.Point {
+				if lv < 0 || lv >= l.Schema.Dimensions[d].NumLevels() {
+					ok = false
+					break
+				}
+				levels[d] = l.Schema.Dimensions[d].Levels[lv].Name
+			}
+			if ok {
+				qj.Levels = levels
+			}
+		}
+		out[i] = qj
+	}
+	return out
+}
+
+// FromJSON resolves a wire workload against a lattice and validates it.
+// Frequencies default to 1.
+func FromJSON(l *lattice.Lattice, qs []QueryJSON) (Workload, error) {
+	if len(qs) == 0 {
+		return Workload{}, fmt.Errorf("workload: empty workload")
+	}
+	var w Workload
+	for i, qj := range qs {
+		var p lattice.Point
+		var err error
+		switch {
+		case len(qj.Levels) > 0:
+			p, err = l.PointOf(qj.Levels...)
+		case len(qj.Point) > 0:
+			p = lattice.Point(qj.Point).Clone()
+		default:
+			err = fmt.Errorf("no levels or point given")
+		}
+		if err == nil {
+			_, err = l.Node(p) // validate before naming
+		}
+		if err != nil {
+			return Workload{}, fmt.Errorf("workload: query %d: %w", i, err)
+		}
+		q := Query{Name: qj.Name, Point: p, Frequency: qj.Frequency}
+		if q.Frequency == 0 {
+			q.Frequency = 1
+		}
+		if q.Name == "" {
+			q.Name = l.Name(p)
+		}
+		w.Queries = append(w.Queries, q)
+	}
+	if err := w.Validate(l); err != nil {
+		return Workload{}, err
+	}
+	return w, nil
+}

@@ -1,0 +1,105 @@
+package workload
+
+import (
+	"encoding/json"
+	"testing"
+
+	"vmcloud/internal/lattice"
+	"vmcloud/internal/schema"
+)
+
+func testLattice(t *testing.T) *lattice.Lattice {
+	t.Helper()
+	l, err := lattice.New(schema.Sales(), 10_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestWorkloadJSONRoundTrip(t *testing.T) {
+	l := testLattice(t)
+	w, err := Sales(l, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range w.Queries {
+		w.Queries[i].Frequency = 7
+	}
+	wire := w.JSON(l)
+	if len(wire) != 5 {
+		t.Fatalf("wire len = %d", len(wire))
+	}
+	if wire[0].Levels[0] != "year" || wire[0].Levels[1] != "country" {
+		t.Errorf("first query levels = %v", wire[0].Levels)
+	}
+	if wire[0].Frequency != 7 {
+		t.Errorf("frequency = %d", wire[0].Frequency)
+	}
+	got, err := FromJSON(l, wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Queries) != len(w.Queries) {
+		t.Fatalf("round trip lost queries: %d vs %d", len(got.Queries), len(w.Queries))
+	}
+	for i := range got.Queries {
+		if !got.Queries[i].Point.Equal(w.Queries[i].Point) {
+			t.Errorf("query %d point %v != %v", i, got.Queries[i].Point, w.Queries[i].Point)
+		}
+		if got.Queries[i].Frequency != w.Queries[i].Frequency {
+			t.Errorf("query %d frequency %d != %d", i, got.Queries[i].Frequency, w.Queries[i].Frequency)
+		}
+	}
+}
+
+func TestFromJSONForms(t *testing.T) {
+	l := testLattice(t)
+	// Levels win over point; a bare point works; frequency defaults to 1;
+	// names are filled from the lattice.
+	w, err := FromJSON(l, []QueryJSON{
+		{Levels: []string{"year", "country"}, Point: []int{0, 0}},
+		{Point: []int{1, 2}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := l.PointOf("year", "country")
+	if !w.Queries[0].Point.Equal(want) {
+		t.Errorf("levels did not win: %v", w.Queries[0].Point)
+	}
+	if w.Queries[1].Frequency != 1 {
+		t.Errorf("default frequency = %d", w.Queries[1].Frequency)
+	}
+	if w.Queries[1].Name == "" {
+		t.Error("name not filled")
+	}
+}
+
+func TestFromJSONErrors(t *testing.T) {
+	l := testLattice(t)
+	cases := map[string][]QueryJSON{
+		"empty workload":     {},
+		"no coordinates":     {{Name: "mystery"}},
+		"unknown level":      {{Levels: []string{"eon", "country"}}},
+		"wrong level count":  {{Levels: []string{"year"}}},
+		"point out of range": {{Point: []int{99, 0}}},
+		"negative frequency": {{Point: []int{0, 0}, Frequency: -2}},
+	}
+	for name, qs := range cases {
+		if _, err := FromJSON(l, qs); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestQueryJSONWire(t *testing.T) {
+	b, err := json.Marshal(QueryJSON{Levels: []string{"year", "country"}, Frequency: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"levels":["year","country"],"frequency":3}`
+	if string(b) != want {
+		t.Errorf("marshal = %s, want %s", b, want)
+	}
+}

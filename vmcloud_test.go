@@ -1,6 +1,7 @@
 package vmcloud
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 	"time"
@@ -87,4 +88,42 @@ func TestFacadeDeadlineAndPareto(t *testing.T) {
 	if len(front) == 0 {
 		t.Error("empty Pareto front")
 	}
+}
+
+// ExampleNewAdvisor is the package quick start: build the paper's sales
+// lattice and workload, wire an advisor with the experimental defaults,
+// and solve scenario MV1 under a $50 monthly budget.
+func ExampleNewAdvisor() {
+	l, _ := NewLattice(SalesSchema(), 200_000_000)
+	w, _ := SalesWorkload(l, 10)
+	for i := range w.Queries {
+		w.Queries[i].Frequency = 30
+	}
+	adv, _ := NewAdvisor(AdvisorConfig{Workload: w})
+	rec, _ := adv.AdviseBudget(Dollars(50))
+	fmt.Println(rec.Scenario)
+	fmt.Println("feasible:", rec.Selection.Feasible)
+	fmt.Println("views:", len(rec.ViewNames))
+	// Output:
+	// MV1 (budget limit)
+	// feasible: true
+	// views: 8
+}
+
+// ExampleDollars shows the exact micro-dollar currency arithmetic used
+// throughout the cost models.
+func ExampleDollars() {
+	fmt.Println(Dollars(1.08))
+	fmt.Println(Dollars(0.5).Add(Dollars(0.7)))
+	// Output:
+	// $1.08
+	// $1.20
+}
+
+// ExampleParseMoney parses tariff-style price strings.
+func ExampleParseMoney() {
+	m, _ := ParseMoney("$0.12")
+	fmt.Println(m.MulFloat(24 * 5)) // five instances for a day
+	// Output:
+	// $14.40
 }
