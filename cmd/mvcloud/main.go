@@ -9,14 +9,26 @@
 //	mvcloud -scenario mv3 -alpha 0.65
 //	mvcloud -scenario pareto -steps 11
 //	mvcloud -tariffs            # print the built-in provider catalog
+//
+// The compare subcommand fans the same advisory problem out across every
+// provider in the catalog (or a chosen subset) and prints the ranked
+// cross-provider comparison — cost/time matrix, per-scenario winners and
+// budget break-even points:
+//
+//	mvcloud compare -budget 25.00 -limit 4h
+//	mvcloud compare -providers aws-2012,stratus -fleets 3,5 -json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
+	"vmcloud/internal/compare"
 	"vmcloud/internal/core"
 	"vmcloud/internal/costmodel"
 	"vmcloud/internal/lattice"
@@ -28,6 +40,13 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "compare" {
+		if err := runCompareArgs(os.Args[2:], os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "mvcloud compare:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	var (
 		scenario  = flag.String("scenario", "mv1", "mv1 (budget), mv2 (deadline), mv3 (tradeoff) or pareto")
 		budgetStr = flag.String("budget", "25.00", "MV1 budget in dollars")
@@ -179,4 +198,118 @@ func run(o runOpts) error {
 		return fmt.Errorf("unknown scenario %q (want mv1, mv2, mv3 or pareto)", o.scenario)
 	}
 	return nil
+}
+
+// runCompareArgs parses and runs the compare subcommand.
+func runCompareArgs(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("compare", flag.ContinueOnError)
+	var (
+		scenarios = fs.String("scenarios", "", "comma-separated subset of mv1,mv2,mv3,pareto (default: derived from -budget/-limit)")
+		budgetStr = fs.String("budget", "25.00", "MV1 budget in dollars")
+		limitStr  = fs.String("limit", "4h", "MV2 response-time limit (Go duration)")
+		alpha     = fs.Float64("alpha", 0.5, "MV3 weight on time (0..1)")
+		steps     = fs.Int("steps", 11, "pareto sweep steps per configuration")
+		queries   = fs.Int("queries", 10, "sales workload size (1..10)")
+		freq      = fs.Int("freq", 30, "executions of each query per month")
+		providers = fs.String("providers", "", "comma-separated tariff names (default: the full catalog)")
+		instances = fs.String("instances", "small", "comma-separated instance types to try")
+		fleets    = fs.String("fleets", "5", "comma-separated cluster sizes to try")
+		rows      = fs.Int64("rows", 200_000_000, "fact table rows (≈size/50B)")
+		breakEven = fs.Int("break-even", 8, "budget sweep resolution (negative disables)")
+		workers   = fs.Int("workers", 0, "fan-out worker pool size (0 = GOMAXPROCS, 1 = sequential)")
+		asJSON    = fs.Bool("json", false, "print the comparison in the /v1/compare wire format")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	req, err := buildCompareRequest(compareOpts{
+		scenarios: *scenarios, budget: *budgetStr, limit: *limitStr, alpha: *alpha,
+		steps: *steps, queries: *queries, freq: *freq, providers: *providers,
+		instances: *instances, fleets: *fleets, rows: *rows, breakEven: *breakEven,
+		workers: *workers,
+	})
+	if err != nil {
+		return err
+	}
+	comp, err := compare.Run(req)
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(comp.JSON())
+	}
+	fmt.Fprint(out, comp.Render())
+	return nil
+}
+
+type compareOpts struct {
+	scenarios, budget, limit     string
+	alpha                        float64
+	steps, queries, freq         int
+	providers, instances, fleets string
+	rows                         int64
+	breakEven, workers           int
+}
+
+func buildCompareRequest(o compareOpts) (compare.Request, error) {
+	budget, err := money.Parse(o.budget)
+	if err != nil {
+		return compare.Request{}, err
+	}
+	limit, err := time.ParseDuration(o.limit)
+	if err != nil {
+		return compare.Request{}, err
+	}
+	l, err := lattice.New(schema.Sales(), o.rows)
+	if err != nil {
+		return compare.Request{}, err
+	}
+	w, err := workload.Sales(l, o.queries)
+	if err != nil {
+		return compare.Request{}, err
+	}
+	for i := range w.Queries {
+		w.Queries[i].Frequency = o.freq
+	}
+	req := compare.Request{
+		Workload:       w,
+		FactRows:       o.rows,
+		Budget:         budget,
+		Limit:          limit,
+		Alpha:          o.alpha,
+		Steps:          o.steps,
+		BreakEvenSteps: o.breakEven,
+		Workers:        o.workers,
+	}
+	if o.scenarios != "" {
+		req.Scenarios = splitList(o.scenarios)
+	}
+	for _, name := range splitList(o.providers) {
+		p, err := pricing.Lookup(name)
+		if err != nil {
+			return compare.Request{}, err
+		}
+		req.Providers = append(req.Providers, p)
+	}
+	req.InstanceTypes = splitList(o.instances)
+	for _, f := range splitList(o.fleets) {
+		n, err := strconv.Atoi(f)
+		if err != nil {
+			return compare.Request{}, fmt.Errorf("bad fleet size %q: %v", f, err)
+		}
+		req.FleetSizes = append(req.FleetSizes, n)
+	}
+	return req, nil
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
 }

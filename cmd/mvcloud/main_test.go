@@ -1,6 +1,9 @@
 package main
 
-import "testing"
+import (
+	"os"
+	"testing"
+)
 
 func TestRunScenarios(t *testing.T) {
 	const rows = 10_000_000 // keep lattice math fast
@@ -44,4 +47,50 @@ func TestRunErrors(t *testing.T) {
 
 func TestPrintTariffs(t *testing.T) {
 	printTariffs() // must not panic
+}
+
+func TestBuildCompareRequest(t *testing.T) {
+	req, err := buildCompareRequest(compareOpts{
+		budget: "25.00", limit: "4h", alpha: 0.5, steps: 5, queries: 5, freq: 30,
+		providers: "aws-2012, stratus", instances: "small,large", fleets: "3,5",
+		rows: 10_000_000, breakEven: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(req.Providers) != 2 || req.Providers[0].Name != "aws-2012" {
+		t.Errorf("providers = %v", req.Providers)
+	}
+	if len(req.InstanceTypes) != 2 || len(req.FleetSizes) != 2 {
+		t.Errorf("grid = %v × %v", req.InstanceTypes, req.FleetSizes)
+	}
+	if req.BreakEvenSteps != -1 {
+		t.Errorf("break-even = %d", req.BreakEvenSteps)
+	}
+}
+
+func TestRunCompareArgs(t *testing.T) {
+	args := []string{"-rows", "10000000", "-queries", "4", "-fleets", "5",
+		"-budget", "25.00", "-limit", "4h", "-break-even", "3"}
+	if err := runCompareArgs(args, os.Stdout); err != nil {
+		t.Errorf("table output: %v", err)
+	}
+	if err := runCompareArgs(append(args, "-json"), os.Stdout); err != nil {
+		t.Errorf("json output: %v", err)
+	}
+}
+
+func TestRunCompareArgsErrors(t *testing.T) {
+	for name, args := range map[string][]string{
+		"unknown provider": {"-providers", "atlantis", "-rows", "10000000"},
+		"bad budget":       {"-budget", "not-money", "-rows", "10000000"},
+		"bad limit":        {"-limit", "not-a-duration", "-rows", "10000000"},
+		"bad fleet":        {"-fleets", "three", "-rows", "10000000"},
+		"bad scenario":     {"-scenarios", "warp", "-rows", "10000000"},
+		"unknown flag":     {"-warp-factor", "9"},
+	} {
+		if err := runCompareArgs(args, os.Stdout); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
 }

@@ -11,6 +11,8 @@
 // Endpoints:
 //
 //	POST /v1/advise   solve mv1/mv2/mv3 or sweep the pareto frontier
+//	POST /v1/compare  fan the problem out across provider × instance ×
+//	                  fleet configurations and rank the outcomes
 //	GET  /v1/tariffs  the built-in provider catalog
 //	GET  /v1/stats    serving and cache counters
 //	GET  /healthz     liveness probe
@@ -18,6 +20,7 @@
 // Example:
 //
 //	curl -s localhost:8080/v1/advise -d '{"scenario":"mv1","budget":25}'
+//	curl -s localhost:8080/v1/compare -d '{"budget":25,"limit":"4h"}'
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM, draining in-flight
 // requests for up to -shutdown-grace.
@@ -48,6 +51,8 @@ func main() {
 		graceTO  = flag.Duration("shutdown-grace", 10*time.Second, "graceful shutdown drain window")
 		maxRows  = flag.Int64("max-fact-rows", 0, "largest accepted fact_rows (0 = server default)")
 		maxSteps = flag.Int("max-pareto-steps", 0, "largest accepted pareto sweep (0 = server default)")
+		maxGrid  = flag.Int("max-compare-configs", 0, "largest accepted compare grid (0 = server default)")
+		cmpWork  = flag.Int("compare-workers", 0, "compare fan-out worker pool size (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -56,6 +61,7 @@ func main() {
 	if err := run(ctx, options{
 		addr: *addr, cacheSize: *cache, cacheMaxBytes: *cacheMB << 20, requestTimeout: *reqTO,
 		shutdownGrace: *graceTO, maxFactRows: *maxRows, maxParetoSteps: *maxSteps,
+		maxCompareConfigs: *maxGrid, compareWorkers: *cmpWork,
 		logf: log.Printf,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "mvcloudd:", err)
@@ -64,13 +70,15 @@ func main() {
 }
 
 type options struct {
-	addr           string
-	cacheSize      int
-	cacheMaxBytes  int64
-	requestTimeout time.Duration
-	shutdownGrace  time.Duration
-	maxFactRows    int64
-	maxParetoSteps int
+	addr              string
+	cacheSize         int
+	cacheMaxBytes     int64
+	requestTimeout    time.Duration
+	shutdownGrace     time.Duration
+	maxFactRows       int64
+	maxParetoSteps    int
+	maxCompareConfigs int
+	compareWorkers    int
 	// ready, if non-nil, receives the bound address once listening —
 	// lets tests use ":0" and discover the port.
 	ready chan<- string
@@ -83,11 +91,13 @@ func run(ctx context.Context, o options) error {
 		o.logf = func(string, ...any) {}
 	}
 	api := server.New(server.Options{
-		CacheSize:      o.cacheSize,
-		CacheMaxBytes:  o.cacheMaxBytes,
-		RequestTimeout: o.requestTimeout,
-		MaxFactRows:    o.maxFactRows,
-		MaxParetoSteps: o.maxParetoSteps,
+		CacheSize:         o.cacheSize,
+		CacheMaxBytes:     o.cacheMaxBytes,
+		RequestTimeout:    o.requestTimeout,
+		MaxFactRows:       o.maxFactRows,
+		MaxParetoSteps:    o.maxParetoSteps,
+		MaxCompareConfigs: o.maxCompareConfigs,
+		CompareWorkers:    o.compareWorkers,
 	})
 	hs := &http.Server{
 		Handler:           api,

@@ -1,0 +1,650 @@
+// Package compare answers the question the single-provider advisor
+// cannot: "which cloud should this workload run on, and with which
+// materialized views?" It fans the advisor out across every requested
+// provider × instance type × cluster size configuration on a bounded
+// worker pool — one core.Advisor (and thus one optimizer.Evaluator) per
+// configuration, solves running concurrently — and merges the results
+// deterministically into a ranked Comparison: the full cost/time matrix,
+// the per-scenario winner, a cross-provider Pareto frontier, and the
+// budget break-even points where the winning provider flips.
+//
+// This is the multi-CSP extension the paper lists as future work (§8),
+// in the spirit of Perriot et al.'s cross-tariff cost models.
+package compare
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"vmcloud/internal/core"
+	"vmcloud/internal/money"
+	"vmcloud/internal/pricing"
+	"vmcloud/internal/report"
+	"vmcloud/internal/units"
+	"vmcloud/internal/views"
+	"vmcloud/internal/workload"
+)
+
+// Scenario names accepted by Request.Scenarios, in canonical order.
+var scenarioOrder = []string{"mv1", "mv2", "mv3", "pareto"}
+
+// Defaults shared by the native (Request) and wire (RequestJSON)
+// normalization paths — change them here and both stay in sync.
+const (
+	defaultInstanceType   = "small"
+	defaultFleetSize      = 5
+	defaultAlpha          = 0.5
+	defaultParetoSteps    = 11
+	defaultBreakEvenSteps = 8
+)
+
+// canonScenarios validates a scenario list and returns it as a fresh
+// slice in canonical order with duplicates collapsed. An empty list
+// derives the set from which parameters were given: mv1 when a budget
+// was, mv2 when a limit was, and mv3 always (pareto only explicitly).
+// Both the native and the JSON request forms canonicalize through here,
+// so the CLI/facade and the server can never disagree on scenario rules.
+func canonScenarios(explicit []string, haveBudget, haveLimit bool) ([]string, error) {
+	want := map[string]bool{}
+	if len(explicit) == 0 {
+		want["mv3"] = true
+		if haveBudget {
+			want["mv1"] = true
+		}
+		if haveLimit {
+			want["mv2"] = true
+		}
+	}
+	for _, s := range explicit {
+		switch s {
+		case "mv1", "mv2", "mv3", "pareto":
+			want[s] = true
+		default:
+			return nil, fmt.Errorf("compare: unknown scenario %q (want mv1, mv2, mv3 or pareto)", s)
+		}
+	}
+	out := make([]string, 0, len(want))
+	for _, s := range scenarioOrder {
+		if want[s] {
+			out = append(out, s)
+		}
+	}
+	return out, nil
+}
+
+// Request describes a cross-provider comparison. Zero values follow the
+// repo convention of selecting the paper's experimental defaults.
+type Request struct {
+	// Providers are the tariffs to compare; empty means the full built-in
+	// catalog (pricing.Catalog).
+	Providers []pricing.Provider
+	// InstanceTypes are the configuration names to try on each provider;
+	// empty means {"small"}. Types a provider does not offer are skipped
+	// (recorded in Comparison.Skipped).
+	InstanceTypes []string
+	// FleetSizes are the cluster sizes (nbIC) to try; empty means {5}.
+	FleetSizes []int
+
+	// Workload is required: the queries every configuration is priced for.
+	Workload workload.Workload
+	// FactRows, Months, CandidateBudget, MaintenanceRuns, UpdateRatio,
+	// MaintenancePolicy and JobOverhead parameterize each advisory problem
+	// exactly as core.Config does (zero values = paper defaults).
+	FactRows          int64
+	Months            float64
+	CandidateBudget   int
+	MaintenanceRuns   int
+	UpdateRatio       float64
+	MaintenancePolicy views.MaintenancePolicy
+	JobOverhead       time.Duration
+
+	// Scenarios selects which objectives to solve per configuration, from
+	// "mv1", "mv2", "mv3" and "pareto". Empty derives the set from the
+	// parameters given: mv1 when Budget > 0, mv2 when Limit > 0, and mv3
+	// always (pareto only when named explicitly).
+	Scenarios []string
+	// Budget is the MV1 spending limit; required when mv1 is requested.
+	Budget money.Money
+	// Limit is the MV2 response-time limit; required when mv2 is requested.
+	Limit time.Duration
+	// Alpha is the MV3 weight on time; zero selects 0.5.
+	Alpha float64
+	// Steps is the per-configuration pareto sweep resolution; zero
+	// selects 11.
+	Steps int
+
+	// BreakEvenSteps is the resolution of the budget sweep used to locate
+	// winner flips (mv1 only): budgets are spaced evenly over
+	// [Budget/2, 2·Budget]. Zero selects 8; negative disables the sweep.
+	BreakEvenSteps int
+
+	// Workers bounds the fan-out worker pool; zero selects GOMAXPROCS.
+	// One worker reproduces the sequential baseline.
+	Workers int
+}
+
+// Key identifies one fanned-out configuration.
+type Key struct {
+	Provider     string `json:"provider"`
+	InstanceType string `json:"instance_type"`
+	Instances    int    `json:"instances"`
+}
+
+// String renders "provider/instance×n".
+func (k Key) String() string {
+	return fmt.Sprintf("%s/%s×%d", k.Provider, k.InstanceType, k.Instances)
+}
+
+func (k Key) less(o Key) bool {
+	if k.Provider != o.Provider {
+		return k.Provider < o.Provider
+	}
+	if k.InstanceType != o.InstanceType {
+		return k.InstanceType < o.InstanceType
+	}
+	return k.Instances < o.Instances
+}
+
+// ScenarioResult is one solved objective for one configuration.
+type ScenarioResult struct {
+	Scenario string
+	Rec      core.Recommendation
+}
+
+// ConfigResult is one row of the comparison matrix: every requested
+// scenario solved for one provider × instance × fleet configuration.
+type ConfigResult struct {
+	Key
+	DatasetSize units.DataSize
+	// Results holds one entry per requested mv scenario, in canonical
+	// scenario order.
+	Results []ScenarioResult
+	// Pareto is this configuration's frontier (when "pareto" is requested).
+	Pareto []core.ParetoPoint
+	// breakEven[i] is this configuration's mv1 outcome at sweep budget i.
+	breakEven []budgetOutcome
+}
+
+// Result returns the recommendation solved for the given scenario.
+func (c ConfigResult) Result(scenario string) (core.Recommendation, bool) {
+	for _, r := range c.Results {
+		if r.Scenario == scenario {
+			return r.Rec, true
+		}
+	}
+	return core.Recommendation{}, false
+}
+
+// budgetOutcome is one cell of the break-even sweep.
+type budgetOutcome struct {
+	time     time.Duration
+	cost     money.Money
+	feasible bool
+}
+
+// Winner names the best configuration for one scenario.
+type Winner struct {
+	Scenario string
+	Key
+	Time     time.Duration
+	Cost     money.Money
+	Feasible bool
+}
+
+// ParetoEntry is one point of the merged cross-provider frontier.
+type ParetoEntry struct {
+	Key
+	Point core.ParetoPoint
+}
+
+// Flip marks a budget at which the winning configuration changes.
+type Flip struct {
+	// Budget is the first sweep budget at which To leads.
+	Budget money.Money
+	From   Key
+	To     Key
+}
+
+// BreakEven is the budget sweep: the mv1 winner at each budget and the
+// flip points between consecutive sweep budgets. Flip budgets are exact
+// only to the sweep resolution.
+type BreakEven struct {
+	Budgets []money.Money
+	Winners []Key
+	Flips   []Flip
+}
+
+// Comparison is the merged, deterministically ordered report.
+type Comparison struct {
+	// Scenarios echoes the solved scenario set in canonical order.
+	Scenarios []string
+	// Configs is the full matrix, sorted by provider, instance type, fleet.
+	Configs []ConfigResult
+	// Winners holds one entry per mv scenario, in canonical order.
+	Winners []Winner
+	// Pareto is the global non-dominated frontier across all
+	// configurations (when "pareto" is requested).
+	Pareto []ParetoEntry
+	// BreakEven is the mv1 budget sweep (nil when disabled or mv1 absent).
+	BreakEven *BreakEven
+	// Skipped lists configurations dropped because the provider does not
+	// offer the instance type.
+	Skipped []Key
+}
+
+// normalized is a validated request with every default applied.
+type normalized struct {
+	Request
+	scenarios    map[string]bool
+	sweepBudgets []money.Money
+}
+
+func (r Request) normalize() (normalized, error) {
+	n := normalized{Request: r, scenarios: map[string]bool{}}
+	if len(n.Providers) == 0 {
+		cat := pricing.Catalog()
+		for _, name := range pricing.ProviderNames() {
+			n.Providers = append(n.Providers, cat[name])
+		}
+	}
+	seen := map[string]bool{}
+	for _, p := range n.Providers {
+		if err := p.Validate(); err != nil {
+			return normalized{}, err
+		}
+		if seen[p.Name] {
+			return normalized{}, fmt.Errorf("compare: duplicate provider %q", p.Name)
+		}
+		seen[p.Name] = true
+	}
+	if len(n.InstanceTypes) == 0 {
+		n.InstanceTypes = []string{defaultInstanceType}
+	}
+	n.InstanceTypes = dedupeSorted(n.InstanceTypes)
+	if len(n.FleetSizes) == 0 {
+		n.FleetSizes = []int{defaultFleetSize}
+	}
+	n.FleetSizes = dedupeSortedInts(n.FleetSizes)
+	for _, f := range n.FleetSizes {
+		if f < 1 {
+			return normalized{}, fmt.Errorf("compare: fleet size %d < 1", f)
+		}
+	}
+	var err error
+	n.Request.Scenarios, err = canonScenarios(n.Request.Scenarios, n.Budget > 0, n.Limit > 0)
+	if err != nil {
+		return normalized{}, err
+	}
+	for _, s := range n.Request.Scenarios {
+		n.scenarios[s] = true
+	}
+	if n.scenarios["mv1"] && n.Budget <= 0 {
+		return normalized{}, fmt.Errorf("compare: scenario mv1 requires a positive budget")
+	}
+	if n.scenarios["mv2"] && n.Limit <= 0 {
+		return normalized{}, fmt.Errorf("compare: scenario mv2 requires a positive limit")
+	}
+	if n.Alpha == 0 {
+		n.Alpha = defaultAlpha
+	}
+	if n.Alpha < 0 || n.Alpha > 1 {
+		return normalized{}, fmt.Errorf("compare: alpha %g out of [0,1]", n.Alpha)
+	}
+	if n.Steps == 0 {
+		n.Steps = defaultParetoSteps
+	}
+	if n.scenarios["pareto"] && n.Steps < 2 {
+		return normalized{}, fmt.Errorf("compare: pareto needs at least 2 steps, got %d", n.Steps)
+	}
+	if n.BreakEvenSteps == 0 {
+		n.BreakEvenSteps = defaultBreakEvenSteps
+	}
+	if n.scenarios["mv1"] && n.BreakEvenSteps >= 2 {
+		lo, hi := n.Budget.DivInt(2), n.Budget.MulInt(2)
+		for i := 0; i < n.BreakEvenSteps; i++ {
+			frac := float64(i) / float64(n.BreakEvenSteps-1)
+			n.sweepBudgets = append(n.sweepBudgets, lo.Add(hi.Sub(lo).MulFloat(frac)))
+		}
+	}
+	if n.Workers == 0 {
+		n.Workers = runtime.GOMAXPROCS(0)
+	}
+	if n.Workers < 1 {
+		n.Workers = 1
+	}
+	return n, nil
+}
+
+// cells expands the provider × instance × fleet grid in deterministic
+// order, separating configurations whose instance type the provider does
+// not offer.
+func (n normalized) cells() (keys []Key, providers []pricing.Provider, skipped []Key) {
+	provs := append([]pricing.Provider(nil), n.Providers...)
+	sort.Slice(provs, func(i, j int) bool { return provs[i].Name < provs[j].Name })
+	types := append([]string(nil), n.InstanceTypes...)
+	sort.Strings(types)
+	fleets := append([]int(nil), n.FleetSizes...)
+	sort.Ints(fleets)
+	for _, p := range provs {
+		for _, it := range types {
+			_, offered := p.Compute.Instances[it]
+			for _, f := range fleets {
+				k := Key{Provider: p.Name, InstanceType: it, Instances: f}
+				if !offered {
+					skipped = append(skipped, k)
+					continue
+				}
+				keys = append(keys, k)
+				providers = append(providers, p)
+			}
+		}
+	}
+	return keys, providers, skipped
+}
+
+// Run solves every configuration on a bounded worker pool and merges the
+// outcomes. The result is deterministic: identical requests produce
+// identical comparisons regardless of worker count, scheduling, or the
+// order providers were listed in.
+func Run(req Request) (*Comparison, error) {
+	n, err := req.normalize()
+	if err != nil {
+		return nil, err
+	}
+	keys, providers, skipped := n.cells()
+	if len(keys) == 0 {
+		return nil, fmt.Errorf("compare: no runnable configurations (every provider × instance pairing was skipped)")
+	}
+
+	results := make([]ConfigResult, len(keys))
+	errs := make([]error, len(keys))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	workers := n.Workers
+	if workers > len(keys) {
+		workers = len(keys)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				results[i], errs[i] = n.solveCell(keys[i], providers[i])
+			}
+		}()
+	}
+	for i := range keys {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("compare: %s: %w", keys[i], err)
+		}
+	}
+
+	comp := &Comparison{
+		Scenarios: append([]string(nil), n.Request.Scenarios...),
+		Configs:   results,
+		Skipped:   skipped,
+	}
+	for _, s := range n.Request.Scenarios {
+		if s == "pareto" {
+			comp.Pareto = mergeFrontiers(results)
+			continue
+		}
+		comp.Winners = append(comp.Winners, pickWinner(s, n.Alpha, results))
+	}
+	if len(n.sweepBudgets) > 0 {
+		comp.BreakEven = buildBreakEven(n.sweepBudgets, results)
+	}
+	return comp, nil
+}
+
+// solveCell builds one advisor and solves every requested scenario plus
+// the break-even budget sweep. Each cell owns its advisor (and therefore
+// its Evaluator), so cells are fully independent and safe to run
+// concurrently.
+func (n normalized) solveCell(k Key, prov pricing.Provider) (ConfigResult, error) {
+	p := prov.Clone()
+	adv, err := core.New(core.Config{
+		Provider:          &p,
+		InstanceType:      k.InstanceType,
+		Instances:         k.Instances,
+		FactRows:          n.FactRows,
+		Months:            n.Months,
+		Workload:          n.Workload,
+		CandidateBudget:   n.CandidateBudget,
+		MaintenanceRuns:   n.MaintenanceRuns,
+		UpdateRatio:       n.UpdateRatio,
+		MaintenancePolicy: n.MaintenancePolicy,
+		JobOverhead:       n.JobOverhead,
+	})
+	if err != nil {
+		return ConfigResult{}, err
+	}
+	out := ConfigResult{Key: k, DatasetSize: core.DatasetSizeOf(adv)}
+	for _, s := range n.Request.Scenarios {
+		var rec core.Recommendation
+		switch s {
+		case "mv1":
+			rec, err = adv.AdviseBudget(n.Budget)
+		case "mv2":
+			rec, err = adv.AdviseDeadline(n.Limit)
+		case "mv3":
+			rec, err = adv.AdviseTradeoff(n.Alpha)
+		case "pareto":
+			out.Pareto, err = adv.ParetoFront(n.Steps)
+			if err != nil {
+				return ConfigResult{}, err
+			}
+			continue
+		}
+		if err != nil {
+			return ConfigResult{}, err
+		}
+		out.Results = append(out.Results, ScenarioResult{Scenario: s, Rec: rec})
+	}
+	for _, b := range n.sweepBudgets {
+		sel, err := adv.Ev.SolveMV1(adv.Candidates, b)
+		if err != nil {
+			return ConfigResult{}, err
+		}
+		out.breakEven = append(out.breakEven, budgetOutcome{
+			time:     sel.Time,
+			cost:     sel.Bill.Total(),
+			feasible: sel.Feasible,
+		})
+	}
+	return out, nil
+}
+
+// better reports whether outcome a beats b under the scenario's ranking:
+// mv1 prefers feasible, then faster, then cheaper; mv2 prefers feasible,
+// then cheaper, then faster; mv3 minimizes α·T[h] + (1−α)·C[$] (the raw
+// Formula 15 objective — cross-provider comparison needs absolute units).
+// Key order breaks remaining ties, so rankings are total and
+// deterministic.
+func better(scenario string, alpha float64, a, b Winner) bool {
+	if a.Feasible != b.Feasible {
+		return a.Feasible
+	}
+	switch scenario {
+	case "mv1":
+		if a.Time != b.Time {
+			return a.Time < b.Time
+		}
+		if a.Cost != b.Cost {
+			return a.Cost < b.Cost
+		}
+	case "mv2":
+		if a.Cost != b.Cost {
+			return a.Cost < b.Cost
+		}
+		if a.Time != b.Time {
+			return a.Time < b.Time
+		}
+	default: // mv3
+		oa := alpha*a.Time.Hours() + (1-alpha)*a.Cost.Dollars()
+		ob := alpha*b.Time.Hours() + (1-alpha)*b.Cost.Dollars()
+		if oa != ob {
+			return oa < ob
+		}
+	}
+	return a.Key.less(b.Key)
+}
+
+func pickWinner(scenario string, alpha float64, configs []ConfigResult) Winner {
+	var best Winner
+	first := true
+	for _, c := range configs {
+		rec, ok := c.Result(scenario)
+		if !ok {
+			continue
+		}
+		w := Winner{
+			Scenario: scenario,
+			Key:      c.Key,
+			Time:     rec.Selection.Time,
+			Cost:     rec.Selection.Bill.Total(),
+			Feasible: rec.Selection.Feasible,
+		}
+		if first || better(scenario, alpha, w, best) {
+			best, first = w, false
+		}
+	}
+	return best
+}
+
+// mergeFrontiers flattens every configuration's frontier and keeps the
+// globally non-dominated points, ordered by time then cost then key.
+func mergeFrontiers(configs []ConfigResult) []ParetoEntry {
+	var all []ParetoEntry
+	for _, c := range configs {
+		for _, p := range c.Pareto {
+			all = append(all, ParetoEntry{Key: c.Key, Point: p})
+		}
+	}
+	var front []ParetoEntry
+	for i, p := range all {
+		dominated := false
+		for j, q := range all {
+			if i == j {
+				continue
+			}
+			if q.Point.Time <= p.Point.Time && q.Point.Cost <= p.Point.Cost &&
+				(q.Point.Time < p.Point.Time || q.Point.Cost < p.Point.Cost) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			front = append(front, p)
+		}
+	}
+	sort.Slice(front, func(i, j int) bool {
+		if front[i].Point.Time != front[j].Point.Time {
+			return front[i].Point.Time < front[j].Point.Time
+		}
+		if front[i].Point.Cost != front[j].Point.Cost {
+			return front[i].Point.Cost < front[j].Point.Cost
+		}
+		return front[i].Key.less(front[j].Key)
+	})
+	// Collapse duplicate (time, cost) points: keep the first key.
+	out := front[:0]
+	for _, p := range front {
+		if len(out) > 0 && out[len(out)-1].Point.Time == p.Point.Time && out[len(out)-1].Point.Cost == p.Point.Cost {
+			continue
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+func buildBreakEven(budgets []money.Money, configs []ConfigResult) *BreakEven {
+	be := &BreakEven{Budgets: budgets}
+	for bi := range budgets {
+		var best Winner
+		first := true
+		for _, c := range configs {
+			o := c.breakEven[bi]
+			w := Winner{Key: c.Key, Time: o.time, Cost: o.cost, Feasible: o.feasible}
+			if first || better("mv1", 0.5, w, best) {
+				best, first = w, false
+			}
+		}
+		be.Winners = append(be.Winners, best.Key)
+	}
+	for i := 1; i < len(be.Winners); i++ {
+		if be.Winners[i] != be.Winners[i-1] {
+			be.Flips = append(be.Flips, Flip{Budget: budgets[i], From: be.Winners[i-1], To: be.Winners[i]})
+		}
+	}
+	return be
+}
+
+// Render produces the human-readable comparison report.
+func (c *Comparison) Render() string {
+	var sb strings.Builder
+	for _, s := range c.Scenarios {
+		if s == "pareto" {
+			continue
+		}
+		t := report.NewTable(fmt.Sprintf("scenario %s — cost/time matrix", s),
+			"configuration", "workload time", "total cost", "feasible", "views")
+		for _, cfg := range c.Configs {
+			rec, ok := cfg.Result(s)
+			if !ok {
+				continue
+			}
+			t.AddRow(cfg.Key.String(),
+				fmt.Sprintf("%.3fh", rec.Selection.Time.Hours()),
+				rec.Selection.Bill.Total(),
+				rec.Selection.Feasible,
+				len(rec.Selection.Points))
+		}
+		sb.WriteString(t.String())
+	}
+	if len(c.Winners) > 0 {
+		t := report.NewTable("winners", "scenario", "configuration", "workload time", "total cost", "feasible")
+		for _, w := range c.Winners {
+			t.AddRow(w.Scenario, w.Key.String(), fmt.Sprintf("%.3fh", w.Time.Hours()), w.Cost, w.Feasible)
+		}
+		sb.WriteString(t.String())
+	}
+	if len(c.Pareto) > 0 {
+		t := report.NewTable("cross-provider pareto frontier", "configuration", "α", "workload time", "cost", "views")
+		for _, p := range c.Pareto {
+			t.AddRow(p.Key.String(), fmt.Sprintf("%.2f", p.Point.Alpha),
+				fmt.Sprintf("%.3fh", p.Point.Time.Hours()), p.Point.Cost, p.Point.Views)
+		}
+		sb.WriteString(t.String())
+	}
+	if c.BreakEven != nil {
+		t := report.NewTable("budget break-even sweep (mv1 winner per budget)", "budget", "winner")
+		for i, b := range c.BreakEven.Budgets {
+			t.AddRow(b, c.BreakEven.Winners[i].String())
+		}
+		sb.WriteString(t.String())
+		for _, f := range c.BreakEven.Flips {
+			fmt.Fprintf(&sb, "winner flips from %s to %s at ≈%v\n", f.From, f.To, f.Budget)
+		}
+		if len(c.BreakEven.Flips) == 0 {
+			sb.WriteString("no winner flips across the swept budget range\n")
+		}
+	}
+	if len(c.Skipped) > 0 {
+		names := make([]string, len(c.Skipped))
+		for i, k := range c.Skipped {
+			names[i] = k.String()
+		}
+		fmt.Fprintf(&sb, "skipped (instance type not offered): %s\n", strings.Join(names, ", "))
+	}
+	return sb.String()
+}

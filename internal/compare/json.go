@@ -1,0 +1,349 @@
+package compare
+
+import (
+	"fmt"
+	"slices"
+	"time"
+
+	"vmcloud/internal/core"
+	"vmcloud/internal/lattice"
+	"vmcloud/internal/money"
+	"vmcloud/internal/pricing"
+	"vmcloud/internal/schema"
+	"vmcloud/internal/views"
+	"vmcloud/internal/workload"
+)
+
+// RequestJSON is the wire form of Request, as accepted by POST
+// /v1/compare. It embeds the advise ConfigJSON for the shared problem
+// fields (fact_rows, months, workload, ...); the per-configuration
+// fields (provider, instance_type, instances) are replaced by the
+// fan-out lists and must be left empty.
+type RequestJSON struct {
+	// Scenarios selects the objectives ("mv1", "mv2", "mv3", "pareto");
+	// empty derives the set from the parameters given (see Request).
+	Scenarios []string `json:"scenarios,omitempty"`
+	// Budget is the MV1 spending limit ("$25.00" or a number of dollars).
+	Budget *money.Money `json:"budget,omitempty"`
+	// Limit is the MV2 response-time limit as a Go duration ("4h").
+	Limit string `json:"limit,omitempty"`
+	// Alpha is the MV3 weight on time in [0,1]; default 0.5.
+	Alpha *float64 `json:"alpha,omitempty"`
+	// Steps is the per-configuration pareto sweep resolution; default 11.
+	Steps int `json:"steps,omitempty"`
+
+	// Providers names built-in tariffs; empty means the full catalog.
+	Providers []string `json:"providers,omitempty"`
+	// InstanceTypes lists configurations to try per provider; default
+	// ["small"].
+	InstanceTypes []string `json:"instance_types,omitempty"`
+	// FleetSizes lists cluster sizes to try; default [5].
+	FleetSizes []int `json:"fleet_sizes,omitempty"`
+	// BreakEvenSteps is the mv1 budget-sweep resolution; 0 selects 8,
+	// negative disables the sweep.
+	BreakEvenSteps int `json:"break_even_steps,omitempty"`
+
+	core.ConfigJSON
+}
+
+// Normalize canonicalizes the request in place, exactly as the advise
+// path does: defaults applied, scenario set resolved and ordered,
+// provider/instance/fleet lists sorted and deduplicated, the workload
+// rewritten in explicit form. Two spellings of the same comparison
+// normalize to identical structs, which is what the server's cache keys
+// rely on.
+func (rj *RequestJSON) Normalize() error {
+	if rj.ConfigJSON.Provider != "" || len(rj.ConfigJSON.ProviderSpec) > 0 {
+		return fmt.Errorf("compare: use \"providers\" (a list) instead of the advise %q field", "provider")
+	}
+	if rj.ConfigJSON.InstanceType != "" {
+		return fmt.Errorf("compare: use \"instance_types\" (a list) instead of the advise %q field", "instance_type")
+	}
+	if rj.ConfigJSON.Instances != 0 {
+		return fmt.Errorf("compare: use \"fleet_sizes\" (a list) instead of the advise %q field", "instances")
+	}
+
+	if len(rj.Providers) == 0 {
+		rj.Providers = pricing.ProviderNames()
+	}
+	rj.Providers = dedupeSorted(rj.Providers)
+	for _, name := range rj.Providers {
+		if !pricing.Exists(name) {
+			return fmt.Errorf("pricing: unknown provider %q (have %v)", name, pricing.ProviderNames())
+		}
+	}
+	if len(rj.InstanceTypes) == 0 {
+		rj.InstanceTypes = []string{defaultInstanceType}
+	}
+	rj.InstanceTypes = dedupeSorted(rj.InstanceTypes)
+	if len(rj.FleetSizes) == 0 {
+		rj.FleetSizes = []int{defaultFleetSize}
+	}
+	rj.FleetSizes = dedupeSortedInts(rj.FleetSizes)
+	for _, f := range rj.FleetSizes {
+		if f < 1 {
+			return fmt.Errorf("compare: fleet size %d < 1", f)
+		}
+	}
+
+	// Scenario set: derive, validate, canonicalize order (shared with the
+	// native Request path).
+	var err error
+	rj.Scenarios, err = canonScenarios(rj.Scenarios, rj.Budget != nil, rj.Limit != "")
+	if err != nil {
+		return err
+	}
+	want := map[string]bool{}
+	for _, s := range rj.Scenarios {
+		want[s] = true
+	}
+
+	// Scenario parameters: validate what is needed, zero what is not (so
+	// irrelevant parameters cannot fragment the cache).
+	if want["mv1"] {
+		if rj.Budget == nil {
+			return fmt.Errorf("compare: budget required for scenario mv1")
+		}
+		if *rj.Budget <= 0 {
+			return fmt.Errorf("compare: non-positive budget %v", *rj.Budget)
+		}
+		if rj.BreakEvenSteps == 0 {
+			rj.BreakEvenSteps = defaultBreakEvenSteps
+		}
+		if rj.BreakEvenSteps < 0 {
+			rj.BreakEvenSteps = -1
+		}
+	} else {
+		rj.Budget = nil
+		rj.BreakEvenSteps = 0
+	}
+	if want["mv2"] {
+		if rj.Limit == "" {
+			return fmt.Errorf("compare: limit required for scenario mv2")
+		}
+		d, err := time.ParseDuration(rj.Limit)
+		if err != nil {
+			return fmt.Errorf("compare: limit: %v", err)
+		}
+		if d <= 0 {
+			return fmt.Errorf("compare: non-positive limit %v", d)
+		}
+		rj.Limit = d.String()
+	} else {
+		rj.Limit = ""
+	}
+	if want["mv3"] {
+		if rj.Alpha == nil {
+			a := defaultAlpha
+			rj.Alpha = &a
+		}
+		if *rj.Alpha < 0 || *rj.Alpha > 1 {
+			return fmt.Errorf("compare: alpha %g out of [0,1]", *rj.Alpha)
+		}
+	} else {
+		rj.Alpha = nil
+	}
+	if want["pareto"] {
+		if rj.Steps == 0 {
+			rj.Steps = defaultParetoSteps
+		}
+		if rj.Steps < 2 {
+			return fmt.Errorf("compare: pareto needs at least 2 steps, got %d", rj.Steps)
+		}
+	} else {
+		rj.Steps = 0
+	}
+
+	// Shared problem fields: reuse the advise canonicalization, then strip
+	// the per-configuration fields it defaulted.
+	if err := rj.ConfigJSON.Normalize(); err != nil {
+		return err
+	}
+	rj.ConfigJSON.Provider = ""
+	rj.ConfigJSON.InstanceType = ""
+	rj.ConfigJSON.Instances = 0
+	return nil
+}
+
+// Configs returns the size of the fan-out grid implied by a normalized
+// request — what server-side ceilings are checked against.
+func (rj RequestJSON) Configs() int {
+	return len(rj.Providers) * len(rj.InstanceTypes) * len(rj.FleetSizes)
+}
+
+// Resolve converts an already-normalized wire request into a Request
+// ready for Run.
+func (rj RequestJSON) Resolve() (Request, error) {
+	req := Request{
+		InstanceTypes:   rj.InstanceTypes,
+		FleetSizes:      rj.FleetSizes,
+		FactRows:        rj.FactRows,
+		Months:          rj.Months,
+		CandidateBudget: rj.CandidateBudget,
+		MaintenanceRuns: rj.MaintenanceRuns,
+		UpdateRatio:     rj.UpdateRatio,
+		Scenarios:       rj.Scenarios,
+		Steps:           rj.Steps,
+		BreakEvenSteps:  rj.BreakEvenSteps,
+	}
+	for _, name := range rj.Providers {
+		p, err := pricing.Lookup(name)
+		if err != nil {
+			return Request{}, err
+		}
+		req.Providers = append(req.Providers, p)
+	}
+	if rj.Budget != nil {
+		req.Budget = *rj.Budget
+	}
+	if rj.Limit != "" {
+		d, err := time.ParseDuration(rj.Limit)
+		if err != nil {
+			return Request{}, fmt.Errorf("compare: limit: %v", err)
+		}
+		req.Limit = d
+	}
+	if rj.Alpha != nil {
+		req.Alpha = *rj.Alpha
+	}
+	if rj.MaintenancePolicy == "deferred" {
+		req.MaintenancePolicy = views.DeferredMaintenance
+	}
+	if rj.JobOverhead != "" {
+		d, err := time.ParseDuration(rj.JobOverhead)
+		if err != nil {
+			return Request{}, fmt.Errorf("compare: job_overhead: %v", err)
+		}
+		req.JobOverhead = d
+	}
+	l, err := lattice.New(schema.Sales(), rj.FactRows)
+	if err != nil {
+		return Request{}, err
+	}
+	req.Workload, err = workload.FromJSON(l, rj.ConfigJSON.Workload)
+	if err != nil {
+		return Request{}, err
+	}
+	return req, nil
+}
+
+// ScenarioResultJSON is one matrix cell on the wire.
+type ScenarioResultJSON struct {
+	Scenario       string                  `json:"scenario"`
+	Recommendation core.RecommendationJSON `json:"recommendation"`
+}
+
+// ConfigResultJSON is one matrix row on the wire.
+type ConfigResultJSON struct {
+	Key
+	DatasetSize string                 `json:"dataset_size"`
+	Results     []ScenarioResultJSON   `json:"results,omitempty"`
+	Pareto      []core.ParetoPointJSON `json:"pareto,omitempty"`
+}
+
+// WinnerJSON is a per-scenario winner on the wire.
+type WinnerJSON struct {
+	Scenario string `json:"scenario"`
+	Key
+	Time     string      `json:"time"`
+	Hours    float64     `json:"time_hours"`
+	Cost     money.Money `json:"cost"`
+	Feasible bool        `json:"feasible"`
+}
+
+// ParetoEntryJSON is one global frontier point on the wire.
+type ParetoEntryJSON struct {
+	Key
+	core.ParetoPointJSON
+}
+
+// FlipJSON is one break-even flip on the wire.
+type FlipJSON struct {
+	Budget money.Money `json:"budget"`
+	From   Key         `json:"from"`
+	To     Key         `json:"to"`
+}
+
+// BreakEvenJSON is the budget sweep on the wire.
+type BreakEvenJSON struct {
+	Budgets []money.Money `json:"budgets"`
+	Winners []Key         `json:"winners"`
+	Flips   []FlipJSON    `json:"flips"`
+}
+
+// ComparisonJSON is the body of a successful POST /v1/compare.
+type ComparisonJSON struct {
+	Scenarios []string           `json:"scenarios"`
+	Configs   []ConfigResultJSON `json:"configs"`
+	Winners   []WinnerJSON       `json:"winners,omitempty"`
+	Pareto    []ParetoEntryJSON  `json:"pareto,omitempty"`
+	BreakEven *BreakEvenJSON     `json:"break_even,omitempty"`
+	Skipped   []Key              `json:"skipped,omitempty"`
+	// Report is the human-readable rendering (Comparison.Render).
+	Report string `json:"report"`
+}
+
+// JSON renders the comparison in wire form.
+func (c *Comparison) JSON() ComparisonJSON {
+	out := ComparisonJSON{
+		Scenarios: c.Scenarios,
+		Skipped:   c.Skipped,
+		Report:    c.Render(),
+	}
+	for _, cfg := range c.Configs {
+		cj := ConfigResultJSON{
+			Key:         cfg.Key,
+			DatasetSize: cfg.DatasetSize.String(),
+			Pareto:      core.ParetoJSON(cfg.Pareto),
+		}
+		if len(cfg.Pareto) == 0 {
+			cj.Pareto = nil
+		}
+		for _, r := range cfg.Results {
+			cj.Results = append(cj.Results, ScenarioResultJSON{Scenario: r.Scenario, Recommendation: r.Rec.JSON()})
+		}
+		out.Configs = append(out.Configs, cj)
+	}
+	for _, w := range c.Winners {
+		out.Winners = append(out.Winners, WinnerJSON{
+			Scenario: w.Scenario,
+			Key:      w.Key,
+			Time:     w.Time.String(),
+			Hours:    w.Time.Hours(),
+			Cost:     w.Cost,
+			Feasible: w.Feasible,
+		})
+	}
+	for _, p := range c.Pareto {
+		out.Pareto = append(out.Pareto, ParetoEntryJSON{
+			Key: p.Key,
+			ParetoPointJSON: core.ParetoPointJSON{
+				Alpha: p.Point.Alpha,
+				Time:  p.Point.Time.String(),
+				Hours: p.Point.Time.Hours(),
+				Cost:  p.Point.Cost,
+				Views: p.Point.Views,
+			},
+		})
+	}
+	if c.BreakEven != nil {
+		be := &BreakEvenJSON{Budgets: c.BreakEven.Budgets, Winners: c.BreakEven.Winners}
+		for _, f := range c.BreakEven.Flips {
+			be.Flips = append(be.Flips, FlipJSON{Budget: f.Budget, From: f.From, To: f.To})
+		}
+		out.BreakEven = be
+	}
+	return out
+}
+
+func dedupeSorted(xs []string) []string {
+	out := append([]string(nil), xs...)
+	slices.Sort(out)
+	return slices.Compact(out)
+}
+
+func dedupeSortedInts(xs []int) []int {
+	out := append([]int(nil), xs...)
+	slices.Sort(out)
+	return slices.Compact(out)
+}

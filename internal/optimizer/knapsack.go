@@ -43,22 +43,24 @@ func Knapsack01(values, weights []int64, capacity int64) ([]int, error) {
 	if capacity+1 > int64(maxDPCells/max(n, 1)) {
 		scale = (capacity + 1 + int64(maxDPCells/max(n, 1)) - 1) / int64(maxDPCells/max(n, 1))
 	}
-	cap := capacity / scale
+	scaledCap := capacity / scale
 	w := make([]int64, n)
 	for i := range weights {
 		w[i] = (weights[i] + scale - 1) / scale
 	}
 
-	const minusInf = math.MinInt64 / 4
-	dp := make([]int64, cap+1)
+	// dp[c] is the best value achievable with total scaled weight ≤ c.
+	// Zero-initialization is correct because every state is reachable (the
+	// empty selection has weight 0 ≤ c and value 0); no unreachable-state
+	// sentinel is needed in this "at most c" formulation.
+	dp := make([]int64, scaledCap+1)
 	keep := make([][]bool, n)
 	for i := range keep {
-		keep[i] = make([]bool, cap+1)
+		keep[i] = make([]bool, scaledCap+1)
 	}
 	for i := 0; i < n; i++ {
-		for c := cap; c >= w[i]; c-- {
-			cand := dp[c-w[i]] + values[i]
-			if cand > dp[c] && dp[c-w[i]] > minusInf {
+		for c := scaledCap; c >= w[i]; c-- {
+			if cand := dp[c-w[i]] + values[i]; cand > dp[c] {
 				dp[c] = cand
 				keep[i][c] = true
 			}
@@ -66,7 +68,7 @@ func Knapsack01(values, weights []int64, capacity int64) ([]int, error) {
 	}
 	// Trace back.
 	var chosen []int
-	c := cap
+	c := scaledCap
 	for i := n - 1; i >= 0; i-- {
 		if keep[i][c] {
 			chosen = append(chosen, i)

@@ -69,6 +69,45 @@ func TestKnapsack01Edges(t *testing.T) {
 	}
 }
 
+// Regression for the dead-sentinel bug: the zero-initialized DP is the
+// "weight ≤ c" formulation, where every state is reachable. These
+// instances each have a unique optimum, so the exact index set is pinned
+// (not just the optimal value).
+func TestKnapsack01PinnedSelections(t *testing.T) {
+	cases := []struct {
+		name     string
+		values   []int64
+		weights  []int64
+		capacity int64
+		want     []int
+	}{
+		{"classic", []int64{60, 100, 120}, []int64{10, 20, 30}, 50, []int{1, 2}},
+		{"skip greedy trap", []int64{10, 40, 30, 50}, []int64{5, 4, 6, 3}, 10, []int{1, 3}},
+		{"only light item fits", []int64{1, 2, 3}, []int64{4, 5, 1}, 1, []int{2}},
+		{"zero-weight item at zero capacity", []int64{7, 3}, []int64{0, 1}, 0, []int{0}},
+		{"nothing fits", []int64{5, 6}, []int64{9, 9}, 8, nil},
+	}
+	for _, c := range cases {
+		idx, err := Knapsack01(c.values, c.weights, c.capacity)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if len(idx) != len(c.want) {
+			t.Errorf("%s: selected %v, want %v", c.name, idx, c.want)
+			continue
+		}
+		for i := range idx {
+			if idx[i] != c.want[i] {
+				t.Errorf("%s: selected %v, want %v", c.name, idx, c.want)
+				break
+			}
+		}
+		if got, want := sumAt(c.values, idx), bruteKnapsack(c.values, c.weights, c.capacity); got != want {
+			t.Errorf("%s: value %d, brute force says %d", c.name, got, want)
+		}
+	}
+}
+
 // Property: the DP matches brute force on random small instances.
 func TestKnapsack01MatchesBruteForce(t *testing.T) {
 	f := func(seed int64) bool {

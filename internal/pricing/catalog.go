@@ -3,6 +3,7 @@ package pricing
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"vmcloud/internal/money"
 	"vmcloud/internal/units"
@@ -149,32 +150,133 @@ func NimbusCompute() Provider {
 	}
 }
 
-// Catalog returns all built-in providers keyed by name.
-func Catalog() map[string]Provider {
-	ps := []Provider{AWS2012(), StratusCloud(), NimbusCompute()}
-	out := make(map[string]Provider, len(ps))
+// CumulusStore returns a synthetic storage-centric provider ("cumulus")
+// whose storage table is GRADUATED — each bracket charged marginally,
+// unlike the slab storage of every other fixture — so cross-provider
+// comparisons exercise both storage semantics.
+func CumulusStore() Provider {
+	return Provider{
+		Name: "cumulus",
+		Compute: ComputeTariff{
+			Granularity: units.BillPerMinute,
+			Instances: map[string]InstanceType{
+				"micro":  {Name: "micro", PricePerHour: money.MustParse("$0.035"), RAM: units.GB, ECU: 0.28},
+				"small":  {Name: "small", PricePerHour: money.MustParse("$0.11"), RAM: 2 * units.GB, ECU: 0.95, LocalStorage: 120 * units.GB},
+				"large":  {Name: "large", PricePerHour: money.MustParse("$0.43"), RAM: 8 * units.GB, ECU: 3.9, LocalStorage: 600 * units.GB},
+				"xlarge": {Name: "xlarge", PricePerHour: money.MustParse("$0.84"), RAM: 16 * units.GB, ECU: 7.8, LocalStorage: 1200 * units.GB},
+			},
+		},
+		Storage: StorageTariff{
+			Table: TierTable{
+				Mode: Graduated,
+				Tiers: []Tier{
+					{UpTo: 512 * units.GB, PricePerGB: money.MustParse("$0.16")},
+					{UpTo: 10 * units.TB, PricePerGB: money.MustParse("$0.12")},
+					{UpTo: 100 * units.TB, PricePerGB: money.MustParse("$0.09")},
+					{UpTo: 0, PricePerGB: money.MustParse("$0.07")},
+				},
+			},
+		},
+		Transfer: TransferTariff{
+			IngressFree: true,
+			Egress: TierTable{
+				Mode: Graduated,
+				Tiers: []Tier{
+					{UpTo: 10 * units.GB, PricePerGB: 0},
+					{UpTo: 20 * units.TB, PricePerGB: money.MustParse("$0.10")},
+					{UpTo: 0, PricePerGB: money.MustParse("$0.06")},
+				},
+			},
+		},
+	}
+}
+
+// MeridianGrid returns a synthetic provider ("meridian") with per-minute
+// billing, the catalog's cheapest slab storage, paid ingress and — unique
+// among the fixtures — SLAB egress: the whole monthly egress volume is
+// charged at the rate of the bracket it lands in.
+func MeridianGrid() Provider {
+	return Provider{
+		Name: "meridian",
+		Compute: ComputeTariff{
+			Granularity: units.BillPerMinute,
+			Instances: map[string]InstanceType{
+				"small":  {Name: "small", PricePerHour: money.MustParse("$0.14"), RAM: units.FromGB(1.5), ECU: 1.0, LocalStorage: 120 * units.GB},
+				"large":  {Name: "large", PricePerHour: money.MustParse("$0.50"), RAM: 6 * units.GB, ECU: 4.2, LocalStorage: 640 * units.GB},
+				"xlarge": {Name: "xlarge", PricePerHour: money.MustParse("$1.00"), RAM: 12 * units.GB, ECU: 8.4, LocalStorage: 1280 * units.GB},
+			},
+		},
+		Storage: StorageTariff{
+			Table: TierTable{
+				Mode: Slab,
+				Tiers: []Tier{
+					{UpTo: 2 * units.TB, PricePerGB: money.MustParse("$0.09")},
+					{UpTo: 0, PricePerGB: money.MustParse("$0.075")},
+				},
+			},
+		},
+		Transfer: TransferTariff{
+			IngressFree:  false,
+			IngressPerGB: money.MustParse("$0.005"),
+			Egress: TierTable{
+				Mode: Slab,
+				Tiers: []Tier{
+					{UpTo: 1 * units.TB, PricePerGB: money.MustParse("$0.13")},
+					{UpTo: 20 * units.TB, PricePerGB: money.MustParse("$0.10")},
+					{UpTo: 0, PricePerGB: money.MustParse("$0.08")},
+				},
+			},
+		},
+	}
+}
+
+// builtins is the immutable, built-once catalog state; the exported
+// accessors hand out clones so callers can never corrupt the fixtures.
+type builtins struct {
+	providers map[string]Provider
+	names     []string // sorted
+}
+
+var loadBuiltins = sync.OnceValue(func() builtins {
+	ps := []Provider{AWS2012(), StratusCloud(), NimbusCompute(), CumulusStore(), MeridianGrid()}
+	b := builtins{providers: make(map[string]Provider, len(ps))}
 	for _, p := range ps {
-		out[p.Name] = p
+		b.providers[p.Name] = p
+		b.names = append(b.names, p.Name)
+	}
+	sort.Strings(b.names)
+	return b
+})
+
+// Catalog returns all built-in providers keyed by name. The fixtures are
+// constructed once per process; each call returns fresh deep copies, so
+// callers may mutate the result freely.
+func Catalog() map[string]Provider {
+	b := loadBuiltins()
+	out := make(map[string]Provider, len(b.providers))
+	for n, p := range b.providers {
+		out[n] = p.Clone()
 	}
 	return out
 }
 
 // ProviderNames returns the sorted names of the built-in catalog.
 func ProviderNames() []string {
-	c := Catalog()
-	names := make([]string, 0, len(c))
-	for n := range c {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	return names
+	return append([]string(nil), loadBuiltins().names...)
 }
 
-// Lookup returns a built-in provider by name.
+// Lookup returns a deep copy of a built-in provider by name.
 func Lookup(name string) (Provider, error) {
-	p, ok := Catalog()[name]
+	p, ok := loadBuiltins().providers[name]
 	if !ok {
 		return Provider{}, fmt.Errorf("pricing: unknown provider %q (have %v)", name, ProviderNames())
 	}
-	return p, nil
+	return p.Clone(), nil
+}
+
+// Exists reports whether a built-in provider of that name exists — the
+// allocation-free validation companion to Lookup.
+func Exists(name string) bool {
+	_, ok := loadBuiltins().providers[name]
+	return ok
 }

@@ -111,6 +111,23 @@ type Provider struct {
 	Transfer TransferTariff
 }
 
+// Clone returns a deep copy of the provider: mutating the copy's instance
+// map or tier slices cannot affect the receiver. This is what lets the
+// built-in catalog be constructed once and handed out safely.
+func (p Provider) Clone() Provider {
+	out := p
+	if p.Compute.Instances != nil {
+		m := make(map[string]InstanceType, len(p.Compute.Instances))
+		for k, v := range p.Compute.Instances {
+			m[k] = v
+		}
+		out.Compute.Instances = m
+	}
+	out.Storage.Table.Tiers = append([]Tier(nil), p.Storage.Table.Tiers...)
+	out.Transfer.Egress.Tiers = append([]Tier(nil), p.Transfer.Egress.Tiers...)
+	return out
+}
+
 // Validate checks all tier tables and instance definitions.
 func (p Provider) Validate() error {
 	if p.Name == "" {

@@ -96,12 +96,108 @@ func TestLookup(t *testing.T) {
 		t.Error("unknown provider accepted")
 	}
 	names := ProviderNames()
-	if len(names) != 3 {
-		t.Errorf("ProviderNames = %v, want 3 entries", names)
+	if len(names) != 5 {
+		t.Errorf("ProviderNames = %v, want 5 entries", names)
 	}
 	for i := 1; i < len(names); i++ {
 		if names[i-1] >= names[i] {
 			t.Errorf("ProviderNames not sorted: %v", names)
+		}
+	}
+}
+
+// The catalog is built once and handed out as deep copies: mutating a
+// looked-up provider must not leak into later lookups.
+func TestCatalogReturnsIsolatedCopies(t *testing.T) {
+	p1, err := Lookup("aws-2012")
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := p1.Compute.Instances["small"]
+	small.PricePerHour = money.MustParse("$99.99")
+	p1.Compute.Instances["small"] = small
+	p1.Storage.Table.Tiers[0].PricePerGB = money.MustParse("$99.99")
+	p1.Transfer.Egress.Tiers[0].PricePerGB = money.MustParse("$99.99")
+
+	p2, err := Lookup("aws-2012")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p2.Compute.Instances["small"].PricePerHour; got != money.MustParse("$0.12") {
+		t.Errorf("instance mutation leaked into the catalog: %v", got)
+	}
+	if got := p2.Storage.Table.Tiers[0].PricePerGB; got != money.MustParse("$0.14") {
+		t.Errorf("storage tier mutation leaked into the catalog: %v", got)
+	}
+	if got := p2.Transfer.Egress.Tiers[0].PricePerGB; got != 0 {
+		t.Errorf("egress tier mutation leaked into the catalog: %v", got)
+	}
+
+	c := Catalog()
+	delete(c, "aws-2012")
+	if _, err := Lookup("aws-2012"); err != nil {
+		t.Errorf("deleting from a Catalog() copy broke Lookup: %v", err)
+	}
+}
+
+// The new fixtures exercise tariff shapes the original three do not:
+// cumulus prices storage marginally (graduated), meridian prices egress
+// as a slab and charges ingress.
+func TestNewFixtureTierShapes(t *testing.T) {
+	cu := CumulusStore()
+	if cu.Storage.Table.Mode != Graduated {
+		t.Fatalf("cumulus storage mode = %v, want graduated", cu.Storage.Table.Mode)
+	}
+	// 1 TB graduated: 512 GB at $0.16 + 512 GB at $0.12 = $143.36, where a
+	// slab table would bill the whole volume at a single rate.
+	got := cu.Storage.MonthlyCost(units.TB)
+	if want := money.FromDollars(0.16).MulInt(512).Add(money.FromDollars(0.12).MulInt(512)); got != want {
+		t.Errorf("cumulus 1TB storage = %v, want %v", got, want)
+	}
+
+	me := MeridianGrid()
+	if me.Transfer.Egress.Mode != Slab {
+		t.Fatalf("meridian egress mode = %v, want slab", me.Transfer.Egress.Mode)
+	}
+	// Slab egress: 2 TB lands in the 20 TB bracket, all 2048 GB at $0.10.
+	got = me.Transfer.EgressCost(2 * units.TB)
+	if want := money.FromDollars(0.10).MulInt(2048); got != want {
+		t.Errorf("meridian 2TB egress = %v, want %v", got, want)
+	}
+	if got := me.Transfer.IngressCost(100 * units.GB); got != money.FromDollars(0.5) {
+		t.Errorf("meridian ingress(100GB) = %v, want $0.50", got)
+	}
+	if me.Compute.Granularity != units.BillPerMinute {
+		t.Errorf("meridian granularity = %v, want per-minute", me.Compute.Granularity)
+	}
+}
+
+// The catalog accessors must not rebuild fixtures per call; this pins the
+// cheap-copy path (run with -bench to quantify the win over the previous
+// rebuild-everything implementation).
+func BenchmarkLookup(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Lookup("aws-2012"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCatalog(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if c := Catalog(); len(c) == 0 {
+			b.Fatal("empty catalog")
+		}
+	}
+}
+
+func BenchmarkProviderNames(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if n := ProviderNames(); len(n) == 0 {
+			b.Fatal("no names")
 		}
 	}
 }

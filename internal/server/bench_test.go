@@ -55,6 +55,62 @@ func BenchmarkAdviseCacheHit(b *testing.B) {
 	}
 }
 
+// BenchmarkTariffs measures GET /v1/tariffs, which renders every catalog
+// provider. The pricing catalog is built once per process and handed out
+// as cheap deep copies, so this no longer reconstructs every fixture
+// (with its ~60 money.MustParse calls) per request.
+func BenchmarkTariffs(b *testing.B) {
+	s := New(Options{})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest("GET", "/v1/tariffs", nil)
+		w := httptest.NewRecorder()
+		s.ServeHTTP(w, req)
+		if w.Code != 200 {
+			b.Fatalf("status %d", w.Code)
+		}
+	}
+}
+
+var compareBenchBody = []byte(`{"budget":25,"limit":"4h","queries":10,"frequency":30,"fact_rows":50000000}`)
+
+func postCompare(b *testing.B, s *Server, body []byte) *httptest.ResponseRecorder {
+	req := httptest.NewRequest("POST", "/v1/compare", bytes.NewReader(body))
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, req)
+	if w.Code != 200 {
+		b.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+	return w
+}
+
+// BenchmarkCompareCold measures the uncached cross-provider fan-out:
+// every iteration solves the full catalog grid.
+func BenchmarkCompareCold(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := New(Options{})
+		postCompare(b, s, compareBenchBody)
+	}
+}
+
+// BenchmarkCompareCacheHit measures the memoized comparison path.
+func BenchmarkCompareCacheHit(b *testing.B) {
+	s := New(Options{})
+	w := postCompare(b, s, compareBenchBody)
+	if w.Header().Get("X-Cache") != "miss" {
+		b.Fatal("prime request did not miss")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := postCompare(b, s, compareBenchBody)
+		if w.Header().Get("X-Cache") != "hit" {
+			b.Fatal("hit path fell through to a solve")
+		}
+	}
+}
+
 // BenchmarkAdviseCacheMissDistinct measures the steady-state miss path on
 // a warm server: each iteration is a distinct config (unique frequency),
 // so lattice construction and the solve run every time but server setup

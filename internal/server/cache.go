@@ -8,9 +8,10 @@ import (
 // lruCache is a size-bounded, mutex-guarded LRU map from canonical
 // request keys to marshaled response bodies. It is bounded both in
 // entry count and in resident bytes (keys + values), so operators can
-// cap the daemon's cache memory. Values are treated as immutable once
-// inserted — callers must not modify a returned slice — which is what
-// lets a single entry serve concurrent readers without copying.
+// cap the daemon's cache memory. Get returns a defensive copy, so the
+// interior bytes can never be mutated through an escaped slice; Put
+// takes ownership of the passed value (callers must not modify it
+// afterwards).
 type lruCache struct {
 	mu       sync.Mutex
 	cap      int
@@ -39,7 +40,9 @@ func newLRUCache(capacity int, maxBytes int64) *lruCache {
 	}
 }
 
-// Get returns the cached value and marks it most recently used.
+// Get returns a copy of the cached value and marks the key most recently
+// used. Copying keeps the cached bytes unaliased: a caller scribbling on
+// the returned slice cannot corrupt what later readers are served.
 func (c *lruCache) Get(key string) ([]byte, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -48,7 +51,7 @@ func (c *lruCache) Get(key string) ([]byte, bool) {
 		return nil, false
 	}
 	c.order.MoveToFront(el)
-	return el.Value.(*lruEntry).val, true
+	return append([]byte(nil), el.Value.(*lruEntry).val...), true
 }
 
 // Put inserts or refreshes a value, evicting least recently used

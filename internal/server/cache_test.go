@@ -79,6 +79,59 @@ func TestLRUConcurrent(t *testing.T) {
 	}
 }
 
+// Get must return an unaliased copy: a caller mutating the returned
+// slice cannot corrupt what subsequent readers are served.
+func TestLRUGetReturnsCopy(t *testing.T) {
+	c := newLRUCache(4, 0)
+	c.Put("k", []byte("pristine"))
+	v1, ok := c.Get("k")
+	if !ok {
+		t.Fatal("miss")
+	}
+	for i := range v1 {
+		v1[i] = 'X'
+	}
+	v2, ok := c.Get("k")
+	if !ok {
+		t.Fatal("miss after mutation")
+	}
+	if string(v2) != "pristine" {
+		t.Errorf("cached value corrupted through returned slice: %q", v2)
+	}
+}
+
+// Re-Put of an existing key with a different-sized value must keep the
+// byte account exact in both directions, and eviction must honour the
+// refreshed sizes.
+func TestLRURefreshByteAccounting(t *testing.T) {
+	c := newLRUCache(10, 100)
+	c.Put("a", []byte("12345")) // 6 bytes
+	c.Put("b", []byte("xy"))    // 3 bytes
+	if got := c.Bytes(); got != 9 {
+		t.Fatalf("initial bytes = %d, want 9", got)
+	}
+	c.Put("a", []byte("1234567890")) // grow: 6 → 11
+	if got := c.Bytes(); got != 14 {
+		t.Errorf("after grow bytes = %d, want 14", got)
+	}
+	c.Put("a", []byte("1")) // shrink: 11 → 2
+	if got := c.Bytes(); got != 5 {
+		t.Errorf("after shrink bytes = %d, want 5", got)
+	}
+	if v, _ := c.Get("a"); string(v) != "1" {
+		t.Errorf("a = %q after refresh", v)
+	}
+	// A refresh that pushes the account over the byte bound evicts LRU
+	// entries using the refreshed sizes.
+	c.Put("b", make([]byte, 98)) // "b"(1) + 98 = 99, + "a"(2) = 101 > 100
+	if _, ok := c.Get("a"); ok {
+		t.Error("a survived an over-bound refresh of b")
+	}
+	if got := c.Bytes(); got != 99 {
+		t.Errorf("after refresh eviction bytes = %d, want 99", got)
+	}
+}
+
 func TestLRUByteBound(t *testing.T) {
 	c := newLRUCache(100, 10)
 	c.Put("a", []byte("123"))  // 4 bytes

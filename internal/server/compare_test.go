@@ -1,0 +1,276 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"vmcloud/internal/compare"
+	"vmcloud/internal/core"
+	"vmcloud/internal/money"
+	"vmcloud/internal/pricing"
+)
+
+func compareBody(extra string) string {
+	b := fmt.Sprintf(`{"budget":25,"limit":"4h","fact_rows":%d,"queries":5`, testRows)
+	if extra != "" {
+		b += "," + extra
+	}
+	return b + "}"
+}
+
+func TestCompareEndpoint(t *testing.T) {
+	s := testServer()
+	w := do(t, s, "POST", "/v1/compare", compareBody(""))
+	if w.Code != 200 {
+		t.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+	if w.Header().Get("X-Cache") != "miss" {
+		t.Errorf("first compare X-Cache = %q", w.Header().Get("X-Cache"))
+	}
+	var resp compare.ComparisonJSON
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(resp.Configs), len(pricing.ProviderNames()); got != want {
+		t.Errorf("configs = %d, want %d (full catalog)", got, want)
+	}
+	if len(resp.Winners) != 3 {
+		t.Errorf("winners = %d, want 3 (mv1, mv2, mv3)", len(resp.Winners))
+	}
+	if resp.BreakEven == nil {
+		t.Error("break-even sweep missing")
+	}
+	if resp.Report == "" {
+		t.Error("no rendered report")
+	}
+	// Byte-identical repeat is a cache hit with an identical body.
+	w2 := do(t, s, "POST", "/v1/compare", compareBody(""))
+	if w2.Header().Get("X-Cache") != "hit" {
+		t.Errorf("repeat X-Cache = %q", w2.Header().Get("X-Cache"))
+	}
+	if w2.Body.String() != w.Body.String() {
+		t.Error("cache hit body differs from the miss body")
+	}
+}
+
+// The acceptance bar for the comparison engine: /v1/compare winners must
+// be exactly what N independent per-provider /v1/advise calls imply
+// under each scenario's ranking (feasible first, then time for mv1 /
+// cost for mv2 / the raw α-objective for mv3, provider name as the final
+// tie-break).
+func TestCompareWinnersMatchIndependentAdvise(t *testing.T) {
+	s := testServer()
+	type outcome struct {
+		provider string
+		hours    float64
+		time     time.Duration
+		cost     money.Money
+		feasible bool
+	}
+	perScenario := map[string][]outcome{}
+	for _, prov := range pricing.ProviderNames() {
+		for scenario, param := range map[string]string{
+			"mv1": `"budget":25`,
+			"mv2": `"limit":"4h"`,
+			"mv3": `"alpha":0.5`,
+		} {
+			body := adviseBody(scenario, param+fmt.Sprintf(`,"provider":%q`, prov))
+			w := do(t, s, "POST", "/v1/advise", body)
+			if w.Code != 200 {
+				t.Fatalf("advise %s %s: status %d: %s", prov, scenario, w.Code, w.Body.String())
+			}
+			var resp struct {
+				Recommendation core.RecommendationJSON `json:"recommendation"`
+			}
+			if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+				t.Fatal(err)
+			}
+			d, err := time.ParseDuration(resp.Recommendation.Time)
+			if err != nil {
+				t.Fatal(err)
+			}
+			perScenario[scenario] = append(perScenario[scenario], outcome{
+				provider: prov,
+				hours:    resp.Recommendation.Hours,
+				time:     d,
+				cost:     resp.Recommendation.Bill.Total,
+				feasible: resp.Recommendation.Feasible,
+			})
+		}
+	}
+	better := func(scenario string, a, b outcome) bool {
+		if a.feasible != b.feasible {
+			return a.feasible
+		}
+		switch scenario {
+		case "mv1":
+			if a.time != b.time {
+				return a.time < b.time
+			}
+			if a.cost != b.cost {
+				return a.cost < b.cost
+			}
+		case "mv2":
+			if a.cost != b.cost {
+				return a.cost < b.cost
+			}
+			if a.time != b.time {
+				return a.time < b.time
+			}
+		default:
+			oa := 0.5*a.time.Hours() + 0.5*a.cost.Dollars()
+			ob := 0.5*b.time.Hours() + 0.5*b.cost.Dollars()
+			if oa != ob {
+				return oa < ob
+			}
+		}
+		return a.provider < b.provider
+	}
+
+	w := do(t, s, "POST", "/v1/compare", compareBody(`"alpha":0.5`))
+	if w.Code != 200 {
+		t.Fatalf("compare: status %d: %s", w.Code, w.Body.String())
+	}
+	var resp compare.ComparisonJSON
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Winners) != 3 {
+		t.Fatalf("winners = %d, want 3", len(resp.Winners))
+	}
+	for _, win := range resp.Winners {
+		outs := perScenario[win.Scenario]
+		if len(outs) != len(pricing.ProviderNames()) {
+			t.Fatalf("%s: %d advise outcomes", win.Scenario, len(outs))
+		}
+		expect := outs[0]
+		for _, o := range outs[1:] {
+			if better(win.Scenario, o, expect) {
+				expect = o
+			}
+		}
+		if win.Provider != expect.provider {
+			t.Errorf("%s winner = %s, independent advise says %s", win.Scenario, win.Provider, expect.provider)
+		}
+		d, err := time.ParseDuration(win.Time)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d != expect.time || win.Cost != expect.cost || win.Feasible != expect.feasible {
+			t.Errorf("%s winner metrics = (%v, %v, %v), advise says (%v, %v, %v)",
+				win.Scenario, d, win.Cost, win.Feasible, expect.time, expect.cost, expect.feasible)
+		}
+	}
+}
+
+// Listing providers in a different order is the same canonical request:
+// the second spelling must hit the cache and serve the identical body.
+func TestCompareProviderOrderIndependence(t *testing.T) {
+	s := testServer()
+	names := pricing.ProviderNames()
+	fwd := `"` + strings.Join(names, `","`) + `"`
+	var rev []string
+	for i := len(names) - 1; i >= 0; i-- {
+		rev = append(rev, names[i])
+	}
+	bwd := `"` + strings.Join(rev, `","`) + `"`
+
+	w1 := do(t, s, "POST", "/v1/compare", compareBody(`"providers":[`+fwd+`]`))
+	if w1.Code != 200 {
+		t.Fatalf("status %d: %s", w1.Code, w1.Body.String())
+	}
+	w2 := do(t, s, "POST", "/v1/compare", compareBody(`"providers":[`+bwd+`]`))
+	if w2.Code != 200 {
+		t.Fatalf("status %d: %s", w2.Code, w2.Body.String())
+	}
+	if w2.Header().Get("X-Cache") != "hit" {
+		t.Errorf("reversed provider list missed the cache (X-Cache %q)", w2.Header().Get("X-Cache"))
+	}
+	if w1.Body.String() != w2.Body.String() {
+		t.Error("provider order changed the comparison")
+	}
+}
+
+// The same raw body is valid for both POST endpoints; the raw-body fast
+// path must not alias across them.
+func TestCompareAdviseNoCacheAliasing(t *testing.T) {
+	s := testServer()
+	body := fmt.Sprintf(`{"budget":25,"fact_rows":%d,"queries":3}`, testRows)
+	wa := do(t, s, "POST", "/v1/advise", body)
+	if wa.Code != 200 {
+		t.Fatalf("advise: status %d: %s", wa.Code, wa.Body.String())
+	}
+	wc := do(t, s, "POST", "/v1/compare", body)
+	if wc.Code != 200 {
+		t.Fatalf("compare: status %d: %s", wc.Code, wc.Body.String())
+	}
+	if wc.Header().Get("X-Cache") != "miss" {
+		t.Errorf("compare aliased the advise raw-key entry (X-Cache %q)", wc.Header().Get("X-Cache"))
+	}
+	if !strings.Contains(wc.Body.String(), `"configs"`) {
+		t.Error("compare served an advise-shaped body")
+	}
+	// And the reverse direction still hits per-endpoint.
+	wa2 := do(t, s, "POST", "/v1/advise", body)
+	if wa2.Header().Get("X-Cache") != "hit" {
+		t.Errorf("advise repeat missed (X-Cache %q)", wa2.Header().Get("X-Cache"))
+	}
+	if wa2.Body.String() != wa.Body.String() {
+		t.Error("advise hit body differs")
+	}
+}
+
+func TestCompareValidation(t *testing.T) {
+	s := testServer()
+	cases := []struct {
+		name string
+		body string
+		want string
+	}{
+		{"unknown provider", compareBody(`"providers":["atlantis"]`), "unknown provider"},
+		{"advise provider field", compareBody(`"provider":"aws-2012"`), "providers"},
+		{"advise instance_type field", compareBody(`"instance_type":"small"`), "instance_types"},
+		{"advise instances field", compareBody(`"instances":5`), "fleet_sizes"},
+		{"unknown scenario", compareBody(`"scenarios":["warp"]`), "unknown scenario"},
+		{"mv1 without budget", fmt.Sprintf(`{"scenarios":["mv1"],"fact_rows":%d,"queries":3}`, testRows), "budget required"},
+		{"bad fleet size", compareBody(`"fleet_sizes":[0]`), "fleet size"},
+		{"grid too large", compareBody(`"fleet_sizes":[1,2,3,4,5,6,7,8,9,10,11,12,13]`), "exceeds the server limit"},
+		{"unknown field", compareBody(`"surprise":1`), "unknown field"},
+		{"malformed json", `{"budget":`, "parse request"},
+	}
+	for _, c := range cases {
+		w := do(t, s, "POST", "/v1/compare", c.body)
+		if w.Code != 400 {
+			t.Errorf("%s: status %d, want 400 (%s)", c.name, w.Code, w.Body.String())
+			continue
+		}
+		if !strings.Contains(w.Body.String(), c.want) {
+			t.Errorf("%s: body %q lacks %q", c.name, w.Body.String(), c.want)
+		}
+	}
+}
+
+func TestCompareStats(t *testing.T) {
+	s := testServer()
+	do(t, s, "POST", "/v1/compare", compareBody(""))
+	do(t, s, "POST", "/v1/compare", compareBody(""))
+	w := do(t, s, "GET", "/v1/stats", "")
+	var snap struct {
+		ByEndpoint map[string]int64 `json:"by_endpoint"`
+		Advise     struct {
+			ByScenario map[string]int64 `json:"by_scenario"`
+		} `json:"advise"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.ByEndpoint["compare"] != 2 {
+		t.Errorf("compare endpoint count = %d, want 2", snap.ByEndpoint["compare"])
+	}
+	if snap.Advise.ByScenario["compare"] != 2 {
+		t.Errorf("compare scenario count = %d, want 2", snap.Advise.ByScenario["compare"])
+	}
+}

@@ -6,6 +6,9 @@
 //	POST /v1/advise  — solve one of the paper's scenarios (mv1/mv2/mv3)
 //	                   or sweep the pareto frontier for a JSON-described
 //	                   advisory problem
+//	POST /v1/compare — fan the same advisory problem out across provider
+//	                   × instance × fleet configurations and return the
+//	                   ranked cross-provider comparison
 //	GET  /v1/tariffs — the built-in provider catalog, structured and as
 //	                   pre-rendered tables
 //	GET  /v1/stats   — serving counters: requests, cache hits/misses,
@@ -13,12 +16,13 @@
 //	GET  /healthz    — liveness probe
 //
 // The advisor is deterministic: the same advisory problem always yields
-// the same recommendation. Advise responses are therefore memoized in a
-// size-bounded LRU cache keyed by the canonicalized request (defaults
-// applied, workload resolved, tariff re-marshaled), so a repeated
-// configuration skips lattice construction, candidate generation and the
-// knapsack DP entirely. Handlers are safe for concurrent use; cached
-// bodies are immutable byte slices shared across readers.
+// the same recommendation. Advise and compare responses are therefore
+// memoized in a shared size-bounded LRU cache keyed by the endpoint plus
+// the canonicalized request (defaults applied, workload resolved, tariff
+// re-marshaled), so a repeated configuration skips lattice construction,
+// candidate generation and the knapsack DPs entirely. Handlers are safe
+// for concurrent use; cache reads return defensive copies of the stored
+// bodies.
 package server
 
 import (
@@ -31,6 +35,7 @@ import (
 	"strings"
 	"time"
 
+	"vmcloud/internal/compare"
 	"vmcloud/internal/core"
 	"vmcloud/internal/money"
 	"vmcloud/internal/pricing"
@@ -60,6 +65,12 @@ type Options struct {
 	MaxCandidates int
 	// MaxParetoSteps bounds a pareto sweep; default 101.
 	MaxParetoSteps int
+	// MaxCompareConfigs bounds the provider × instance × fleet grid a
+	// single compare request may fan out; default 64.
+	MaxCompareConfigs int
+	// CompareWorkers bounds the compare fan-out worker pool; default
+	// GOMAXPROCS.
+	CompareWorkers int
 }
 
 func (o Options) withDefaults() Options {
@@ -83,6 +94,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxParetoSteps == 0 {
 		o.MaxParetoSteps = 101
+	}
+	if o.MaxCompareConfigs == 0 {
+		o.MaxCompareConfigs = 64
 	}
 	return o
 }
@@ -109,6 +123,7 @@ func New(opts Options) *Server {
 	s.rawKeys = newLRUCache(s.opts.CacheSize, s.opts.CacheMaxBytes)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/advise", s.counted("advise", s.handleAdvise))
+	s.mux.HandleFunc("POST /v1/compare", s.counted("compare", s.handleCompare))
 	s.mux.HandleFunc("GET /v1/tariffs", s.counted("tariffs", s.handleTariffs))
 	s.mux.HandleFunc("GET /v1/stats", s.counted("stats", s.handleStats))
 	s.mux.HandleFunc("GET /healthz", s.counted("healthz", s.handleHealthz))
@@ -229,7 +244,30 @@ type AdviseResponse struct {
 	Pareto         []core.ParetoPointJSON   `json:"pareto,omitempty"`
 }
 
-func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
+// memoSpec wires one deterministic POST endpoint into the shared
+// memoization flow: raw-body fast path, canonical-key response cache,
+// bounded solve with background cache warm on timeout/cancel. The
+// endpoint name namespaces both caches, so identical bodies posted to
+// different endpoints can never alias.
+type memoSpec struct {
+	endpoint string
+	// canon decodes and canonicalizes the raw body into handler state and
+	// returns the canonical cache key plus the stats label.
+	canon func(raw []byte) (key, label string, err error)
+	// reload rebuilds handler state from a canonical key — the raw-body
+	// fast path hit but the cached response was evicted. The canonical
+	// key is itself a normalized request body.
+	reload func(key string) error
+	// solve computes the marshaled, newline-terminated response body from
+	// the handler state canon or reload established.
+	solve func() ([]byte, error)
+}
+
+// serveMemoized runs the shared flow. A byte-identical body seen before
+// maps straight to its canonical cache key (stored as "<label>\x00<key>"),
+// skipping JSON decoding and canonicalization — which builds a lattice to
+// resolve the workload — on every repeat.
+func (s *Server) serveMemoized(w http.ResponseWriter, r *http.Request, spec memoSpec) {
 	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
 	if err != nil {
 		s.stats.failure()
@@ -237,52 +275,32 @@ func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	// Fast path: a byte-identical body seen before maps straight to its
-	// canonical cache key (stored as "<scenario> <key>"), skipping JSON
-	// decoding and canonicalization — which builds a lattice to resolve
-	// the workload — on every repeat.
-	var req AdviseRequest
-	var key string
+	rawKey := spec.endpoint + "\x00" + string(raw)
+	var key, label string
 	decoded := false
-	if packed, ok := s.rawKeys.Get(string(raw)); ok {
-		scenario, ck, found := strings.Cut(string(packed), " ")
-		if found {
-			req.Scenario, key = scenario, ck
+	if packed, ok := s.rawKeys.Get(rawKey); ok {
+		if l, k, found := strings.Cut(string(packed), "\x00"); found {
+			label, key = l, k
 		}
 	}
 	if key == "" {
-		dec := json.NewDecoder(bytes.NewReader(raw))
-		dec.DisallowUnknownFields()
-		if err := dec.Decode(&req); err != nil {
-			s.stats.failure()
-			writeError(w, http.StatusBadRequest, fmt.Sprintf("parse request: %v", err))
-			return
-		}
-		if err := s.normalize(&req); err != nil {
+		key, label, err = spec.canon(raw)
+		if err != nil {
 			s.stats.failure()
 			writeError(w, http.StatusBadRequest, err.Error())
 			return
 		}
-		kb, err := json.Marshal(req)
-		if err != nil {
-			s.stats.failure()
-			writeError(w, http.StatusInternalServerError, err.Error())
-			return
-		}
-		key = string(kb)
 		decoded = true
-		s.rawKeys.Put(string(raw), []byte(req.Scenario+" "+key))
+		s.rawKeys.Put(rawKey, []byte(label+"\x00"+key))
 	}
-	if cached, ok := s.cache.Get(key); ok {
-		s.stats.advise(req.Scenario, true)
+	cacheKey := spec.endpoint + "\x00" + key
+	if cached, ok := s.cache.Get(cacheKey); ok {
+		s.stats.advise(label, true)
 		writeBody(w, http.StatusOK, cached, "hit")
 		return
 	}
 	if !decoded {
-		// The fast path skipped decoding but the response was evicted; the
-		// canonical key is itself a normalized request body, so rebuild
-		// the request from it before solving.
-		if err := json.Unmarshal([]byte(key), &req); err != nil {
+		if err := spec.reload(key); err != nil {
 			s.stats.failure()
 			writeError(w, http.StatusInternalServerError, err.Error())
 			return
@@ -291,15 +309,7 @@ func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
 
 	done := make(chan outcome, 1)
 	go func() {
-		resp, err := s.solve(req)
-		if err != nil {
-			done <- outcome{nil, err}
-			return
-		}
-		b, err := json.Marshal(resp)
-		if err == nil {
-			b = append(b, '\n')
-		}
+		b, err := spec.solve()
 		done <- outcome{b, err}
 	}()
 
@@ -313,18 +323,125 @@ func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, out.err.Error())
 			return
 		}
-		s.cache.Put(key, out.body)
-		s.stats.advise(req.Scenario, false)
+		s.cache.Put(cacheKey, out.body)
+		s.stats.advise(label, false)
 		writeBody(w, http.StatusOK, out.body, "miss")
 	case <-timeout.C:
-		s.warmLater(key, done)
+		s.warmLater(cacheKey, done)
 		s.stats.failure()
 		writeError(w, http.StatusServiceUnavailable, "request timed out")
 	case <-ctx.Done():
-		s.warmLater(key, done)
+		s.warmLater(cacheKey, done)
 		s.stats.failure()
 		writeError(w, http.StatusServiceUnavailable, "request cancelled")
 	}
+}
+
+func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
+	var req AdviseRequest
+	s.serveMemoized(w, r, memoSpec{
+		endpoint: "advise",
+		canon: func(raw []byte) (string, string, error) {
+			dec := json.NewDecoder(bytes.NewReader(raw))
+			dec.DisallowUnknownFields()
+			if err := dec.Decode(&req); err != nil {
+				return "", "", fmt.Errorf("parse request: %v", err)
+			}
+			if err := s.normalize(&req); err != nil {
+				return "", "", err
+			}
+			kb, err := json.Marshal(req)
+			if err != nil {
+				return "", "", err
+			}
+			return string(kb), req.Scenario, nil
+		},
+		reload: func(key string) error {
+			return json.Unmarshal([]byte(key), &req)
+		},
+		solve: func() ([]byte, error) {
+			resp, err := s.solve(req)
+			if err != nil {
+				return nil, err
+			}
+			b, err := json.Marshal(resp)
+			if err != nil {
+				return nil, err
+			}
+			return append(b, '\n'), nil
+		},
+	})
+}
+
+// handleCompare serves POST /v1/compare: the advisory problem fanned out
+// across the provider × instance × fleet grid on the compare worker
+// pool, with the same canonicalized-request memoization as advise.
+func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
+	var req compare.RequestJSON
+	s.serveMemoized(w, r, memoSpec{
+		endpoint: "compare",
+		canon: func(raw []byte) (string, string, error) {
+			dec := json.NewDecoder(bytes.NewReader(raw))
+			dec.DisallowUnknownFields()
+			if err := dec.Decode(&req); err != nil {
+				return "", "", fmt.Errorf("parse request: %v", err)
+			}
+			if err := s.normalizeCompare(&req); err != nil {
+				return "", "", err
+			}
+			kb, err := json.Marshal(req)
+			if err != nil {
+				return "", "", err
+			}
+			return string(kb), "compare", nil
+		},
+		reload: func(key string) error {
+			return json.Unmarshal([]byte(key), &req)
+		},
+		solve: func() ([]byte, error) {
+			creq, err := req.Resolve()
+			if err != nil {
+				return nil, err
+			}
+			creq.Workers = s.opts.CompareWorkers
+			comp, err := compare.Run(creq)
+			if err != nil {
+				return nil, err
+			}
+			b, err := json.Marshal(comp.JSON())
+			if err != nil {
+				return nil, err
+			}
+			return append(b, '\n'), nil
+		},
+	})
+}
+
+// normalizeCompare canonicalizes a compare request and applies the
+// server-side ceilings.
+func (s *Server) normalizeCompare(req *compare.RequestJSON) error {
+	if err := req.Normalize(); err != nil {
+		return err
+	}
+	if req.FactRows > s.opts.MaxFactRows {
+		return fmt.Errorf("fact_rows %d exceeds the server limit %d", req.FactRows, s.opts.MaxFactRows)
+	}
+	if len(req.ConfigJSON.Workload) > s.opts.MaxQueries {
+		return fmt.Errorf("workload of %d queries exceeds the server limit %d", len(req.ConfigJSON.Workload), s.opts.MaxQueries)
+	}
+	if req.CandidateBudget > s.opts.MaxCandidates {
+		return fmt.Errorf("candidate_budget %d exceeds the server limit %d", req.CandidateBudget, s.opts.MaxCandidates)
+	}
+	if req.Steps > s.opts.MaxParetoSteps {
+		return fmt.Errorf("steps %d exceeds the server limit %d", req.Steps, s.opts.MaxParetoSteps)
+	}
+	if req.BreakEvenSteps > s.opts.MaxParetoSteps {
+		return fmt.Errorf("break_even_steps %d exceeds the server limit %d", req.BreakEvenSteps, s.opts.MaxParetoSteps)
+	}
+	if n := req.Configs(); n > s.opts.MaxCompareConfigs {
+		return fmt.Errorf("comparison grid of %d configurations exceeds the server limit %d", n, s.opts.MaxCompareConfigs)
+	}
+	return nil
 }
 
 // warmLater lets an orphaned solve (timed-out or cancelled request)
@@ -455,8 +572,8 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	writeBody(w, status, append(b, '\n'), "")
 }
 
-// writeBody sends a pre-marshaled, newline-terminated JSON body. Cached
-// bodies are shared across goroutines, so the slice is never modified.
+// writeBody sends a pre-marshaled, newline-terminated JSON body. Cache
+// hits arrive as defensive copies, so the slice is exclusively owned.
 func writeBody(w http.ResponseWriter, status int, body []byte, cache string) {
 	w.Header().Set("Content-Type", "application/json")
 	if cache != "" {

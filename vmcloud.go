@@ -28,6 +28,7 @@
 package vmcloud
 
 import (
+	"vmcloud/internal/compare"
 	"vmcloud/internal/core"
 	"vmcloud/internal/lattice"
 	"vmcloud/internal/money"
@@ -109,3 +110,25 @@ type ParetoPoint = core.ParetoPoint
 
 // NewAdvisor wires an advisory session.
 func NewAdvisor(cfg AdvisorConfig) (*Advisor, error) { return core.New(cfg) }
+
+// CompareRequest describes a cross-provider comparison: the advisory
+// problem fanned out across provider × instance type × cluster size
+// configurations. Zero values select the paper's defaults; an empty
+// Providers list compares the full built-in catalog.
+type CompareRequest = compare.Request
+
+// Comparison is the merged cross-provider report: the cost/time matrix,
+// per-scenario winners, the global Pareto frontier and the budget
+// break-even sweep. ComparisonJSON (via Comparison.JSON) is its wire
+// form, as served by mvcloudd's POST /v1/compare.
+type Comparison = compare.Comparison
+
+// ComparisonJSON is the wire form of a Comparison.
+type ComparisonJSON = compare.ComparisonJSON
+
+// CompareKey identifies one compared configuration.
+type CompareKey = compare.Key
+
+// Compare solves every requested configuration on a bounded worker pool
+// and returns the deterministic, ranked comparison.
+func Compare(req CompareRequest) (*Comparison, error) { return compare.Run(req) }

@@ -127,3 +127,25 @@ func ExampleParseMoney() {
 	// Output:
 	// $14.40
 }
+
+// ExampleCompare fans one advisory problem out across the whole built-in
+// provider catalog and reports which cloud wins each scenario.
+func ExampleCompare() {
+	l, _ := NewLattice(SalesSchema(), 10_000_000)
+	w, _ := SalesWorkload(l, 5)
+	comp, _ := Compare(CompareRequest{
+		Workload: w,
+		FactRows: 10_000_000,
+		Budget:   Dollars(25),
+		Limit:    4 * time.Hour,
+	})
+	fmt.Println("configurations:", len(comp.Configs))
+	for _, win := range comp.Winners {
+		fmt.Printf("%s winner: %s\n", win.Scenario, win.Provider)
+	}
+	// Output:
+	// configurations: 5
+	// mv1 winner: nimbus
+	// mv2 winner: nimbus
+	// mv3 winner: nimbus
+}
