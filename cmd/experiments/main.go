@@ -4,9 +4,13 @@
 //
 // Usage:
 //
-//	experiments [-csv DIR] [-alpha3 0.3] [-alpha7 0.7]
+//	experiments [-csv DIR] [-alpha3 0.3] [-alpha7 0.7] [-large] [-large-seed 1]
 //
 // With -csv, each table is additionally written as a CSV file into DIR.
+// With -large, it additionally runs the beyond-the-paper stress
+// experiment: a generated 4-dimension × 4-level (256-cuboid) lattice
+// solved by both the linearized knapsack and the exact-evaluator
+// metaheuristic search under identical constraints.
 package main
 
 import (
@@ -23,12 +27,34 @@ func main() {
 	csvDir := flag.String("csv", "", "directory to write CSV versions of the tables")
 	alphaC := flag.Float64("alpha3", 0.3, "tradeoff weight for Figure 5(c)")
 	alphaD := flag.Float64("alpha7", 0.7, "tradeoff weight for Figure 5(d); the paper's caption also mentions 0.65")
+	large := flag.Bool("large", false, "also run the 256-cuboid knapsack-vs-search stress experiment")
+	largeSeed := flag.Int64("large-seed", 1, "workload and search seed for -large")
 	flag.Parse()
 
 	if err := run(*csvDir, *alphaC, *alphaD); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
+	if *large {
+		if err := runLarge(*largeSeed); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// runLarge prints the large-lattice solver comparison (beyond the
+// paper's evaluation: the setting the internal/search engine exists for).
+func runLarge(seed int64) error {
+	fmt.Println("== Large lattice: linearized knapsack vs metaheuristic search ==")
+	res, err := experiments.RunLargeLattice(experiments.LargeLatticeConfig{Seed: seed})
+	if err != nil {
+		return err
+	}
+	fmt.Println(experiments.LargeLatticeTable(res))
+	fmt.Printf("mv3 objective (α=%.2g): knapsack %.4f, search %.4f\n",
+		res.Alpha, res.MV3Objective(res.KnapsackMV3), res.MV3Objective(res.SearchMV3))
+	return nil
 }
 
 func run(csvDir string, alphaC, alphaD float64) error {

@@ -8,6 +8,7 @@
 //	mvcloud -scenario mv2 -limit 4h
 //	mvcloud -scenario mv3 -alpha 0.65
 //	mvcloud -scenario pareto -steps 11
+//	mvcloud -scenario mv1 -solver search -seed 42   # metaheuristic engine
 //	mvcloud -tariffs            # print the built-in provider catalog
 //
 // The compare subcommand fans the same advisory problem out across every
@@ -60,6 +61,8 @@ func main() {
 		instance  = flag.String("instance", "small", "instance type")
 		fleet     = flag.Int("fleet", 5, "number of instances")
 		rows      = flag.Int64("rows", 200_000_000, "fact table rows (≈size/50B)")
+		solver    = flag.String("solver", "knapsack", "optimization engine: knapsack, search or auto")
+		seed      = flag.Int64("seed", 0, "search solver seed (identical seeds reproduce identical selections)")
 		tariffs   = flag.Bool("tariffs", false, "print the provider catalog and exit")
 		invoice   = flag.Bool("invoice", false, "print an itemized invoice for the recommendation")
 	)
@@ -74,6 +77,7 @@ func main() {
 		alpha: *alpha, steps: *steps, queries: *queries, freq: *freq,
 		provider: *provider, providerFile: *provFile,
 		instance: *instance, fleet: *fleet, rows: *rows, invoice: *invoice,
+		solver: *solver, seed: *seed,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "mvcloud:", err)
 		os.Exit(1)
@@ -111,6 +115,8 @@ type runOpts struct {
 	fleet                   int
 	rows                    int64
 	invoice                 bool
+	solver                  string
+	seed                    int64
 }
 
 func run(o runOpts) error {
@@ -141,12 +147,14 @@ func run(o runOpts) error {
 		Instances:    o.fleet,
 		FactRows:     o.rows,
 		Workload:     w,
+		Solver:       o.solver,
+		Seed:         o.seed,
 	})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("cluster: %s   workload: %d queries × %d/month   candidates: %d\n\n",
-		adv.Cl, o.queries, o.freq, len(adv.Candidates))
+	fmt.Printf("cluster: %s   workload: %d queries × %d/month   candidates: %d   solver: %s\n\n",
+		adv.Cl, o.queries, o.freq, len(adv.Candidates), adv.Solver)
 
 	printRec := func(rec core.Recommendation) {
 		fmt.Print(rec.Render())
@@ -215,6 +223,8 @@ func runCompareArgs(args []string, out *os.File) error {
 		instances = fs.String("instances", "small", "comma-separated instance types to try")
 		fleets    = fs.String("fleets", "5", "comma-separated cluster sizes to try")
 		rows      = fs.Int64("rows", 200_000_000, "fact table rows (≈size/50B)")
+		solver    = fs.String("solver", "knapsack", "optimization engine: knapsack, search or auto")
+		seed      = fs.Int64("seed", 0, "search solver seed")
 		breakEven = fs.Int("break-even", 8, "budget sweep resolution (negative disables)")
 		workers   = fs.Int("workers", 0, "fan-out worker pool size (0 = GOMAXPROCS, 1 = sequential)")
 		asJSON    = fs.Bool("json", false, "print the comparison in the /v1/compare wire format")
@@ -226,7 +236,7 @@ func runCompareArgs(args []string, out *os.File) error {
 		scenarios: *scenarios, budget: *budgetStr, limit: *limitStr, alpha: *alpha,
 		steps: *steps, queries: *queries, freq: *freq, providers: *providers,
 		instances: *instances, fleets: *fleets, rows: *rows, breakEven: *breakEven,
-		workers: *workers,
+		workers: *workers, solver: *solver, seed: *seed,
 	})
 	if err != nil {
 		return err
@@ -251,6 +261,8 @@ type compareOpts struct {
 	providers, instances, fleets string
 	rows                         int64
 	breakEven, workers           int
+	solver                       string
+	seed                         int64
 }
 
 func buildCompareRequest(o compareOpts) (compare.Request, error) {
@@ -282,6 +294,8 @@ func buildCompareRequest(o compareOpts) (compare.Request, error) {
 		Steps:          o.steps,
 		BreakEvenSteps: o.breakEven,
 		Workers:        o.workers,
+		Solver:         o.solver,
+		Seed:           o.seed,
 	}
 	if o.scenarios != "" {
 		req.Scenarios = splitList(o.scenarios)

@@ -94,3 +94,35 @@ func TestRunCompareArgsErrors(t *testing.T) {
 		}
 	}
 }
+
+func TestRunSearchSolver(t *testing.T) {
+	for _, scenario := range []string{"mv1", "mv2", "mv3", "pareto"} {
+		o := runOpts{scenario: scenario, budget: "25.00", limit: "4h", alpha: 0.5,
+			steps: 5, queries: 5, freq: 30, provider: "aws-2012",
+			instance: "small", fleet: 5, rows: 10_000_000,
+			solver: "search", seed: 42}
+		if err := run(o); err != nil {
+			t.Errorf("%s with -solver search: %v", scenario, err)
+		}
+	}
+	o := runOpts{scenario: "mv1", budget: "25.00", limit: "4h", alpha: 0.5,
+		steps: 5, queries: 5, freq: 30, provider: "aws-2012",
+		instance: "small", fleet: 5, rows: 10_000_000, solver: "quantum"}
+	if err := run(o); err == nil {
+		t.Error("unknown -solver accepted")
+	}
+}
+
+func TestCompareRequestCarriesSolver(t *testing.T) {
+	req, err := buildCompareRequest(compareOpts{
+		budget: "25.00", limit: "4h", alpha: 0.5, steps: 5, queries: 5, freq: 30,
+		providers: "aws-2012", instances: "small", fleets: "5",
+		rows: 10_000_000, breakEven: -1, solver: "search", seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.Solver != "search" || req.Seed != 7 {
+		t.Fatalf("solver/seed = %q/%d, want search/7", req.Solver, req.Seed)
+	}
+}

@@ -101,6 +101,10 @@ type Request struct {
 	UpdateRatio       float64
 	MaintenancePolicy views.MaintenancePolicy
 	JobOverhead       time.Duration
+	// Solver and Seed select the optimization engine per configuration,
+	// exactly as core.Config does ("knapsack" default, "search", "auto").
+	Solver string
+	Seed   int64
 
 	// Scenarios selects which objectives to solve per configuration, from
 	// "mv1", "mv2", "mv3" and "pareto". Empty derives the set from the
@@ -310,6 +314,16 @@ func (r Request) normalize() (normalized, error) {
 			n.sweepBudgets = append(n.sweepBudgets, lo.Add(hi.Sub(lo).MulFloat(frac)))
 		}
 	}
+	n.Solver, err = core.CanonSolver(n.Solver)
+	if err != nil {
+		return normalized{}, err
+	}
+	if n.Solver != core.SolverSearch {
+		// Comparisons are sales-schema-only, so "auto" can never reach
+		// search (candidate pools stay at or below AutoSearchThreshold);
+		// drop the unused seed, matching the wire canonicalization.
+		n.Seed = 0
+	}
 	if n.Workers == 0 {
 		n.Workers = runtime.GOMAXPROCS(0)
 	}
@@ -424,6 +438,8 @@ func (n normalized) solveCell(k Key, prov pricing.Provider) (ConfigResult, error
 		UpdateRatio:       n.UpdateRatio,
 		MaintenancePolicy: n.MaintenancePolicy,
 		JobOverhead:       n.JobOverhead,
+		Solver:            n.Solver,
+		Seed:              n.Seed,
 	})
 	if err != nil {
 		return ConfigResult{}, err

@@ -185,6 +185,8 @@ func (rj RequestJSON) Resolve() (Request, error) {
 		Scenarios:       rj.Scenarios,
 		Steps:           rj.Steps,
 		BreakEvenSteps:  rj.BreakEvenSteps,
+		Solver:          rj.Solver,
+		Seed:            rj.Seed,
 	}
 	for _, name := range rj.Providers {
 		p, err := pricing.Lookup(name)

@@ -18,6 +18,7 @@ import (
 	"vmcloud/internal/pricing"
 	"vmcloud/internal/report"
 	"vmcloud/internal/schema"
+	"vmcloud/internal/search"
 	"vmcloud/internal/units"
 	"vmcloud/internal/views"
 	"vmcloud/internal/workload"
@@ -52,6 +53,44 @@ type Config struct {
 	JobOverhead time.Duration
 	// Granularity overrides the provider's billing rounding if non-nil.
 	Granularity *units.BillingGranularity
+	// Solver selects the optimization engine: SolverKnapsack (default)
+	// runs the paper's linearized 0/1 knapsack DPs, SolverSearch runs the
+	// exact-evaluator metaheuristics of internal/search, and SolverAuto
+	// picks search once the candidate pool exceeds AutoSearchThreshold
+	// (where the linearization error starts to bite).
+	Solver string
+	// Seed drives the search solver's randomized restarts and annealing;
+	// identical seeds yield identical recommendations. Ignored by the
+	// knapsack solver.
+	Seed int64
+}
+
+// Solver names accepted by Config.Solver and the "solver" wire field.
+const (
+	SolverKnapsack = "knapsack"
+	SolverSearch   = "search"
+	SolverAuto     = "auto"
+)
+
+// AutoSearchThreshold is the candidate-pool size above which SolverAuto
+// switches from the linearized knapsack to metaheuristic search. The
+// paper's 16-cuboid sales lattice can never exceed it (at most 15
+// non-base cuboids qualify as candidates), so "auto" preserves the
+// paper's solver on the paper's setting and flips to search exactly when
+// the lattice outgrows it.
+const AutoSearchThreshold = 16
+
+// CanonSolver canonicalizes a solver name: trimmed, lower-cased, ""
+// mapped to SolverKnapsack, and anything unknown rejected.
+func CanonSolver(s string) (string, error) {
+	switch c := strings.ToLower(strings.TrimSpace(s)); c {
+	case "":
+		return SolverKnapsack, nil
+	case SolverKnapsack, SolverSearch, SolverAuto:
+		return c, nil
+	default:
+		return "", fmt.Errorf("core: unknown solver %q (want %s, %s or %s)", s, SolverKnapsack, SolverSearch, SolverAuto)
+	}
 }
 
 // Advisor is a wired advisory session.
@@ -62,10 +101,21 @@ type Advisor struct {
 	W          workload.Workload
 	Ev         *optimizer.Evaluator
 	Candidates []views.Candidate
+	// Solver is the canonicalized engine choice (never "auto": New
+	// resolves auto against the candidate count) and Seed the search
+	// seed it runs with.
+	Solver string
+	Seed   int64
 }
 
 // New builds an advisor from a config.
 func New(cfg Config) (*Advisor, error) {
+	// Validate the cheap, purely-syntactic fields before any expensive
+	// construction (lattice, candidate generation).
+	solver, err := CanonSolver(cfg.Solver)
+	if err != nil {
+		return nil, err
+	}
 	prov := pricing.AWS2012()
 	if cfg.Provider != nil {
 		prov = *cfg.Provider
@@ -140,6 +190,12 @@ func New(cfg Config) (*Advisor, error) {
 	if err != nil {
 		return nil, err
 	}
+	if solver == SolverAuto {
+		solver = SolverKnapsack
+		if len(cands) > AutoSearchThreshold {
+			solver = SolverSearch
+		}
+	}
 	return &Advisor{
 		Lat:        l,
 		Cl:         cl,
@@ -147,6 +203,8 @@ func New(cfg Config) (*Advisor, error) {
 		W:          cfg.Workload,
 		Ev:         ev,
 		Candidates: cands,
+		Solver:     solver,
+		Seed:       cfg.Seed,
 	}, nil
 }
 
@@ -233,31 +291,65 @@ func (a *Advisor) PlanFor(sel optimizer.Selection) costmodel.Plan {
 	)
 }
 
-// AdviseBudget solves scenario MV1: fastest workload within the budget.
-func (a *Advisor) AdviseBudget(budget money.Money) (Recommendation, error) {
-	sel, err := a.Ev.SolveMV1(a.Candidates, budget)
+// useSearch reports whether the advisor dispatches to the metaheuristic
+// engine, and searchOpts its deterministic configuration.
+func (a *Advisor) useSearch() bool { return a.Solver == SolverSearch }
+
+func (a *Advisor) searchOpts() search.Options { return search.Options{Seed: a.Seed} }
+
+// advise runs one scenario through the configured engine and wraps the
+// selection into a recommendation — the single dispatch point between
+// the knapsack DPs and the metaheuristic search. The search path first
+// solves the (cheap) linearized knapsack and warm-starts from its
+// selection, so a search recommendation is never worse than the
+// knapsack's under the exact re-priced objective — the guarantee the
+// large-lattice experiments assert, held on the product path.
+func (a *Advisor) advise(scenario string, knapsack func() (optimizer.Selection, error), searcher func(warm optimizer.Selection) (optimizer.Selection, error)) (Recommendation, error) {
+	sel, err := knapsack()
+	if err == nil && a.useSearch() {
+		sel, err = searcher(sel)
+	}
 	if err != nil {
 		return Recommendation{}, err
 	}
-	return a.recommend("MV1 (budget limit)", sel)
+	return a.recommend(scenario, sel)
+}
+
+// warmOpts is searchOpts seeded with a warm-start selection.
+func (a *Advisor) warmOpts(warm optimizer.Selection) search.Options {
+	opts := a.searchOpts()
+	opts.Starts = [][]lattice.Point{warm.Points}
+	return opts
+}
+
+// AdviseBudget solves scenario MV1: fastest workload within the budget.
+func (a *Advisor) AdviseBudget(budget money.Money) (Recommendation, error) {
+	return a.advise("MV1 (budget limit)",
+		func() (optimizer.Selection, error) { return a.Ev.SolveMV1(a.Candidates, budget) },
+		func(warm optimizer.Selection) (optimizer.Selection, error) {
+			return search.SolveMV1(a.Ev, a.Candidates, budget, a.warmOpts(warm))
+		},
+	)
 }
 
 // AdviseDeadline solves scenario MV2: cheapest bill within the time limit.
 func (a *Advisor) AdviseDeadline(limit time.Duration) (Recommendation, error) {
-	sel, err := a.Ev.SolveMV2(a.Candidates, limit)
-	if err != nil {
-		return Recommendation{}, err
-	}
-	return a.recommend("MV2 (response-time limit)", sel)
+	return a.advise("MV2 (response-time limit)",
+		func() (optimizer.Selection, error) { return a.Ev.SolveMV2(a.Candidates, limit) },
+		func(warm optimizer.Selection) (optimizer.Selection, error) {
+			return search.SolveMV2(a.Ev, a.Candidates, limit, a.warmOpts(warm))
+		},
+	)
 }
 
 // AdviseTradeoff solves scenario MV3 with the given α weight on time.
 func (a *Advisor) AdviseTradeoff(alpha float64) (Recommendation, error) {
-	sel, err := a.Ev.SolveMV3(a.Candidates, alpha, optimizer.RawTradeoff)
-	if err != nil {
-		return Recommendation{}, err
-	}
-	return a.recommend(fmt.Sprintf("MV3 (tradeoff, α=%.2g)", alpha), sel)
+	return a.advise(fmt.Sprintf("MV3 (tradeoff, α=%.2g)", alpha),
+		func() (optimizer.Selection, error) { return a.Ev.SolveMV3(a.Candidates, alpha, optimizer.RawTradeoff) },
+		func(warm optimizer.Selection) (optimizer.Selection, error) {
+			return search.SolveMV3(a.Ev, a.Candidates, alpha, optimizer.RawTradeoff, a.warmOpts(warm))
+		},
+	)
 }
 
 // ParetoPoint is one (time, cost) outcome on the tradeoff frontier.
@@ -275,21 +367,64 @@ func (a *Advisor) ParetoFront(steps int) ([]ParetoPoint, error) {
 	if steps < 2 {
 		return nil, fmt.Errorf("core: need at least 2 sweep steps, got %d", steps)
 	}
-	var all []ParetoPoint
+	// The knapsack per-α sweep runs in both modes: in knapsack mode its
+	// selections are the frontier candidates; in search mode they become
+	// warm starts, carrying the advise dispatch's guarantee over to the
+	// sweep — the search frontier is never worse than the knapsack's at
+	// any α (warm starts are priced first; cached re-scores are free).
+	knapSels := make([]optimizer.Selection, steps)
 	for i := 0; i < steps; i++ {
 		alpha := float64(i) / float64(steps-1)
 		sel, err := a.Ev.SolveMV3(a.Candidates, alpha, optimizer.NormalizedTradeoff)
 		if err != nil {
 			return nil, err
 		}
-		all = append(all, ParetoPoint{
-			Alpha: alpha,
-			Time:  sel.Time,
-			Cost:  sel.Bill.Total(),
-			Views: len(sel.Points),
-		})
+		knapSels[i] = sel
 	}
-	// Filter to the non-dominated set.
+	var all []ParetoPoint
+	if a.useSearch() {
+		// ParetoSweep's evaluation budget spans the whole sweep; scale it
+		// by the step count so every α gets a real search, not just the
+		// first few before the shared budget runs dry. Warm starts are
+		// deduplicated (adjacent α often agree) under a collision-free
+		// level-index key.
+		opts := a.searchOpts()
+		opts.MaxEvals = steps * search.DefaultMaxEvals
+		seen := make(map[string]bool)
+		for _, ksel := range knapSels {
+			key := fmt.Sprintf("%v", ksel.Points)
+			if !seen[key] {
+				seen[key] = true
+				opts.Starts = append(opts.Starts, ksel.Points)
+			}
+		}
+		sweep, err := search.ParetoSweep(a.Ev, a.Candidates, steps, optimizer.NormalizedTradeoff, opts)
+		if err != nil {
+			return nil, err
+		}
+		for _, as := range sweep {
+			all = append(all, ParetoPoint{
+				Alpha: as.Alpha,
+				Time:  as.Sel.Time,
+				Cost:  as.Sel.Bill.Total(),
+				Views: len(as.Sel.Points),
+			})
+		}
+	} else {
+		for i, sel := range knapSels {
+			all = append(all, ParetoPoint{
+				Alpha: float64(i) / float64(steps-1),
+				Time:  sel.Time,
+				Cost:  sel.Bill.Total(),
+				Views: len(sel.Points),
+			})
+		}
+	}
+	return paretoFilter(all), nil
+}
+
+// paretoFilter keeps the non-dominated points of a sweep.
+func paretoFilter(all []ParetoPoint) []ParetoPoint {
 	var front []ParetoPoint
 	for i, p := range all {
 		dominated := false
@@ -306,5 +441,5 @@ func (a *Advisor) ParetoFront(steps int) ([]ParetoPoint, error) {
 			front = append(front, p)
 		}
 	}
-	return front, nil
+	return front
 }

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// FuzzConfigJSONNormalize hammers the wire-config canonicalization the
+// server decodes untrusted bodies straight into. The contract under
+// fuzzing: arbitrary JSON never panics; whatever Normalize accepts must
+// (a) re-normalize to a fixed point — the property the memoization keys
+// rely on — and (b) resolve into a buildable Config.
+func FuzzConfigJSONNormalize(f *testing.F) {
+	seeds := []string{
+		`{}`,
+		`{"provider":"aws-2012","queries":5}`,
+		`{"solver":"search","seed":42}`,
+		`{"solver":"bogus"}`,
+		`{"seed":-1}`,
+		`{"months":0.5,"fact_rows":1000000}`,
+		`{"job_overhead":"not-a-duration"}`,
+		`{"job_overhead":"-5m"}`,
+		`{"maintenance_policy":"psychic"}`,
+		`{"update_ratio":97}`,
+		`{"frequency":-3}`,
+		`{"workload":[{"levels":["year","country"],"frequency":30}]}`,
+		`{"workload":[{"levels":["eon","country"]}]}`,
+		`{"workload":[{"levels":["year"]}]}`,
+		`{"workload":[{"point":[99,99]}]}`,
+		`{"provider_spec":{"name":"x"}}`,
+		`{"provider_spec":{"name":"tiny","compute":{"granularity":"per-hour","instances":[{"name":"small","price_per_hour":"$0.10","ecu":1}]},"storage":{"mode":"slab","tiers":[{"price_per_gb":"$0.10"}]},"transfer":{"ingress_free":true,"egress":{"mode":"graduated","tiers":[{"price_per_gb":"$0.10"}]}}}}`,
+		`{"provider_spec":{"compute":{"instances":[{"price_per_hour":"nonsense"}]}}}`,
+		`{"fact_rows":-1}`,
+		`{"instances":-5}`,
+		`{"candidate_budget":-2}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var cj ConfigJSON
+		if err := json.Unmarshal(data, &cj); err != nil {
+			return // not JSON at all — the decoder rejects it upstream
+		}
+		if err := cj.Normalize(); err != nil {
+			return // rejected inputs just need to not panic
+		}
+		first, err := json.Marshal(cj)
+		if err != nil {
+			t.Fatalf("normalized config does not marshal: %v", err)
+		}
+		if err := cj.Normalize(); err != nil {
+			t.Fatalf("re-normalizing an accepted config failed: %v\ninput: %s", err, data)
+		}
+		second, err := json.Marshal(cj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first, second) {
+			t.Fatalf("Normalize is not a fixed point:\nfirst:  %s\nsecond: %s\ninput: %s", first, second, data)
+		}
+		if _, err := cj.Resolve(); err != nil {
+			t.Fatalf("accepted config failed to resolve: %v\ninput: %s", err, data)
+		}
+	})
+}

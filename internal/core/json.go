@@ -43,6 +43,13 @@ type ConfigJSON struct {
 	MaintenancePolicy string `json:"maintenance_policy,omitempty"`
 	// JobOverhead is a Go duration string, e.g. "2m".
 	JobOverhead string `json:"job_overhead,omitempty"`
+	// Solver is "knapsack" (default), "search" or "auto".
+	Solver string `json:"solver,omitempty"`
+	// Seed drives the search solver's randomized restarts; identical
+	// seeds yield byte-identical responses. Canonicalized to 0 when the
+	// solver is "knapsack" (which ignores it), so seed spellings cannot
+	// fragment the response cache.
+	Seed int64 `json:"seed,omitempty"`
 }
 
 // Normalize fills every defaulted field with its concrete value and
@@ -116,6 +123,25 @@ func (cj *ConfigJSON) Normalize() error {
 	default:
 		return fmt.Errorf("core: unknown maintenance policy %q (want immediate or deferred)", cj.MaintenancePolicy)
 	}
+	solver, err := CanonSolver(cj.Solver)
+	if err != nil {
+		return err
+	}
+	cj.Solver = solver
+	if cj.Solver == SolverAuto {
+		// The wire format is sales-schema-only, whose candidate pool
+		// (≤ 15, and server-capped at 16) can never exceed
+		// AutoSearchThreshold — so on the wire "auto" always resolves to
+		// the knapsack. Canonicalize it eagerly: the seed-zeroing below
+		// then needs no distant invariant, and any future wire field
+		// that grows the schema must revisit this line explicitly.
+		cj.Solver = SolverKnapsack
+	}
+	if cj.Solver != SolverSearch {
+		// The DP solver is seed-independent; canonicalize the seed away
+		// so spellings cannot fragment the memoization key space.
+		cj.Seed = 0
+	}
 	if cj.JobOverhead == "" {
 		cj.JobOverhead = "2m"
 	}
@@ -149,6 +175,10 @@ func (cj *ConfigJSON) Normalize() error {
 		if err != nil {
 			return err
 		}
+		// The workload below is now explicit; zero the shorthand so both
+		// spellings of the same problem share one canonical form (and
+		// re-normalizing is a fixed point).
+		cj.Queries = 0
 	}
 	if cj.Frequency < 0 {
 		return fmt.Errorf("core: negative frequency %d", cj.Frequency)
@@ -185,6 +215,8 @@ func (cj ConfigJSON) Resolve() (Config, error) {
 		CandidateBudget: cj.CandidateBudget,
 		MaintenanceRuns: cj.MaintenanceRuns,
 		UpdateRatio:     cj.UpdateRatio,
+		Solver:          cj.Solver,
+		Seed:            cj.Seed,
 	}
 	if len(cj.ProviderSpec) > 0 {
 		p, err := pricing.UnmarshalProvider(cj.ProviderSpec)

@@ -1,0 +1,125 @@
+package lattice
+
+import (
+	"reflect"
+	"testing"
+
+	"vmcloud/internal/schema"
+)
+
+// TestLargeLatticeConstruction stress-tests lattice construction on the
+// 4-dimension × 4-level synthetic schema (256 cuboids): node count,
+// partial-order sanity, and statistic monotonicity — the invariants the
+// search benchmarks lean on.
+func TestLargeLatticeConstruction(t *testing.T) {
+	s, err := schema.Synthetic(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const factRows = 1_000_000_000
+	l, err := New(s, factRows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := l.NumNodes(); got != 256 {
+		t.Fatalf("NumNodes = %d, want 4^4 = 256", got)
+	}
+
+	base, apex := l.Base(), l.Apex()
+	baseNode, err := l.Node(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if baseNode.Rows != factRows {
+		t.Errorf("base rows = %d, want the raw fact count %d", baseNode.Rows, factRows)
+	}
+	apexNode, err := l.Node(apex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if apexNode.Groups != 1 {
+		t.Errorf("apex groups = %d, want 1 (grand total)", apexNode.Groups)
+	}
+
+	for _, n := range l.Nodes() {
+		// The base answers everything; everything answers the apex.
+		if !l.CanAnswer(base, n.Point) {
+			t.Fatalf("base cannot answer %v", n.Point)
+		}
+		if !l.CanAnswer(n.Point, apex) {
+			t.Fatalf("%v cannot answer the apex", n.Point)
+		}
+		// Statistics are positive and internally consistent.
+		if n.Rows < 1 || n.Groups < 1 || n.Size <= 0 || n.ResultSize <= 0 {
+			t.Fatalf("%v has degenerate stats: %+v", n.Point, n)
+		}
+		if n.Groups > n.Rows {
+			t.Fatalf("%v groups %d exceed rows %d", n.Point, n.Groups, n.Rows)
+		}
+		// Coarsening in any one dimension can only shrink the group count,
+		// and the strict order Children/Parents/Ancestors must agree.
+		for _, child := range l.Children(n.Point) {
+			if child.Groups > n.Groups {
+				t.Fatalf("coarser %v has more groups (%d) than %v (%d)",
+					child.Point, child.Groups, n.Point, n.Groups)
+			}
+			if !l.CanAnswer(n.Point, child.Point) {
+				t.Fatalf("%v cannot answer its own child %v", n.Point, child.Point)
+			}
+			if l.CanAnswer(child.Point, n.Point) {
+				t.Fatalf("strictly coarser %v claims to answer %v", child.Point, n.Point)
+			}
+		}
+	}
+
+	// Ancestors ∪ Descendants ∪ incomparable ∪ self partitions the
+	// lattice: probe a few interior points exhaustively.
+	for _, probe := range []Point{{1, 1, 1, 1}, {0, 3, 2, 1}, {2, 0, 0, 3}} {
+		anc := l.Ancestors(probe)
+		desc := l.Descendants(probe)
+		for _, a := range anc {
+			for _, d := range desc {
+				if a.Point.Equal(d.Point) {
+					t.Fatalf("%v is both ancestor and descendant of %v", a.Point, probe)
+				}
+			}
+		}
+		comparable := len(anc) + len(desc) + 1
+		if comparable > l.NumNodes() {
+			t.Fatalf("probe %v: %d comparable nodes in a %d-node lattice", probe, comparable, l.NumNodes())
+		}
+	}
+}
+
+// TestLargeLatticeDeterministic pins construction determinism: two
+// builds of the same schema and scale must agree node for node (points,
+// order and statistics) — the property candidate generation, memoized
+// serving and seeded search all quietly rely on.
+func TestLargeLatticeDeterministic(t *testing.T) {
+	build := func() *Lattice {
+		s, err := schema.Synthetic(4, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l, err := New(s, 1_000_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return l
+	}
+	a, b := build(), build()
+	na, nb := a.Nodes(), b.Nodes()
+	if len(na) != len(nb) {
+		t.Fatalf("node counts differ: %d vs %d", len(na), len(nb))
+	}
+	for i := range na {
+		if !reflect.DeepEqual(na[i], nb[i]) {
+			t.Fatalf("node %d differs across builds: %+v vs %+v", i, na[i], nb[i])
+		}
+	}
+	// Points come out in encoded-id order with the base first and the
+	// apex last.
+	if !na[0].Point.Equal(a.Base()) || !na[len(na)-1].Point.Equal(a.Apex()) {
+		t.Fatalf("node order broken: first %v, last %v", na[0].Point, na[len(na)-1].Point)
+	}
+}

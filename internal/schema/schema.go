@@ -11,6 +11,7 @@ package schema
 
 import (
 	"fmt"
+	"math"
 
 	"vmcloud/internal/units"
 )
@@ -169,6 +170,72 @@ func (s *Schema) Measure(name string) (Measure, int, error) {
 // level of a dimension, e.g. "day->month". Datasets publish a child→parent
 // index array under this name for every adjacent level pair.
 func MapName(from, to string) string { return from + "->" + to }
+
+// Synthetic builds a deterministic star schema with dims dimensions and
+// levels hierarchy levels per dimension (counting the implicit ALL
+// level), inducing a levels^dims-cuboid lattice. It exists to stress the
+// lattice machinery and the metaheuristic view-selection solvers beyond
+// the paper's 2-dimension, 16-cuboid sales schema — e.g. Synthetic(4, 4)
+// yields the 256-cuboid lattice the large-schema experiments run on.
+//
+// Dimension d is named "dim<d>" with levels "d<d>l<k>" (k = 0 finest).
+// The finest level of dimension d has cardinality 512·(d+1) and each
+// coarser level divides it by 8, so dimensions are asymmetric (as real
+// schemas are) while cardinalities stay strictly non-increasing
+// coarse-ward. The single measure is a summed "value"; RowBytes grows
+// with the dimension count.
+func Synthetic(dims, levels int) (*Schema, error) {
+	if dims < 1 {
+		return nil, fmt.Errorf("schema: synthetic schema needs at least 1 dimension, got %d", dims)
+	}
+	if levels < 2 {
+		return nil, fmt.Errorf("schema: synthetic schema needs at least 2 levels per dimension (one plus ALL), got %d", levels)
+	}
+	// The lattice has levels^dims nodes and the finest cardinality grows
+	// as factor^(levels-2); bound the node count (the quantity that
+	// actually OOMs lattice construction) and the hierarchy depth (the
+	// quantity that overflows cardinality arithmetic).
+	if levels > 12 {
+		return nil, fmt.Errorf("schema: synthetic schema depth %d too large (max 12 levels per dimension)", levels)
+	}
+	const maxNodes = 1 << 20
+	nodes := 1
+	for d := 0; d < dims; d++ {
+		nodes *= levels
+		if nodes > maxNodes {
+			return nil, fmt.Errorf("schema: synthetic schema %d×%d induces more than %d cuboids", dims, levels, maxNodes)
+		}
+	}
+	const factor = 8
+	s := &Schema{
+		Name:     fmt.Sprintf("synthetic-%dx%d", dims, levels),
+		Measures: []Measure{{Name: "value", Kind: Sum}},
+		// One int64 key per dimension, one measure, plus encoding overhead.
+		RowBytes: units.DataSize(8*dims + 16),
+	}
+	for d := 0; d < dims; d++ {
+		finest := 512 * (d + 1)
+		if want := math.Pow(factor, float64(levels-2)); float64(finest) < want {
+			// Guarantee every named level keeps a distinct cardinality
+			// even for very deep hierarchies.
+			finest = int(want) * (d + 1)
+		}
+		ls := make([]Level, 0, levels-1)
+		card := finest
+		for k := 0; k < levels-1; k++ {
+			ls = append(ls, Level{Name: fmt.Sprintf("d%dl%d", d, k), Cardinality: card})
+			card /= factor
+			if card < 1 {
+				card = 1
+			}
+		}
+		s.Dimensions = append(s.Dimensions, NewDimension(fmt.Sprintf("dim%d", d), ls...))
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
 
 // Sales constructs the paper's supply-chain sales schema at the given
 // fact-table scale.

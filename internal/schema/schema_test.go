@@ -114,3 +114,31 @@ func TestNewDimensionAppendsAll(t *testing.T) {
 		t.Errorf("levels = %+v", d.Levels)
 	}
 }
+
+func TestSynthetic(t *testing.T) {
+	s, err := Synthetic(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(s.Dimensions); got != 4 {
+		t.Fatalf("dims = %d, want 4", got)
+	}
+	for _, d := range s.Dimensions {
+		if got := d.NumLevels(); got != 4 {
+			t.Fatalf("dimension %s has %d levels, want 4", d.Name, got)
+		}
+	}
+	for _, bad := range [][2]int{{0, 4}, {4, 1}, {11, 4}, {4, 13}} {
+		if _, err := Synthetic(bad[0], bad[1]); err == nil {
+			t.Errorf("Synthetic(%d, %d) accepted", bad[0], bad[1])
+		}
+	}
+	// The deepest allowed hierarchy must stay within integer range.
+	deep, err := Synthetic(1, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := deep.Dimensions[0].Finest().Cardinality; c < 1 {
+		t.Fatalf("deep hierarchy finest cardinality %d overflowed", c)
+	}
+}

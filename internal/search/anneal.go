@@ -1,0 +1,131 @@
+package search
+
+import (
+	"errors"
+	"math"
+)
+
+// annealEnergy scalarizes an eval for the Metropolis criterion: the
+// score plus a violation penalty heavy enough that no feasible state is
+// ever worse than an infeasible one within the same neighborhood scale.
+// The penalty weight is derived per run from the start state's scale so
+// the criterion behaves the same whether scores are hours or dollars.
+func annealEnergy(e eval, penalty float64) float64 {
+	return e.score + penalty*e.viol
+}
+
+// anneal runs simulated annealing with a geometric cooling schedule from
+// the given start. Each temperature level proposes opts.AnnealMoves
+// random add/drop/swap moves; improving moves are always accepted,
+// worsening ones with probability exp(−Δ/T). The initial temperature is
+// calibrated from the observed energy deltas of a short warm-up walk, so
+// the schedule adapts to the objective's units. Returns the best state
+// seen (not the final one) and errEvalBudget if the budget ran dry.
+func (s *solver) anneal(start []bool, startEval eval) ([]bool, eval, error) {
+	n := len(start)
+	if n == 0 {
+		return append([]bool(nil), start...), startEval, nil
+	}
+	penalty := 1000 * (math.Abs(startEval.score) + 1)
+
+	cur := append([]bool(nil), start...)
+	curEval := startEval
+	best := append([]bool(nil), cur...)
+	bestEval := curEval
+
+	// Warm-up: sample a few random neighbors to calibrate T0 at the mean
+	// absolute energy delta — acceptance of a typical uphill move starts
+	// near exp(−1).
+	var deltaSum float64
+	deltas := 0
+	for k := 0; k < 8; k++ {
+		i, j := s.proposeMove(cur)
+		if i < 0 {
+			break
+		}
+		applyMove(cur, i, j)
+		e, err := s.evaluate(cur)
+		undoMove(cur, i, j)
+		if err != nil {
+			if errors.Is(err, errEvalBudget) {
+				return best, bestEval, err
+			}
+			return best, eval{}, err
+		}
+		deltaSum += math.Abs(annealEnergy(e, penalty) - annealEnergy(curEval, penalty))
+		deltas++
+	}
+	temp := 1.0
+	if deltas > 0 && deltaSum > 0 {
+		temp = deltaSum / float64(deltas)
+	}
+	floor := temp * 1e-3
+
+	for temp > floor {
+		for m := 0; m < s.opts.AnnealMoves; m++ {
+			i, j := s.proposeMove(cur)
+			if i < 0 {
+				return best, bestEval, nil
+			}
+			applyMove(cur, i, j)
+			e, err := s.evaluate(cur)
+			if err != nil {
+				undoMove(cur, i, j)
+				if errors.Is(err, errEvalBudget) {
+					return best, bestEval, err
+				}
+				return best, eval{}, err
+			}
+			delta := annealEnergy(e, penalty) - annealEnergy(curEval, penalty)
+			if delta <= 0 || s.rng.Float64() < math.Exp(-delta/temp) {
+				curEval = e
+				if better(curEval, bestEval) {
+					copy(best, cur)
+					bestEval = curEval
+				}
+			} else {
+				undoMove(cur, i, j)
+			}
+		}
+		temp *= s.opts.Cooling
+	}
+	return best, bestEval, nil
+}
+
+// proposeMove draws one random neighborhood move: (i, -1) flips bit i
+// (add or drop), (i, j) swaps selected i for unselected j. Swap is only
+// proposed when both sides exist. Returns (-1, -1) when the state has no
+// neighbors (n == 0). The index partition lives in solver scratch
+// buffers — proposals run tens of thousands of times per solve and must
+// not allocate.
+func (s *solver) proposeMove(sel []bool) (int, int) {
+	n := len(sel)
+	if n == 0 {
+		return -1, -1
+	}
+	selected, unselected := s.selBuf[:0], s.unsBuf[:0]
+	for i, on := range sel {
+		if on {
+			selected = append(selected, i)
+		} else {
+			unselected = append(unselected, i)
+		}
+	}
+	s.selBuf, s.unsBuf = selected, unselected
+	// One third swaps when possible, the rest flips.
+	if len(selected) > 0 && len(unselected) > 0 && s.rng.Intn(3) == 0 {
+		i := selected[s.rng.Intn(len(selected))]
+		j := unselected[s.rng.Intn(len(unselected))]
+		return i, j
+	}
+	return s.rng.Intn(n), -1
+}
+
+// undoMove reverts applyMove.
+func undoMove(sel []bool, i, j int) {
+	if j < 0 {
+		sel[i] = !sel[i]
+		return
+	}
+	sel[i], sel[j] = true, false
+}

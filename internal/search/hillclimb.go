@@ -1,0 +1,108 @@
+package search
+
+import "errors"
+
+// hillClimb runs steepest-ascent local search from the given start: each
+// round it prices every neighbor in the add/drop/swap neighborhood and
+// moves to the strictly best improving one, stopping at a local optimum
+// or when the evaluation budget runs dry (returning the best state
+// reached, wrapped in errEvalBudget).
+//
+// Neighborhoods:
+//
+//   - add: materialize one currently-unselected candidate,
+//   - drop: unmaterialize one selected candidate,
+//   - swap: drop one selected and add one unselected in a single move —
+//     the move that lets a budget-tight state trade a view for a better
+//     one without passing through an over-budget intermediate.
+//
+// The scan order is deterministic (ascending candidate index, adds/drops
+// before swaps) and ties keep the earliest neighbor, so identical inputs
+// always climb identical paths.
+func (s *solver) hillClimb(start []bool) ([]bool, eval, error) {
+	cur := append([]bool(nil), start...)
+	curEval, err := s.evaluate(cur)
+	if err != nil {
+		if errors.Is(err, errEvalBudget) {
+			// Cannot even price the start; fall back to the empty set,
+			// which solve() always prices first (cache hit).
+			empty := make([]bool, len(cur))
+			e, err2 := s.evaluate(empty)
+			if err2 != nil {
+				return empty, eval{}, err
+			}
+			return empty, e, err
+		}
+		return cur, eval{}, err
+	}
+	n := len(cur)
+	for {
+		bestI, bestJ := -1, -1
+		bestEval := curEval
+		improved := false
+		consider := func(i, j int) (bool, error) {
+			e, err := s.evaluate(cur)
+			if err != nil {
+				return false, err
+			}
+			if better(e, bestEval) {
+				bestI, bestJ, bestEval, improved = i, j, e, true
+			}
+			return true, nil
+		}
+		scan := func() error {
+			// Adds and drops: flip one bit.
+			for i := 0; i < n; i++ {
+				cur[i] = !cur[i]
+				_, err := consider(i, -1)
+				cur[i] = !cur[i]
+				if err != nil {
+					return err
+				}
+			}
+			// Swaps: one selected out, one unselected in.
+			for i := 0; i < n; i++ {
+				if !cur[i] {
+					continue
+				}
+				for j := 0; j < n; j++ {
+					if cur[j] {
+						continue
+					}
+					cur[i], cur[j] = false, true
+					_, err := consider(i, j)
+					cur[i], cur[j] = true, false
+					if err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		}
+		if err := scan(); err != nil {
+			if errors.Is(err, errEvalBudget) {
+				// Apply the best move found so far, if any, then stop.
+				if improved {
+					applyMove(cur, bestI, bestJ)
+					curEval = bestEval
+				}
+				return cur, curEval, err
+			}
+			return cur, eval{}, err
+		}
+		if !improved {
+			return cur, curEval, nil
+		}
+		applyMove(cur, bestI, bestJ)
+		curEval = bestEval
+	}
+}
+
+// applyMove mutates sel: a flip of i (j < 0) or a swap i→out, j→in.
+func applyMove(sel []bool, i, j int) {
+	if j < 0 {
+		sel[i] = !sel[i]
+		return
+	}
+	sel[i], sel[j] = false, true
+}

@@ -1,0 +1,515 @@
+// Package search provides deterministic, seedable metaheuristic solvers
+// for the view-selection problem on large cuboid lattices.
+//
+// The paper's knapsack formulation (Section 5.2) linearizes each view's
+// effect on the bill and the workload time; on the 16-node sales lattice
+// the approximation error is negligible, but once the candidate space
+// grows (4–5 dimension schemas, hundreds–thousands of cuboids) the
+// double-counting of shared query savings and the tier/rounding errors of
+// CostDelta bite. The solvers here sidestep linearization entirely: every
+// move is priced by the exact optimizer.Evaluator (cheapest-answering
+// routing plus the full tiered, rounded bill), so what the search
+// optimizes is exactly what the final selection is billed for.
+//
+// Three engines are provided, composed by the Solve restart wrapper:
+//
+//   - steepest-ascent hill climbing over add/drop/swap neighborhoods
+//     (hillclimb.go),
+//   - simulated annealing with a geometric cooling schedule (anneal.go),
+//   - a multi-start restart wrapper seeding both from deterministic and
+//     seeded-random subsets (this file).
+//
+// All randomness flows from Options.Seed through a single PRNG, so the
+// same seed always reproduces the same selection — a property the serving
+// layer's memoization relies on (the seed is part of the cache key).
+package search
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"vmcloud/internal/costmodel"
+	"vmcloud/internal/lattice"
+	"vmcloud/internal/money"
+	"vmcloud/internal/optimizer"
+	"vmcloud/internal/views"
+)
+
+// Objective is what a solver minimizes: a scalar score plus a constraint
+// violation measure. Feasible states (Violation == 0) always beat
+// infeasible ones; among infeasible states smaller violations win, so the
+// search is pulled back into the feasible region before it optimizes.
+type Objective struct {
+	// Name tags the produced Selection.Strategy ("mv1", "mv2", "mv3").
+	Name string
+	// Score is the value minimized among feasible states.
+	Score func(t time.Duration, b costmodel.Bill) float64
+	// Violation quantifies the constraint breach; 0 means feasible. Nil
+	// means unconstrained.
+	Violation func(t time.Duration, b costmodel.Bill) float64
+}
+
+// BudgetObjective is scenario MV1: minimize workload time subject to the
+// exact period bill staying within budget.
+func BudgetObjective(budget money.Money) Objective {
+	return Objective{
+		Name:  "mv1",
+		Score: func(t time.Duration, _ costmodel.Bill) float64 { return t.Hours() },
+		Violation: func(_ time.Duration, b costmodel.Bill) float64 {
+			if over := b.Total().Sub(budget); over > 0 {
+				return over.Dollars()
+			}
+			return 0
+		},
+	}
+}
+
+// DeadlineObjective is scenario MV2: minimize the exact bill subject to
+// the monthly workload time staying within the limit.
+func DeadlineObjective(limit time.Duration) Objective {
+	return Objective{
+		Name:  "mv2",
+		Score: func(_ time.Duration, b costmodel.Bill) float64 { return b.Total().Dollars() },
+		Violation: func(t time.Duration, _ costmodel.Bill) float64 {
+			if t > limit {
+				return (t - limit).Hours()
+			}
+			return 0
+		},
+	}
+}
+
+// TradeoffObjective is scenario MV3: minimize α·T + (1−α)·C
+// (optimizer.Objective), unconstrained. baseT/baseBill feed the
+// normalized mode and are ignored for RawTradeoff.
+func TradeoffObjective(alpha float64, mode optimizer.TradeoffMode, baseT time.Duration, baseBill costmodel.Bill) Objective {
+	return Objective{
+		Name: "mv3",
+		Score: func(t time.Duration, b costmodel.Bill) float64 {
+			return optimizer.Objective(alpha, t, b, mode, baseT, baseBill)
+		},
+	}
+}
+
+// Defaults applied by Options.withDefaults.
+const (
+	// DefaultMaxEvals bounds exact evaluator calls per solve.
+	DefaultMaxEvals = 4096
+	// DefaultRestarts is the number of seeded-random restarts layered on
+	// top of the deterministic starts.
+	DefaultRestarts = 3
+	// DefaultCooling is the geometric cooling rate.
+	DefaultCooling = 0.92
+	// DefaultAnnealMoves is the number of proposals per temperature step.
+	DefaultAnnealMoves = 24
+)
+
+// Options tunes a solve. The zero value is a sensible deterministic
+// default (seed 0).
+type Options struct {
+	// Seed drives every random choice; identical seeds reproduce
+	// identical selections byte for byte.
+	Seed int64
+	// MaxEvals caps exact Evaluator calls across the whole solve —
+	// every restart, climb and annealing pass shares the budget (cached
+	// re-visits are free). 0 selects DefaultMaxEvals; negative is
+	// rejected.
+	MaxEvals int
+	// Restarts is the number of seeded-random starting subsets tried in
+	// addition to the deterministic starts (empty set, greedy-density
+	// prefixes, caller-provided Starts). 0 selects DefaultRestarts;
+	// negative means none.
+	Restarts int
+	// DisableAnneal skips the simulated-annealing diversification pass,
+	// leaving pure multi-start hill climbing.
+	DisableAnneal bool
+	// Cooling is the geometric cooling rate in (0,1); 0 selects
+	// DefaultCooling.
+	Cooling float64
+	// AnnealMoves is the number of proposals per temperature level; 0
+	// selects DefaultAnnealMoves.
+	AnnealMoves int
+	// Starts are explicit warm-start subsets (points must be candidate
+	// points; unknown points are ignored).
+	Starts [][]lattice.Point
+}
+
+func (o Options) withDefaults() (Options, error) {
+	if o.MaxEvals < 0 {
+		return o, fmt.Errorf("search: negative MaxEvals %d", o.MaxEvals)
+	}
+	if o.MaxEvals == 0 {
+		o.MaxEvals = DefaultMaxEvals
+	}
+	if o.Restarts == 0 {
+		o.Restarts = DefaultRestarts
+	}
+	if o.Restarts < 0 {
+		o.Restarts = 0
+	}
+	if o.Cooling == 0 {
+		o.Cooling = DefaultCooling
+	}
+	if o.Cooling <= 0 || o.Cooling >= 1 {
+		return o, fmt.Errorf("search: cooling rate %g out of (0,1)", o.Cooling)
+	}
+	if o.AnnealMoves == 0 {
+		o.AnnealMoves = DefaultAnnealMoves
+	}
+	if o.AnnealMoves < 0 {
+		return o, fmt.Errorf("search: negative AnnealMoves %d", o.AnnealMoves)
+	}
+	return o, nil
+}
+
+// errEvalBudget signals the evaluation budget ran dry; solvers treat it
+// as "stop and keep the best found", never as a failure.
+var errEvalBudget = errors.New("search: evaluation budget exhausted")
+
+// eval is one exactly-priced subset under the current objective.
+type eval struct {
+	t     time.Duration
+	bill  costmodel.Bill
+	score float64
+	viol  float64
+}
+
+// better reports whether a strictly beats b: feasibility first, then
+// violation magnitude, then score. Ties are never "better", so climbers
+// require strict improvement and terminate.
+func better(a, b eval) bool {
+	aFeas, bFeas := a.viol == 0, b.viol == 0
+	if aFeas != bFeas {
+		return aFeas
+	}
+	if !aFeas && a.viol != b.viol {
+		return a.viol < b.viol
+	}
+	return a.score < b.score
+}
+
+// cachedEval memoizes the exact evaluator output for one subset; the
+// objective-dependent score/violation are recomputed per objective so a
+// pareto sweep can share one cache across every α.
+type cachedEval struct {
+	t    time.Duration
+	bill costmodel.Bill
+}
+
+// solver carries one search session: the exact evaluator, the candidate
+// pool, the active objective, the shared evaluation cache and the PRNG.
+type solver struct {
+	ev       *optimizer.Evaluator
+	cands    []views.Candidate
+	obj      Objective
+	opts     Options
+	rng      *rand.Rand
+	cache    map[string]cachedEval
+	evals    int
+	maxEvals int
+	// scratch buffers reused across evaluations and move proposals.
+	keyBuf []byte
+	ptsBuf []lattice.Point
+	selBuf []int
+	unsBuf []int
+}
+
+func newSolver(ev *optimizer.Evaluator, cands []views.Candidate, obj Objective, opts Options) (*solver, error) {
+	if ev == nil {
+		return nil, fmt.Errorf("search: nil evaluator")
+	}
+	if obj.Score == nil {
+		return nil, fmt.Errorf("search: objective %q has no score", obj.Name)
+	}
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	n := len(cands)
+	return &solver{
+		ev:       ev,
+		cands:    cands,
+		obj:      obj,
+		opts:     opts,
+		rng:      rand.New(rand.NewSource(opts.Seed)),
+		cache:    make(map[string]cachedEval),
+		maxEvals: opts.MaxEvals,
+		keyBuf:   make([]byte, (n+7)/8),
+		ptsBuf:   make([]lattice.Point, 0, n),
+		selBuf:   make([]int, 0, n),
+		unsBuf:   make([]int, 0, n),
+	}, nil
+}
+
+// pointKey renders a lattice point as a comparable map key. Level
+// indices are varint-encoded, so arbitrarily deep hand-built hierarchies
+// cannot alias.
+func pointKey(p lattice.Point) string {
+	b := make([]byte, 0, 2*len(p))
+	for _, lv := range p {
+		b = binary.AppendVarint(b, int64(lv))
+	}
+	return string(b)
+}
+
+// key packs a selection bitmap into a compact cache key.
+func (s *solver) key(sel []bool) string {
+	for i := range s.keyBuf {
+		s.keyBuf[i] = 0
+	}
+	for i, on := range sel {
+		if on {
+			s.keyBuf[i/8] |= 1 << (i % 8)
+		}
+	}
+	return string(s.keyBuf)
+}
+
+// points expands a selection bitmap into candidate points (candidate
+// order, so selections are deterministic and reproducible).
+func (s *solver) points(sel []bool) []lattice.Point {
+	s.ptsBuf = s.ptsBuf[:0]
+	for i, on := range sel {
+		if on {
+			s.ptsBuf = append(s.ptsBuf, s.cands[i].Point)
+		}
+	}
+	return s.ptsBuf
+}
+
+// score applies the active objective to a cached exact evaluation.
+func (s *solver) score(c cachedEval) eval {
+	e := eval{t: c.t, bill: c.bill, score: s.obj.Score(c.t, c.bill)}
+	if s.obj.Violation != nil {
+		e.viol = s.obj.Violation(c.t, c.bill)
+	}
+	return e
+}
+
+// evaluate prices a selection exactly, via the cache. Cache hits are
+// free; misses consume one unit of the evaluation budget. When the
+// budget is exhausted it returns errEvalBudget.
+func (s *solver) evaluate(sel []bool) (eval, error) {
+	k := s.key(sel)
+	if c, ok := s.cache[k]; ok {
+		return s.score(c), nil
+	}
+	if s.evals >= s.maxEvals {
+		return eval{}, errEvalBudget
+	}
+	s.evals++
+	t, bill, err := s.ev.Evaluate(s.points(sel))
+	if err != nil {
+		return eval{}, err
+	}
+	c := cachedEval{t: t, bill: bill}
+	s.cache[k] = c
+	return s.score(c), nil
+}
+
+// selection assembles the final optimizer.Selection for a state.
+func (s *solver) selection(sel []bool, e eval) optimizer.Selection {
+	pts := make([]lattice.Point, 0, len(sel))
+	for i, on := range sel {
+		if on {
+			pts = append(pts, s.cands[i].Point.Clone())
+		}
+	}
+	return optimizer.Selection{
+		Points:   pts,
+		Time:     e.t,
+		Bill:     e.bill,
+		Feasible: e.viol == 0,
+		Strategy: s.obj.Name + "-search",
+	}
+}
+
+// starts builds the starting subsets for the restart wrapper:
+// caller-provided warm starts first (so a tight evaluation budget prices
+// them before anything else — a warm-started solve is then never worse
+// than its warm start), then the empty set, greedy benefit-order
+// prefixes (candidates arrive in HRU selection order, so prefixes are
+// natural warm starts), then Restarts random subsets with inclusion
+// probability drawn per restart.
+func (s *solver) starts() [][]bool {
+	n := len(s.cands)
+	var out [][]bool
+	add := func(sel []bool) { out = append(out, sel) }
+	index := make(map[string]int, n)
+	for i, c := range s.cands {
+		index[pointKey(c.Point)] = i
+	}
+	for _, pts := range s.opts.Starts {
+		sel := make([]bool, n)
+		for _, p := range pts {
+			if i, ok := index[pointKey(p)]; ok {
+				sel[i] = true
+			}
+		}
+		add(sel)
+	}
+	add(make([]bool, n)) // empty: the no-view baseline
+	// Prefixes of the candidate order (HRU picks best-first): half and full.
+	if n > 1 {
+		half := make([]bool, n)
+		for i := 0; i < (n+1)/2; i++ {
+			half[i] = true
+		}
+		add(half)
+	}
+	if n > 0 {
+		full := make([]bool, n)
+		for i := range full {
+			full[i] = true
+		}
+		add(full)
+	}
+	for r := 0; r < s.opts.Restarts; r++ {
+		p := 0.15 + 0.7*s.rng.Float64()
+		sel := make([]bool, n)
+		for i := range sel {
+			sel[i] = s.rng.Float64() < p
+		}
+		add(sel)
+	}
+	return out
+}
+
+// Solve runs the full metaheuristic pipeline — multi-start steepest
+// hill climbing, optionally interleaved with simulated annealing — and
+// returns the best exactly-priced selection found within the evaluation
+// budget. Identical inputs and seeds return identical selections.
+func Solve(ev *optimizer.Evaluator, cands []views.Candidate, obj Objective, opts Options) (optimizer.Selection, error) {
+	s, err := newSolver(ev, cands, obj, opts)
+	if err != nil {
+		return optimizer.Selection{}, err
+	}
+	sel, _, err := s.solve(nil)
+	return sel, err
+}
+
+// solve runs the pipeline on the solver's current objective. extraStart,
+// when non-nil, is tried as an additional warm start (used by the pareto
+// sweep to chain α steps). It returns the best selection and its bitmap.
+func (s *solver) solve(extraStart []bool) (optimizer.Selection, []bool, error) {
+	n := len(s.cands)
+	bestSel := make([]bool, n)
+	bestEval, err := s.evaluate(bestSel)
+	if err != nil {
+		// Even the empty set must price; a budget of zero evals is the
+		// only way this is errEvalBudget, and then there is no answer.
+		return optimizer.Selection{}, nil, err
+	}
+	starts := s.starts()
+	if extraStart != nil {
+		// Warm starts go first so a tight budget prices them before
+		// anything else (see starts()).
+		starts = append([][]bool{append([]bool(nil), extraStart...)}, starts...)
+	}
+	// Price every start before any climbing or annealing can drain the
+	// budget: a warm start must never be lost to budget exhaustion in an
+	// earlier start's pipeline (re-scoring a cached subset is free, so
+	// this also lets a dry-budget sweep still return the best of its
+	// cached warm starts).
+	for _, start := range starts {
+		e, err := s.evaluate(start)
+		if err != nil {
+			if errors.Is(err, errEvalBudget) {
+				continue // unpriceable now; cached starts still scored above
+			}
+			return optimizer.Selection{}, nil, err
+		}
+		if better(e, bestEval) {
+			copy(bestSel, start)
+			bestEval = e
+		}
+	}
+	// Per start: climb, diversify by annealing, then polish the annealed
+	// state with a second climb (annealing ends wherever the temperature
+	// died; a climb from there is nearly free thanks to the cache).
+	stages := []func([]bool, eval) ([]bool, eval, error){
+		func(cur []bool, _ eval) ([]bool, eval, error) { return s.hillClimb(cur) },
+	}
+	if !s.opts.DisableAnneal {
+		stages = append(stages,
+			func(cur []bool, e eval) ([]bool, eval, error) { return s.anneal(cur, e) },
+			func(cur []bool, _ eval) ([]bool, eval, error) { return s.hillClimb(cur) },
+		)
+	}
+	budgetDry := false
+	for _, start := range starts {
+		cur, curEval := start, eval{}
+		for _, stage := range stages {
+			var err error
+			cur, curEval, err = stage(cur, curEval)
+			if err != nil && !errors.Is(err, errEvalBudget) {
+				return optimizer.Selection{}, nil, err
+			}
+			if better(curEval, bestEval) {
+				copy(bestSel, cur)
+				bestEval = curEval
+			}
+			if errors.Is(err, errEvalBudget) {
+				budgetDry = true
+				break
+			}
+		}
+		if budgetDry {
+			break
+		}
+	}
+	return s.selection(bestSel, bestEval), bestSel, nil
+}
+
+// Stats instruments a solve — exposed for tests and benchmarks via
+// SolveStats.
+type Stats struct {
+	// Evals is the number of exact evaluator calls consumed.
+	Evals int
+	// CachedStates is the number of distinct subsets priced.
+	CachedStates int
+}
+
+// SolveStats is Solve plus instrumentation: it also reports how much of
+// the evaluation budget was consumed.
+func SolveStats(ev *optimizer.Evaluator, cands []views.Candidate, obj Objective, opts Options) (optimizer.Selection, Stats, error) {
+	s, err := newSolver(ev, cands, obj, opts)
+	if err != nil {
+		return optimizer.Selection{}, Stats{}, err
+	}
+	sel, _, err := s.solve(nil)
+	return sel, Stats{Evals: s.evals, CachedStates: len(s.cache)}, err
+}
+
+// SolveMV1 solves scenario MV1 (fastest workload within the budget) by
+// metaheuristic search against the exact evaluator.
+func SolveMV1(ev *optimizer.Evaluator, cands []views.Candidate, budget money.Money, opts Options) (optimizer.Selection, error) {
+	return Solve(ev, cands, BudgetObjective(budget), opts)
+}
+
+// SolveMV2 solves scenario MV2 (cheapest bill within the time limit).
+func SolveMV2(ev *optimizer.Evaluator, cands []views.Candidate, limit time.Duration, opts Options) (optimizer.Selection, error) {
+	return Solve(ev, cands, DeadlineObjective(limit), opts)
+}
+
+// SolveMV3 solves scenario MV3 (weighted time/cost tradeoff). The
+// normalized mode prices the no-view baseline first (one extra exact
+// evaluation, cached and shared with the search).
+func SolveMV3(ev *optimizer.Evaluator, cands []views.Candidate, alpha float64, mode optimizer.TradeoffMode, opts Options) (optimizer.Selection, error) {
+	if alpha < 0 || alpha > 1 {
+		return optimizer.Selection{}, fmt.Errorf("search: alpha %g out of [0,1]", alpha)
+	}
+	var baseT time.Duration
+	var baseBill costmodel.Bill
+	if mode == optimizer.NormalizedTradeoff {
+		var err error
+		baseT, baseBill, err = ev.Evaluate(nil)
+		if err != nil {
+			return optimizer.Selection{}, err
+		}
+	}
+	return Solve(ev, cands, TradeoffObjective(alpha, mode, baseT, baseBill), opts)
+}

@@ -1,0 +1,324 @@
+package search
+
+import (
+	"testing"
+	"time"
+
+	"vmcloud/internal/cluster"
+	"vmcloud/internal/costmodel"
+	"vmcloud/internal/lattice"
+	"vmcloud/internal/money"
+	"vmcloud/internal/optimizer"
+	"vmcloud/internal/pricing"
+	"vmcloud/internal/schema"
+	"vmcloud/internal/views"
+	"vmcloud/internal/workload"
+)
+
+// fixture wires the paper's sales setting into an exact evaluator plus a
+// candidate pool, the same construction core.New performs.
+func fixture(t testing.TB, queries, candBudget int) (*optimizer.Evaluator, []views.Candidate) {
+	t.Helper()
+	l, err := lattice.New(schema.Sales(), 200_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := cluster.New(pricing.AWS2012(), "small", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := views.NewEstimator(l, cl)
+	est.MaintenanceRuns = 4
+	est.UpdateRatio = 0.20
+	w, err := workload.Sales(l, queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range w.Queries {
+		w.Queries[i].Frequency = 30
+	}
+	base, err := l.Node(l.Base())
+	if err != nil {
+		t.Fatal(err)
+	}
+	egress, err := w.ResultBytes(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := optimizer.NewEvaluator(est, w, costmodel.Plan{
+		Cluster:       cl,
+		Months:        1,
+		DatasetSize:   base.Size,
+		MonthlyEgress: egress,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands, err := views.GenerateCandidates(l, w, candBudget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ev, cands
+}
+
+func samePoints(a, b []lattice.Point) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestSolveDeterministicAcrossRuns(t *testing.T) {
+	ev, cands := fixture(t, 10, 8)
+	budget := money.FromDollars(25)
+	for _, seed := range []int64{0, 1, 42} {
+		a, err := SolveMV1(ev, cands, budget, Options{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := SolveMV1(ev, cands, budget, Options{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !samePoints(a.Points, b.Points) || a.Time != b.Time || a.Bill.Total() != b.Bill.Total() {
+			t.Fatalf("seed %d not deterministic: %v/%v vs %v/%v", seed, a.Points, a.Time, b.Points, b.Time)
+		}
+	}
+}
+
+func TestSolveMV1MatchesExhaustiveOracle(t *testing.T) {
+	ev, cands := fixture(t, 10, 8)
+	for _, dollars := range []float64{18, 25, 40} {
+		budget := money.FromDollars(dollars)
+		oracle, err := ev.SolveExhaustive(cands,
+			func(tt time.Duration, _ costmodel.Bill) float64 { return tt.Hours() },
+			func(_ time.Duration, b costmodel.Bill) bool { return b.Total() <= budget },
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := SolveMV1(ev, cands, budget, Options{Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Feasible != oracle.Feasible {
+			t.Fatalf("budget $%g: feasible %v, oracle %v", dollars, got.Feasible, oracle.Feasible)
+		}
+		if oracle.Feasible && got.Time != oracle.Time {
+			t.Errorf("budget $%g: search time %v, oracle %v", dollars, got.Time, oracle.Time)
+		}
+	}
+}
+
+func TestSolveMV2MatchesExhaustiveOracle(t *testing.T) {
+	ev, cands := fixture(t, 10, 8)
+	baseT, _, err := ev.Evaluate(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frac := range []float64{0.3, 0.6, 0.9} {
+		limit := time.Duration(float64(baseT) * frac)
+		oracle, err := ev.SolveExhaustive(cands,
+			func(_ time.Duration, b costmodel.Bill) float64 { return b.Total().Dollars() },
+			func(tt time.Duration, _ costmodel.Bill) bool { return tt <= limit },
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := SolveMV2(ev, cands, limit, Options{Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Feasible != oracle.Feasible {
+			t.Fatalf("limit %v: feasible %v, oracle %v", limit, got.Feasible, oracle.Feasible)
+		}
+		if oracle.Feasible && got.Bill.Total() != oracle.Bill.Total() {
+			t.Errorf("limit %v: search bill %v, oracle %v", limit, got.Bill.Total(), oracle.Bill.Total())
+		}
+	}
+}
+
+func TestSolveMV3MatchesExhaustiveOracle(t *testing.T) {
+	ev, cands := fixture(t, 10, 8)
+	for _, alpha := range []float64{0, 0.35, 0.5, 0.8, 1} {
+		oracle, err := ev.SolveExhaustive(cands,
+			func(tt time.Duration, b costmodel.Bill) float64 {
+				return optimizer.Objective(alpha, tt, b, optimizer.RawTradeoff, 0, costmodel.Bill{})
+			},
+			nil,
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := SolveMV3(ev, cands, alpha, optimizer.RawTradeoff, Options{Seed: 11})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotObj := optimizer.Objective(alpha, got.Time, got.Bill, optimizer.RawTradeoff, 0, costmodel.Bill{})
+		wantObj := optimizer.Objective(alpha, oracle.Time, oracle.Bill, optimizer.RawTradeoff, 0, costmodel.Bill{})
+		if gotObj > wantObj+1e-9 {
+			t.Errorf("alpha %g: search objective %g worse than oracle %g", alpha, gotObj, wantObj)
+		}
+	}
+}
+
+func TestSolveRespectsEvalBudget(t *testing.T) {
+	ev, cands := fixture(t, 10, 8)
+	for _, maxEvals := range []int{1, 10, 100} {
+		sel, stats, err := SolveStats(ev, cands, BudgetObjective(money.FromDollars(25)), Options{Seed: 1, MaxEvals: maxEvals})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Evals > maxEvals {
+			t.Fatalf("MaxEvals %d: consumed %d evaluations", maxEvals, stats.Evals)
+		}
+		// Whatever the budget, the result is exactly priced.
+		tt, bill, err := ev.Evaluate(sel.Points)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tt != sel.Time || bill.Total() != sel.Bill.Total() {
+			t.Fatalf("MaxEvals %d: selection not exactly priced: %v/%v vs %v/%v",
+				maxEvals, sel.Time, sel.Bill.Total(), tt, bill.Total())
+		}
+	}
+}
+
+func TestSolveInfeasibleBudget(t *testing.T) {
+	ev, cands := fixture(t, 10, 8)
+	// A one-cent budget cannot cover even the no-view baseline.
+	sel, err := SolveMV1(ev, cands, money.FromCents(1), Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Feasible {
+		t.Fatalf("one-cent budget reported feasible: %+v", sel)
+	}
+	if sel.Strategy != "mv1-search" {
+		t.Fatalf("strategy = %q, want mv1-search", sel.Strategy)
+	}
+}
+
+func TestSolveEmptyCandidates(t *testing.T) {
+	ev, _ := fixture(t, 10, 8)
+	sel, err := SolveMV1(ev, nil, money.FromDollars(25), Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel.Points) != 0 {
+		t.Fatalf("empty candidate pool selected %v", sel.Points)
+	}
+	baseT, baseBill, err := ev.Evaluate(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Time != baseT || sel.Bill.Total() != baseBill.Total() {
+		t.Fatalf("empty pool not priced at baseline: %v/%v", sel.Time, sel.Bill.Total())
+	}
+}
+
+func TestSolveOptionValidation(t *testing.T) {
+	ev, cands := fixture(t, 3, 4)
+	cases := []Options{
+		{MaxEvals: -1},
+		{Cooling: 1.5},
+		{Cooling: -0.1},
+		{AnnealMoves: -2},
+	}
+	for _, opts := range cases {
+		if _, err := SolveMV1(ev, cands, money.FromDollars(25), opts); err == nil {
+			t.Errorf("options %+v accepted", opts)
+		}
+	}
+	if _, err := SolveMV3(ev, cands, 1.5, optimizer.RawTradeoff, Options{}); err == nil {
+		t.Error("alpha 1.5 accepted")
+	}
+}
+
+func TestParetoSweepDeterministicAndOrdered(t *testing.T) {
+	ev, cands := fixture(t, 10, 8)
+	a, err := ParetoSweep(ev, cands, 7, optimizer.NormalizedTradeoff, Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ParetoSweep(ev, cands, 7, optimizer.NormalizedTradeoff, Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 7 || len(b) != 7 {
+		t.Fatalf("sweep lengths %d/%d, want 7", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Alpha != b[i].Alpha || !samePoints(a[i].Sel.Points, b[i].Sel.Points) {
+			t.Fatalf("step %d differs across identical sweeps", i)
+		}
+	}
+	if a[0].Alpha != 0 || a[6].Alpha != 1 {
+		t.Fatalf("alpha range [%g,%g], want [0,1]", a[0].Alpha, a[6].Alpha)
+	}
+	if _, err := ParetoSweep(ev, cands, 1, optimizer.RawTradeoff, Options{}); err == nil {
+		t.Error("1-step sweep accepted")
+	}
+}
+
+func TestHillClimbSwapEscapesAddDropOptimum(t *testing.T) {
+	// Structural check on the neighborhood: from the full set under a
+	// tight budget, drops alone must find their way back to feasibility.
+	ev, cands := fixture(t, 10, 8)
+	s, err := newSolver(ev, cands, BudgetObjective(money.FromDollars(20)), Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := make([]bool, len(cands))
+	for i := range full {
+		full[i] = true
+	}
+	_, e, err := s.hillClimb(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.viol > 0 {
+		base, err := s.evaluate(make([]bool, len(cands)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if base.viol == 0 {
+			t.Fatalf("climb stuck infeasible (viol %g) though the empty set is feasible", e.viol)
+		}
+	}
+}
+
+// TestWarmStartNeverWorse pins the restart wrapper's ordering contract:
+// caller-provided warm starts are priced before anything else, so even
+// under a near-empty evaluation budget the solve can never return a
+// selection worse than its warm start.
+func TestWarmStartNeverWorse(t *testing.T) {
+	ev, cands := fixture(t, 10, 8)
+	budget := money.FromDollars(25)
+	warm, err := ev.SolveMV1(cands, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, maxEvals := range []int{2, 5, 50, 300} {
+		sel, err := SolveMV1(ev, cands, budget, Options{
+			Seed:     1,
+			MaxEvals: maxEvals,
+			Starts:   [][]lattice.Point{warm.Points},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sel.Feasible && warm.Feasible {
+			t.Fatalf("MaxEvals %d: warm-started solve lost feasibility", maxEvals)
+		}
+		if sel.Feasible && sel.Time > warm.Time {
+			t.Fatalf("MaxEvals %d: warm-started solve %v worse than its warm start %v",
+				maxEvals, sel.Time, warm.Time)
+		}
+	}
+}

@@ -88,6 +88,37 @@ func (c *lruCache) Put(key string, val []byte) {
 	}
 }
 
+// NamespaceStat is the per-namespace slice of a cache's footprint.
+type NamespaceStat struct {
+	Entries int
+	Bytes   int64
+}
+
+// NamespaceStats breaks the cache's footprint down by key namespace —
+// the prefix up to the first NUL byte, which under the server's key
+// scheme is the endpoint name. Keys without a NUL fall under "". The
+// walk is O(entries), fine for a stats endpoint over a bounded cache.
+func (c *lruCache) NamespaceStats() map[string]NamespaceStat {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]NamespaceStat)
+	for el := c.order.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*lruEntry)
+		ns := ""
+		for i := 0; i < len(e.key); i++ {
+			if e.key[i] == 0 {
+				ns = e.key[:i]
+				break
+			}
+		}
+		st := out[ns]
+		st.Entries++
+		st.Bytes += e.size()
+		out[ns] = st
+	}
+	return out
+}
+
 // Len returns the current entry count.
 func (c *lruCache) Len() int {
 	c.mu.Lock()

@@ -16,13 +16,17 @@
 //	GET  /healthz    — liveness probe
 //
 // The advisor is deterministic: the same advisory problem always yields
-// the same recommendation. Advise and compare responses are therefore
-// memoized in a shared size-bounded LRU cache keyed by the endpoint plus
-// the canonicalized request (defaults applied, workload resolved, tariff
+// the same recommendation — including the metaheuristic search solver,
+// whose seed is part of the canonicalized request (and zeroed for the
+// seed-independent knapsack solver, so seed spellings cannot fragment
+// the key space). Advise and compare responses are therefore memoized in
+// a shared size-bounded LRU cache keyed by the endpoint plus the
+// canonicalized request (defaults applied, workload resolved, tariff
 // re-marshaled), so a repeated configuration skips lattice construction,
-// candidate generation and the knapsack DPs entirely. Handlers are safe
-// for concurrent use; cache reads return defensive copies of the stored
-// bodies.
+// candidate generation and the solve entirely. Handlers are safe for
+// concurrent use; cache reads return defensive copies of the stored
+// bodies. GET /v1/stats breaks cache occupancy and hit rates down per
+// endpoint.
 package server
 
 import (
@@ -295,7 +299,7 @@ func (s *Server) serveMemoized(w http.ResponseWriter, r *http.Request, spec memo
 	}
 	cacheKey := spec.endpoint + "\x00" + key
 	if cached, ok := s.cache.Get(cacheKey); ok {
-		s.stats.advise(label, true)
+		s.stats.advise(spec.endpoint, label, true)
 		writeBody(w, http.StatusOK, cached, "hit")
 		return
 	}
@@ -324,7 +328,7 @@ func (s *Server) serveMemoized(w http.ResponseWriter, r *http.Request, spec memo
 			return
 		}
 		s.cache.Put(cacheKey, out.body)
-		s.stats.advise(label, false)
+		s.stats.advise(spec.endpoint, label, false)
 		writeBody(w, http.StatusOK, out.body, "miss")
 	case <-timeout.C:
 		s.warmLater(cacheKey, done)
@@ -554,7 +558,8 @@ func (s *Server) handleTariffs(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	snap := s.stats.snapshot(time.Now(), s.cache.Len(), s.cache.Cap())
+	snap := s.stats.snapshot(time.Now(), s.cache.Len(), s.cache.Cap(),
+		s.cache.NamespaceStats(), s.rawKeys.NamespaceStats())
 	snap.Cache.Bytes = s.cache.Bytes() + s.rawKeys.Bytes()
 	writeJSON(w, http.StatusOK, snap)
 }

@@ -1,0 +1,163 @@
+package server
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestSearchSolverByteIdenticalAcrossServers is the serving half of the
+// search determinism contract: the same seeded request solved cold on
+// two independent servers must produce byte-identical bodies — if it did
+// not, memoized and freshly-solved responses could disagree.
+func TestSearchSolverByteIdenticalAcrossServers(t *testing.T) {
+	body := adviseBody("mv1", `"budget":25,"solver":"search","seed":42`)
+	a := do(t, testServer(), "POST", "/v1/advise", body)
+	b := do(t, testServer(), "POST", "/v1/advise", body)
+	if a.Code != 200 || b.Code != 200 {
+		t.Fatalf("status %d/%d: %s", a.Code, b.Code, a.Body.String())
+	}
+	if a.Body.String() != b.Body.String() {
+		t.Fatalf("identical seeded requests differ across servers:\n%s\nvs\n%s", a.Body.String(), b.Body.String())
+	}
+	var resp struct {
+		Recommendation struct {
+			Strategy string `json:"strategy"`
+		} `json:"recommendation"`
+	}
+	if err := json.Unmarshal(a.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Recommendation.Strategy != "mv1-search" {
+		t.Errorf("strategy = %q, want mv1-search", resp.Recommendation.Strategy)
+	}
+}
+
+// TestSearchSeedPartOfCacheKey pins the memoization contract: the seed
+// participates in the canonical key for the search solver, so different
+// seeds can never alias, while repeats of the same seed hit.
+func TestSearchSeedPartOfCacheKey(t *testing.T) {
+	s := testServer()
+	seed1 := adviseBody("mv1", `"budget":25,"solver":"search","seed":1`)
+	seed2 := adviseBody("mv1", `"budget":25,"solver":"search","seed":2`)
+
+	if w := do(t, s, "POST", "/v1/advise", seed1); w.Header().Get("X-Cache") != "miss" {
+		t.Fatalf("first seed-1 request X-Cache = %q", w.Header().Get("X-Cache"))
+	}
+	if w := do(t, s, "POST", "/v1/advise", seed2); w.Header().Get("X-Cache") != "miss" {
+		t.Fatalf("seed-2 request aliased seed-1: X-Cache = %q", w.Header().Get("X-Cache"))
+	}
+	w := do(t, s, "POST", "/v1/advise", seed1)
+	if w.Header().Get("X-Cache") != "hit" {
+		t.Fatalf("seed-1 repeat X-Cache = %q, want hit", w.Header().Get("X-Cache"))
+	}
+}
+
+// TestKnapsackSeedCanonicalized: the DP solver ignores the seed, so the
+// normalizer zeroes it and differing spellings share one cache entry.
+func TestKnapsackSeedCanonicalized(t *testing.T) {
+	s := testServer()
+	if w := do(t, s, "POST", "/v1/advise", adviseBody("mv1", `"budget":25,"solver":"knapsack","seed":5`)); w.Code != 200 {
+		t.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+	w := do(t, s, "POST", "/v1/advise", adviseBody("mv1", `"budget":25,"seed":9`))
+	if w.Header().Get("X-Cache") != "hit" {
+		t.Fatalf("knapsack seed spelling fragmented the cache: X-Cache = %q", w.Header().Get("X-Cache"))
+	}
+}
+
+func TestUnknownSolverRejected(t *testing.T) {
+	s := testServer()
+	w := do(t, s, "POST", "/v1/advise", adviseBody("mv1", `"budget":25,"solver":"quantum"`))
+	if w.Code != 400 {
+		t.Fatalf("status = %d, want 400: %s", w.Code, w.Body.String())
+	}
+}
+
+// TestCompareSolverThreaded: /v1/compare accepts the solver/seed fields
+// and stamps search strategies into every cell.
+func TestCompareSolverThreaded(t *testing.T) {
+	s := testServer()
+	w := do(t, s, "POST", "/v1/compare", compareBody(`"solver":"search","seed":7,"providers":["aws-2012"]`))
+	if w.Code != 200 {
+		t.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+	var resp struct {
+		Configs []struct {
+			Results []struct {
+				Recommendation struct {
+					Strategy string `json:"strategy"`
+				} `json:"recommendation"`
+			} `json:"results"`
+		} `json:"configs"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Configs) == 0 || len(resp.Configs[0].Results) == 0 {
+		t.Fatalf("empty comparison: %s", w.Body.String())
+	}
+	for _, cfg := range resp.Configs {
+		for _, r := range cfg.Results {
+			if got := r.Recommendation.Strategy; got != "mv1-search" && got != "mv2-search" && got != "mv3-search" {
+				t.Errorf("strategy = %q, want a *-search strategy", got)
+			}
+		}
+	}
+}
+
+// TestStatsPerEndpointCaches covers the per-endpoint cache breakdown of
+// GET /v1/stats: entry/byte/hit/miss counts split by endpoint.
+func TestStatsPerEndpointCaches(t *testing.T) {
+	s := testServer()
+	advise := adviseBody("mv1", `"budget":25`)
+	do(t, s, "POST", "/v1/advise", advise)
+	do(t, s, "POST", "/v1/advise", advise) // hit
+	do(t, s, "POST", "/v1/compare", compareBody(`"providers":["aws-2012"]`))
+
+	w := do(t, s, "GET", "/v1/stats", "")
+	var got statsJSON
+	if err := json.Unmarshal(w.Body.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	adv, ok := got.Caches["advise"]
+	if !ok {
+		t.Fatalf("no advise cache stats: %v", got.Caches)
+	}
+	if adv.Entries != 1 || adv.RawEntries != 1 {
+		t.Errorf("advise entries = %d raw %d, want 1/1", adv.Entries, adv.RawEntries)
+	}
+	if adv.Hits != 1 || adv.Misses != 1 {
+		t.Errorf("advise hits/misses = %d/%d, want 1/1", adv.Hits, adv.Misses)
+	}
+	if adv.Bytes <= 0 || adv.RawBytes <= 0 {
+		t.Errorf("advise bytes = %d raw %d, want > 0", adv.Bytes, adv.RawBytes)
+	}
+	cmp, ok := got.Caches["compare"]
+	if !ok {
+		t.Fatalf("no compare cache stats: %v", got.Caches)
+	}
+	if cmp.Entries != 1 || cmp.Misses != 1 || cmp.Hits != 0 {
+		t.Errorf("compare entries/hits/misses = %d/%d/%d, want 1/0/1", cmp.Entries, cmp.Hits, cmp.Misses)
+	}
+	// The per-endpoint split must reconcile with the aggregate.
+	if adv.Entries+cmp.Entries != got.Cache.Entries {
+		t.Errorf("entries %d+%d != aggregate %d", adv.Entries, cmp.Entries, got.Cache.Entries)
+	}
+	if adv.Hits+cmp.Hits != got.Advise.CacheHits {
+		t.Errorf("hits %d+%d != aggregate %d", adv.Hits, cmp.Hits, got.Advise.CacheHits)
+	}
+}
+
+// TestAutoSeedCanonicalized: on the wire "auto" can never reach search
+// (sales-only schema, candidate pool capped at the auto threshold), so
+// its seed must be canonicalized away like the knapsack's.
+func TestAutoSeedCanonicalized(t *testing.T) {
+	s := testServer()
+	if w := do(t, s, "POST", "/v1/advise", adviseBody("mv1", `"budget":25,"solver":"auto","seed":1`)); w.Code != 200 {
+		t.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+	w := do(t, s, "POST", "/v1/advise", adviseBody("mv1", `"budget":25,"solver":"auto","seed":2`))
+	if w.Header().Get("X-Cache") != "hit" {
+		t.Fatalf("auto seed spelling fragmented the cache: X-Cache = %q", w.Header().Get("X-Cache"))
+	}
+}

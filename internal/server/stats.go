@@ -16,13 +16,21 @@ type stats struct {
 	hits       int64
 	misses     int64
 	errors     int64
+	// hitsByEndpoint/missesByEndpoint split the memoization outcome per
+	// endpoint — once solver choice (and its seed) multiplies the key
+	// space, the aggregate alone can no longer tell which endpoint's
+	// cache is earning its memory.
+	hitsByEndpoint   map[string]int64
+	missesByEndpoint map[string]int64
 }
 
 func newStats(now time.Time) *stats {
 	return &stats{
-		start:      now,
-		byEndpoint: make(map[string]int64),
-		byScenario: make(map[string]int64),
+		start:            now,
+		byEndpoint:       make(map[string]int64),
+		byScenario:       make(map[string]int64),
+		hitsByEndpoint:   make(map[string]int64),
+		missesByEndpoint: make(map[string]int64),
 	}
 }
 
@@ -33,14 +41,16 @@ func (s *stats) request(endpoint string) {
 	s.byEndpoint[endpoint]++
 }
 
-func (s *stats) advise(scenario string, hit bool) {
+func (s *stats) advise(endpoint, scenario string, hit bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.byScenario[scenario]++
 	if hit {
 		s.hits++
+		s.hitsByEndpoint[endpoint]++
 	} else {
 		s.misses++
+		s.missesByEndpoint[endpoint]++
 	}
 }
 
@@ -57,6 +67,21 @@ type statsJSON struct {
 	ByEndpoint    map[string]int64 `json:"by_endpoint"`
 	Advise        adviseStatsJSON  `json:"advise"`
 	Cache         cacheStatsJSON   `json:"cache"`
+	// Caches breaks the shared memoization caches down per endpoint:
+	// resident response/raw-key entries and bytes plus hit/miss counts.
+	Caches map[string]endpointCacheJSON `json:"caches"`
+}
+
+// endpointCacheJSON is one endpoint's slice of the memoization caches.
+type endpointCacheJSON struct {
+	// Entries/Bytes cover the canonical-key response cache.
+	Entries int   `json:"entries"`
+	Bytes   int64 `json:"bytes"`
+	// RawEntries/RawBytes cover the raw-body fast-path key cache.
+	RawEntries int   `json:"raw_entries"`
+	RawBytes   int64 `json:"raw_bytes"`
+	Hits       int64 `json:"hits"`
+	Misses     int64 `json:"misses"`
 }
 
 type adviseStatsJSON struct {
@@ -72,7 +97,7 @@ type cacheStatsJSON struct {
 	Bytes    int64 `json:"bytes"`
 }
 
-func (s *stats) snapshot(now time.Time, cacheLen, cacheCap int) statsJSON {
+func (s *stats) snapshot(now time.Time, cacheLen, cacheCap int, resp, raw map[string]NamespaceStat) statsJSON {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	byEndpoint := make(map[string]int64, len(s.byEndpoint))
@@ -82,6 +107,27 @@ func (s *stats) snapshot(now time.Time, cacheLen, cacheCap int) statsJSON {
 	byScenario := make(map[string]int64, len(s.byScenario))
 	for k, v := range s.byScenario {
 		byScenario[k] = v
+	}
+	caches := make(map[string]endpointCacheJSON)
+	for ns, st := range resp {
+		c := caches[ns]
+		c.Entries, c.Bytes = st.Entries, st.Bytes
+		caches[ns] = c
+	}
+	for ns, st := range raw {
+		c := caches[ns]
+		c.RawEntries, c.RawBytes = st.Entries, st.Bytes
+		caches[ns] = c
+	}
+	for ns, n := range s.hitsByEndpoint {
+		c := caches[ns]
+		c.Hits = n
+		caches[ns] = c
+	}
+	for ns, n := range s.missesByEndpoint {
+		c := caches[ns]
+		c.Misses = n
+		caches[ns] = c
 	}
 	return statsJSON{
 		UptimeSeconds: now.Sub(s.start).Seconds(),
@@ -93,6 +139,7 @@ func (s *stats) snapshot(now time.Time, cacheLen, cacheCap int) statsJSON {
 			Errors:      s.errors,
 			ByScenario:  byScenario,
 		},
-		Cache: cacheStatsJSON{Entries: cacheLen, Capacity: cacheCap},
+		Cache:  cacheStatsJSON{Entries: cacheLen, Capacity: cacheCap},
+		Caches: caches,
 	}
 }

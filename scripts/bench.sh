@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# bench.sh — run every benchmark under internal/... and emit a single
+# JSON summary (BENCH_<date>.json by default) so the benchmark
+# trajectory can be tracked commit over commit.
+#
+# Usage:
+#   ./scripts/bench.sh                # full run, writes BENCH_YYYY-MM-DD.json
+#   BENCHTIME=10x ./scripts/bench.sh  # shorter per-benchmark budget
+#   OUT=/tmp/bench.json ./scripts/bench.sh
+#
+# The JSON shape:
+#   {"date":"...","go":"...","goos":"...","goarch":"...","benchtime":"...",
+#    "benchmarks":[{"package":"...","name":"...","iterations":N,
+#                   "ns_per_op":F,"bytes_per_op":F,"allocs_per_op":F}, ...]}
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-100x}"
+OUT="${OUT:-BENCH_$(date +%F).json}"
+
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' -bench . -benchmem -benchtime "$BENCHTIME" ./internal/... | tee "$raw" >&2
+
+awk -v date="$(date +%F)" \
+    -v gover="$(go env GOVERSION)" \
+    -v goos="$(go env GOOS)" \
+    -v goarch="$(go env GOARCH)" \
+    -v benchtime="$BENCHTIME" '
+BEGIN {
+  printf "{\"date\":\"%s\",\"go\":\"%s\",\"goos\":\"%s\",\"goarch\":\"%s\",\"benchtime\":\"%s\",\"benchmarks\":[", date, gover, goos, goarch, benchtime
+  n = 0
+  pkg = ""
+}
+$1 == "pkg:" { pkg = $2 }
+/^Benchmark/ {
+  name = $1
+  sub(/-[0-9]+$/, "", name)
+  iters = $2
+  ns = ""; bytes = ""; allocs = ""
+  for (i = 3; i < NF; i++) {
+    if ($(i+1) == "ns/op") ns = $i
+    if ($(i+1) == "B/op") bytes = $i
+    if ($(i+1) == "allocs/op") allocs = $i
+  }
+  if (ns == "") next
+  if (n++) printf ","
+  printf "{\"package\":\"%s\",\"name\":\"%s\",\"iterations\":%s,\"ns_per_op\":%s", pkg, name, iters, ns
+  if (bytes != "") printf ",\"bytes_per_op\":%s", bytes
+  if (allocs != "") printf ",\"allocs_per_op\":%s", allocs
+  printf "}"
+}
+END { print "]}" }
+' "$raw" > "$OUT"
+
+count="$(grep -o '"name"' "$OUT" | wc -l | tr -d ' ')"
+echo "wrote $OUT ($count benchmarks)" >&2

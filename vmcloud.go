@@ -12,7 +12,10 @@
 //   - MV3: minimize the weighted tradeoff α·T + (1−α)·C,
 //
 // each solved as a 0/1 knapsack by dynamic programming over candidate
-// views produced by a greedy benefit-per-space pre-selection.
+// views produced by a greedy benefit-per-space pre-selection — or, for
+// lattices too large for the linearization to stay honest, by seedable
+// metaheuristic search (hill climbing + simulated annealing) against
+// the exact cost evaluator (AdvisorConfig.Solver = SolverSearch).
 //
 // Quick start:
 //
@@ -72,6 +75,13 @@ type Schema = schema.Schema
 // SalesSchema returns the paper's supply-chain sales schema (Table 1).
 func SalesSchema() *Schema { return schema.Sales() }
 
+// SyntheticSchema builds a deterministic star schema with dims
+// dimensions and levels hierarchy levels per dimension (including ALL),
+// inducing a levels^dims-cuboid lattice — the stress setting the search
+// solver exists for. SyntheticSchema(4, 4) is the 256-cuboid lattice of
+// the large-schema experiments.
+func SyntheticSchema(dims, levels int) (*Schema, error) { return schema.Synthetic(dims, levels) }
+
 // Lattice is the cuboid lattice of a schema.
 type Lattice = lattice.Lattice
 
@@ -94,10 +104,28 @@ func SalesWorkload(l *Lattice, n int) (Workload, error) {
 	return workload.Sales(l, n)
 }
 
+// RandomWorkload generates an n-query workload at uniformly random
+// lattice points with frequencies in [1, maxFreq], deterministically
+// from the seed — the workload generator the large-schema walkthrough
+// and benchmarks use.
+func RandomWorkload(l *Lattice, n, maxFreq int, seed int64) (Workload, error) {
+	return workload.Random(l, n, maxFreq, seed)
+}
+
 // AdvisorConfig configures an advisory session; zero values select the
 // paper's experimental defaults (AWS 2012 tariff, 5 small instances,
-// ≈10 GB sales dataset, monthly billing).
+// ≈10 GB sales dataset, monthly billing, knapsack solver).
 type AdvisorConfig = core.Config
+
+// Solver names accepted by AdvisorConfig.Solver and
+// CompareRequest.Solver: the paper's linearized knapsack DP (default),
+// the exact-evaluator metaheuristic search engine, or automatic
+// selection by candidate-pool size.
+const (
+	SolverKnapsack = core.SolverKnapsack
+	SolverSearch   = core.SolverSearch
+	SolverAuto     = core.SolverAuto
+)
 
 // Advisor recommends view sets under the paper's three scenarios.
 type Advisor = core.Advisor
