@@ -1,0 +1,60 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files from the current output")
+
+// TestSearchCLIGoldens pins the exact stdout of seeded `mvcloud -solver
+// search` runs on the paper's sales lattice. The incremental evaluation
+// engine must keep these byte-identical: a pinned seed must keep
+// selecting — and pricing — exactly the same views after the refactor.
+func TestSearchCLIGoldens(t *testing.T) {
+	cases := []struct {
+		name string
+		o    runOpts
+	}{
+		{"mv1_search_seed42", runOpts{scenario: "mv1", budget: "25.00", limit: "4h", alpha: 0.5,
+			steps: 5, queries: 10, freq: 30, provider: "aws-2012",
+			instance: "small", fleet: 5, rows: 10_000_000, invoice: true,
+			solver: "search", seed: 42}},
+		{"mv2_search_seed7", runOpts{scenario: "mv2", budget: "25.00", limit: "4h", alpha: 0.5,
+			steps: 5, queries: 10, freq: 30, provider: "aws-2012",
+			instance: "small", fleet: 5, rows: 10_000_000,
+			solver: "search", seed: 7}},
+		{"pareto_search_seed5", runOpts{scenario: "pareto", budget: "25.00", limit: "4h", alpha: 0.5,
+			steps: 5, queries: 10, freq: 30, provider: "aws-2012",
+			instance: "small", fleet: 5, rows: 10_000_000,
+			solver: "search", seed: 5}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := run(c.o, &buf); err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", c.name+".golden")
+			if *updateGolden {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (run go test ./cmd/mvcloud -run Golden -update): %v", err)
+			}
+			if buf.String() != string(want) {
+				t.Errorf("output drifted from pre-refactor golden %s:\ngot:\n%s\nwant:\n%s", path, buf.String(), want)
+			}
+		})
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -78,7 +79,7 @@ func main() {
 		provider: *provider, providerFile: *provFile,
 		instance: *instance, fleet: *fleet, rows: *rows, invoice: *invoice,
 		solver: *solver, seed: *seed,
-	}); err != nil {
+	}, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "mvcloud:", err)
 		os.Exit(1)
 	}
@@ -119,7 +120,7 @@ type runOpts struct {
 	seed                    int64
 }
 
-func run(o runOpts) error {
+func run(o runOpts, out io.Writer) error {
 	var prov pricing.Provider
 	var err error
 	if o.providerFile != "" {
@@ -153,15 +154,15 @@ func run(o runOpts) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("cluster: %s   workload: %d queries × %d/month   candidates: %d   solver: %s\n\n",
+	fmt.Fprintf(out, "cluster: %s   workload: %d queries × %d/month   candidates: %d   solver: %s\n\n",
 		adv.Cl, o.queries, o.freq, len(adv.Candidates), adv.Solver)
 
 	printRec := func(rec core.Recommendation) {
-		fmt.Print(rec.Render())
+		fmt.Fprint(out, rec.Render())
 		if o.invoice {
 			plan := adv.PlanFor(rec.Selection)
-			fmt.Println("\nitemized invoice:")
-			fmt.Print(costmodel.Itemize(plan, rec.Selection.Bill))
+			fmt.Fprintln(out, "\nitemized invoice:")
+			fmt.Fprint(out, costmodel.Itemize(plan, rec.Selection.Bill))
 		}
 	}
 
@@ -201,7 +202,7 @@ func run(o runOpts) error {
 		for _, p := range front {
 			t.AddRow(fmt.Sprintf("%.2f", p.Alpha), fmt.Sprintf("%.3fh", p.Time.Hours()), p.Cost, p.Views)
 		}
-		fmt.Println(t)
+		fmt.Fprintln(out, t)
 	default:
 		return fmt.Errorf("unknown scenario %q (want mv1, mv2, mv3 or pareto)", o.scenario)
 	}

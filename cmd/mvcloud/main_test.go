@@ -1,6 +1,7 @@
 package main
 
 import (
+	"io"
 	"os"
 	"testing"
 )
@@ -20,7 +21,7 @@ func TestRunScenarios(t *testing.T) {
 		o := runOpts{scenario: c.scenario, budget: "25.00", limit: "4h", alpha: 0.5,
 			steps: 5, queries: 5, freq: 30, provider: "aws-2012",
 			instance: "small", fleet: 5, rows: rows, invoice: true}
-		if err := run(o); err != nil {
+		if err := run(o, io.Discard); err != nil {
 			t.Errorf("%s: %v", c.name, err)
 		}
 	}
@@ -39,7 +40,7 @@ func TestRunErrors(t *testing.T) {
 	} {
 		o := base
 		mut(&o)
-		if err := run(o); err == nil {
+		if err := run(o, io.Discard); err == nil {
 			t.Errorf("%s: accepted", name)
 		}
 	}
@@ -101,14 +102,14 @@ func TestRunSearchSolver(t *testing.T) {
 			steps: 5, queries: 5, freq: 30, provider: "aws-2012",
 			instance: "small", fleet: 5, rows: 10_000_000,
 			solver: "search", seed: 42}
-		if err := run(o); err != nil {
+		if err := run(o, io.Discard); err != nil {
 			t.Errorf("%s with -solver search: %v", scenario, err)
 		}
 	}
 	o := runOpts{scenario: "mv1", budget: "25.00", limit: "4h", alpha: 0.5,
 		steps: 5, queries: 5, freq: 30, provider: "aws-2012",
 		instance: "small", fleet: 5, rows: 10_000_000, solver: "quantum"}
-	if err := run(o); err == nil {
+	if err := run(o, io.Discard); err == nil {
 		t.Error("unknown -solver accepted")
 	}
 }

@@ -36,6 +36,17 @@ func TransferCost(p pricing.Provider, monthlyEgress units.DataSize) money.Money 
 // interval, the slab rate cs(DS) of the interval's volume times the volume
 // times the interval length in months.
 func StorageCost(p pricing.Provider, tl simtime.Timeline) (money.Money, error) {
+	// Fast path for the dominant case — no volume-change events, one
+	// constant interval [0, Horizon). The evaluation engine re-prices a
+	// bill per search move, and slicing a single-interval timeline
+	// through Intervals costs sort and slice allocations for nothing.
+	// Invalid timelines fall through so error behavior is unchanged.
+	if len(tl.Events) == 0 && tl.Horizon >= 0 && tl.Initial >= 0 {
+		if tl.Horizon == 0 {
+			return 0, nil
+		}
+		return p.Storage.CostFor(tl.Initial, float64(tl.Horizon)), nil
+	}
 	ivs, err := tl.Intervals()
 	if err != nil {
 		return 0, err

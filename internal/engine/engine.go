@@ -16,7 +16,6 @@ package engine
 
 import (
 	"fmt"
-	"sort"
 
 	"vmcloud/internal/lattice"
 	"vmcloud/internal/schema"
@@ -101,56 +100,15 @@ func Aggregate(ds *storage.Dataset, src *storage.Table, target lattice.Point, op
 		kinds[i] = m.Kind
 	}
 
-	type group struct {
-		keys []int32
-		vals []int64
-	}
-	groups := map[int64]*group{}
+	// Scan into a flat slot table (see shardTable): one map probe per
+	// row, zero per-group allocations.
 	n := src.Rows()
-	rowKeys := make([]int32, len(target))
+	st := shardTable{idx: make(map[int64]int32)}
+	st.scan(src, target, filters, lifts, radices, kinds, 0, n)
 
-scan:
-	for r := 0; r < n; r++ {
-		for _, f := range filters {
-			if f.lift(src.Keys[f.dim][r]) != f.code {
-				continue scan
-			}
-		}
-		var composite int64
-		for d := range target {
-			var k int32
-			if lifts[d] != nil {
-				k = lifts[d](src.Keys[d][r])
-			}
-			rowKeys[d] = k
-			composite = composite*radices[d] + int64(k)
-		}
-		g, ok := groups[composite]
-		if !ok {
-			g = &group{keys: append([]int32(nil), rowKeys...), vals: make([]int64, len(kinds))}
-			for m, kind := range kinds {
-				g.vals[m] = identity(kind)
-			}
-			groups[composite] = g
-		}
-		for m, kind := range kinds {
-			g.vals[m] = combine(kind, g.vals[m], src.Measures[m][r])
-		}
-	}
-
-	// Deterministic output order.
-	ids := make([]int64, 0, len(groups))
-	for id := range groups {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-
-	out := storage.NewTable(name, target, len(kinds), len(groups))
-	for _, id := range ids {
-		g := groups[id]
-		if err := out.Append(g.keys, g.vals); err != nil {
-			return nil, err
-		}
+	out, err := st.emit(name, target, kinds, len(target))
+	if err != nil {
+		return nil, err
 	}
 	// Null out key columns at ALL levels: their codes are always 0 and the
 	// convention is a nil column.

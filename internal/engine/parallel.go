@@ -11,6 +11,72 @@ import (
 	"vmcloud/internal/storage"
 )
 
+// shardTable is one worker's private aggregation state: a composite-key
+// index into flat, slot-major key/measure buffers. Appending a group
+// costs amortized zero allocations, unlike a map of per-group objects.
+type shardTable struct {
+	idx  map[int64]int32 // composite key → slot
+	ids  []int64         // composite key per slot, first-seen order
+	keys []int32         // group keys, dims per slot
+	vals []int64         // measure accumulators, measures per slot
+}
+
+// scan aggregates rows [lo, hi) of src into the table.
+func (st *shardTable) scan(src *storage.Table, target lattice.Point, filters []boundFilter, lifts []liftFn, radices []int64, kinds []schema.MeasureKind, lo, hi int) {
+	dims := len(target)
+	nm := len(kinds)
+	rowKeys := make([]int32, dims)
+scan:
+	for r := lo; r < hi; r++ {
+		for _, f := range filters {
+			if f.lift(src.Keys[f.dim][r]) != f.code {
+				continue scan
+			}
+		}
+		var composite int64
+		for d := range target {
+			var k int32
+			if lifts[d] != nil {
+				k = lifts[d](src.Keys[d][r])
+			}
+			rowKeys[d] = k
+			composite = composite*radices[d] + int64(k)
+		}
+		slot, ok := st.idx[composite]
+		if !ok {
+			slot = int32(len(st.ids))
+			st.idx[composite] = slot
+			st.ids = append(st.ids, composite)
+			st.keys = append(st.keys, rowKeys...)
+			for _, kind := range kinds {
+				st.vals = append(st.vals, identity(kind))
+			}
+		}
+		base := int(slot) * nm
+		for m, kind := range kinds {
+			st.vals[base+m] = combine(kind, st.vals[base+m], src.Measures[m][r])
+		}
+	}
+}
+
+// emit materializes the table's groups as a storage table in composite
+// key order (the deterministic output contract of Aggregate).
+func (st *shardTable) emit(name string, target lattice.Point, kinds []schema.MeasureKind, dims int) (*storage.Table, error) {
+	nm := len(kinds)
+	order := make([]int32, len(st.ids))
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.Slice(order, func(i, j int) bool { return st.ids[order[i]] < st.ids[order[j]] })
+	out := storage.NewTable(name, target, nm, len(st.ids))
+	for _, slot := range order {
+		if err := out.Append(st.keys[int(slot)*dims:(int(slot)+1)*dims], st.vals[int(slot)*nm:(int(slot)+1)*nm]); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
 // AggregateParallel is Aggregate with partitioned execution: the source
 // rows are split into shards, each shard is aggregated by its own
 // goroutine into a private hash table, and the partial tables are merged —
@@ -34,6 +100,14 @@ func AggregateParallel(ds *storage.Dataset, src *storage.Table, target lattice.P
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	// The scan is CPU-bound: workers beyond the core count cannot run
+	// concurrently — they only add duplicate hash tables, duplicate group
+	// discovery and merge work. Clamp, so an over-provisioned worker
+	// count ties the sequential path on one core and the fan-out tracks
+	// the hardware on many.
+	if mp := runtime.GOMAXPROCS(0); workers > mp {
+		workers = mp
+	}
 	n := src.Rows()
 	if workers > n {
 		workers = n
@@ -51,11 +125,15 @@ func AggregateParallel(ds *storage.Dataset, src *storage.Table, target lattice.P
 		kinds[i] = m.Kind
 	}
 
-	type group struct {
-		keys []int32
-		vals []int64
-	}
-	shards := make([]map[int64]*group, workers)
+	// Each worker aggregates its row range into a private flat slot
+	// table: one map probe per row, group keys and measure accumulators
+	// appended to chunked columnar buffers. No per-group allocations —
+	// the old map[int64]*group design allocated three objects per
+	// distinct group per shard, which is why the parallel path used to
+	// lose to the sequential one on a single core.
+	dims := len(target)
+	nm := len(kinds)
+	shards := make([]shardTable, workers)
 	errs := make([]error, workers)
 	var wg sync.WaitGroup
 	for wkr := 0; wkr < workers; wkr++ {
@@ -71,37 +149,9 @@ func AggregateParallel(ds *storage.Dataset, src *storage.Table, target lattice.P
 				errs[wkr] = err
 				return
 			}
-			groups := make(map[int64]*group)
-			rowKeys := make([]int32, len(target))
-		scan:
-			for r := lo; r < hi; r++ {
-				for _, f := range filters {
-					if f.lift(src.Keys[f.dim][r]) != f.code {
-						continue scan
-					}
-				}
-				var composite int64
-				for d := range target {
-					var k int32
-					if lifts[d] != nil {
-						k = lifts[d](src.Keys[d][r])
-					}
-					rowKeys[d] = k
-					composite = composite*radices[d] + int64(k)
-				}
-				g, ok := groups[composite]
-				if !ok {
-					g = &group{keys: append([]int32(nil), rowKeys...), vals: make([]int64, len(kinds))}
-					for m, kind := range kinds {
-						g.vals[m] = identity(kind)
-					}
-					groups[composite] = g
-				}
-				for m, kind := range kinds {
-					g.vals[m] = combine(kind, g.vals[m], src.Measures[m][r])
-				}
-			}
-			shards[wkr] = groups
+			st := shardTable{idx: make(map[int64]int32)}
+			st.scan(src, target, filters, lifts, radices, kinds, lo, hi)
+			shards[wkr] = st
 		}(wkr, lo, hi)
 	}
 	wg.Wait()
@@ -111,17 +161,28 @@ func AggregateParallel(ds *storage.Dataset, src *storage.Table, target lattice.P
 		}
 	}
 
-	// Merge shard tables.
-	merged := shards[0]
-	for _, shard := range shards[1:] {
-		for id, g := range shard {
-			dst, ok := merged[id]
+	// Merge the shard tables into shard 0 (slot order is deterministic:
+	// shards in worker order, slots in first-seen order).
+	merged := &shards[0]
+	if merged.idx == nil {
+		merged.idx = make(map[int64]int32)
+	}
+	for s := 1; s < workers; s++ {
+		st := &shards[s]
+		for slot, id := range st.ids {
+			dst, ok := merged.idx[id]
 			if !ok {
-				merged[id] = g
+				dst = int32(len(merged.ids))
+				merged.idx[id] = dst
+				merged.ids = append(merged.ids, id)
+				merged.keys = append(merged.keys, st.keys[slot*dims:(slot+1)*dims]...)
+				merged.vals = append(merged.vals, st.vals[slot*nm:(slot+1)*nm]...)
 				continue
 			}
+			db := int(dst) * nm
+			sb := slot * nm
 			for m, kind := range kinds {
-				dst.vals[m] = combine(kind, dst.vals[m], g.vals[m])
+				merged.vals[db+m] = combine(kind, merged.vals[db+m], st.vals[sb+m])
 			}
 		}
 	}
@@ -130,17 +191,9 @@ func AggregateParallel(ds *storage.Dataset, src *storage.Table, target lattice.P
 	if name == "" {
 		name = fmt.Sprintf("agg(%s)", src.Name)
 	}
-	ids := make([]int64, 0, len(merged))
-	for id := range merged {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	out := storage.NewTable(name, target, len(kinds), len(merged))
-	for _, id := range ids {
-		g := merged[id]
-		if err := out.Append(g.keys, g.vals); err != nil {
-			return nil, err
-		}
+	out, err := merged.emit(name, target, kinds, dims)
+	if err != nil {
+		return nil, err
 	}
 	for d := range target {
 		if target[d] == len(ds.Schema.Dimensions[d].Levels)-1 {

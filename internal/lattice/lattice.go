@@ -79,6 +79,10 @@ type Lattice struct {
 	FactRows int64
 	nodes    []Node // indexed by encoded point id
 	radices  []int  // levels per dimension
+	// Answerability index (index.go): desc[i] is the bitset of node ids
+	// strictly coarser than i, anc[i] of ids strictly finer.
+	desc []bitset
+	anc  []bitset
 }
 
 // New builds the lattice for the schema assuming factRows base rows.
@@ -124,6 +128,7 @@ func New(s *schema.Schema, factRows int64) (*Lattice, error) {
 			ResultSize: s.RowBytes.MulInt(groups),
 		}
 	}
+	l.buildIndex()
 	return l, nil
 }
 
@@ -245,23 +250,46 @@ func (l *Lattice) CanAnswer(view, query Point) bool {
 }
 
 // Ancestors returns all cuboids strictly finer than p (candidates to answer
-// p besides p itself), base first.
+// p besides p itself), base first. With the precomputed index this is a
+// bit scan over anc[id], not an N-point partial-order sweep.
 func (l *Lattice) Ancestors(p Point) []Node {
-	var out []Node
-	for _, n := range l.nodes {
-		if n.Point.FinerOrEqual(p) && !n.Point.Equal(p) {
-			out = append(out, n)
-		}
+	id, err := l.ID(p)
+	if err != nil || l.anc == nil {
+		return l.relatedSlow(p, func(n Node) bool {
+			return n.Point.FinerOrEqual(p) && !n.Point.Equal(p)
+		})
 	}
-	return out
+	return l.nodesAt(l.anc[id])
 }
 
 // Descendants returns all cuboids strictly coarser than p (queries p can
 // answer besides itself).
 func (l *Lattice) Descendants(p Point) []Node {
+	id, err := l.ID(p)
+	if err != nil || l.desc == nil {
+		return l.relatedSlow(p, func(n Node) bool {
+			return p.FinerOrEqual(n.Point) && !n.Point.Equal(p)
+		})
+	}
+	return l.nodesAt(l.desc[id])
+}
+
+// nodesAt materializes the nodes of a bitset in ascending id order.
+func (l *Lattice) nodesAt(b bitset) []Node {
+	var out []Node
+	for _, id := range b.appendIDs(nil) {
+		out = append(out, l.nodes[id])
+	}
+	return out
+}
+
+// relatedSlow is the pre-index fallback for points that do not validate
+// against the lattice (wrong arity or out-of-range levels): such points
+// historically matched by pairwise comparison, never by id.
+func (l *Lattice) relatedSlow(p Point, keep func(Node) bool) []Node {
 	var out []Node
 	for _, n := range l.nodes {
-		if p.FinerOrEqual(n.Point) && !n.Point.Equal(p) {
+		if keep(n) {
 			out = append(out, n)
 		}
 	}
@@ -301,6 +329,28 @@ func (l *Lattice) Parents(p Point) []Node {
 // It reflects the paper's processing model: a query runs against its
 // smallest answering view, or the base table when none applies.
 func (l *Lattice) CheapestAnswering(materialized []Point, query Point) (Point, Node) {
+	qid, err := l.ID(query)
+	if err != nil {
+		return l.cheapestAnsweringSlow(materialized, query)
+	}
+	best := l.Base()
+	bestNode := l.nodes[0] // base encodes to id 0
+	for _, v := range materialized {
+		vid, err := l.ID(v)
+		if err != nil || !l.CanAnswerID(vid, qid) {
+			continue
+		}
+		if n := l.nodes[vid]; n.Rows < bestNode.Rows {
+			best, bestNode = v, n
+		}
+	}
+	return best, bestNode
+}
+
+// cheapestAnsweringSlow preserves the pre-index behavior for queries
+// that do not validate: answerability falls back to the pairwise
+// partial-order test.
+func (l *Lattice) cheapestAnsweringSlow(materialized []Point, query Point) (Point, Node) {
 	best := l.Base()
 	bestNode := l.nodes[l.encode(best)]
 	for _, v := range materialized {

@@ -1,0 +1,376 @@
+package optimizer
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"vmcloud/internal/costmodel"
+	"vmcloud/internal/units"
+	"vmcloud/internal/views"
+)
+
+// IncrementalEvaluator prices candidate subsets by delta evaluation: the
+// candidate set and workload are pinned once, and every Add/Drop move
+// updates running aggregates in O(affected queries) instead of the
+// Evaluator's O(|workload| × |selection|) full recomputation. Score()
+// rebuilds the exact tiered bill from the aggregates via the same
+// Plan.Bill the Evaluator uses, so an IncrementalEvaluator state is
+// bit-equal — time, bill, size — to Evaluator.Evaluate of the same
+// subset (the property tests in incremental_test.go enforce this on
+// random lattices and move sequences).
+//
+// Invariants maintained across moves:
+//
+//   - assigned[q] is the candidate index whose view answers query q under
+//     cheapest-answering routing (-1 = base table), with the Evaluator's
+//     exact tie rule: fewest rows wins, ties keep the lowest candidate
+//     index, and a view never beats the base without strictly fewer rows.
+//   - proc = Σ_q freq_q × TimeForJob(rows(assigned[q]))   (Formula 9)
+//   - sizeSum/matSum = Σ over selected views               (Formula 7, §4.3)
+//   - maintSum matches the estimator's maintenance policy: immediate sums
+//     Formula 11 over selected views; deferred caps each view's refresh
+//     count at the executions it serves, tracked per point group.
+//
+// Full re-pricing still runs in exactly two places: Reset (pinning an
+// arbitrary subset, used for search restarts) and the Bill arithmetic in
+// Score (tier boundaries and billing rounding are global, so the exact
+// bill is always recomputed from the aggregates — never linearized).
+type IncrementalEvaluator struct {
+	ev *Evaluator
+	n  int
+
+	// Per-candidate scalars, indexed by candidate position.
+	rows  []int64          // lattice scan rows of the candidate's cuboid
+	size  []units.DataSize // stored size (lattice estimate, what Evaluate sums)
+	maint []time.Duration  // MaintenanceTime (Formula 11 per view)
+	mat   []time.Duration  // MaterializationTime (Formula 7 per view)
+	// perRun is maint / MaintenanceRuns (exact: maint is built as
+	// runs × perRun), used by deferred maintenance.
+	perRun []time.Duration
+	// group maps candidates sharing one lattice point to one served
+	// counter, mirroring the Evaluator's per-point-name accounting;
+	// groupMembers inverts it (almost always a single candidate).
+	group        []int
+	groupMembers [][]int32
+
+	// Per-query precomputation.
+	qFreq []int64
+	qBase []time.Duration // freq × TimeForJob(base size)
+	// qAns[q] lists the candidates that can answer q with strictly fewer
+	// rows than the base, sorted by (rows, candidate index) — scan order
+	// equals the Evaluator's cheapest-answering tie-break.
+	qAns [][]ansEntry
+	// cand2q[q-lists per candidate]: which queries each candidate can
+	// answer (the "affected queries" of a move).
+	cand2q [][]int32
+
+	// Mutable state.
+	selected []bool
+	words    []uint64 // selection bitmap packed 64 per word (Words())
+	assigned []int32  // per query: candidate index or -1 (base)
+	curTerm  []time.Duration
+	served   []int64 // per group: monthly executions routed to the group
+	deferred bool
+	runs     int64
+
+	// Running aggregates.
+	proc     time.Duration
+	maintSum time.Duration
+	matSum   time.Duration
+	sizeSum  units.DataSize
+}
+
+// ansEntry is one answering candidate of a query with its precomputed
+// frequency-weighted scan term.
+type ansEntry struct {
+	cand int32
+	rows int64
+	term time.Duration // freq × TimeForJob(candidate size)
+}
+
+// NewIncrementalEvaluator pins a candidate set against an evaluator. The
+// candidate points are validated against the lattice; everything the
+// per-move updates need is precomputed here, once.
+func NewIncrementalEvaluator(ev *Evaluator, cands []views.Candidate) (*IncrementalEvaluator, error) {
+	if ev == nil || ev.Est == nil || ev.Est.Lat == nil {
+		return nil, fmt.Errorf("optimizer: incremental evaluator needs a wired evaluator")
+	}
+	l := ev.Est.Lat
+	n := len(cands)
+	inc := &IncrementalEvaluator{
+		ev:       ev,
+		n:        n,
+		rows:     make([]int64, n),
+		size:     make([]units.DataSize, n),
+		maint:    make([]time.Duration, n),
+		mat:      make([]time.Duration, n),
+		perRun:   make([]time.Duration, n),
+		group:    make([]int, n),
+		selected: make([]bool, n),
+		words:    make([]uint64, (n+63)/64),
+		deferred: ev.Est.Policy == views.DeferredMaintenance,
+		runs:     int64(ev.Est.MaintenanceRuns),
+	}
+	ids := make([]int, n)
+	groupOf := make(map[int]int, n)
+	for i, c := range cands {
+		id, err := l.ID(c.Point)
+		if err != nil {
+			return nil, fmt.Errorf("optimizer: candidate %d: %w", i, err)
+		}
+		ids[i] = id
+		node := l.NodeByID(id)
+		inc.rows[i] = node.Rows
+		inc.size[i] = node.Size
+		inc.maint[i] = ev.Est.MaintenanceTime(c.Point)
+		inc.mat[i] = ev.Est.MaterializationTime(c.Point)
+		if inc.runs > 0 {
+			inc.perRun[i] = inc.maint[i] / time.Duration(inc.runs)
+		}
+		g, ok := groupOf[id]
+		if !ok {
+			g = len(groupOf)
+			groupOf[id] = g
+			inc.groupMembers = append(inc.groupMembers, nil)
+		}
+		inc.group[i] = g
+		inc.groupMembers[g] = append(inc.groupMembers[g], int32(i))
+	}
+	inc.served = make([]int64, len(groupOf))
+
+	baseNode := l.NodeByID(0)
+	nq := len(ev.W.Queries)
+	inc.qFreq = make([]int64, nq)
+	inc.qBase = make([]time.Duration, nq)
+	inc.qAns = make([][]ansEntry, nq)
+	inc.assigned = make([]int32, nq)
+	inc.curTerm = make([]time.Duration, nq)
+	inc.cand2q = make([][]int32, n)
+	baseJob := ev.Est.Cl.TimeForJob(baseNode.Size)
+	for q, query := range ev.W.Queries {
+		qid, err := l.ID(query.Point)
+		if err != nil {
+			return nil, fmt.Errorf("optimizer: query %d: %w", q, err)
+		}
+		freq := int64(query.Frequency)
+		inc.qFreq[q] = freq
+		inc.qBase[q] = time.Duration(freq) * baseJob
+		for i := 0; i < n; i++ {
+			// Only candidates that strictly beat the base can ever be
+			// assigned (CheapestAnswering replaces on fewer rows only).
+			if inc.rows[i] >= baseNode.Rows || !l.CanAnswerID(ids[i], qid) {
+				continue
+			}
+			inc.qAns[q] = append(inc.qAns[q], ansEntry{
+				cand: int32(i),
+				rows: inc.rows[i],
+				term: time.Duration(freq) * ev.Est.Cl.TimeForJob(inc.size[i]),
+			})
+			inc.cand2q[i] = append(inc.cand2q[i], int32(q))
+		}
+		sort.SliceStable(inc.qAns[q], func(a, b int) bool {
+			ea, eb := inc.qAns[q][a], inc.qAns[q][b]
+			if ea.rows != eb.rows {
+				return ea.rows < eb.rows
+			}
+			return ea.cand < eb.cand
+		})
+	}
+	inc.resetEmpty()
+	return inc, nil
+}
+
+// Len returns the pinned candidate count.
+func (inc *IncrementalEvaluator) Len() int { return inc.n }
+
+// Selected reports whether candidate i is in the current subset.
+func (inc *IncrementalEvaluator) Selected(i int) bool { return inc.selected[i] }
+
+// Words exposes the packed selection bitmap (64 candidates per uint64,
+// candidate i at bit i%64 of word i/64). The slice is live — callers
+// must copy it before mutating the evaluator further.
+func (inc *IncrementalEvaluator) Words() []uint64 { return inc.words }
+
+// resetEmpty pins the empty subset: every query runs on the base table.
+func (inc *IncrementalEvaluator) resetEmpty() {
+	for i := range inc.selected {
+		inc.selected[i] = false
+	}
+	for w := range inc.words {
+		inc.words[w] = 0
+	}
+	for g := range inc.served {
+		inc.served[g] = 0
+	}
+	inc.proc = 0
+	for q := range inc.assigned {
+		inc.assigned[q] = -1
+		inc.curTerm[q] = inc.qBase[q]
+		inc.proc += inc.qBase[q]
+	}
+	inc.maintSum, inc.matSum, inc.sizeSum = 0, 0, 0
+}
+
+// Reset re-pins the evaluator to an arbitrary subset — the full
+// re-pricing path (O(n + Σ answering-list lengths)), used when a search
+// restarts from a new subset rather than stepping to a neighbor.
+func (inc *IncrementalEvaluator) Reset(sel []bool) error {
+	if len(sel) != inc.n {
+		return fmt.Errorf("optimizer: reset with %d flags for %d candidates", len(sel), inc.n)
+	}
+	inc.resetEmpty()
+	for i, on := range sel {
+		if on {
+			inc.Add(i)
+		}
+	}
+	return nil
+}
+
+// Add materializes candidate i: aggregates grow by its scalars and only
+// the queries i can answer are re-routed (they move to i exactly when i
+// beats their current source under the tie rule).
+func (inc *IncrementalEvaluator) Add(i int) {
+	if inc.selected[i] {
+		return
+	}
+	inc.selected[i] = true
+	inc.words[i>>6] |= 1 << (uint(i) & 63)
+	inc.sizeSum += inc.size[i]
+	inc.matSum += inc.mat[i]
+	if !inc.deferred {
+		inc.maintSum += inc.maint[i]
+	} else if inc.runs > 0 {
+		// A group sibling (duplicate point) may already be serving
+		// queries; the new member is billed for the group's capped
+		// refresh count from the moment it is selected.
+		inc.maintSum += time.Duration(min64(inc.served[inc.group[i]], inc.runs)) * inc.perRun[i]
+	}
+	ri := inc.rows[i]
+	for _, q32 := range inc.cand2q[i] {
+		q := int(q32)
+		cur := inc.assigned[q]
+		if cur >= 0 {
+			rc := inc.rows[cur]
+			if ri > rc || (ri == rc && int32(i) > cur) {
+				continue
+			}
+		}
+		inc.route(q, int32(i))
+	}
+}
+
+// Drop unmaterializes candidate i: only queries currently assigned to it
+// are re-routed, to their cheapest remaining selected source (or base).
+func (inc *IncrementalEvaluator) Drop(i int) {
+	if !inc.selected[i] {
+		return
+	}
+	inc.selected[i] = false
+	inc.words[i>>6] &^= 1 << (uint(i) & 63)
+	inc.sizeSum -= inc.size[i]
+	inc.matSum -= inc.mat[i]
+	if !inc.deferred {
+		inc.maintSum -= inc.maint[i]
+	} else if inc.runs > 0 {
+		// Shed this member's share of the group's capped refresh bill
+		// before re-routing (the re-route below no longer counts i).
+		inc.maintSum -= time.Duration(min64(inc.served[inc.group[i]], inc.runs)) * inc.perRun[i]
+	}
+	for _, q32 := range inc.cand2q[i] {
+		q := int(q32)
+		if inc.assigned[q] != int32(i) {
+			continue
+		}
+		next := int32(-1)
+		for _, e := range inc.qAns[q] {
+			if inc.selected[e.cand] {
+				next = e.cand
+				break
+			}
+		}
+		inc.route(q, next)
+	}
+}
+
+// route reassigns query q to candidate to (-1 = base), updating the
+// processing aggregate and the deferred-maintenance serving counters.
+func (inc *IncrementalEvaluator) route(q int, to int32) {
+	from := inc.assigned[q]
+	if inc.deferred && inc.runs > 0 {
+		if from >= 0 {
+			inc.adjustServed(int(from), -inc.qFreq[q])
+		}
+		if to >= 0 {
+			inc.adjustServed(int(to), inc.qFreq[q])
+		}
+	}
+	var term time.Duration
+	if to < 0 {
+		term = inc.qBase[q]
+	} else {
+		for _, e := range inc.qAns[q] {
+			if e.cand == to {
+				term = e.term
+				break
+			}
+		}
+	}
+	inc.proc += term - inc.curTerm[q]
+	inc.curTerm[q] = term
+	inc.assigned[q] = to
+}
+
+// adjustServed shifts a point group's served count by delta and folds
+// the capped-refresh change of every selected group member into the
+// deferred maintenance aggregate. Groups almost always hold one
+// candidate; duplicates of one point share a counter exactly like the
+// Evaluator's per-point accounting.
+func (inc *IncrementalEvaluator) adjustServed(i int, delta int64) {
+	g := inc.group[i]
+	before := inc.served[g]
+	after := before + delta
+	inc.served[g] = after
+	cb, ca := min64(before, inc.runs), min64(after, inc.runs)
+	if cb == ca {
+		return
+	}
+	// Capped refresh count changed: update every selected candidate in
+	// the group (perRun is identical within a group).
+	for _, j := range inc.groupMembers[g] {
+		if inc.selected[j] {
+			inc.maintSum += time.Duration(ca-cb) * inc.perRun[j]
+		}
+	}
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// maintenance returns TmaintenanceV for the current subset under the
+// estimator's policy. In deferred mode a dropped-to-zero maintSum and
+// runs<=0 mirror MaintenanceTimeForWorkload exactly.
+func (inc *IncrementalEvaluator) maintenance() time.Duration {
+	if inc.deferred && inc.runs <= 0 {
+		return 0
+	}
+	return inc.maintSum
+}
+
+// Score prices the current subset exactly: the running aggregates feed
+// the same Plan.Bill the Evaluator uses (full tiered, rounded billing —
+// no linearization), so the result is bit-equal to Evaluate of the same
+// points.
+func (inc *IncrementalEvaluator) Score() (time.Duration, costmodel.Bill, error) {
+	plan := inc.ev.Base.WithViews(inc.sizeSum, inc.proc, inc.maintenance(), inc.matSum)
+	bill, err := plan.Bill()
+	if err != nil {
+		return 0, costmodel.Bill{}, err
+	}
+	return inc.proc, bill, nil
+}

@@ -1,0 +1,56 @@
+package optimizer
+
+import (
+	"math/rand"
+	"testing"
+
+	"vmcloud/internal/views"
+)
+
+// FuzzIncrementalMoves drives the delta engine with arbitrary move
+// sequences over fuzzer-chosen instances and checks the admissibility
+// invariant after every move: incremental Score == Evaluator.Evaluate of
+// the resulting subset, exactly. The byte stream doubles as the move
+// script: each byte picks the candidate to flip.
+func FuzzIncrementalMoves(f *testing.F) {
+	f.Add(int64(1), false, []byte{0, 1, 2, 1, 0})
+	f.Add(int64(42), true, []byte{11, 3, 3, 7, 9, 11, 0, 250})
+	f.Add(int64(-5), true, []byte{})
+	f.Fuzz(func(t *testing.T, seed int64, deferredPolicy bool, moves []byte) {
+		if len(moves) > 128 {
+			moves = moves[:128]
+		}
+		policy := views.ImmediateMaintenance
+		if deferredPolicy {
+			policy = views.DeferredMaintenance
+		}
+		rng := rand.New(rand.NewSource(seed))
+		ev, cands := incrementalFixture(t, rng, policy)
+		inc, err := NewIncrementalEvaluator(ev, cands)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sel := make([]bool, len(cands))
+		for step, b := range moves {
+			i := int(b) % len(cands)
+			if sel[i] {
+				inc.Drop(i)
+			} else {
+				inc.Add(i)
+			}
+			sel[i] = !sel[i]
+			gotT, gotBill, err := inc.Score()
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantT, wantBill, err := ev.Evaluate(selectedPoints(cands, sel))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gotT != wantT || gotBill != wantBill {
+				t.Fatalf("step %d (flip %d) sel %v:\nincremental (%v, %+v)\nexact       (%v, %+v)",
+					step, i, sel, gotT, gotBill, wantT, wantBill)
+			}
+		}
+	})
+}

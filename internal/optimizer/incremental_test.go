@@ -1,0 +1,207 @@
+package optimizer
+
+import (
+	"math/rand"
+	"testing"
+
+	"vmcloud/internal/cluster"
+	"vmcloud/internal/costmodel"
+	"vmcloud/internal/lattice"
+	"vmcloud/internal/pricing"
+	"vmcloud/internal/schema"
+	"vmcloud/internal/views"
+	"vmcloud/internal/workload"
+)
+
+// incrementalFixture builds a random synthetic instance: lattice,
+// workload, candidate pool (HRU picks plus random extra nodes so the
+// pool is not limited to "obviously good" views), and an evaluator.
+func incrementalFixture(t testing.TB, rng *rand.Rand, policy views.MaintenancePolicy) (*Evaluator, []views.Candidate) {
+	t.Helper()
+	dims := 2 + rng.Intn(2)   // 2..3
+	levels := 3 + rng.Intn(2) // 3..4
+	sch, err := schema.Synthetic(dims, levels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	factRows := int64(1_000_000 + rng.Intn(50_000_000))
+	l, err := lattice.New(sch, factRows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := workload.Random(l, 3+rng.Intn(12), 6, rng.Int63())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := cluster.New(pricing.AWS2012(), "small", 1+rng.Intn(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := views.NewEstimator(l, cl)
+	est.MaintenanceRuns = rng.Intn(7) // includes 0: the degenerate no-refresh regime
+	est.UpdateRatio = rng.Float64()
+	est.Policy = policy
+	egress, err := w.ResultBytes(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := l.Node(l.Base())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := NewEvaluator(est, w, costmodel.Plan{
+		Cluster:       cl,
+		Months:        1 + 5*rng.Float64(),
+		DatasetSize:   base.Size,
+		MonthlyEgress: egress,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands, err := views.GenerateCandidates(l, w, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pad with random non-base nodes — including some the HRU would never
+	// pick, and deliberate duplicates of already-chosen points.
+	nodes := l.Nodes()
+	for len(cands) < 12 {
+		n := nodes[1+rng.Intn(len(nodes)-1)]
+		cands = append(cands, views.Candidate{Point: n.Point, Rows: n.Rows, Size: n.Size})
+	}
+	if rng.Intn(2) == 0 && len(cands) > 0 {
+		cands = append(cands, cands[rng.Intn(len(cands))]) // duplicate point
+	}
+	return ev, cands
+}
+
+// selectedPoints expands a bitmap into points in candidate order — the
+// exact slice shape the search solver hands Evaluate.
+func selectedPoints(cands []views.Candidate, sel []bool) []lattice.Point {
+	var pts []lattice.Point
+	for i, on := range sel {
+		if on {
+			pts = append(pts, cands[i].Point)
+		}
+	}
+	return pts
+}
+
+// TestIncrementalMatchesEvaluateRandomWalk is the admissibility property
+// of the delta engine: on random instances, after every Add/Drop of a
+// random walk the incremental Score must equal Evaluator.Evaluate of the
+// resulting subset EXACTLY — same time.Duration, same Bill (every money
+// field), under both maintenance policies. Any deviation means the
+// incremental engine optimizes a different function than the ground
+// truth it claims to accelerate.
+func TestIncrementalMatchesEvaluateRandomWalk(t *testing.T) {
+	for _, policy := range []views.MaintenancePolicy{views.ImmediateMaintenance, views.DeferredMaintenance} {
+		for trial := 0; trial < 12; trial++ {
+			rng := rand.New(rand.NewSource(int64(1000*int(policy) + trial)))
+			ev, cands := incrementalFixture(t, rng, policy)
+			inc, err := NewIncrementalEvaluator(ev, cands)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sel := make([]bool, len(cands))
+			check := func(step int) {
+				gotT, gotBill, err := inc.Score()
+				if err != nil {
+					t.Fatal(err)
+				}
+				wantT, wantBill, err := ev.Evaluate(selectedPoints(cands, sel))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if gotT != wantT || gotBill != wantBill {
+					t.Fatalf("policy %v trial %d step %d sel %v:\nincremental (%v, %+v)\nexact       (%v, %+v)",
+						policy, trial, step, sel, gotT, gotBill, wantT, wantBill)
+				}
+			}
+			check(-1)
+			for step := 0; step < 60; step++ {
+				i := rng.Intn(len(cands))
+				if sel[i] {
+					inc.Drop(i)
+					sel[i] = false
+				} else {
+					inc.Add(i)
+					sel[i] = true
+				}
+				check(step)
+			}
+		}
+	}
+}
+
+// TestIncrementalReset: re-pinning to an arbitrary subset must land in
+// exactly the state a fresh walk to that subset reaches.
+func TestIncrementalReset(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	ev, cands := incrementalFixture(t, rng, views.DeferredMaintenance)
+	inc, err := NewIncrementalEvaluator(ev, cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 20; trial++ {
+		sel := make([]bool, len(cands))
+		for i := range sel {
+			sel[i] = rng.Intn(2) == 0
+		}
+		if err := inc.Reset(sel); err != nil {
+			t.Fatal(err)
+		}
+		gotT, gotBill, err := inc.Score()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantT, wantBill, err := ev.Evaluate(selectedPoints(cands, sel))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotT != wantT || gotBill != wantBill {
+			t.Fatalf("trial %d sel %v: reset state (%v, %+v) != exact (%v, %+v)",
+				trial, sel, gotT, gotBill, wantT, wantBill)
+		}
+	}
+	if err := inc.Reset(make([]bool, 1)); err == nil {
+		t.Error("wrong-arity reset accepted")
+	}
+}
+
+// TestIncrementalWords: the packed bitmap tracks the selection and
+// redundant moves are no-ops.
+func TestIncrementalWords(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	ev, cands := incrementalFixture(t, rng, views.ImmediateMaintenance)
+	inc, err := NewIncrementalEvaluator(ev, cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc.Add(3)
+	inc.Add(3) // no-op
+	inc.Add(5)
+	inc.Drop(5)
+	inc.Drop(5) // no-op
+	if !inc.Selected(3) || inc.Selected(5) {
+		t.Fatalf("selection flags wrong: %v %v", inc.Selected(3), inc.Selected(5))
+	}
+	want := uint64(1) << 3
+	if inc.Words()[0] != want {
+		t.Fatalf("words[0] = %b, want %b", inc.Words()[0], want)
+	}
+	t1, b1, err := inc.Score()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, b2, err := ev.Evaluate(selectedPoints(cands, []bool{false, false, false, true}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t1 != t2 || b1 != b2 {
+		t.Fatalf("(%v,%+v) != (%v,%+v)", t1, b1, t2, b2)
+	}
+	if inc.Len() != len(cands) {
+		t.Fatalf("Len = %d, want %d", inc.Len(), len(cands))
+	}
+}

@@ -17,10 +17,12 @@ func annealEnergy(e eval, penalty float64) float64 {
 // anneal runs simulated annealing with a geometric cooling schedule from
 // the given start. Each temperature level proposes opts.AnnealMoves
 // random add/drop/swap moves; improving moves are always accepted,
-// worsening ones with probability exp(−Δ/T). The initial temperature is
-// calibrated from the observed energy deltas of a short warm-up walk, so
-// the schedule adapts to the objective's units. Returns the best state
-// seen (not the final one) and errEvalBudget if the budget ran dry.
+// worsening ones with probability exp(−Δ/T). Moves are applied to the
+// incremental engine and undone on rejection, so a proposal costs
+// O(affected queries). The initial temperature is calibrated from the
+// observed energy deltas of a short warm-up walk, so the schedule adapts
+// to the objective's units. Returns the best state seen (not the final
+// one) and errEvalBudget if the budget ran dry.
 func (s *solver) anneal(start []bool, startEval eval) ([]bool, eval, error) {
 	n := len(start)
 	if n == 0 {
@@ -32,10 +34,15 @@ func (s *solver) anneal(start []bool, startEval eval) ([]bool, eval, error) {
 	curEval := startEval
 	best := append([]bool(nil), cur...)
 	bestEval := curEval
+	// Pin the engine at the start state (free: no evaluation is charged;
+	// the annealed walk then advances it move by move).
+	if err := s.inc.Reset(cur); err != nil {
+		return best, eval{}, err
+	}
 
 	// Warm-up: sample a few random neighbors to calibrate T0 at the mean
 	// absolute energy delta — acceptance of a typical uphill move starts
-	// near exp(−1).
+	// near exp(−1). Probes leave the engine untouched.
 	var deltaSum float64
 	deltas := 0
 	for k := 0; k < 8; k++ {
@@ -43,9 +50,7 @@ func (s *solver) anneal(start []bool, startEval eval) ([]bool, eval, error) {
 		if i < 0 {
 			break
 		}
-		applyMove(cur, i, j)
-		e, err := s.evaluate(cur)
-		undoMove(cur, i, j)
+		e, err := s.probeMove(i, j)
 		if err != nil {
 			if errors.Is(err, errEvalBudget) {
 				return best, bestEval, err
@@ -67,10 +72,10 @@ func (s *solver) anneal(start []bool, startEval eval) ([]bool, eval, error) {
 			if i < 0 {
 				return best, bestEval, nil
 			}
-			applyMove(cur, i, j)
-			e, err := s.evaluate(cur)
+			// Probe first: a rejected proposal (or a cache hit) then
+			// never touches the engine; only accepted moves advance it.
+			e, err := s.probeMove(i, j)
 			if err != nil {
-				undoMove(cur, i, j)
 				if errors.Is(err, errEvalBudget) {
 					return best, bestEval, err
 				}
@@ -78,13 +83,13 @@ func (s *solver) anneal(start []bool, startEval eval) ([]bool, eval, error) {
 			}
 			delta := annealEnergy(e, penalty) - annealEnergy(curEval, penalty)
 			if delta <= 0 || s.rng.Float64() < math.Exp(-delta/temp) {
+				applyMove(cur, i, j)
+				s.applyEngineMove(i, j)
 				curEval = e
 				if better(curEval, bestEval) {
 					copy(best, cur)
 					bestEval = curEval
 				}
-			} else {
-				undoMove(cur, i, j)
 			}
 		}
 		temp *= s.opts.Cooling
@@ -119,13 +124,4 @@ func (s *solver) proposeMove(sel []bool) (int, int) {
 		return i, j
 	}
 	return s.rng.Intn(n), -1
-}
-
-// undoMove reverts applyMove.
-func undoMove(sel []bool, i, j int) {
-	if j < 0 {
-		sel[i] = !sel[i]
-		return
-	}
-	sel[i], sel[j] = true, false
 }

@@ -16,12 +16,17 @@ import "errors"
 //     the move that lets a budget-tight state trade a view for a better
 //     one without passing through an over-budget intermediate.
 //
+// Every neighbor is priced by delta moves against the incremental
+// engine (cache hits don't even touch it: neighbor keys are XORs of the
+// selection words), so a full scan costs O(neighbors × affected
+// queries), not O(neighbors × workload × selection).
+//
 // The scan order is deterministic (ascending candidate index, adds/drops
 // before swaps) and ties keep the earliest neighbor, so identical inputs
 // always climb identical paths.
 func (s *solver) hillClimb(start []bool) ([]bool, eval, error) {
 	cur := append([]bool(nil), start...)
-	curEval, err := s.evaluate(cur)
+	curEval, err := s.evaluate(cur) // pins the engine at cur
 	if err != nil {
 		if errors.Is(err, errEvalBudget) {
 			// Cannot even price the start; fall back to the empty set,
@@ -40,25 +45,19 @@ func (s *solver) hillClimb(start []bool) ([]bool, eval, error) {
 		bestI, bestJ := -1, -1
 		bestEval := curEval
 		improved := false
-		consider := func(i, j int) (bool, error) {
-			e, err := s.evaluate(cur)
-			if err != nil {
-				return false, err
-			}
+		consider := func(i, j int, e eval) {
 			if better(e, bestEval) {
 				bestI, bestJ, bestEval, improved = i, j, e, true
 			}
-			return true, nil
 		}
 		scan := func() error {
 			// Adds and drops: flip one bit.
 			for i := 0; i < n; i++ {
-				cur[i] = !cur[i]
-				_, err := consider(i, -1)
-				cur[i] = !cur[i]
+				e, err := s.probeMove(i, -1)
 				if err != nil {
 					return err
 				}
+				consider(i, -1, e)
 			}
 			// Swaps: one selected out, one unselected in.
 			for i := 0; i < n; i++ {
@@ -69,12 +68,11 @@ func (s *solver) hillClimb(start []bool) ([]bool, eval, error) {
 					if cur[j] {
 						continue
 					}
-					cur[i], cur[j] = false, true
-					_, err := consider(i, j)
-					cur[i], cur[j] = true, false
+					e, err := s.probeMove(i, j)
 					if err != nil {
 						return err
 					}
+					consider(i, j, e)
 				}
 			}
 			return nil
@@ -84,6 +82,7 @@ func (s *solver) hillClimb(start []bool) ([]bool, eval, error) {
 				// Apply the best move found so far, if any, then stop.
 				if improved {
 					applyMove(cur, bestI, bestJ)
+					s.applyEngineMove(bestI, bestJ)
 					curEval = bestEval
 				}
 				return cur, curEval, err
@@ -94,6 +93,7 @@ func (s *solver) hillClimb(start []bool) ([]bool, eval, error) {
 			return cur, curEval, nil
 		}
 		applyMove(cur, bestI, bestJ)
+		s.applyEngineMove(bestI, bestJ)
 		curEval = bestEval
 	}
 }

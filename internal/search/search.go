@@ -199,20 +199,100 @@ type cachedEval struct {
 	bill costmodel.Bill
 }
 
-// solver carries one search session: the exact evaluator, the candidate
-// pool, the active objective, the shared evaluation cache and the PRNG.
+// evalCache memoizes priced subsets under uint64-word selection keys.
+// Pools of ≤ 64 candidates (every product surface today) key a plain
+// map[uint64] — zero allocations on both hit and miss; wider pools pack
+// the words into a string key.
+type evalCache struct {
+	small map[uint64]cachedEval
+	big   map[string]cachedEval
+	buf   []byte // scratch for big keys
+}
+
+func newEvalCache(nwords int) *evalCache {
+	c := &evalCache{}
+	if nwords <= 1 {
+		c.small = make(map[uint64]cachedEval)
+	} else {
+		c.big = make(map[string]cachedEval)
+		c.buf = make([]byte, 8*nwords)
+	}
+	return c
+}
+
+func (c *evalCache) len() int {
+	if c.small != nil {
+		return len(c.small)
+	}
+	return len(c.big)
+}
+
+// smallKey folds a ≤1-word selection (possibly with up to two flipped
+// bits) into the uint64 key.
+func smallKey(words []uint64, flip1, flip2 int) uint64 {
+	var k uint64
+	if len(words) > 0 {
+		k = words[0]
+	}
+	if flip1 >= 0 {
+		k ^= 1 << uint(flip1)
+	}
+	if flip2 >= 0 {
+		k ^= 1 << uint(flip2)
+	}
+	return k
+}
+
+func (c *evalCache) bigKey(words []uint64, flip1, flip2 int) []byte {
+	for w, word := range words {
+		if flip1 >= 0 && flip1>>6 == w {
+			word ^= 1 << (uint(flip1) & 63)
+		}
+		if flip2 >= 0 && flip2>>6 == w {
+			word ^= 1 << (uint(flip2) & 63)
+		}
+		binary.LittleEndian.PutUint64(c.buf[8*w:], word)
+	}
+	return c.buf
+}
+
+// get looks up the subset `words` with candidates flip1/flip2 (-1 =
+// none) toggled — neighbor states are keyed without touching the
+// evaluation engine.
+func (c *evalCache) get(words []uint64, flip1, flip2 int) (cachedEval, bool) {
+	if c.small != nil {
+		ce, ok := c.small[smallKey(words, flip1, flip2)]
+		return ce, ok
+	}
+	ce, ok := c.big[string(c.bigKey(words, flip1, flip2))]
+	return ce, ok
+}
+
+// put stores the subset exactly as given (no flips).
+func (c *evalCache) put(words []uint64, ce cachedEval) {
+	if c.small != nil {
+		c.small[smallKey(words, -1, -1)] = ce
+		return
+	}
+	c.big[string(c.bigKey(words, -1, -1))] = ce
+}
+
+// solver carries one search session: the pinned incremental evaluation
+// engine, the candidate pool, the active objective, the shared
+// evaluation cache and the PRNG. The engine holds the "current" subset;
+// neighbors are priced by applying delta moves and undoing them, so a
+// move costs O(affected queries) instead of a full workload × selection
+// recomputation.
 type solver struct {
-	ev       *optimizer.Evaluator
+	inc      *optimizer.IncrementalEvaluator
 	cands    []views.Candidate
 	obj      Objective
 	opts     Options
 	rng      *rand.Rand
-	cache    map[string]cachedEval
+	cache    *evalCache
 	evals    int
 	maxEvals int
-	// scratch buffers reused across evaluations and move proposals.
-	keyBuf []byte
-	ptsBuf []lattice.Point
+	// scratch buffers reused across move proposals.
 	selBuf []int
 	unsBuf []int
 }
@@ -228,17 +308,19 @@ func newSolver(ev *optimizer.Evaluator, cands []views.Candidate, obj Objective, 
 	if err != nil {
 		return nil, err
 	}
+	inc, err := optimizer.NewIncrementalEvaluator(ev, cands)
+	if err != nil {
+		return nil, err
+	}
 	n := len(cands)
 	return &solver{
-		ev:       ev,
+		inc:      inc,
 		cands:    cands,
 		obj:      obj,
 		opts:     opts,
 		rng:      rand.New(rand.NewSource(opts.Seed)),
-		cache:    make(map[string]cachedEval),
+		cache:    newEvalCache((n + 63) / 64),
 		maxEvals: opts.MaxEvals,
-		keyBuf:   make([]byte, (n+7)/8),
-		ptsBuf:   make([]lattice.Point, 0, n),
 		selBuf:   make([]int, 0, n),
 		unsBuf:   make([]int, 0, n),
 	}, nil
@@ -255,31 +337,6 @@ func pointKey(p lattice.Point) string {
 	return string(b)
 }
 
-// key packs a selection bitmap into a compact cache key.
-func (s *solver) key(sel []bool) string {
-	for i := range s.keyBuf {
-		s.keyBuf[i] = 0
-	}
-	for i, on := range sel {
-		if on {
-			s.keyBuf[i/8] |= 1 << (i % 8)
-		}
-	}
-	return string(s.keyBuf)
-}
-
-// points expands a selection bitmap into candidate points (candidate
-// order, so selections are deterministic and reproducible).
-func (s *solver) points(sel []bool) []lattice.Point {
-	s.ptsBuf = s.ptsBuf[:0]
-	for i, on := range sel {
-		if on {
-			s.ptsBuf = append(s.ptsBuf, s.cands[i].Point)
-		}
-	}
-	return s.ptsBuf
-}
-
 // score applies the active objective to a cached exact evaluation.
 func (s *solver) score(c cachedEval) eval {
 	e := eval{t: c.t, bill: c.bill, score: s.obj.Score(c.t, c.bill)}
@@ -289,26 +346,91 @@ func (s *solver) score(c cachedEval) eval {
 	return e
 }
 
-// evaluate prices a selection exactly, via the cache. Cache hits are
-// free; misses consume one unit of the evaluation budget. When the
-// budget is exhausted it returns errEvalBudget.
-func (s *solver) evaluate(sel []bool) (eval, error) {
-	k := s.key(sel)
-	if c, ok := s.cache[k]; ok {
+// scoreState prices the engine's current subset, via the cache. Cache
+// hits are free; misses consume one unit of the evaluation budget and
+// re-bill from the engine's running aggregates. When the budget is
+// exhausted it returns errEvalBudget.
+func (s *solver) scoreState() (eval, error) {
+	words := s.inc.Words()
+	if c, ok := s.cache.get(words, -1, -1); ok {
 		return s.score(c), nil
 	}
 	if s.evals >= s.maxEvals {
 		return eval{}, errEvalBudget
 	}
 	s.evals++
-	t, bill, err := s.ev.Evaluate(s.points(sel))
+	t, bill, err := s.inc.Score()
 	if err != nil {
 		return eval{}, err
 	}
 	c := cachedEval{t: t, bill: bill}
-	s.cache[k] = c
+	s.cache.put(words, c)
 	return s.score(c), nil
 }
+
+// evaluate re-pins the engine to an arbitrary subset (the full
+// re-pricing path — restarts only, never per move) and prices it.
+func (s *solver) evaluate(sel []bool) (eval, error) {
+	if err := s.inc.Reset(sel); err != nil {
+		return eval{}, err
+	}
+	return s.scoreState()
+}
+
+// flip toggles candidate i in the engine.
+func (s *solver) flip(i int) {
+	if s.inc.Selected(i) {
+		s.inc.Drop(i)
+	} else {
+		s.inc.Add(i)
+	}
+}
+
+// probeMove prices the neighbor reached by a flip of i (j < 0) or a
+// swap dropping selected i for unselected j, leaving the engine in its
+// current state. The neighbor key is derived by an XOR on the selection
+// words, so cache hits never touch the engine at all.
+func (s *solver) probeMove(i, j int) (eval, error) {
+	if c, ok := s.cache.get(s.inc.Words(), i, j); ok {
+		return s.score(c), nil
+	}
+	if s.evals >= s.maxEvals {
+		return eval{}, errEvalBudget
+	}
+	s.evals++
+	s.applyEngineMove(i, j)
+	t, bill, err := s.inc.Score()
+	if err == nil {
+		s.cache.put(s.inc.Words(), cachedEval{t: t, bill: bill})
+	}
+	s.undoEngineMove(i, j)
+	if err != nil {
+		return eval{}, err
+	}
+	return s.score(cachedEval{t: t, bill: bill}), nil
+}
+
+// applyEngineMove commits a move to the engine: a flip of i (j < 0) or
+// a swap dropping i for j — the engine-side mirror of applyMove.
+func (s *solver) applyEngineMove(i, j int) {
+	if j < 0 {
+		s.flip(i)
+		return
+	}
+	s.inc.Drop(i)
+	s.inc.Add(j)
+}
+
+// undoEngineMove reverts applyEngineMove.
+func (s *solver) undoEngineMove(i, j int) {
+	if j < 0 {
+		s.flip(i)
+		return
+	}
+	s.inc.Drop(j)
+	s.inc.Add(i)
+}
+
 
 // selection assembles the final optimizer.Selection for a state.
 func (s *solver) selection(sel []bool, e eval) optimizer.Selection {
@@ -481,7 +603,7 @@ func SolveStats(ev *optimizer.Evaluator, cands []views.Candidate, obj Objective,
 		return optimizer.Selection{}, Stats{}, err
 	}
 	sel, _, err := s.solve(nil)
-	return sel, Stats{Evals: s.evals, CachedStates: len(s.cache)}, err
+	return sel, Stats{Evals: s.evals, CachedStates: s.cache.len()}, err
 }
 
 // SolveMV1 solves scenario MV1 (fastest workload within the budget) by

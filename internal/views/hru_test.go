@@ -1,0 +1,165 @@
+package views
+
+import (
+	"testing"
+
+	"vmcloud/internal/lattice"
+	"vmcloud/internal/schema"
+	"vmcloud/internal/workload"
+)
+
+// naiveBenefit is the pre-index formulation: the frequency-weighted
+// reduction in scanned rows if v joins the chosen set, computed by
+// re-routing every query against the full set twice.
+func naiveBenefit(l *lattice.Lattice, w workload.Workload, chosen []lattice.Point, v lattice.Node) int64 {
+	var total int64
+	withV := append(append([]lattice.Point(nil), chosen...), v.Point)
+	for _, q := range w.Queries {
+		_, before := l.CheapestAnswering(chosen, q.Point)
+		_, after := l.CheapestAnswering(withV, q.Point)
+		if after.Rows < before.Rows {
+			total += int64(q.Frequency) * (before.Rows - after.Rows)
+		}
+	}
+	return total
+}
+
+// naiveGenerate is the original HRU loop, kept verbatim as the oracle
+// the incremental-assignment rewrite must match selection for selection.
+func naiveGenerate(l *lattice.Lattice, w workload.Workload, k int) []Candidate {
+	base := l.Base()
+	var pool []lattice.Node
+	for _, n := range l.Nodes() {
+		if !n.Point.Equal(base) {
+			pool = append(pool, n)
+		}
+	}
+	var selected []Candidate
+	chosen := make([]lattice.Point, 0, k)
+	for len(selected) < k {
+		bestIdx := -1
+		var bestBenefit int64
+		var bestPerByte float64
+		for i, n := range pool {
+			if n.Point == nil {
+				continue
+			}
+			b := naiveBenefit(l, w, chosen, n)
+			if b <= 0 {
+				continue
+			}
+			perByte := float64(b) / float64(n.Size)
+			if bestIdx == -1 || perByte > bestPerByte {
+				bestIdx, bestBenefit, bestPerByte = i, b, perByte
+			}
+		}
+		if bestIdx == -1 {
+			break
+		}
+		n := pool[bestIdx]
+		selected = append(selected, Candidate{Point: n.Point, Rows: n.Rows, Size: n.Size, Benefit: bestBenefit})
+		chosen = append(chosen, n.Point)
+		pool[bestIdx].Point = nil
+	}
+	return selected
+}
+
+// TestGenerateCandidatesMatchesNaiveHRU: the incremental-assignment HRU
+// must reproduce the naive algorithm's selections exactly — same views,
+// same order, same recorded benefits — on the paper's lattice and on
+// synthetic ones with random workloads.
+func TestGenerateCandidatesMatchesNaiveHRU(t *testing.T) {
+	type instance struct {
+		name     string
+		dims     int
+		levels   int
+		factRows int64
+		queries  int
+		seed     int64
+	}
+	cases := []instance{
+		{"synthetic-3x3", 3, 3, 5_000_000, 8, 1},
+		{"synthetic-4x4", 4, 4, 1_000_000_000, 20, 1},
+		{"synthetic-2x4", 2, 4, 40_000_000, 12, 9},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			sch, err := schema.Synthetic(c.dims, c.levels)
+			if err != nil {
+				t.Fatal(err)
+			}
+			l, err := lattice.New(sch, c.factRows)
+			if err != nil {
+				t.Fatal(err)
+			}
+			w, err := workload.Random(l, c.queries, 8, c.seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, k := range []int{1, 5, 32} {
+				got, err := GenerateCandidates(l, w, k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := naiveGenerate(l, w, k)
+				if len(got) != len(want) {
+					t.Fatalf("k=%d: %d candidates, naive HRU picked %d", k, len(got), len(want))
+				}
+				for i := range got {
+					if !got[i].Point.Equal(want[i].Point) || got[i].Benefit != want[i].Benefit {
+						t.Fatalf("k=%d candidate %d: got %v benefit %d, naive %v benefit %d",
+							k, i, got[i].Point, got[i].Benefit, want[i].Point, want[i].Benefit)
+					}
+				}
+			}
+		})
+	}
+
+	// Paper's sales lattice with the full workload.
+	l, err := lattice.New(schema.Sales(), 200_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := workload.Sales(l, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := GenerateCandidates(l, w, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := naiveGenerate(l, w, 8)
+	if len(got) != len(want) {
+		t.Fatalf("sales: %d candidates vs naive %d", len(got), len(want))
+	}
+	for i := range got {
+		if !got[i].Point.Equal(want[i].Point) || got[i].Benefit != want[i].Benefit {
+			t.Fatalf("sales candidate %d: got %v/%d, naive %v/%d",
+				i, got[i].Point, got[i].Benefit, want[i].Point, want[i].Benefit)
+		}
+	}
+}
+
+// BenchmarkGenerateCandidatesLarge measures HRU candidate generation on
+// the 256-cuboid stress lattice — the round-robin the incremental
+// assignment accelerates.
+func BenchmarkGenerateCandidatesLarge(b *testing.B) {
+	sch, err := schema.Synthetic(4, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	l, err := lattice.New(sch, 1_000_000_000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w, err := workload.Random(l, 20, 8, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := GenerateCandidates(l, w, 32); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

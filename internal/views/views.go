@@ -34,6 +34,13 @@ type Candidate struct {
 // builds on) and returns up to k candidate views, in selection order.
 // Views with no positive benefit for the workload are never returned; the
 // base cuboid is excluded (materializing it duplicates the fact table).
+//
+// The loop maintains the incremental assignment directly: curRows[q] is
+// the scan size of query q's cheapest chosen source, so a round's
+// benefit per node is Σ_q freq × max(0, curRows[q] − rows(v)) over the
+// queries v can answer — one answerability-index probe per (node, query)
+// instead of re-running CheapestAnswering against the whole chosen set
+// per (node, query, round).
 func GenerateCandidates(l *lattice.Lattice, w workload.Workload, k int) ([]Candidate, error) {
 	if err := w.Validate(l); err != nil {
 		return nil, err
@@ -41,15 +48,32 @@ func GenerateCandidates(l *lattice.Lattice, w workload.Workload, k int) ([]Candi
 	if k <= 0 {
 		return nil, fmt.Errorf("views: non-positive candidate budget %d", k)
 	}
+	// Per-query routing state: id and the rows of the current cheapest
+	// chosen source (initially the base table).
+	baseRows := l.NodeByID(0).Rows
+	nq := len(w.Queries)
+	qid := make([]int, nq)
+	qfreq := make([]int64, nq)
+	curRows := make([]int64, nq)
+	for i, q := range w.Queries {
+		id, err := l.ID(q.Point)
+		if err != nil {
+			return nil, err
+		}
+		qid[i] = id
+		qfreq[i] = int64(q.Frequency)
+		curRows[i] = baseRows
+	}
 	base := l.Base()
 	var pool []lattice.Node
-	for _, n := range l.Nodes() {
+	var poolIDs []int
+	for id, n := range l.Nodes() {
 		if !n.Point.Equal(base) {
 			pool = append(pool, n)
+			poolIDs = append(poolIDs, id)
 		}
 	}
 	var selected []Candidate
-	chosen := make([]lattice.Point, 0, k)
 	for len(selected) < k {
 		bestIdx := -1
 		var bestBenefit int64
@@ -58,7 +82,12 @@ func GenerateCandidates(l *lattice.Lattice, w workload.Workload, k int) ([]Candi
 			if n.Point == nil {
 				continue // already selected
 			}
-			b := benefit(l, w, chosen, n)
+			var b int64
+			for q := 0; q < nq; q++ {
+				if n.Rows < curRows[q] && l.CanAnswerID(poolIDs[i], qid[q]) {
+					b += qfreq[q] * (curRows[q] - n.Rows)
+				}
+			}
 			if b <= 0 {
 				continue
 			}
@@ -77,25 +106,14 @@ func GenerateCandidates(l *lattice.Lattice, w workload.Workload, k int) ([]Candi
 			Size:    n.Size,
 			Benefit: bestBenefit,
 		})
-		chosen = append(chosen, n.Point)
+		for q := 0; q < nq; q++ {
+			if n.Rows < curRows[q] && l.CanAnswerID(poolIDs[bestIdx], qid[q]) {
+				curRows[q] = n.Rows
+			}
+		}
 		pool[bestIdx].Point = nil
 	}
 	return selected, nil
-}
-
-// benefit computes the frequency-weighted reduction in scanned rows across
-// the workload if v is added to the already-chosen set.
-func benefit(l *lattice.Lattice, w workload.Workload, chosen []lattice.Point, v lattice.Node) int64 {
-	var total int64
-	withV := append(append([]lattice.Point(nil), chosen...), v.Point)
-	for _, q := range w.Queries {
-		_, before := l.CheapestAnswering(chosen, q.Point)
-		_, after := l.CheapestAnswering(withV, q.Point)
-		if after.Rows < before.Rows {
-			total += int64(q.Frequency) * (before.Rows - after.Rows)
-		}
-	}
-	return total
 }
 
 // Points extracts the lattice points of a candidate list.

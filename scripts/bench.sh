@@ -8,6 +8,13 @@
 #   BENCHTIME=10x ./scripts/bench.sh  # shorter per-benchmark budget
 #   OUT=/tmp/bench.json ./scripts/bench.sh
 #
+#   ./scripts/bench.sh --compare [baseline.json]
+#       Run fresh (to a temp file unless OUT is set) and diff against the
+#       baseline — by default the latest committed BENCH_*.json. Prints
+#       per-benchmark ns/op and allocs/op deltas and exits non-zero when
+#       any search/optimizer/server benchmark regresses >25% in ns/op
+#       (emitting ::warning:: annotations for CI).
+#
 # The JSON shape:
 #   {"date":"...","go":"...","goos":"...","goarch":"...","benchtime":"...",
 #    "benchmarks":[{"package":"...","name":"...","iterations":N,
@@ -15,11 +22,38 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+COMPARE=0
+BASELINE=""
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --compare)
+      COMPARE=1
+      if [ $# -gt 1 ] && [ "${2#--}" = "$2" ]; then
+        BASELINE="$2"
+        shift
+      fi
+      ;;
+    *)
+      echo "bench.sh: unknown argument $1" >&2
+      exit 2
+      ;;
+  esac
+  shift
+done
+
 BENCHTIME="${BENCHTIME:-100x}"
-OUT="${OUT:-BENCH_$(date +%F).json}"
+TMP_OUT=""
+if [ "$COMPARE" = 1 ]; then
+  if [ -z "${OUT:-}" ]; then
+    OUT="$(mktemp /tmp/bench_compare.XXXXXX.json)"
+    TMP_OUT="$OUT"
+  fi
+else
+  OUT="${OUT:-BENCH_$(date +%F).json}"
+fi
 
 raw="$(mktemp)"
-trap 'rm -f "$raw"' EXIT
+trap 'rm -f "$raw" ${TMP_OUT:+"$TMP_OUT"}' EXIT
 
 go test -run '^$' -bench . -benchmem -benchtime "$BENCHTIME" ./internal/... | tee "$raw" >&2
 
@@ -56,3 +90,71 @@ END { print "]}" }
 
 count="$(grep -o '"name"' "$OUT" | wc -l | tr -d ' ')"
 echo "wrote $OUT ($count benchmarks)" >&2
+
+if [ "$COMPARE" = 0 ]; then
+  exit 0
+fi
+
+if [ -z "$BASELINE" ]; then
+  # Latest committed summary, never the file this run just wrote — a
+  # fresh-vs-itself diff would make the gate vacuously green.
+  BASELINE="$(ls BENCH_*.json 2>/dev/null | grep -vxF "$(basename "$OUT")" | sort | tail -1 || true)"
+fi
+if [ -z "$BASELINE" ] || [ ! -f "$BASELINE" ]; then
+  echo "bench.sh --compare: no committed BENCH_*.json baseline found" >&2
+  exit 2
+fi
+echo "comparing against $BASELINE" >&2
+
+python3 - "$BASELINE" "$OUT" <<'PYEOF'
+import json, sys
+
+GATED = ("internal/search", "internal/optimizer", "internal/server")
+THRESHOLD = 0.25  # >25% ns/op regression of a gated benchmark fails
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    return {(b["package"], b["name"]): b for b in doc["benchmarks"]}
+
+base = load(sys.argv[1])
+fresh = load(sys.argv[2])
+
+def delta(new, old):
+    if not old:
+        return float("inf")
+    return (new - old) / old
+
+rows, regressions = [], []
+for key in sorted(set(base) | set(fresh)):
+    pkg, name = key
+    b, f = base.get(key), fresh.get(key)
+    if b is None:
+        rows.append((pkg, name, "(new)", "", ""))
+        continue
+    if f is None:
+        rows.append((pkg, name, "(removed)", "", ""))
+        continue
+    dns = delta(f["ns_per_op"], b["ns_per_op"])
+    dal = delta(f.get("allocs_per_op", 0), b.get("allocs_per_op", 0))
+    gated = any(pkg.endswith(g) for g in GATED)
+    if gated and dns > THRESHOLD:
+        regressions.append((pkg, name, dns))
+    rows.append((pkg, name,
+                 f"{b['ns_per_op']:.0f} -> {f['ns_per_op']:.0f} ns/op ({dns:+.1%})",
+                 f"{b.get('allocs_per_op', 0):.0f} -> {f.get('allocs_per_op', 0):.0f} allocs/op"
+                 + (f" ({dal:+.1%})" if dal != float("inf") else ""),
+                 "GATED" if gated else ""))
+
+wp = max(len(r[0]) for r in rows)
+wn = max(len(r[1]) for r in rows)
+for pkg, name, ns, allocs, tag in rows:
+    print(f"{pkg:<{wp}}  {name:<{wn}}  {ns:<42} {allocs:<32} {tag}")
+
+if regressions:
+    for pkg, name, dns in regressions:
+        print(f"::warning::{pkg} {name} ns/op regressed {dns:+.1%} vs baseline (>25% gate)")
+    print(f"bench.sh --compare: {len(regressions)} gated regression(s)", file=sys.stderr)
+    sys.exit(1)
+print("bench.sh --compare: no gated ns/op regression > 25%", file=sys.stderr)
+PYEOF
