@@ -10,6 +10,52 @@ import (
 
 var updateGolden = flag.Bool("update", false, "rewrite golden files from the current output")
 
+// checkGolden compares output against testdata/<name>.golden, rewriting
+// it under -update.
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run go test ./cmd/mvcloud -run Golden -update): %v", err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("output drifted from committed golden %s:\ngot:\n%s\nwant:\n%s", path, got, want)
+	}
+}
+
+// TestSweepCLIGolden pins the exact stdout of a tariff-grid sweep over
+// the paper's 16-node sales lattice — the structure-sharing kernel must
+// keep re-pricing every cell to exactly these bills. CI smoke-runs the
+// same subcommand.
+func TestSweepCLIGolden(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"sweep_mv1_fleets", []string{"-scenario", "mv1", "-budget", "25.00", "-fleets", "3,5", "-rows", "10000000"}},
+		{"sweep_mv3_search", []string{"-scenario", "mv3", "-alpha", "0.65", "-fleets", "5", "-rows", "10000000", "-solver", "search", "-seed", "42"}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := runSweepArgs(c.args, &buf); err != nil {
+				t.Fatal(err)
+			}
+			checkGolden(t, c.name, buf.Bytes())
+		})
+	}
+}
+
 // TestSearchCLIGoldens pins the exact stdout of seeded `mvcloud -solver
 // search` runs on the paper's sales lattice. The incremental evaluation
 // engine must keep these byte-identical: a pinned seed must keep
@@ -38,23 +84,7 @@ func TestSearchCLIGoldens(t *testing.T) {
 			if err := run(c.o, &buf); err != nil {
 				t.Fatal(err)
 			}
-			path := filepath.Join("testdata", c.name+".golden")
-			if *updateGolden {
-				if err := os.MkdirAll("testdata", 0o755); err != nil {
-					t.Fatal(err)
-				}
-				if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
-					t.Fatal(err)
-				}
-				return
-			}
-			want, err := os.ReadFile(path)
-			if err != nil {
-				t.Fatalf("missing golden (run go test ./cmd/mvcloud -run Golden -update): %v", err)
-			}
-			if buf.String() != string(want) {
-				t.Errorf("output drifted from pre-refactor golden %s:\ngot:\n%s\nwant:\n%s", path, buf.String(), want)
-			}
+			checkGolden(t, c.name, buf.Bytes())
 		})
 	}
 }

@@ -18,6 +18,14 @@
 //
 //	mvcloud compare -budget 25.00 -limit 4h
 //	mvcloud compare -providers aws-2012,stratus -fleets 3,5 -json
+//
+// The sweep subcommand re-prices a single objective across a tariff grid
+// (providers × instance types × fleet sizes) and prints every cell's
+// decomposed bill plus the winning configuration — the raw cross-tariff
+// study under the comparison:
+//
+//	mvcloud sweep -scenario mv1 -budget 25.00 -fleets 1,3,5,8
+//	mvcloud sweep -scenario mv3 -alpha 0.65 -providers aws-2012,stratus -json
 package main
 
 import (
@@ -45,6 +53,13 @@ func main() {
 	if len(os.Args) > 1 && os.Args[1] == "compare" {
 		if err := runCompareArgs(os.Args[2:], os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "mvcloud compare:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "sweep" {
+		if err := runSweepArgs(os.Args[2:], os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "mvcloud sweep:", err)
 			os.Exit(1)
 		}
 		return
@@ -266,6 +281,45 @@ type compareOpts struct {
 	seed                         int64
 }
 
+// gridInputs are the workload and tariff-grid flags the compare and
+// sweep subcommands share; resolveGrid is the single place they are
+// turned into request fields, so the two subcommands cannot drift.
+type gridInputs struct {
+	queries, freq                int
+	rows                         int64
+	providers, instances, fleets string
+}
+
+func resolveGrid(o gridInputs) (w workload.Workload, provs []pricing.Provider, instanceTypes []string, fleetSizes []int, err error) {
+	l, err := lattice.New(schema.Sales(), o.rows)
+	if err != nil {
+		return w, nil, nil, nil, err
+	}
+	w, err = workload.Sales(l, o.queries)
+	if err != nil {
+		return w, nil, nil, nil, err
+	}
+	for i := range w.Queries {
+		w.Queries[i].Frequency = o.freq
+	}
+	for _, name := range splitList(o.providers) {
+		p, err := pricing.Lookup(name)
+		if err != nil {
+			return w, nil, nil, nil, err
+		}
+		provs = append(provs, p)
+	}
+	instanceTypes = splitList(o.instances)
+	for _, f := range splitList(o.fleets) {
+		n, err := strconv.Atoi(f)
+		if err != nil {
+			return w, nil, nil, nil, fmt.Errorf("bad fleet size %q: %v", f, err)
+		}
+		fleetSizes = append(fleetSizes, n)
+	}
+	return w, provs, instanceTypes, fleetSizes, nil
+}
+
 func buildCompareRequest(o compareOpts) (compare.Request, error) {
 	budget, err := money.Parse(o.budget)
 	if err != nil {
@@ -275,19 +329,18 @@ func buildCompareRequest(o compareOpts) (compare.Request, error) {
 	if err != nil {
 		return compare.Request{}, err
 	}
-	l, err := lattice.New(schema.Sales(), o.rows)
+	w, provs, instanceTypes, fleetSizes, err := resolveGrid(gridInputs{
+		queries: o.queries, freq: o.freq, rows: o.rows,
+		providers: o.providers, instances: o.instances, fleets: o.fleets,
+	})
 	if err != nil {
 		return compare.Request{}, err
-	}
-	w, err := workload.Sales(l, o.queries)
-	if err != nil {
-		return compare.Request{}, err
-	}
-	for i := range w.Queries {
-		w.Queries[i].Frequency = o.freq
 	}
 	req := compare.Request{
 		Workload:       w,
+		Providers:      provs,
+		InstanceTypes:  instanceTypes,
+		FleetSizes:     fleetSizes,
 		FactRows:       o.rows,
 		Budget:         budget,
 		Limit:          limit,
@@ -301,22 +354,72 @@ func buildCompareRequest(o compareOpts) (compare.Request, error) {
 	if o.scenarios != "" {
 		req.Scenarios = splitList(o.scenarios)
 	}
-	for _, name := range splitList(o.providers) {
-		p, err := pricing.Lookup(name)
-		if err != nil {
-			return compare.Request{}, err
-		}
-		req.Providers = append(req.Providers, p)
-	}
-	req.InstanceTypes = splitList(o.instances)
-	for _, f := range splitList(o.fleets) {
-		n, err := strconv.Atoi(f)
-		if err != nil {
-			return compare.Request{}, fmt.Errorf("bad fleet size %q: %v", f, err)
-		}
-		req.FleetSizes = append(req.FleetSizes, n)
-	}
 	return req, nil
+}
+
+// runSweepArgs parses and runs the sweep subcommand.
+func runSweepArgs(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
+	var (
+		scenario  = fs.String("scenario", "", "objective to sweep: mv1, mv2 or mv3 (default: derived from -budget/-limit)")
+		budgetStr = fs.String("budget", "", "MV1 budget in dollars")
+		limitStr  = fs.String("limit", "", "MV2 response-time limit (Go duration)")
+		alpha     = fs.Float64("alpha", 0.5, "MV3 weight on time (0..1)")
+		queries   = fs.Int("queries", 10, "sales workload size (1..10)")
+		freq      = fs.Int("freq", 30, "executions of each query per month")
+		providers = fs.String("providers", "", "comma-separated tariff names (default: the full catalog)")
+		instances = fs.String("instances", "small", "comma-separated instance types to try")
+		fleets    = fs.String("fleets", "5", "comma-separated cluster sizes to try")
+		rows      = fs.Int64("rows", 200_000_000, "fact table rows (≈size/50B)")
+		solver    = fs.String("solver", "knapsack", "optimization engine: knapsack, search or auto")
+		seed      = fs.Int64("seed", 0, "search solver seed")
+		workers   = fs.Int("workers", 0, "fan-out worker pool size (0 = GOMAXPROCS, 1 = sequential)")
+		asJSON    = fs.Bool("json", false, "print the sweep in the /v1/sweep wire format")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	req := compare.SweepRequest{
+		Scenario: *scenario,
+		Alpha:    *alpha,
+		FactRows: *rows,
+		Solver:   *solver,
+		Seed:     *seed,
+		Workers:  *workers,
+	}
+	if *budgetStr != "" {
+		budget, err := money.Parse(*budgetStr)
+		if err != nil {
+			return err
+		}
+		req.Budget = budget
+	}
+	if *limitStr != "" {
+		limit, err := time.ParseDuration(*limitStr)
+		if err != nil {
+			return err
+		}
+		req.Limit = limit
+	}
+	var err error
+	req.Workload, req.Providers, req.InstanceTypes, req.FleetSizes, err = resolveGrid(gridInputs{
+		queries: *queries, freq: *freq, rows: *rows,
+		providers: *providers, instances: *instances, fleets: *fleets,
+	})
+	if err != nil {
+		return err
+	}
+	sw, err := compare.RunSweep(req)
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(sw.JSON())
+	}
+	fmt.Fprint(out, sw.Render())
+	return nil
 }
 
 func splitList(s string) []string {

@@ -256,6 +256,11 @@ func (r Request) normalize() (normalized, error) {
 		}
 	}
 	seen := map[string]bool{}
+	// Deep-copy the tariffs once here: cells sharing a provider (several
+	// fleet sizes, several instance types) can then alias one read-only
+	// copy without a per-cell defensive clone, and the caller's slice is
+	// never retained.
+	cloned := make([]pricing.Provider, 0, len(n.Providers))
 	for _, p := range n.Providers {
 		if err := p.Validate(); err != nil {
 			return normalized{}, err
@@ -264,7 +269,9 @@ func (r Request) normalize() (normalized, error) {
 			return normalized{}, fmt.Errorf("compare: duplicate provider %q", p.Name)
 		}
 		seen[p.Name] = true
+		cloned = append(cloned, p.Clone())
 	}
+	n.Providers = cloned
 	if len(n.InstanceTypes) == 0 {
 		n.InstanceTypes = []string{defaultInstanceType}
 	}
@@ -333,6 +340,50 @@ func (r Request) normalize() (normalized, error) {
 	return n, nil
 }
 
+// shared builds the pricing-invariant structure of a normalized request
+// — the one place the grid engines (Run, RunSweep) translate the shared
+// problem fields into a core.Config, so a future field cannot be
+// threaded into one engine and silently defaulted in the other.
+func (n normalized) shared() (*core.Shared, error) {
+	return core.NewShared(core.Config{
+		FactRows:          n.FactRows,
+		Months:            n.Months,
+		Workload:          n.Workload,
+		CandidateBudget:   n.CandidateBudget,
+		MaintenanceRuns:   n.MaintenanceRuns,
+		UpdateRatio:       n.UpdateRatio,
+		MaintenancePolicy: n.MaintenancePolicy,
+		JobOverhead:       n.JobOverhead,
+		Solver:            n.Solver,
+		Seed:              n.Seed,
+	})
+}
+
+// fanOut runs solve(i) for i in [0, jobs) on a bounded worker pool —
+// the shared concurrency scaffold of the grid engines. Workers beyond
+// the job count are not spawned.
+func fanOut(workers, jobs int, solve func(int)) {
+	if workers > jobs {
+		workers = jobs
+	}
+	ch := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range ch {
+				solve(i)
+			}
+		}()
+	}
+	for i := 0; i < jobs; i++ {
+		ch <- i
+	}
+	close(ch)
+	wg.Wait()
+}
+
 // cells expands the provider × instance × fleet grid in deterministic
 // order, separating configurations whose instance type the provider does
 // not offer.
@@ -364,6 +415,12 @@ func (n normalized) cells() (keys []Key, providers []pricing.Provider, skipped [
 // outcomes. The result is deterministic: identical requests produce
 // identical comparisons regardless of worker count, scheduling, or the
 // order providers were listed in.
+//
+// The pricing-invariant structure — lattice, workload canonicalization,
+// HRU candidates, answering lists — is built exactly once (core.Shared's
+// comparison kernel) and shared read-only by every worker; each grid
+// cell then costs only a tariff re-bind (cluster + re-priced time
+// scalars) and the scenario solves.
 func Run(req Request) (*Comparison, error) {
 	n, err := req.normalize()
 	if err != nil {
@@ -373,29 +430,16 @@ func Run(req Request) (*Comparison, error) {
 	if len(keys) == 0 {
 		return nil, fmt.Errorf("compare: no runnable configurations (every provider × instance pairing was skipped)")
 	}
+	shared, err := n.shared()
+	if err != nil {
+		return nil, err
+	}
 
 	results := make([]ConfigResult, len(keys))
 	errs := make([]error, len(keys))
-	jobs := make(chan int)
-	var wg sync.WaitGroup
-	workers := n.Workers
-	if workers > len(keys) {
-		workers = len(keys)
-	}
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range jobs {
-				results[i], errs[i] = n.solveCell(keys[i], providers[i])
-			}
-		}()
-	}
-	for i := range keys {
-		jobs <- i
-	}
-	close(jobs)
-	wg.Wait()
+	fanOut(n.Workers, len(keys), func(i int) {
+		results[i], errs[i] = n.solveCell(shared, keys[i], providers[i])
+	})
 	for i, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("compare: %s: %w", keys[i], err)
@@ -420,31 +464,20 @@ func Run(req Request) (*Comparison, error) {
 	return comp, nil
 }
 
-// solveCell builds one advisor and solves every requested scenario plus
-// the break-even budget sweep. Each cell owns its advisor (and therefore
-// its Evaluator), so cells are fully independent and safe to run
+// solveCell re-prices the shared structure for one tariff cell and
+// solves every requested scenario plus the break-even budget sweep. Each
+// cell owns its advisor (a per-tariff kernel binding over the read-only
+// shared structure), so cells are fully independent and safe to run
 // concurrently.
-func (n normalized) solveCell(k Key, prov pricing.Provider) (ConfigResult, error) {
-	p := prov.Clone()
-	adv, err := core.New(core.Config{
-		Provider:          &p,
-		InstanceType:      k.InstanceType,
-		Instances:         k.Instances,
-		FactRows:          n.FactRows,
-		Months:            n.Months,
-		Workload:          n.Workload,
-		CandidateBudget:   n.CandidateBudget,
-		MaintenanceRuns:   n.MaintenanceRuns,
-		UpdateRatio:       n.UpdateRatio,
-		MaintenancePolicy: n.MaintenancePolicy,
-		JobOverhead:       n.JobOverhead,
-		Solver:            n.Solver,
-		Seed:              n.Seed,
-	})
+func (n normalized) solveCell(shared *core.Shared, k Key, prov pricing.Provider) (ConfigResult, error) {
+	adv, err := shared.Advisor(prov, k.InstanceType, k.Instances)
 	if err != nil {
 		return ConfigResult{}, err
 	}
 	out := ConfigResult{Key: k, DatasetSize: core.DatasetSizeOf(adv)}
+	if mvs := len(n.Request.Scenarios) - boolToInt(n.scenarios["pareto"]); mvs > 0 {
+		out.Results = make([]ScenarioResult, 0, mvs)
+	}
 	for _, s := range n.Request.Scenarios {
 		var rec core.Recommendation
 		switch s {
@@ -466,18 +499,28 @@ func (n normalized) solveCell(k Key, prov pricing.Provider) (ConfigResult, error
 		}
 		out.Results = append(out.Results, ScenarioResult{Scenario: s, Rec: rec})
 	}
-	for _, b := range n.sweepBudgets {
-		sel, err := adv.Ev.SolveMV1(adv.Candidates, b)
-		if err != nil {
-			return ConfigResult{}, err
+	// The budget sweep re-prices MV1 at every sweep budget on the cell's
+	// session: the knapsack items and the baseline are already cached, so
+	// each budget costs one DP plus the exact re-bill.
+	if len(n.sweepBudgets) > 0 {
+		out.breakEven = make([]budgetOutcome, 0, len(n.sweepBudgets))
+		sess := adv.Session()
+		for _, b := range n.sweepBudgets {
+			t, cost, feasible, err := sess.BudgetOutcome(b)
+			if err != nil {
+				return ConfigResult{}, err
+			}
+			out.breakEven = append(out.breakEven, budgetOutcome{time: t, cost: cost, feasible: feasible})
 		}
-		out.breakEven = append(out.breakEven, budgetOutcome{
-			time:     sel.Time,
-			cost:     sel.Bill.Total(),
-			feasible: sel.Feasible,
-		})
 	}
 	return out, nil
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // better reports whether outcome a beats b under the scenario's ranking:

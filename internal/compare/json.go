@@ -53,37 +53,8 @@ type RequestJSON struct {
 // normalize to identical structs, which is what the server's cache keys
 // rely on.
 func (rj *RequestJSON) Normalize() error {
-	if rj.ConfigJSON.Provider != "" || len(rj.ConfigJSON.ProviderSpec) > 0 {
-		return fmt.Errorf("compare: use \"providers\" (a list) instead of the advise %q field", "provider")
-	}
-	if rj.ConfigJSON.InstanceType != "" {
-		return fmt.Errorf("compare: use \"instance_types\" (a list) instead of the advise %q field", "instance_type")
-	}
-	if rj.ConfigJSON.Instances != 0 {
-		return fmt.Errorf("compare: use \"fleet_sizes\" (a list) instead of the advise %q field", "instances")
-	}
-
-	if len(rj.Providers) == 0 {
-		rj.Providers = pricing.ProviderNames()
-	}
-	rj.Providers = dedupeSorted(rj.Providers)
-	for _, name := range rj.Providers {
-		if !pricing.Exists(name) {
-			return fmt.Errorf("pricing: unknown provider %q (have %v)", name, pricing.ProviderNames())
-		}
-	}
-	if len(rj.InstanceTypes) == 0 {
-		rj.InstanceTypes = []string{defaultInstanceType}
-	}
-	rj.InstanceTypes = dedupeSorted(rj.InstanceTypes)
-	if len(rj.FleetSizes) == 0 {
-		rj.FleetSizes = []int{defaultFleetSize}
-	}
-	rj.FleetSizes = dedupeSortedInts(rj.FleetSizes)
-	for _, f := range rj.FleetSizes {
-		if f < 1 {
-			return fmt.Errorf("compare: fleet size %d < 1", f)
-		}
+	if err := normalizeGrid(&rj.ConfigJSON, &rj.Providers, &rj.InstanceTypes, &rj.FleetSizes); err != nil {
+		return err
 	}
 
 	// Scenario set: derive, validate, canonicalize order (shared with the
@@ -188,12 +159,10 @@ func (rj RequestJSON) Resolve() (Request, error) {
 		Solver:          rj.Solver,
 		Seed:            rj.Seed,
 	}
-	for _, name := range rj.Providers {
-		p, err := pricing.Lookup(name)
-		if err != nil {
-			return Request{}, err
-		}
-		req.Providers = append(req.Providers, p)
+	var err error
+	req.Providers, req.Workload, req.MaintenancePolicy, req.JobOverhead, err = resolveGrid(rj.Providers, rj.ConfigJSON)
+	if err != nil {
+		return Request{}, err
 	}
 	if rj.Budget != nil {
 		req.Budget = *rj.Budget
@@ -208,25 +177,83 @@ func (rj RequestJSON) Resolve() (Request, error) {
 	if rj.Alpha != nil {
 		req.Alpha = *rj.Alpha
 	}
-	if rj.MaintenancePolicy == "deferred" {
-		req.MaintenancePolicy = views.DeferredMaintenance
-	}
-	if rj.JobOverhead != "" {
-		d, err := time.ParseDuration(rj.JobOverhead)
-		if err != nil {
-			return Request{}, fmt.Errorf("compare: job_overhead: %v", err)
-		}
-		req.JobOverhead = d
-	}
-	l, err := lattice.New(schema.Sales(), rj.FactRows)
-	if err != nil {
-		return Request{}, err
-	}
-	req.Workload, err = workload.FromJSON(l, rj.ConfigJSON.Workload)
-	if err != nil {
-		return Request{}, err
-	}
 	return req, nil
+}
+
+// normalizeGrid canonicalizes the grid half every compare-family wire
+// request shares — the advise-style singular fields rejected, providers
+// defaulted to the full catalog and validated, instance types and fleet
+// sizes defaulted, all lists sorted and deduplicated. One implementation
+// serves RequestJSON and SweepRequestJSON, so /v1/compare and /v1/sweep
+// cannot drift on grid semantics.
+func normalizeGrid(cj *core.ConfigJSON, providers *[]string, instanceTypes *[]string, fleetSizes *[]int) error {
+	if cj.Provider != "" || len(cj.ProviderSpec) > 0 {
+		return fmt.Errorf("compare: use \"providers\" (a list) instead of the advise %q field", "provider")
+	}
+	if cj.InstanceType != "" {
+		return fmt.Errorf("compare: use \"instance_types\" (a list) instead of the advise %q field", "instance_type")
+	}
+	if cj.Instances != 0 {
+		return fmt.Errorf("compare: use \"fleet_sizes\" (a list) instead of the advise %q field", "instances")
+	}
+	if len(*providers) == 0 {
+		*providers = pricing.ProviderNames()
+	}
+	*providers = dedupeSorted(*providers)
+	for _, name := range *providers {
+		if !pricing.Exists(name) {
+			return fmt.Errorf("pricing: unknown provider %q (have %v)", name, pricing.ProviderNames())
+		}
+	}
+	if len(*instanceTypes) == 0 {
+		*instanceTypes = []string{defaultInstanceType}
+	}
+	*instanceTypes = dedupeSorted(*instanceTypes)
+	if len(*fleetSizes) == 0 {
+		*fleetSizes = []int{defaultFleetSize}
+	}
+	*fleetSizes = dedupeSortedInts(*fleetSizes)
+	for _, f := range *fleetSizes {
+		if f < 1 {
+			return fmt.Errorf("compare: fleet size %d < 1", f)
+		}
+	}
+	return nil
+}
+
+// resolveGrid resolves the normalized shared fields both wire forms
+// carry: provider lookups, maintenance policy, job overhead, and the
+// workload against the sales lattice.
+func resolveGrid(names []string, cj core.ConfigJSON) ([]pricing.Provider, workload.Workload, views.MaintenancePolicy, time.Duration, error) {
+	var provs []pricing.Provider
+	for _, name := range names {
+		p, err := pricing.Lookup(name)
+		if err != nil {
+			return nil, workload.Workload{}, 0, 0, err
+		}
+		provs = append(provs, p)
+	}
+	var policy views.MaintenancePolicy
+	if cj.MaintenancePolicy == "deferred" {
+		policy = views.DeferredMaintenance
+	}
+	var overhead time.Duration
+	if cj.JobOverhead != "" {
+		d, err := time.ParseDuration(cj.JobOverhead)
+		if err != nil {
+			return nil, workload.Workload{}, 0, 0, fmt.Errorf("compare: job_overhead: %v", err)
+		}
+		overhead = d
+	}
+	l, err := lattice.New(schema.Sales(), cj.FactRows)
+	if err != nil {
+		return nil, workload.Workload{}, 0, 0, err
+	}
+	w, err := workload.FromJSON(l, cj.Workload)
+	if err != nil {
+		return nil, workload.Workload{}, 0, 0, err
+	}
+	return provs, w, policy, overhead, nil
 }
 
 // ScenarioResultJSON is one matrix cell on the wire.

@@ -1,0 +1,238 @@
+// sweep.go implements the tariff-grid sweep: one workload, one
+// objective, re-priced across every provider × instance type × fleet
+// size cell of a grid. Where Run (the full comparison) layers winners,
+// frontiers and break-even flips on top of multiple scenarios, Sweep is
+// the raw study underneath — the per-cell bill decomposition the paper's
+// cross-tariff tables are made of — and the leanest consumer of the
+// structure-sharing comparison kernel: one structural build, then a
+// pure re-bill per cell.
+package compare
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"vmcloud/internal/core"
+	"vmcloud/internal/money"
+	"vmcloud/internal/pricing"
+	"vmcloud/internal/report"
+	"vmcloud/internal/units"
+	"vmcloud/internal/views"
+	"vmcloud/internal/workload"
+)
+
+// SweepRequest describes a tariff-grid sweep: the advisory problem of
+// Request restricted to a single objective. Zero values follow the repo
+// convention of selecting the paper's experimental defaults.
+type SweepRequest struct {
+	// Providers are the tariffs to sweep; empty means the full built-in
+	// catalog. InstanceTypes and FleetSizes span the grid exactly as in
+	// Request.
+	Providers     []pricing.Provider
+	InstanceTypes []string
+	FleetSizes    []int
+
+	// Workload is required; the remaining problem fields parameterize the
+	// advisory problem exactly as core.Config does.
+	Workload          workload.Workload
+	FactRows          int64
+	Months            float64
+	CandidateBudget   int
+	MaintenanceRuns   int
+	UpdateRatio       float64
+	MaintenancePolicy views.MaintenancePolicy
+	JobOverhead       time.Duration
+	Solver            string
+	Seed              int64
+
+	// Scenario is the single objective swept: "mv1", "mv2" or "mv3".
+	// Empty derives it from the parameters given: mv1 when Budget > 0,
+	// mv2 when Limit > 0, mv3 otherwise.
+	Scenario string
+	// Budget is the MV1 spending limit; required for mv1.
+	Budget money.Money
+	// Limit is the MV2 response-time limit; required for mv2.
+	Limit time.Duration
+	// Alpha is the MV3 weight on time; zero selects 0.5.
+	Alpha float64
+
+	// Workers bounds the fan-out worker pool; zero selects GOMAXPROCS.
+	Workers int
+}
+
+// SweepCell is one grid cell: the objective solved on one tariff.
+type SweepCell struct {
+	Key
+	DatasetSize units.DataSize
+	Rec         core.Recommendation
+}
+
+// Sweep is the solved grid, ordered by provider, instance type, fleet.
+type Sweep struct {
+	// Scenario echoes the solved objective.
+	Scenario string
+	// Cells is the full grid.
+	Cells []SweepCell
+	// Best is the winning cell's key under the scenario's ranking (the
+	// same rule Run's winners use).
+	Best Key
+	// Skipped lists configurations dropped because the provider does not
+	// offer the instance type.
+	Skipped []Key
+}
+
+// canonSweepScenario validates/derives the single swept objective.
+func canonSweepScenario(explicit string, haveBudget, haveLimit bool) (string, error) {
+	s := strings.ToLower(strings.TrimSpace(explicit))
+	if s == "" {
+		switch {
+		case haveBudget:
+			s = "mv1"
+		case haveLimit:
+			s = "mv2"
+		default:
+			s = "mv3"
+		}
+	}
+	switch s {
+	case "mv1", "mv2", "mv3":
+		return s, nil
+	default:
+		return "", fmt.Errorf("compare: unknown sweep scenario %q (want mv1, mv2 or mv3)", explicit)
+	}
+}
+
+// normalize validates the request and applies every default, reusing the
+// comparison's request normalization for the shared grid fields.
+func (r SweepRequest) normalize() (normalized, string, error) {
+	scenario, err := canonSweepScenario(r.Scenario, r.Budget > 0, r.Limit > 0)
+	if err != nil {
+		return normalized{}, "", err
+	}
+	n, err := Request{
+		Providers:         r.Providers,
+		InstanceTypes:     r.InstanceTypes,
+		FleetSizes:        r.FleetSizes,
+		Workload:          r.Workload,
+		FactRows:          r.FactRows,
+		Months:            r.Months,
+		CandidateBudget:   r.CandidateBudget,
+		MaintenanceRuns:   r.MaintenanceRuns,
+		UpdateRatio:       r.UpdateRatio,
+		MaintenancePolicy: r.MaintenancePolicy,
+		JobOverhead:       r.JobOverhead,
+		Solver:            r.Solver,
+		Seed:              r.Seed,
+		Scenarios:         []string{scenario},
+		Budget:            r.Budget,
+		Limit:             r.Limit,
+		Alpha:             r.Alpha,
+		BreakEvenSteps:    -1, // the sweep has no budget sub-sweep
+		Workers:           r.Workers,
+	}.normalize()
+	if err != nil {
+		return normalized{}, "", err
+	}
+	return n, scenario, nil
+}
+
+// RunSweep solves the grid on a bounded worker pool. The
+// pricing-invariant structure is built once; every cell is a tariff
+// re-bind plus one scenario solve. The result is deterministic for
+// identical requests regardless of worker count or scheduling.
+func RunSweep(req SweepRequest) (*Sweep, error) {
+	n, scenario, err := req.normalize()
+	if err != nil {
+		return nil, err
+	}
+	keys, providers, skipped := n.cells()
+	if len(keys) == 0 {
+		return nil, fmt.Errorf("compare: no runnable configurations (every provider × instance pairing was skipped)")
+	}
+	shared, err := n.shared()
+	if err != nil {
+		return nil, err
+	}
+
+	cells := make([]SweepCell, len(keys))
+	errs := make([]error, len(keys))
+	fanOut(n.Workers, len(keys), func(i int) {
+		cells[i], errs[i] = n.solveSweepCell(shared, scenario, keys[i], providers[i])
+	})
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("compare: %s: %w", keys[i], err)
+		}
+	}
+
+	sw := &Sweep{Scenario: scenario, Cells: cells, Skipped: skipped}
+	best := Winner{}
+	first := true
+	for _, c := range cells {
+		w := Winner{
+			Scenario: scenario,
+			Key:      c.Key,
+			Time:     c.Rec.Selection.Time,
+			Cost:     c.Rec.Selection.Bill.Total(),
+			Feasible: c.Rec.Selection.Feasible,
+		}
+		if first || better(scenario, n.Alpha, w, best) {
+			best, first = w, false
+		}
+	}
+	sw.Best = best.Key
+	return sw, nil
+}
+
+// solveSweepCell re-prices the shared structure for one cell and solves
+// the swept objective.
+func (n normalized) solveSweepCell(shared *core.Shared, scenario string, k Key, prov pricing.Provider) (SweepCell, error) {
+	adv, err := shared.Advisor(prov, k.InstanceType, k.Instances)
+	if err != nil {
+		return SweepCell{}, err
+	}
+	var rec core.Recommendation
+	switch scenario {
+	case "mv1":
+		rec, err = adv.AdviseBudget(n.Budget)
+	case "mv2":
+		rec, err = adv.AdviseDeadline(n.Limit)
+	default: // mv3
+		rec, err = adv.AdviseTradeoff(n.Alpha)
+	}
+	if err != nil {
+		return SweepCell{}, err
+	}
+	return SweepCell{Key: k, DatasetSize: core.DatasetSizeOf(adv), Rec: rec}, nil
+}
+
+// Render produces the human-readable sweep report: the full grid with
+// the bill decomposed per cell (compute/storage/transfer — what is
+// price), plus the winner line.
+func (s *Sweep) Render() string {
+	var sb strings.Builder
+	t := report.NewTable(fmt.Sprintf("scenario %s — tariff grid", s.Scenario),
+		"configuration", "workload time", "total cost", "compute", "storage", "transfer", "feasible", "views")
+	for _, c := range s.Cells {
+		bill := c.Rec.Selection.Bill
+		t.AddRow(c.Key.String(),
+			fmt.Sprintf("%.3fh", c.Rec.Selection.Time.Hours()),
+			bill.Total(),
+			bill.Compute.Total(),
+			bill.Storage,
+			bill.Transfer,
+			c.Rec.Selection.Feasible,
+			len(c.Rec.Selection.Points))
+	}
+	sb.WriteString(t.String())
+	fmt.Fprintf(&sb, "best configuration: %s\n", s.Best)
+	if len(s.Skipped) > 0 {
+		names := make([]string, len(s.Skipped))
+		for i, k := range s.Skipped {
+			names[i] = k.String()
+		}
+		fmt.Fprintf(&sb, "skipped (instance type not offered): %s\n", strings.Join(names, ", "))
+	}
+	return sb.String()
+}

@@ -1,0 +1,173 @@
+package compare
+
+import (
+	"fmt"
+	"time"
+
+	"vmcloud/internal/core"
+	"vmcloud/internal/money"
+)
+
+// SweepRequestJSON is the wire form of SweepRequest, as accepted by POST
+// /v1/sweep. Like the compare wire form it embeds the advise ConfigJSON
+// for the shared problem fields; the per-configuration fields are
+// replaced by the grid lists.
+type SweepRequestJSON struct {
+	// Scenario is the single swept objective: "mv1", "mv2" or "mv3".
+	// Empty derives it from the parameters given (see SweepRequest).
+	Scenario string `json:"scenario,omitempty"`
+	// Budget is the MV1 spending limit ("$25.00" or a number of dollars).
+	Budget *money.Money `json:"budget,omitempty"`
+	// Limit is the MV2 response-time limit as a Go duration ("4h").
+	Limit string `json:"limit,omitempty"`
+	// Alpha is the MV3 weight on time in [0,1]; default 0.5.
+	Alpha *float64 `json:"alpha,omitempty"`
+
+	// Providers names built-in tariffs; empty means the full catalog.
+	Providers []string `json:"providers,omitempty"`
+	// InstanceTypes lists configurations to try per provider; default
+	// ["small"].
+	InstanceTypes []string `json:"instance_types,omitempty"`
+	// FleetSizes lists cluster sizes to try; default [5].
+	FleetSizes []int `json:"fleet_sizes,omitempty"`
+
+	core.ConfigJSON
+}
+
+// Normalize canonicalizes the request in place, exactly as the compare
+// wire form does: defaults applied, the scenario resolved, grid lists
+// sorted and deduplicated, the workload rewritten in explicit form. Two
+// spellings of the same sweep normalize to identical structs — the
+// server's memoization keys rely on it.
+func (rj *SweepRequestJSON) Normalize() error {
+	if err := normalizeGrid(&rj.ConfigJSON, &rj.Providers, &rj.InstanceTypes, &rj.FleetSizes); err != nil {
+		return err
+	}
+
+	scenario, err := canonSweepScenario(rj.Scenario, rj.Budget != nil, rj.Limit != "")
+	if err != nil {
+		return err
+	}
+	rj.Scenario = scenario
+
+	// Scenario parameters: validate what is needed, zero what is not (so
+	// irrelevant parameters cannot fragment the cache).
+	switch scenario {
+	case "mv1":
+		if rj.Budget == nil {
+			return fmt.Errorf("compare: budget required for scenario mv1")
+		}
+		if *rj.Budget <= 0 {
+			return fmt.Errorf("compare: non-positive budget %v", *rj.Budget)
+		}
+		rj.Limit, rj.Alpha = "", nil
+	case "mv2":
+		if rj.Limit == "" {
+			return fmt.Errorf("compare: limit required for scenario mv2")
+		}
+		d, err := time.ParseDuration(rj.Limit)
+		if err != nil {
+			return fmt.Errorf("compare: limit: %v", err)
+		}
+		if d <= 0 {
+			return fmt.Errorf("compare: non-positive limit %v", d)
+		}
+		rj.Limit = d.String()
+		rj.Budget, rj.Alpha = nil, nil
+	default: // mv3
+		if rj.Alpha == nil {
+			a := defaultAlpha
+			rj.Alpha = &a
+		}
+		if *rj.Alpha < 0 || *rj.Alpha > 1 {
+			return fmt.Errorf("compare: alpha %g out of [0,1]", *rj.Alpha)
+		}
+		rj.Budget, rj.Limit = nil, ""
+	}
+
+	// Shared problem fields: reuse the advise canonicalization, then strip
+	// the per-configuration fields it defaulted.
+	if err := rj.ConfigJSON.Normalize(); err != nil {
+		return err
+	}
+	rj.ConfigJSON.Provider = ""
+	rj.ConfigJSON.InstanceType = ""
+	rj.ConfigJSON.Instances = 0
+	return nil
+}
+
+// Configs returns the size of the grid implied by a normalized request.
+func (rj SweepRequestJSON) Configs() int {
+	return len(rj.Providers) * len(rj.InstanceTypes) * len(rj.FleetSizes)
+}
+
+// Resolve converts an already-normalized wire request into a
+// SweepRequest ready for RunSweep.
+func (rj SweepRequestJSON) Resolve() (SweepRequest, error) {
+	req := SweepRequest{
+		InstanceTypes:   rj.InstanceTypes,
+		FleetSizes:      rj.FleetSizes,
+		FactRows:        rj.FactRows,
+		Months:          rj.Months,
+		CandidateBudget: rj.CandidateBudget,
+		MaintenanceRuns: rj.MaintenanceRuns,
+		UpdateRatio:     rj.UpdateRatio,
+		Scenario:        rj.Scenario,
+		Solver:          rj.Solver,
+		Seed:            rj.Seed,
+	}
+	var err error
+	req.Providers, req.Workload, req.MaintenancePolicy, req.JobOverhead, err = resolveGrid(rj.Providers, rj.ConfigJSON)
+	if err != nil {
+		return SweepRequest{}, err
+	}
+	if rj.Budget != nil {
+		req.Budget = *rj.Budget
+	}
+	if rj.Limit != "" {
+		d, err := time.ParseDuration(rj.Limit)
+		if err != nil {
+			return SweepRequest{}, fmt.Errorf("compare: limit: %v", err)
+		}
+		req.Limit = d
+	}
+	if rj.Alpha != nil {
+		req.Alpha = *rj.Alpha
+	}
+	return req, nil
+}
+
+// SweepCellJSON is one grid cell on the wire.
+type SweepCellJSON struct {
+	Key
+	DatasetSize    string                  `json:"dataset_size"`
+	Recommendation core.RecommendationJSON `json:"recommendation"`
+}
+
+// SweepJSON is the body of a successful POST /v1/sweep.
+type SweepJSON struct {
+	Scenario string          `json:"scenario"`
+	Cells    []SweepCellJSON `json:"cells"`
+	Best     Key             `json:"best"`
+	Skipped  []Key           `json:"skipped,omitempty"`
+	// Report is the human-readable rendering (Sweep.Render).
+	Report string `json:"report"`
+}
+
+// JSON renders the sweep in wire form.
+func (s *Sweep) JSON() SweepJSON {
+	out := SweepJSON{
+		Scenario: s.Scenario,
+		Best:     s.Best,
+		Skipped:  s.Skipped,
+		Report:   s.Render(),
+	}
+	for _, c := range s.Cells {
+		out.Cells = append(out.Cells, SweepCellJSON{
+			Key:            c.Key,
+			DatasetSize:    c.DatasetSize.String(),
+			Recommendation: c.Rec.JSON(),
+		})
+	}
+	return out
+}

@@ -8,6 +8,7 @@ package core
 import (
 	"fmt"
 	"strings"
+	"sync"
 	"time"
 
 	"vmcloud/internal/cluster"
@@ -93,7 +94,14 @@ func CanonSolver(s string) (string, error) {
 	}
 }
 
-// Advisor is a wired advisory session.
+// Advisor is a wired advisory session. It is safe for concurrent use:
+// the scenario solvers share one mutable kernel session (scratch
+// buffers, lazily cached items and baseline, the search engine's
+// selection state), so concurrent Advise*/ParetoFront calls are
+// serialized on an internal mutex — callers needing parallel solves of
+// one problem under different tariffs should build one advisor per
+// tariff (core.Shared.Advisor), which is what the comparison engine
+// does.
 type Advisor struct {
 	Lat        *lattice.Lattice
 	Cl         *cluster.Cluster
@@ -106,28 +114,69 @@ type Advisor struct {
 	// seed it runs with.
 	Solver string
 	Seed   int64
+	// mu serializes solves: the session below owns scratch state.
+	mu sync.Mutex
+	// sess is the kernel binding the scenario solvers run on: the shared
+	// pricing-invariant structure re-priced for this advisor's tariff.
+	sess *optimizer.KernelSession
+	// names is the Shared candidate-name cache (see Shared.names).
+	names map[int]string
 }
 
-// New builds an advisor from a config.
-func New(cfg Config) (*Advisor, error) {
+// viewName renders a selected cuboid's name, via the shared cache when
+// the point is a known candidate.
+func (a *Advisor) viewName(p lattice.Point) string {
+	if id, err := a.Lat.ID(p); err == nil {
+		if s, ok := a.names[id]; ok {
+			return s
+		}
+	}
+	return a.Lat.Name(p)
+}
+
+// Shared is the pricing-invariant half of an advisory problem: the
+// lattice, validated workload, candidate pool and comparison kernel —
+// everything a Config implies that no tariff can change. Build it once,
+// then stamp out per-tariff advisors with Advisor(): each call rebuilds
+// only the cluster, the plan template and the kernel's re-priced time
+// scalars, never the lattice or the candidate generation. This is what
+// lets cross-provider studies (internal/compare, the /v1/sweep grids)
+// fan one problem out over many tariffs at re-bill cost per cell.
+//
+// A Shared is immutable after construction and safe for concurrent use.
+type Shared struct {
+	Lat        *lattice.Lattice
+	W          workload.Workload
+	Candidates []views.Candidate
+	Kern       *optimizer.ComparisonKernel
+	// Solver is canonicalized with "auto" resolved against the candidate
+	// count; Seed is the search seed.
+	Solver string
+	Seed   int64
+
+	months      float64
+	datasetSize units.DataSize
+	egress      units.DataSize
+	maintRuns   int
+	updateRatio float64
+	policy      views.MaintenancePolicy
+	jobOverhead time.Duration
+	// names caches the rendered cuboid name of every candidate by
+	// lattice id — selections only ever contain candidate points, and
+	// every tariff cell of a fan-out would otherwise re-join the same
+	// level strings per recommendation.
+	names map[int]string
+}
+
+// NewShared builds the tariff-independent structure of a config. The
+// per-tariff fields (Provider, InstanceType, Instances, Granularity) are
+// ignored here; they parameterize Advisor.
+func NewShared(cfg Config) (*Shared, error) {
 	// Validate the cheap, purely-syntactic fields before any expensive
 	// construction (lattice, candidate generation).
 	solver, err := CanonSolver(cfg.Solver)
 	if err != nil {
 		return nil, err
-	}
-	prov := pricing.AWS2012()
-	if cfg.Provider != nil {
-		prov = *cfg.Provider
-	}
-	if cfg.Granularity != nil {
-		prov.Compute.Granularity = *cfg.Granularity
-	}
-	if cfg.InstanceType == "" {
-		cfg.InstanceType = "small"
-	}
-	if cfg.Instances == 0 {
-		cfg.Instances = 5
 	}
 	if cfg.Schema == nil {
 		cfg.Schema = schema.Sales()
@@ -155,16 +204,6 @@ func New(cfg Config) (*Advisor, error) {
 	if err != nil {
 		return nil, err
 	}
-	cl, err := cluster.New(prov, cfg.InstanceType, cfg.Instances)
-	if err != nil {
-		return nil, err
-	}
-	cl.JobOverhead = cfg.JobOverhead
-	est := views.NewEstimator(l, cl)
-	est.MaintenanceRuns = cfg.MaintenanceRuns
-	est.UpdateRatio = cfg.UpdateRatio
-	est.Policy = cfg.MaintenancePolicy
-
 	if err := cfg.Workload.Validate(l); err != nil {
 		return nil, err
 	}
@@ -176,17 +215,11 @@ func New(cfg Config) (*Advisor, error) {
 	if err != nil {
 		return nil, err
 	}
-	base := costmodel.Plan{
-		Cluster:       cl,
-		Months:        cfg.Months,
-		DatasetSize:   baseNode.Size,
-		MonthlyEgress: egress,
-	}
-	ev, err := optimizer.NewEvaluator(est, cfg.Workload, base)
+	cands, err := views.GenerateCandidates(l, cfg.Workload, cfg.CandidateBudget)
 	if err != nil {
 		return nil, err
 	}
-	cands, err := views.GenerateCandidates(l, cfg.Workload, cfg.CandidateBudget)
+	kern, err := optimizer.NewComparisonKernel(l, cfg.Workload, cands)
 	if err != nil {
 		return nil, err
 	}
@@ -196,17 +229,103 @@ func New(cfg Config) (*Advisor, error) {
 			solver = SolverSearch
 		}
 	}
-	return &Advisor{
-		Lat:        l,
-		Cl:         cl,
-		Est:        est,
-		W:          cfg.Workload,
-		Ev:         ev,
-		Candidates: cands,
-		Solver:     solver,
-		Seed:       cfg.Seed,
+	names := make(map[int]string, len(cands))
+	for _, c := range cands {
+		if id, err := l.ID(c.Point); err == nil {
+			names[id] = l.Name(c.Point)
+		}
+	}
+	return &Shared{
+		Lat:         l,
+		W:           cfg.Workload,
+		Candidates:  cands,
+		Kern:        kern,
+		Solver:      solver,
+		Seed:        cfg.Seed,
+		months:      cfg.Months,
+		datasetSize: baseNode.Size,
+		egress:      egress,
+		maintRuns:   cfg.MaintenanceRuns,
+		updateRatio: cfg.UpdateRatio,
+		policy:      cfg.MaintenancePolicy,
+		jobOverhead: cfg.JobOverhead,
+		names:       names,
 	}, nil
 }
+
+// Advisor re-prices the shared problem for one tariff: provider ×
+// instance type × fleet size. Zero values select the paper's defaults
+// ("small", 5). The returned advisor is bit-identical in behavior to
+// New with the same parameters — construction path is shared — but
+// costs only the tariff-dependent rebuild.
+func (sh *Shared) Advisor(prov pricing.Provider, instanceType string, instances int) (*Advisor, error) {
+	if instanceType == "" {
+		instanceType = "small"
+	}
+	if instances == 0 {
+		instances = 5
+	}
+	cl, err := cluster.New(prov, instanceType, instances)
+	if err != nil {
+		return nil, err
+	}
+	cl.JobOverhead = sh.jobOverhead
+	est := views.NewEstimator(sh.Lat, cl)
+	est.MaintenanceRuns = sh.maintRuns
+	est.UpdateRatio = sh.updateRatio
+	est.Policy = sh.policy
+	base := costmodel.Plan{
+		Cluster:       cl,
+		Months:        sh.months,
+		DatasetSize:   sh.datasetSize,
+		MonthlyEgress: sh.egress,
+	}
+	ev, err := optimizer.NewEvaluator(est, sh.W, base)
+	if err != nil {
+		return nil, err
+	}
+	sess, err := sh.Kern.RepriceFor(ev)
+	if err != nil {
+		return nil, err
+	}
+	return &Advisor{
+		Lat:        sh.Lat,
+		Cl:         cl,
+		Est:        est,
+		W:          sh.W,
+		Ev:         ev,
+		Candidates: sh.Candidates,
+		Solver:     sh.Solver,
+		Seed:       sh.Seed,
+		sess:       sess,
+		names:      sh.names,
+	}, nil
+}
+
+// New builds an advisor from a config: the shared structure plus one
+// tariff binding.
+func New(cfg Config) (*Advisor, error) {
+	sh, err := NewShared(cfg)
+	if err != nil {
+		return nil, err
+	}
+	prov := pricing.AWS2012()
+	if cfg.Provider != nil {
+		prov = *cfg.Provider
+	}
+	if cfg.Granularity != nil {
+		prov.Compute.Granularity = *cfg.Granularity
+	}
+	return sh.Advisor(prov, cfg.InstanceType, cfg.Instances)
+}
+
+// Session exposes the advisor's kernel binding: the exact scenario
+// solvers over the shared structure (bit-equal to the Evaluator's), plus
+// the incremental engine the search solvers reuse. The comparison
+// engine's break-even sweeps run on it directly. The session owns
+// mutable scratch (it is what the advisor's mutex guards), so callers
+// must not use it concurrently with the advisor's own solvers.
+func (a *Advisor) Session() *optimizer.KernelSession { return a.sess }
 
 // Recommendation is a solved scenario with context for reporting.
 type Recommendation struct {
@@ -263,13 +382,13 @@ func feasibility(ok bool) string {
 }
 
 func (a *Advisor) recommend(scenario string, sel optimizer.Selection) (Recommendation, error) {
-	baseT, baseBill, err := a.Ev.Evaluate(nil)
+	baseT, baseBill, err := a.sess.Base()
 	if err != nil {
 		return Recommendation{}, err
 	}
 	names := make([]string, len(sel.Points))
 	for i, p := range sel.Points {
-		names[i] = a.Lat.Name(p)
+		names[i] = a.viewName(p)
 	}
 	return Recommendation{
 		Scenario:     scenario,
@@ -295,7 +414,12 @@ func (a *Advisor) PlanFor(sel optimizer.Selection) costmodel.Plan {
 // engine, and searchOpts its deterministic configuration.
 func (a *Advisor) useSearch() bool { return a.Solver == SolverSearch }
 
-func (a *Advisor) searchOpts() search.Options { return search.Options{Seed: a.Seed} }
+// searchOpts shares the session's pinned incremental engine with the
+// search solvers, so a search solve re-prices over the kernel's
+// answering lists instead of rebuilding them.
+func (a *Advisor) searchOpts() search.Options {
+	return search.Options{Seed: a.Seed, Engine: a.sess.Engine()}
+}
 
 // advise runs one scenario through the configured engine and wraps the
 // selection into a recommendation — the single dispatch point between
@@ -305,6 +429,8 @@ func (a *Advisor) searchOpts() search.Options { return search.Options{Seed: a.Se
 // knapsack's under the exact re-priced objective — the guarantee the
 // large-lattice experiments assert, held on the product path.
 func (a *Advisor) advise(scenario string, knapsack func() (optimizer.Selection, error), searcher func(warm optimizer.Selection) (optimizer.Selection, error)) (Recommendation, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	sel, err := knapsack()
 	if err == nil && a.useSearch() {
 		sel, err = searcher(sel)
@@ -325,7 +451,7 @@ func (a *Advisor) warmOpts(warm optimizer.Selection) search.Options {
 // AdviseBudget solves scenario MV1: fastest workload within the budget.
 func (a *Advisor) AdviseBudget(budget money.Money) (Recommendation, error) {
 	return a.advise("MV1 (budget limit)",
-		func() (optimizer.Selection, error) { return a.Ev.SolveMV1(a.Candidates, budget) },
+		func() (optimizer.Selection, error) { return a.sess.SolveMV1(budget) },
 		func(warm optimizer.Selection) (optimizer.Selection, error) {
 			return search.SolveMV1(a.Ev, a.Candidates, budget, a.warmOpts(warm))
 		},
@@ -335,7 +461,7 @@ func (a *Advisor) AdviseBudget(budget money.Money) (Recommendation, error) {
 // AdviseDeadline solves scenario MV2: cheapest bill within the time limit.
 func (a *Advisor) AdviseDeadline(limit time.Duration) (Recommendation, error) {
 	return a.advise("MV2 (response-time limit)",
-		func() (optimizer.Selection, error) { return a.Ev.SolveMV2(a.Candidates, limit) },
+		func() (optimizer.Selection, error) { return a.sess.SolveMV2(limit) },
 		func(warm optimizer.Selection) (optimizer.Selection, error) {
 			return search.SolveMV2(a.Ev, a.Candidates, limit, a.warmOpts(warm))
 		},
@@ -345,7 +471,7 @@ func (a *Advisor) AdviseDeadline(limit time.Duration) (Recommendation, error) {
 // AdviseTradeoff solves scenario MV3 with the given α weight on time.
 func (a *Advisor) AdviseTradeoff(alpha float64) (Recommendation, error) {
 	return a.advise(fmt.Sprintf("MV3 (tradeoff, α=%.2g)", alpha),
-		func() (optimizer.Selection, error) { return a.Ev.SolveMV3(a.Candidates, alpha, optimizer.RawTradeoff) },
+		func() (optimizer.Selection, error) { return a.sess.SolveMV3(alpha, optimizer.RawTradeoff) },
 		func(warm optimizer.Selection) (optimizer.Selection, error) {
 			return search.SolveMV3(a.Ev, a.Candidates, alpha, optimizer.RawTradeoff, a.warmOpts(warm))
 		},
@@ -367,6 +493,8 @@ func (a *Advisor) ParetoFront(steps int) ([]ParetoPoint, error) {
 	if steps < 2 {
 		return nil, fmt.Errorf("core: need at least 2 sweep steps, got %d", steps)
 	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	// The knapsack per-α sweep runs in both modes: in knapsack mode its
 	// selections are the frontier candidates; in search mode they become
 	// warm starts, carrying the advise dispatch's guarantee over to the
@@ -375,7 +503,7 @@ func (a *Advisor) ParetoFront(steps int) ([]ParetoPoint, error) {
 	knapSels := make([]optimizer.Selection, steps)
 	for i := 0; i < steps; i++ {
 		alpha := float64(i) / float64(steps-1)
-		sel, err := a.Ev.SolveMV3(a.Candidates, alpha, optimizer.NormalizedTradeoff)
+		sel, err := a.sess.SolveMV3(alpha, optimizer.NormalizedTradeoff)
 		if err != nil {
 			return nil, err
 		}

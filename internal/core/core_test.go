@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 	"time"
@@ -183,5 +184,46 @@ func TestRecommendationRates(t *testing.T) {
 	r := Recommendation{}
 	if r.TimeImprovement() != 0 || r.CostImprovement() != 0 {
 		t.Error("zero baselines should yield zero rates")
+	}
+}
+
+// TestAdvisorConcurrentSolves pins the advisor's concurrency contract:
+// one advisor may be shared across goroutines (solves serialize on the
+// internal mutex, guarding the kernel session's scratch state), and
+// every concurrent solve must equal the sequential answer. Run under
+// -race in CI.
+func TestAdvisorConcurrentSolves(t *testing.T) {
+	adv := salesAdvisor(t, 10)
+	budget := money.FromDollars(25)
+	want, err := adv.AdviseBudget(budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMV2, err := adv.AdviseDeadline(4 * time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines = 8
+	errs := make(chan error, 2*goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func() {
+			rec, err := adv.AdviseBudget(budget)
+			if err == nil && rec.Selection.Bill.Total() != want.Selection.Bill.Total() {
+				err = fmt.Errorf("concurrent mv1 bill %v != sequential %v", rec.Selection.Bill.Total(), want.Selection.Bill.Total())
+			}
+			errs <- err
+		}()
+		go func() {
+			rec, err := adv.AdviseDeadline(4 * time.Hour)
+			if err == nil && rec.Selection.Time != wantMV2.Selection.Time {
+				err = fmt.Errorf("concurrent mv2 time %v != sequential %v", rec.Selection.Time, wantMV2.Selection.Time)
+			}
+			errs <- err
+		}()
+	}
+	for i := 0; i < 2*goroutines; i++ {
+		if err := <-errs; err != nil {
+			t.Error(err)
+		}
 	}
 }

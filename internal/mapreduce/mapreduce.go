@@ -77,11 +77,22 @@ func Run[I any, K comparable, V any, O any](
 	counters.InputRecords = int64(len(inputs))
 
 	// ---- Map phase -------------------------------------------------------
-	// Each map task owns one partition set (one map per reduce partition) so
-	// no locking is needed until merge.
-	type partitionSet struct {
-		parts   []map[K][]V
-		emitted int64
+	// Each map task owns its output buffer so no locking is needed until
+	// the shuffle. Without a combiner, emissions land in one flat
+	// append-only pair buffer (amortized zero allocations per record);
+	// with one, the task keeps a single combined value per key (map[K]V —
+	// never a per-key slice). Records are NOT partitioned at emit time:
+	// partitioning hashes only the distinct keys during the shuffle, so
+	// the per-record cost of the map side is one buffer append or one map
+	// update, with no per-emit hashing or interface boxing.
+	type pair struct {
+		k K
+		v V
+	}
+	type mapOut struct {
+		pairs    []pair  // combiner == nil
+		combined map[K]V // combiner != nil
+		emitted  int64
 	}
 	nm := cfg.Mappers
 	if nm > len(inputs) && len(inputs) > 0 {
@@ -90,18 +101,17 @@ func Run[I any, K comparable, V any, O any](
 	if nm == 0 {
 		nm = 1
 	}
-	sets := make([]partitionSet, nm)
+	sets := make([]mapOut, nm)
 	var wg sync.WaitGroup
 	errCh := make(chan error, nm+cfg.Reducers)
 	for t := 0; t < nm; t++ {
-		sets[t].parts = make([]map[K][]V, cfg.Reducers)
-		for p := range sets[t].parts {
-			sets[t].parts[p] = make(map[K][]V)
+		if combiner != nil {
+			sets[t].combined = make(map[K]V)
 		}
 		lo := len(inputs) * t / nm
 		hi := len(inputs) * (t + 1) / nm
 		wg.Add(1)
-		go func(set *partitionSet, shard []I) {
+		go func(set *mapOut, shard []I) {
 			defer wg.Done()
 			defer func() {
 				if r := recover(); r != nil {
@@ -110,17 +120,15 @@ func Run[I any, K comparable, V any, O any](
 			}()
 			emit := func(k K, v V) {
 				set.emitted++
-				p := partition(k, cfg.Reducers)
-				bucket := set.parts[p]
 				if combiner != nil {
-					if prev, ok := bucket[k]; ok {
-						bucket[k] = []V{combiner(prev[0], v)}
-						return
+					if prev, ok := set.combined[k]; ok {
+						set.combined[k] = combiner(prev, v)
+					} else {
+						set.combined[k] = v
 					}
-					bucket[k] = []V{v}
 					return
 				}
-				bucket[k] = append(bucket[k], v)
+				set.pairs = append(set.pairs, pair{k, v})
 			}
 			for _, in := range shard {
 				mapper(in, emit)
@@ -137,22 +145,86 @@ func Run[I any, K comparable, V any, O any](
 		counters.MapOutputRecords += sets[t].emitted
 	}
 
-	// ---- Shuffle: merge map-side partitions per reducer ------------------
-	merged := make([]map[K][]V, cfg.Reducers)
-	for p := 0; p < cfg.Reducers; p++ {
-		merged[p] = make(map[K][]V)
-		for t := range sets {
-			for k, vs := range sets[t].parts[p] {
-				merged[p][k] = append(merged[p][k], vs...)
-				counters.ShuffledRecords += int64(len(vs))
+	// ---- Shuffle: group all records by key, then partition keys ----------
+	// Sort-free grouping without per-key slice churn: assign each distinct
+	// key a dense group id and count its values, carve one flat value
+	// buffer, fill each group's contiguous range, then assign whole groups
+	// to reduce partitions (one hash per distinct key, not per record).
+	// Value order per key is (map task, emit order) — the same merge order
+	// as the per-key append shuffle this replaces.
+	var total, hint int
+	for t := range sets {
+		if combiner != nil {
+			// Distinct keys are at least the largest per-task combined
+			// map — a far better index size hint than the record count.
+			total += len(sets[t].combined)
+			if len(sets[t].combined) > hint {
+				hint = len(sets[t].combined)
+			}
+		} else {
+			total += len(sets[t].pairs)
+		}
+	}
+	counters.ShuffledRecords = int64(total)
+	idx := make(map[K]int, hint)
+	var counts []int
+	var keys []K
+	for t := range sets {
+		if combiner != nil {
+			for k := range sets[t].combined {
+				if g, ok := idx[k]; ok {
+					counts[g]++
+				} else {
+					idx[k] = len(counts)
+					counts = append(counts, 1)
+					keys = append(keys, k)
+				}
+			}
+		} else {
+			for i := range sets[t].pairs {
+				k := sets[t].pairs[i].k
+				if g, ok := idx[k]; ok {
+					counts[g]++
+				} else {
+					idx[k] = len(counts)
+					counts = append(counts, 1)
+					keys = append(keys, k)
+				}
 			}
 		}
+	}
+	values := make([]V, total)
+	starts := make([]int, len(counts)+1)
+	for i, c := range counts {
+		starts[i+1] = starts[i] + c
+	}
+	fill := append([]int(nil), starts[:len(counts)]...)
+	for t := range sets {
+		if combiner != nil {
+			for k, v := range sets[t].combined {
+				gi := idx[k]
+				values[fill[gi]] = v
+				fill[gi]++
+			}
+		} else {
+			for i := range sets[t].pairs {
+				pr := &sets[t].pairs[i]
+				gi := idx[pr.k]
+				values[fill[gi]] = pr.v
+				fill[gi]++
+			}
+		}
+	}
+	parts := make([][]int, cfg.Reducers)
+	for gi, k := range keys {
+		p := partition(k, cfg.Reducers)
+		parts[p] = append(parts[p], gi)
 	}
 
 	// ---- Reduce phase ----------------------------------------------------
 	outs := make([]map[K]O, cfg.Reducers)
 	for p := 0; p < cfg.Reducers; p++ {
-		outs[p] = make(map[K]O, len(merged[p]))
+		outs[p] = make(map[K]O, len(parts[p]))
 		wg.Add(1)
 		go func(p int) {
 			defer wg.Done()
@@ -161,8 +233,9 @@ func Run[I any, K comparable, V any, O any](
 					errCh <- fmt.Errorf("mapreduce: reduce task panicked: %v", r)
 				}
 			}()
-			for k, vs := range merged[p] {
-				outs[p][k] = reducer(k, vs)
+			for _, gi := range parts[p] {
+				k := keys[gi]
+				outs[p][k] = reducer(k, values[starts[gi]:starts[gi+1]])
 			}
 		}(p)
 	}
@@ -173,7 +246,11 @@ func Run[I any, K comparable, V any, O any](
 	default:
 	}
 
-	result := make(map[K]O)
+	distinct := 0
+	for p := range outs {
+		distinct += len(outs[p])
+	}
+	result := make(map[K]O, distinct)
 	for p := range outs {
 		for k, o := range outs[p] {
 			result[k] = o
@@ -184,13 +261,68 @@ func Run[I any, K comparable, V any, O any](
 	return result, counters, nil
 }
 
-// partition assigns a key to a reduce partition by FNV hash of its
-// fmt-rendered form — stable across runs for any comparable key type.
+// partition assigns a key to a reduce partition — stable within and
+// across runs for any comparable key type. Common scalar and string keys
+// hash allocation-free (inline FNV-1a over their bytes); other key
+// shapes (structs, arrays) fall back to hashing the fmt rendering.
 func partition[K comparable](k K, n int) int {
 	if n <= 1 {
 		return 0
 	}
-	h := fnv.New32a()
-	fmt.Fprintf(h, "%v", k)
-	return int(h.Sum32() % uint32(n))
+	return int(keyHash(k) % uint32(n))
+}
+
+const (
+	fnvOffset32 = 2166136261
+	fnvPrime32  = 16777619
+)
+
+func fnvString(s string) uint32 {
+	h := uint32(fnvOffset32)
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint32(s[i])) * fnvPrime32
+	}
+	return h
+}
+
+func fnvUint64(v uint64) uint32 {
+	h := uint32(fnvOffset32)
+	for i := 0; i < 8; i++ {
+		h = (h ^ uint32(v&0xff)) * fnvPrime32
+		v >>= 8
+	}
+	return h
+}
+
+func keyHash[K comparable](k K) uint32 {
+	switch v := any(k).(type) {
+	case string:
+		return fnvString(v)
+	case int:
+		return fnvUint64(uint64(v))
+	case int8:
+		return fnvUint64(uint64(v))
+	case int16:
+		return fnvUint64(uint64(v))
+	case int32:
+		return fnvUint64(uint64(v))
+	case int64:
+		return fnvUint64(uint64(v))
+	case uint:
+		return fnvUint64(uint64(v))
+	case uint8:
+		return fnvUint64(uint64(v))
+	case uint16:
+		return fnvUint64(uint64(v))
+	case uint32:
+		return fnvUint64(uint64(v))
+	case uint64:
+		return fnvUint64(v)
+	case uintptr:
+		return fnvUint64(uint64(v))
+	default:
+		h := fnv.New32a()
+		fmt.Fprintf(h, "%v", v)
+		return h.Sum32()
+	}
 }

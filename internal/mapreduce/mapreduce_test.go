@@ -213,6 +213,36 @@ func TestStructKeys(t *testing.T) {
 	}
 }
 
+// TestShuffleHeavyAllocBudget pins the shuffle's allocation behavior:
+// the flat-buffer grouping runs the heavy combiner workload in under a
+// thousand allocations; the per-key map churn it replaced took ~140k.
+// The generous bound absorbs scheduler noise while still failing loudly
+// if per-record allocation ever creeps back in.
+func TestShuffleHeavyAllocBudget(t *testing.T) {
+	inputs := make([]int, 50_000)
+	for i := range inputs {
+		inputs[i] = i
+	}
+	mapper := func(v int, emit func(int, int64)) { emit(v%1000, 1) }
+	add := func(a, b int64) int64 { return a + b }
+	red := func(_ int, vs []int64) int64 {
+		var s int64
+		for _, v := range vs {
+			s += v
+		}
+		return s
+	}
+	allocs := testing.AllocsPerRun(5, func() {
+		if _, _, err := Run(Config{Mappers: 4, Reducers: 4}, inputs, mapper, add, red); err != nil {
+			t.Fatal(err)
+		}
+	})
+	const budget = 5000
+	if allocs > budget {
+		t.Errorf("shuffle-heavy Run allocated %.0f objects/run, budget %d", allocs, budget)
+	}
+}
+
 func BenchmarkShuffleHeavy(b *testing.B) {
 	inputs := make([]int, 50_000)
 	for i := range inputs {

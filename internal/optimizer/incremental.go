@@ -2,7 +2,6 @@ package optimizer
 
 import (
 	"fmt"
-	"sort"
 	"time"
 
 	"vmcloud/internal/costmodel"
@@ -11,14 +10,15 @@ import (
 )
 
 // IncrementalEvaluator prices candidate subsets by delta evaluation: the
-// candidate set and workload are pinned once, and every Add/Drop move
-// updates running aggregates in O(affected queries) instead of the
-// Evaluator's O(|workload| × |selection|) full recomputation. Score()
-// rebuilds the exact tiered bill from the aggregates via the same
-// Plan.Bill the Evaluator uses, so an IncrementalEvaluator state is
-// bit-equal — time, bill, size — to Evaluator.Evaluate of the same
-// subset (the property tests in incremental_test.go enforce this on
-// random lattices and move sequences).
+// candidate set and workload are pinned once (in a ComparisonKernel), and
+// every Add/Drop move updates running aggregates in O(affected queries)
+// instead of the Evaluator's O(|workload| × |selection|) full
+// recomputation. Score() rebuilds the exact tiered bill from the
+// aggregates via the same Plan.Bill the Evaluator uses, so an
+// IncrementalEvaluator state is bit-equal — time, bill, size — to
+// Evaluator.Evaluate of the same subset (the property tests in
+// incremental_test.go enforce this on random lattices and move
+// sequences).
 //
 // Invariants maintained across moves:
 //
@@ -36,34 +36,16 @@ import (
 // arbitrary subset, used for search restarts) and the Bill arithmetic in
 // Score (tier boundaries and billing rounding are global, so the exact
 // bill is always recomputed from the aggregates — never linearized).
+//
+// The structural half (answering lists, groups, candidate scalars) lives
+// in the shared ComparisonKernel; this type adds the tariff-dependent
+// time scalars of one binding plus the mutable selection state, so one
+// kernel can serve many evaluators — one per tariff — without re-walking
+// the lattice.
 type IncrementalEvaluator struct {
 	ev *Evaluator
-	n  int
-
-	// Per-candidate scalars, indexed by candidate position.
-	rows  []int64          // lattice scan rows of the candidate's cuboid
-	size  []units.DataSize // stored size (lattice estimate, what Evaluate sums)
-	maint []time.Duration  // MaintenanceTime (Formula 11 per view)
-	mat   []time.Duration  // MaterializationTime (Formula 7 per view)
-	// perRun is maint / MaintenanceRuns (exact: maint is built as
-	// runs × perRun), used by deferred maintenance.
-	perRun []time.Duration
-	// group maps candidates sharing one lattice point to one served
-	// counter, mirroring the Evaluator's per-point-name accounting;
-	// groupMembers inverts it (almost always a single candidate).
-	group        []int
-	groupMembers [][]int32
-
-	// Per-query precomputation.
-	qFreq []int64
-	qBase []time.Duration // freq × TimeForJob(base size)
-	// qAns[q] lists the candidates that can answer q with strictly fewer
-	// rows than the base, sorted by (rows, candidate index) — scan order
-	// equals the Evaluator's cheapest-answering tie-break.
-	qAns [][]ansEntry
-	// cand2q[q-lists per candidate]: which queries each candidate can
-	// answer (the "affected queries" of a move).
-	cand2q [][]int32
+	k  *ComparisonKernel
+	sessionScalars
 
 	// Mutable state.
 	selected []bool
@@ -71,8 +53,6 @@ type IncrementalEvaluator struct {
 	assigned []int32  // per query: candidate index or -1 (base)
 	curTerm  []time.Duration
 	served   []int64 // per group: monthly executions routed to the group
-	deferred bool
-	runs     int64
 
 	// Running aggregates.
 	proc     time.Duration
@@ -81,108 +61,67 @@ type IncrementalEvaluator struct {
 	sizeSum  units.DataSize
 }
 
-// ansEntry is one answering candidate of a query with its precomputed
-// frequency-weighted scan term.
-type ansEntry struct {
-	cand int32
-	rows int64
-	term time.Duration // freq × TimeForJob(candidate size)
-}
-
-// NewIncrementalEvaluator pins a candidate set against an evaluator. The
-// candidate points are validated against the lattice; everything the
-// per-move updates need is precomputed here, once.
+// NewIncrementalEvaluator pins a candidate set against an evaluator: a
+// one-shot ComparisonKernel build followed by Bind. Callers re-pricing
+// the same problem under several tariffs should build the kernel once
+// and Bind per tariff instead.
 func NewIncrementalEvaluator(ev *Evaluator, cands []views.Candidate) (*IncrementalEvaluator, error) {
 	if ev == nil || ev.Est == nil || ev.Est.Lat == nil {
 		return nil, fmt.Errorf("optimizer: incremental evaluator needs a wired evaluator")
 	}
-	l := ev.Est.Lat
-	n := len(cands)
-	inc := &IncrementalEvaluator{
-		ev:       ev,
-		n:        n,
-		rows:     make([]int64, n),
-		size:     make([]units.DataSize, n),
-		maint:    make([]time.Duration, n),
-		mat:      make([]time.Duration, n),
-		perRun:   make([]time.Duration, n),
-		group:    make([]int, n),
-		selected: make([]bool, n),
-		words:    make([]uint64, (n+63)/64),
-		deferred: ev.Est.Policy == views.DeferredMaintenance,
-		runs:     int64(ev.Est.MaintenanceRuns),
+	k, err := NewComparisonKernel(ev.Est.Lat, ev.W, cands)
+	if err != nil {
+		return nil, err
 	}
-	ids := make([]int, n)
-	groupOf := make(map[int]int, n)
-	for i, c := range cands {
-		id, err := l.ID(c.Point)
-		if err != nil {
-			return nil, fmt.Errorf("optimizer: candidate %d: %w", i, err)
-		}
-		ids[i] = id
-		node := l.NodeByID(id)
-		inc.rows[i] = node.Rows
-		inc.size[i] = node.Size
-		inc.maint[i] = ev.Est.MaintenanceTime(c.Point)
-		inc.mat[i] = ev.Est.MaterializationTime(c.Point)
-		if inc.runs > 0 {
-			inc.perRun[i] = inc.maint[i] / time.Duration(inc.runs)
-		}
-		g, ok := groupOf[id]
-		if !ok {
-			g = len(groupOf)
-			groupOf[id] = g
-			inc.groupMembers = append(inc.groupMembers, nil)
-		}
-		inc.group[i] = g
-		inc.groupMembers[g] = append(inc.groupMembers[g], int32(i))
-	}
-	inc.served = make([]int64, len(groupOf))
+	return k.Bind(ev)
+}
 
-	baseNode := l.NodeByID(0)
-	nq := len(ev.W.Queries)
-	inc.qFreq = make([]int64, nq)
-	inc.qBase = make([]time.Duration, nq)
-	inc.qAns = make([][]ansEntry, nq)
-	inc.assigned = make([]int32, nq)
-	inc.curTerm = make([]time.Duration, nq)
-	inc.cand2q = make([][]int32, n)
-	baseJob := ev.Est.Cl.TimeForJob(baseNode.Size)
-	for q, query := range ev.W.Queries {
-		qid, err := l.ID(query.Point)
-		if err != nil {
-			return nil, fmt.Errorf("optimizer: query %d: %w", q, err)
-		}
-		freq := int64(query.Frequency)
-		inc.qFreq[q] = freq
-		inc.qBase[q] = time.Duration(freq) * baseJob
-		for i := 0; i < n; i++ {
-			// Only candidates that strictly beat the base can ever be
-			// assigned (CheapestAnswering replaces on fewer rows only).
-			if inc.rows[i] >= baseNode.Rows || !l.CanAnswerID(ids[i], qid) {
-				continue
-			}
-			inc.qAns[q] = append(inc.qAns[q], ansEntry{
-				cand: int32(i),
-				rows: inc.rows[i],
-				term: time.Duration(freq) * ev.Est.Cl.TimeForJob(inc.size[i]),
-			})
-			inc.cand2q[i] = append(inc.cand2q[i], int32(q))
-		}
-		sort.SliceStable(inc.qAns[q], func(a, b int) bool {
-			ea, eb := inc.qAns[q][a], inc.qAns[q][b]
-			if ea.rows != eb.rows {
-				return ea.rows < eb.rows
-			}
-			return ea.cand < eb.cand
-		})
+// Bind derives a delta-evaluation engine for one tariff: the kernel's
+// pinned structure plus this evaluator's time scalars. The evaluator
+// must be wired over the kernel's lattice.
+func (k *ComparisonKernel) Bind(ev *Evaluator) (*IncrementalEvaluator, error) {
+	if ev == nil || ev.Est == nil || ev.Est.Lat == nil {
+		return nil, fmt.Errorf("optimizer: incremental evaluator needs a wired evaluator")
+	}
+	if ev.Est.Lat != k.Lat {
+		return nil, fmt.Errorf("optimizer: evaluator lattice differs from the kernel's")
+	}
+	inc := &IncrementalEvaluator{
+		ev:             ev,
+		k:              k,
+		sessionScalars: k.bindScalars(ev),
+		selected:       make([]bool, k.n),
+		words:          make([]uint64, (k.n+63)/64),
+		assigned:       make([]int32, k.nq),
+		curTerm:        make([]time.Duration, k.nq),
+		served:         make([]int64, len(k.groupMembers)),
 	}
 	inc.resetEmpty()
 	return inc, nil
 }
 
+// Evaluator returns the exact evaluator this engine is bound to.
+func (inc *IncrementalEvaluator) Evaluator() *Evaluator { return inc.ev }
+
+// PinnedTo reports whether this engine prices exactly the given
+// evaluator and candidate set — the guard callers handing a pre-built
+// engine to a solver (search.Options.Engine) are checked against, so a
+// same-length but different candidate list cannot be silently priced as
+// another one.
+func (inc *IncrementalEvaluator) PinnedTo(ev *Evaluator, cands []views.Candidate) bool {
+	if inc.ev != ev || len(cands) != inc.k.n {
+		return false
+	}
+	for i, c := range cands {
+		if c.Rows != inc.k.Cands[i].Rows || c.Size != inc.k.Cands[i].Size || !c.Point.Equal(inc.k.Cands[i].Point) {
+			return false
+		}
+	}
+	return true
+}
+
 // Len returns the pinned candidate count.
-func (inc *IncrementalEvaluator) Len() int { return inc.n }
+func (inc *IncrementalEvaluator) Len() int { return inc.k.n }
 
 // Selected reports whether candidate i is in the current subset.
 func (inc *IncrementalEvaluator) Selected(i int) bool { return inc.selected[i] }
@@ -216,8 +155,8 @@ func (inc *IncrementalEvaluator) resetEmpty() {
 // re-pricing path (O(n + Σ answering-list lengths)), used when a search
 // restarts from a new subset rather than stepping to a neighbor.
 func (inc *IncrementalEvaluator) Reset(sel []bool) error {
-	if len(sel) != inc.n {
-		return fmt.Errorf("optimizer: reset with %d flags for %d candidates", len(sel), inc.n)
+	if len(sel) != inc.k.n {
+		return fmt.Errorf("optimizer: reset with %d flags for %d candidates", len(sel), inc.k.n)
 	}
 	inc.resetEmpty()
 	for i, on := range sel {
@@ -237,7 +176,7 @@ func (inc *IncrementalEvaluator) Add(i int) {
 	}
 	inc.selected[i] = true
 	inc.words[i>>6] |= 1 << (uint(i) & 63)
-	inc.sizeSum += inc.size[i]
+	inc.sizeSum += inc.k.size[i]
 	inc.matSum += inc.mat[i]
 	if !inc.deferred {
 		inc.maintSum += inc.maint[i]
@@ -245,14 +184,14 @@ func (inc *IncrementalEvaluator) Add(i int) {
 		// A group sibling (duplicate point) may already be serving
 		// queries; the new member is billed for the group's capped
 		// refresh count from the moment it is selected.
-		inc.maintSum += time.Duration(min64(inc.served[inc.group[i]], inc.runs)) * inc.perRun[i]
+		inc.maintSum += time.Duration(min64(inc.served[inc.k.group[i]], inc.runs)) * inc.perRun[i]
 	}
-	ri := inc.rows[i]
-	for _, q32 := range inc.cand2q[i] {
+	ri := inc.k.rows[i]
+	for _, q32 := range inc.k.cand2q[i] {
 		q := int(q32)
 		cur := inc.assigned[q]
 		if cur >= 0 {
-			rc := inc.rows[cur]
+			rc := inc.k.rows[cur]
 			if ri > rc || (ri == rc && int32(i) > cur) {
 				continue
 			}
@@ -269,24 +208,24 @@ func (inc *IncrementalEvaluator) Drop(i int) {
 	}
 	inc.selected[i] = false
 	inc.words[i>>6] &^= 1 << (uint(i) & 63)
-	inc.sizeSum -= inc.size[i]
+	inc.sizeSum -= inc.k.size[i]
 	inc.matSum -= inc.mat[i]
 	if !inc.deferred {
 		inc.maintSum -= inc.maint[i]
 	} else if inc.runs > 0 {
 		// Shed this member's share of the group's capped refresh bill
 		// before re-routing (the re-route below no longer counts i).
-		inc.maintSum -= time.Duration(min64(inc.served[inc.group[i]], inc.runs)) * inc.perRun[i]
+		inc.maintSum -= time.Duration(min64(inc.served[inc.k.group[i]], inc.runs)) * inc.perRun[i]
 	}
-	for _, q32 := range inc.cand2q[i] {
+	for _, q32 := range inc.k.cand2q[i] {
 		q := int(q32)
 		if inc.assigned[q] != int32(i) {
 			continue
 		}
 		next := int32(-1)
-		for _, e := range inc.qAns[q] {
-			if inc.selected[e.cand] {
-				next = e.cand
+		for idx := inc.k.qOff[q]; idx < inc.k.qOff[q+1]; idx++ {
+			if c := inc.k.ansCand[idx]; inc.selected[c] {
+				next = c
 				break
 			}
 		}
@@ -300,19 +239,19 @@ func (inc *IncrementalEvaluator) route(q int, to int32) {
 	from := inc.assigned[q]
 	if inc.deferred && inc.runs > 0 {
 		if from >= 0 {
-			inc.adjustServed(int(from), -inc.qFreq[q])
+			inc.adjustServed(int(from), -inc.k.qFreq[q])
 		}
 		if to >= 0 {
-			inc.adjustServed(int(to), inc.qFreq[q])
+			inc.adjustServed(int(to), inc.k.qFreq[q])
 		}
 	}
 	var term time.Duration
 	if to < 0 {
 		term = inc.qBase[q]
 	} else {
-		for _, e := range inc.qAns[q] {
-			if e.cand == to {
-				term = e.term
+		for idx := inc.k.qOff[q]; idx < inc.k.qOff[q+1]; idx++ {
+			if inc.k.ansCand[idx] == to {
+				term = inc.ansTerm[idx]
 				break
 			}
 		}
@@ -328,7 +267,7 @@ func (inc *IncrementalEvaluator) route(q int, to int32) {
 // candidate; duplicates of one point share a counter exactly like the
 // Evaluator's per-point accounting.
 func (inc *IncrementalEvaluator) adjustServed(i int, delta int64) {
-	g := inc.group[i]
+	g := inc.k.group[i]
 	before := inc.served[g]
 	after := before + delta
 	inc.served[g] = after
@@ -338,7 +277,7 @@ func (inc *IncrementalEvaluator) adjustServed(i int, delta int64) {
 	}
 	// Capped refresh count changed: update every selected candidate in
 	// the group (perRun is identical within a group).
-	for _, j := range inc.groupMembers[g] {
+	for _, j := range inc.k.groupMembers[g] {
 		if inc.selected[j] {
 			inc.maintSum += time.Duration(ca-cb) * inc.perRun[j]
 		}

@@ -1,0 +1,421 @@
+package optimizer
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"vmcloud/internal/costmodel"
+	"vmcloud/internal/lattice"
+	"vmcloud/internal/money"
+	"vmcloud/internal/units"
+)
+
+// KernelSession is one tariff binding of a ComparisonKernel: the pinned
+// structure re-priced for one provider × instance × fleet configuration.
+// It exposes the Evaluator's scenario solvers (SolveMV1/MV2/MV3) with
+// identical semantics — the selections, times and bills are bit-equal to
+// the Evaluator's, pinned by TestKernelSessionMatchesEvaluator — but
+// every exact subset evaluation runs over the kernel's flat arrays
+// (integer row comparisons and precomputed durations) instead of
+// per-point lattice walks, and the linearized knapsack items and the
+// no-view baseline are computed once per session instead of once per
+// solve. A comparison fan-out thus pays the structural cost once per
+// problem and only the O(arithmetic) re-bill per tariff cell.
+//
+// A session is NOT safe for concurrent use (it owns scratch state and an
+// incremental engine); fan-outs bind one session per worker cell.
+type KernelSession struct {
+	// Kern is the shared pricing-invariant structure.
+	Kern *ComparisonKernel
+	// Ev is the bound exact evaluator (cluster, plan template, tariff).
+	Ev *Evaluator
+
+	inc *IncrementalEvaluator
+
+	// Lazily cached per-session values.
+	items     []Item
+	haveItems bool
+	baseT     time.Duration
+	baseBill  costmodel.Bill
+	haveBase  bool
+
+	// Scratch reused across solves (a session is single-threaded); the
+	// break-even budget sweeps of the comparison engine call SolveMV1
+	// once per budget, so per-solve slices would dominate the allocation
+	// profile otherwise. Selections returned to callers always carry
+	// freshly allocated Points — scratch never escapes.
+	servedBuf []int64
+	selBuf    []int32
+	idxBuf    []int
+	valBuf    []int64
+	wtBuf     []int64
+	bestCand  []int32
+	bestRows  []int64
+}
+
+// RepriceFor binds the kernel to one tariff: the evaluator supplies the
+// cluster, billing period and plan template of a single provider ×
+// instance × fleet configuration; everything structural is reused from
+// the kernel. This is the whole per-cell rebuild of a cross-tariff
+// comparison.
+func (k *ComparisonKernel) RepriceFor(ev *Evaluator) (*KernelSession, error) {
+	inc, err := k.Bind(ev)
+	if err != nil {
+		return nil, err
+	}
+	return &KernelSession{
+		Kern:      k,
+		Ev:        ev,
+		inc:       inc,
+		servedBuf: make([]int64, len(k.groupMembers)),
+		bestCand:  make([]int32, k.nq),
+		bestRows:  make([]int64, k.nq),
+	}, nil
+}
+
+// Engine returns the session's incremental delta-evaluation engine — the
+// structure-sharing hook the metaheuristic search solvers accept via
+// search.Options.Engine, so a search solve reuses the session's pinned
+// answering lists instead of rebuilding them.
+func (s *KernelSession) Engine() *IncrementalEvaluator { return s.inc }
+
+// Base returns the exact no-view baseline (Evaluate(nil)), computed once
+// per session.
+func (s *KernelSession) Base() (time.Duration, costmodel.Bill, error) {
+	if !s.haveBase {
+		var proc time.Duration
+		for q := 0; q < s.Kern.nq; q++ {
+			proc += s.inc.qBase[q]
+		}
+		plan := s.Ev.Base.WithViews(0, proc, 0, 0)
+		bill, err := plan.Bill()
+		if err != nil {
+			return 0, costmodel.Bill{}, err
+		}
+		s.baseT, s.baseBill, s.haveBase = proc, bill, true
+	}
+	return s.baseT, s.baseBill, nil
+}
+
+// evaluateSel prices the candidate subset sel (candidate indices, in
+// selection order) exactly, mirroring Evaluator.Evaluate of the same
+// points: cheapest-answering routing with the first-strictly-fewer-rows
+// tie rule, policy-aware maintenance, and the full tiered bill.
+func (s *KernelSession) evaluateSel(sel []int32) (time.Duration, costmodel.Bill, error) {
+	k, sc := s.Kern, &s.inc.sessionScalars
+	var proc, maint, mat time.Duration
+	var sizeSum units.DataSize
+	deferred := sc.deferred && sc.runs > 0
+	served := s.servedBuf
+	if deferred {
+		for g := range served {
+			served[g] = 0
+		}
+	}
+	// Route every query to its cheapest answering source. Candidates are
+	// processed in selection order with a strict row comparison per
+	// query, so the per-query winner is exactly CheapestAnswering's
+	// first-strictly-fewer-rows-in-scan-order choice (the loop nesting is
+	// swapped for locality; per query the candidate order is unchanged).
+	bestCand, bestRows := s.bestCand, s.bestRows
+	for q := 0; q < k.nq; q++ {
+		bestCand[q] = -1
+		bestRows[q] = k.baseRows
+	}
+	for _, ci := range sel {
+		ri := k.rows[ci]
+		for _, q := range k.cand2q[ci] {
+			if ri < bestRows[q] {
+				bestRows[q], bestCand[q] = ri, ci
+			}
+		}
+	}
+	for q := 0; q < k.nq; q++ {
+		best := bestCand[q]
+		if best < 0 {
+			proc += sc.qBase[q]
+			continue
+		}
+		proc += time.Duration(k.qFreq[q]) * sc.candJob[best]
+		if deferred {
+			served[k.group[best]] += k.qFreq[q]
+		}
+	}
+	for _, ci := range sel {
+		mat += sc.mat[ci]
+		sizeSum += k.size[ci]
+		if !sc.deferred {
+			maint += sc.maint[ci]
+		} else if sc.runs > 0 {
+			maint += time.Duration(min64(served[k.group[ci]], sc.runs)) * sc.perRun[ci]
+		}
+	}
+	plan := s.Ev.Base.WithViews(sizeSum, proc, maint, mat)
+	bill, err := plan.Bill()
+	if err != nil {
+		return 0, costmodel.Bill{}, err
+	}
+	return proc, bill, nil
+}
+
+// selectionFor assembles a Selection for an already-priced subset
+// (points in selection order, feasibility check) — mirroring the tail of
+// Evaluator.finishItems.
+func (s *KernelSession) selectionFor(sel []int32, t time.Duration, bill costmodel.Bill, strategy string, feasible func(time.Duration, costmodel.Bill) bool) Selection {
+	pts := make([]lattice.Point, len(sel))
+	for i, ci := range sel {
+		pts[i] = s.Kern.Cands[ci].Point
+	}
+	out := Selection{Points: pts, Time: t, Bill: bill, Strategy: strategy}
+	if feasible != nil {
+		out.Feasible = feasible(t, bill)
+	} else {
+		out.Feasible = true
+	}
+	return out
+}
+
+// finishSel prices the subset and assembles its Selection, mirroring
+// Evaluator.finishItems.
+func (s *KernelSession) finishSel(sel []int32, strategy string, feasible func(time.Duration, costmodel.Bill) bool) (Selection, error) {
+	t, bill, err := s.evaluateSel(sel)
+	if err != nil {
+		return Selection{}, err
+	}
+	return s.selectionFor(sel, t, bill, strategy, feasible), nil
+}
+
+// finishBaseline mirrors Evaluator.finish(nil, ...): the no-view
+// selection with nil points.
+func (s *KernelSession) finishBaseline(strategy string, feasible func(time.Duration, costmodel.Bill) bool) (Selection, error) {
+	t, bill, err := s.Base()
+	if err != nil {
+		return Selection{}, err
+	}
+	out := Selection{Points: nil, Time: t, Bill: bill, Strategy: strategy}
+	if feasible != nil {
+		out.Feasible = feasible(t, bill)
+	} else {
+		out.Feasible = true
+	}
+	return out, nil
+}
+
+// Items returns the linearized knapsack items (Evaluator.BuildItems of
+// the pinned candidates), computed once per session. The slice is shared
+// — callers must not mutate it.
+func (s *KernelSession) Items() []Item {
+	if s.haveItems {
+		return s.items
+	}
+	k, sc := s.Kern, &s.inc.sessionScalars
+	if k.n == 0 {
+		s.haveItems = true
+		return nil
+	}
+	// Assignment: each query credits its best candidate — fewest rows
+	// among the answering candidates that beat the base, lowest candidate
+	// index on ties. The answering list is sorted by exactly that rule,
+	// so the best candidate is its head.
+	assignedSaving := make([]time.Duration, k.n)
+	for q := 0; q < k.nq; q++ {
+		if k.qOff[q] == k.qOff[q+1] {
+			continue
+		}
+		best := k.ansCand[k.qOff[q]]
+		if tView := sc.candJob[best]; tView < sc.baseJob {
+			assignedSaving[best] += time.Duration(k.qFreq[q]) * (sc.baseJob - tView)
+		}
+	}
+	months := s.Ev.Base.Months
+	hourly := s.Ev.Base.Cluster.HourlyRate()
+	storageRate := s.Ev.Base.Cluster.Provider.Storage.Table.RateFor(s.Ev.Base.DatasetSize)
+	items := make([]Item, k.n)
+	for i, c := range k.Cands {
+		cost := storageRate.MulFloat(c.Size.GBs() * months)
+		cost = cost.Add(hourly.MulFloat(sc.maint[i].Hours() * months))
+		cost = cost.Add(hourly.MulFloat(sc.mat[i].Hours()))
+		cost = cost.Sub(hourly.MulFloat(assignedSaving[i].Hours() * months))
+		items[i] = Item{Cand: c, TimeSaved: assignedSaving[i], CostDelta: cost}
+	}
+	s.items, s.haveItems = items, true
+	return items
+}
+
+// SolveMV1 solves scenario MV1 (Formula 13) exactly as
+// Evaluator.SolveMV1 does — same items, same knapsack, same exact
+// repair — with the baseline and items served from the session caches.
+func (s *KernelSession) SolveMV1(budget money.Money) (Selection, error) {
+	feasible := func(_ time.Duration, b costmodel.Bill) bool { return b.Total() <= budget }
+	sel, t, bill, baselineOnly, err := s.solveMV1(budget)
+	if err != nil {
+		return Selection{}, err
+	}
+	if baselineOnly {
+		// Even without views the budget does not cover the workload.
+		return s.finishBaseline("mv1-knapsack", feasible)
+	}
+	return s.selectionFor(sel, t, bill, "mv1-knapsack", feasible), nil
+}
+
+// BudgetOutcome solves MV1 at the given budget and returns only the
+// scalar outcome — workload time, total cost, feasibility. The pricing
+// is identical to SolveMV1 (same items, knapsack, exact repair); only
+// the point-list materialization is skipped, which is what lets a
+// break-even budget sweep re-price dozens of budgets per cell without
+// allocation churn.
+func (s *KernelSession) BudgetOutcome(budget money.Money) (time.Duration, money.Money, bool, error) {
+	_, t, bill, baselineOnly, err := s.solveMV1(budget)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	if baselineOnly {
+		bt, bb, err := s.Base()
+		if err != nil {
+			return 0, 0, false, err
+		}
+		return bt, bb.Total(), bb.Total() <= budget, nil
+	}
+	return t, bill.Total(), bill.Total() <= budget, nil
+}
+
+// solveMV1 is the shared MV1 core: the chosen subset with its exact
+// price, or baselineOnly when even the no-view baseline busts the
+// budget. The returned slice aliases session scratch.
+func (s *KernelSession) solveMV1(budget money.Money) (sel []int32, t time.Duration, bill costmodel.Bill, baselineOnly bool, err error) {
+	feasible := func(_ time.Duration, b costmodel.Bill) bool { return b.Total() <= budget }
+	_, baseBill, err := s.Base()
+	if err != nil {
+		return nil, 0, costmodel.Bill{}, false, err
+	}
+	if baseBill.Total() > budget {
+		return nil, 0, costmodel.Bill{}, true, nil
+	}
+	items := s.Items()
+	slack := budget.Sub(baseBill.Total())
+	chosen := s.selBuf[:0]
+	payIdx := s.idxBuf[:0]
+	for i, it := range items {
+		if it.CostDelta <= 0 && it.TimeSaved > 0 {
+			chosen = append(chosen, int32(i))
+			slack = slack.Add(it.CostDelta.Neg())
+		}
+	}
+	values, weights := s.valBuf[:0], s.wtBuf[:0]
+	for i, it := range items {
+		if it.CostDelta > 0 && it.TimeSaved > 0 {
+			payIdx = append(payIdx, i)
+			values = append(values, int64(it.TimeSaved))
+			weights = append(weights, it.CostDelta.Micros())
+		}
+	}
+	s.valBuf, s.wtBuf = values, weights
+	picked, err := Knapsack01(values, weights, slack.Micros())
+	if err != nil {
+		return nil, 0, costmodel.Bill{}, false, err
+	}
+	for _, p := range picked {
+		chosen = append(chosen, int32(payIdx[p]))
+	}
+	s.selBuf, s.idxBuf = chosen, payIdx
+	// Exact repair: drop the worst time-per-dollar views while over
+	// budget. Intermediate states are evaluated without materializing
+	// their point lists — only the caller's final selection builds Points.
+	t, bill, err = s.evaluateSel(chosen)
+	if err != nil {
+		return nil, 0, costmodel.Bill{}, false, err
+	}
+	for !feasible(t, bill) && len(chosen) > 0 {
+		sort.Slice(chosen, func(a, b int) bool {
+			return density(items[chosen[a]]) < density(items[chosen[b]])
+		})
+		chosen = chosen[1:]
+		t, bill, err = s.evaluateSel(chosen)
+		if err != nil {
+			return nil, 0, costmodel.Bill{}, false, err
+		}
+	}
+	return chosen, t, bill, false, nil
+}
+
+// SolveMV2 solves scenario MV2 (Formula 14) exactly as
+// Evaluator.SolveMV2 does.
+func (s *KernelSession) SolveMV2(limit time.Duration) (Selection, error) {
+	feasible := func(t time.Duration, _ costmodel.Bill) bool { return t <= limit }
+	items := s.Items()
+	baseTime, _, err := s.Base()
+	if err != nil {
+		return Selection{}, err
+	}
+
+	chosen := s.selBuf[:0]
+	saved := time.Duration(0)
+	for i, it := range items {
+		if it.CostDelta <= 0 && it.TimeSaved > 0 {
+			chosen = append(chosen, int32(i))
+			saved += it.TimeSaved
+		}
+	}
+	need := baseTime - limit - saved
+	if need > 0 {
+		costs, gains := s.wtBuf[:0], s.valBuf[:0]
+		idx := s.idxBuf[:0]
+		for i, it := range items {
+			if it.CostDelta > 0 && it.TimeSaved > 0 {
+				idx = append(idx, i)
+				costs = append(costs, it.CostDelta.Micros())
+				gains = append(gains, int64(it.TimeSaved))
+			}
+		}
+		s.wtBuf, s.valBuf, s.idxBuf = costs, gains, idx
+		picked, ok, err := MinCostCover(costs, gains, int64(need))
+		if err != nil {
+			return Selection{}, err
+		}
+		if !ok {
+			// Constraint unreachable: return the best effort (all
+			// time-saving views) marked infeasible.
+			for _, i := range idx {
+				chosen = append(chosen, int32(i))
+			}
+			return s.finishSel(chosen, "mv2-knapsack", feasible)
+		}
+		for _, p := range picked {
+			chosen = append(chosen, int32(idx[p]))
+		}
+	}
+	s.selBuf = chosen
+	return s.finishSel(chosen, "mv2-knapsack", feasible)
+}
+
+// SolveMV3 solves scenario MV3 (Formula 15) exactly as
+// Evaluator.SolveMV3 does.
+func (s *KernelSession) SolveMV3(alpha float64, mode TradeoffMode) (Selection, error) {
+	if alpha < 0 || alpha > 1 {
+		return Selection{}, fmt.Errorf("optimizer: alpha %g out of [0,1]", alpha)
+	}
+	items := s.Items()
+	tScale, cScale := 1.0, 1.0
+	if mode == NormalizedTradeoff {
+		t0, b0, err := s.Base()
+		if err != nil {
+			return Selection{}, err
+		}
+		if t0 > 0 {
+			tScale = 1 / t0.Hours()
+		}
+		if b0.Total() > 0 {
+			cScale = 1 / b0.Total().Dollars()
+		}
+	}
+	chosen := s.selBuf[:0]
+	for i, it := range items {
+		delta := alpha*(-it.TimeSaved.Hours())*tScale + (1-alpha)*it.CostDelta.Dollars()*cScale
+		if delta < 0 {
+			chosen = append(chosen, int32(i))
+		}
+	}
+	s.selBuf = chosen
+	return s.finishSel(chosen, "mv3-marginal", nil)
+}

@@ -10,11 +10,52 @@ package optimizer
 import (
 	"fmt"
 	"math"
+	"sync"
 )
 
 // maxDPCells bounds the size of the dynamic-programming tables; larger
 // capacities are scaled down (with conservative rounding) to fit.
 const maxDPCells = 1 << 21
+
+// dpScratch is the reusable backing of one DP solve: the value row and
+// the flat keep matrix (n rows × (cap+1) columns). Tables are bounded by
+// maxDPCells (≤ ~18 MB worst case, dropped by the GC when idle), so
+// pooling them caps the solver's steady-state allocation at zero — the
+// advisory hot paths (every MV1/MV2 solve, every budget of a break-even
+// sweep) otherwise churn multi-megabyte tables per call, and re-clearing
+// a warm table measures faster than faulting in fresh zeroed pages.
+type dpScratch struct {
+	dp   []int64
+	keep []bool
+}
+
+var dpPool = sync.Pool{New: func() any { return &dpScratch{} }}
+
+// grabScratch returns pooled scratch with dp sized to cells and filled
+// with fill (each DP has its own empty-state sentinel, so the fill
+// happens exactly once here), and keep sized (and cleared) to n×cells.
+func grabScratch(n int, cells int64, fill int64) *dpScratch {
+	need := int(cells)
+	keepNeed := n * need
+	s := dpPool.Get().(*dpScratch)
+	if cap(s.dp) < need {
+		s.dp = make([]int64, need)
+	}
+	s.dp = s.dp[:need]
+	for i := range s.dp {
+		s.dp[i] = fill
+	}
+	if cap(s.keep) < keepNeed {
+		s.keep = make([]bool, keepNeed)
+	}
+	s.keep = s.keep[:keepNeed]
+	for i := range s.keep {
+		s.keep[i] = false
+	}
+	return s
+}
+
+func (s *dpScratch) release() { dpPool.Put(s) }
 
 // Knapsack01 solves the 0/1 knapsack problem: choose a subset of items
 // maximizing Σ values[i] subject to Σ weights[i] ≤ capacity. Values and
@@ -52,17 +93,18 @@ func Knapsack01(values, weights []int64, capacity int64) ([]int, error) {
 	// dp[c] is the best value achievable with total scaled weight ≤ c.
 	// Zero-initialization is correct because every state is reachable (the
 	// empty selection has weight 0 ≤ c and value 0); no unreachable-state
-	// sentinel is needed in this "at most c" formulation.
-	dp := make([]int64, scaledCap+1)
-	keep := make([][]bool, n)
-	for i := range keep {
-		keep[i] = make([]bool, scaledCap+1)
-	}
+	// sentinel is needed in this "at most c" formulation. keep is a flat
+	// n×(scaledCap+1) matrix from the shared pool.
+	cells := scaledCap + 1
+	scr := grabScratch(n, cells, 0)
+	defer scr.release()
+	dp, keep := scr.dp, scr.keep
 	for i := 0; i < n; i++ {
+		row := keep[int64(i)*cells : int64(i+1)*cells]
 		for c := scaledCap; c >= w[i]; c-- {
 			if cand := dp[c-w[i]] + values[i]; cand > dp[c] {
 				dp[c] = cand
-				keep[i][c] = true
+				row[c] = true
 			}
 		}
 	}
@@ -70,7 +112,7 @@ func Knapsack01(values, weights []int64, capacity int64) ([]int, error) {
 	var chosen []int
 	c := scaledCap
 	for i := n - 1; i >= 0; i-- {
-		if keep[i][c] {
+		if keep[int64(i)*cells+c] {
 			chosen = append(chosen, i)
 			c -= w[i]
 		}
@@ -129,14 +171,14 @@ func MinCostCover(costs, gains []int64, need int64) ([]int, bool, error) {
 
 	const inf = math.MaxInt64 / 4
 	// dp[s] = min cost to reach scaled gain ≥ s (s capped at target).
-	dp := make([]int64, target+1)
-	keep := make([][]bool, n)
-	for i := range dp {
-		dp[i] = inf
-	}
+	// Tables come from the shared pool; keep is flat n×(target+1).
+	cells := target + 1
+	scr := grabScratch(n, cells, inf)
+	defer scr.release()
+	dp, keep := scr.dp, scr.keep
 	dp[0] = 0
 	for i := 0; i < n; i++ {
-		keep[i] = make([]bool, target+1)
+		row := keep[int64(i)*cells : int64(i+1)*cells]
 		for s := target; s >= 1; s-- {
 			from := s - g[i]
 			if from < 0 {
@@ -147,7 +189,7 @@ func MinCostCover(costs, gains []int64, need int64) ([]int, bool, error) {
 			}
 			if dp[from] < inf && dp[from]+costs[i] < dp[s] {
 				dp[s] = dp[from] + costs[i]
-				keep[i][s] = true
+				row[s] = true
 			}
 		}
 	}
@@ -157,7 +199,7 @@ func MinCostCover(costs, gains []int64, need int64) ([]int, bool, error) {
 	var chosen []int
 	s := target
 	for i := n - 1; i >= 0; i-- {
-		if s > 0 && keep[i][s] {
+		if s > 0 && keep[int64(i)*cells+s] {
 			chosen = append(chosen, i)
 			s -= g[i]
 			if s < 0 {

@@ -135,6 +135,15 @@ type Options struct {
 	// Starts are explicit warm-start subsets (points must be candidate
 	// points; unknown points are ignored).
 	Starts [][]lattice.Point
+	// Engine optionally supplies a pre-built incremental evaluation
+	// engine pinned to exactly this (evaluator, candidate set) — the
+	// structure-sharing hook of the comparison kernel
+	// (optimizer.KernelSession.Engine). When nil, a fresh engine is built
+	// per solve, re-deriving the lattice answering lists from scratch.
+	// Search state never leaks through a shared engine: every solve
+	// re-pins its starting subsets via Reset, so results are identical
+	// with and without it.
+	Engine *optimizer.IncrementalEvaluator
 }
 
 func (o Options) withDefaults() (Options, error) {
@@ -308,9 +317,16 @@ func newSolver(ev *optimizer.Evaluator, cands []views.Candidate, obj Objective, 
 	if err != nil {
 		return nil, err
 	}
-	inc, err := optimizer.NewIncrementalEvaluator(ev, cands)
-	if err != nil {
-		return nil, err
+	inc := opts.Engine
+	if inc != nil {
+		if !inc.PinnedTo(ev, cands) {
+			return nil, fmt.Errorf("search: Options.Engine is pinned to a different evaluator or candidate set")
+		}
+	} else {
+		inc, err = optimizer.NewIncrementalEvaluator(ev, cands)
+		if err != nil {
+			return nil, err
+		}
 	}
 	n := len(cands)
 	return &solver{
@@ -430,7 +446,6 @@ func (s *solver) undoEngineMove(i, j int) {
 	s.inc.Drop(j)
 	s.inc.Add(i)
 }
-
 
 // selection assembles the final optimizer.Selection for a state.
 func (s *solver) selection(sel []bool, e eval) optimizer.Selection {

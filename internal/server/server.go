@@ -9,6 +9,9 @@
 //	POST /v1/compare — fan the same advisory problem out across provider
 //	                   × instance × fleet configurations and return the
 //	                   ranked cross-provider comparison
+//	POST /v1/sweep   — re-price one objective across a tariff grid
+//	                   (providers × instance types × fleet sizes) and
+//	                   return every cell's bill plus the winner
 //	GET  /v1/tariffs — the built-in provider catalog, structured and as
 //	                   pre-rendered tables
 //	GET  /v1/stats   — serving counters: requests, cache hits/misses,
@@ -128,6 +131,7 @@ func New(opts Options) *Server {
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/advise", s.counted("advise", s.handleAdvise))
 	s.mux.HandleFunc("POST /v1/compare", s.counted("compare", s.handleCompare))
+	s.mux.HandleFunc("POST /v1/sweep", s.counted("sweep", s.handleSweep))
 	s.mux.HandleFunc("GET /v1/tariffs", s.counted("tariffs", s.handleTariffs))
 	s.mux.HandleFunc("GET /v1/stats", s.counted("stats", s.handleStats))
 	s.mux.HandleFunc("GET /healthz", s.counted("healthz", s.handleHealthz))
@@ -419,6 +423,72 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 			return append(b, '\n'), nil
 		},
 	})
+}
+
+// handleSweep serves POST /v1/sweep: a tariff-grid sweep of one
+// objective over one workload — the comparison kernel's raw re-pricing
+// study — memoized exactly like advise and compare under its own
+// endpoint namespace of the shared LRU.
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req compare.SweepRequestJSON
+	s.serveMemoized(w, r, memoSpec{
+		endpoint: "sweep",
+		canon: func(raw []byte) (string, string, error) {
+			dec := json.NewDecoder(bytes.NewReader(raw))
+			dec.DisallowUnknownFields()
+			if err := dec.Decode(&req); err != nil {
+				return "", "", fmt.Errorf("parse request: %v", err)
+			}
+			if err := s.normalizeSweep(&req); err != nil {
+				return "", "", err
+			}
+			kb, err := json.Marshal(req)
+			if err != nil {
+				return "", "", err
+			}
+			return string(kb), "sweep", nil
+		},
+		reload: func(key string) error {
+			return json.Unmarshal([]byte(key), &req)
+		},
+		solve: func() ([]byte, error) {
+			sreq, err := req.Resolve()
+			if err != nil {
+				return nil, err
+			}
+			sreq.Workers = s.opts.CompareWorkers
+			sw, err := compare.RunSweep(sreq)
+			if err != nil {
+				return nil, err
+			}
+			b, err := json.Marshal(sw.JSON())
+			if err != nil {
+				return nil, err
+			}
+			return append(b, '\n'), nil
+		},
+	})
+}
+
+// normalizeSweep canonicalizes a sweep request and applies the
+// server-side ceilings.
+func (s *Server) normalizeSweep(req *compare.SweepRequestJSON) error {
+	if err := req.Normalize(); err != nil {
+		return err
+	}
+	if req.FactRows > s.opts.MaxFactRows {
+		return fmt.Errorf("fact_rows %d exceeds the server limit %d", req.FactRows, s.opts.MaxFactRows)
+	}
+	if len(req.ConfigJSON.Workload) > s.opts.MaxQueries {
+		return fmt.Errorf("workload of %d queries exceeds the server limit %d", len(req.ConfigJSON.Workload), s.opts.MaxQueries)
+	}
+	if req.CandidateBudget > s.opts.MaxCandidates {
+		return fmt.Errorf("candidate_budget %d exceeds the server limit %d", req.CandidateBudget, s.opts.MaxCandidates)
+	}
+	if n := req.Configs(); n > s.opts.MaxCompareConfigs {
+		return fmt.Errorf("sweep grid of %d configurations exceeds the server limit %d", n, s.opts.MaxCompareConfigs)
+	}
+	return nil
 }
 
 // normalizeCompare canonicalizes a compare request and applies the

@@ -12,8 +12,11 @@
 #       Run fresh (to a temp file unless OUT is set) and diff against the
 #       baseline — by default the latest committed BENCH_*.json. Prints
 #       per-benchmark ns/op and allocs/op deltas and exits non-zero when
-#       any search/optimizer/server benchmark regresses >25% in ns/op
-#       (emitting ::warning:: annotations for CI).
+#       any search/optimizer/server/compare/mapreduce benchmark regresses
+#       >25% in ns/op or >50% in allocs/op (emitting ::warning::
+#       annotations for CI). The allocs gate is what locks in the
+#       comparison kernel's structure-sharing and the sort-free shuffle:
+#       those wins die by allocation creep long before ns/op notices.
 #
 # The JSON shape:
 #   {"date":"...","go":"...","goos":"...","goarch":"...","benchtime":"...",
@@ -109,8 +112,10 @@ echo "comparing against $BASELINE" >&2
 python3 - "$BASELINE" "$OUT" <<'PYEOF'
 import json, sys
 
-GATED = ("internal/search", "internal/optimizer", "internal/server")
-THRESHOLD = 0.25  # >25% ns/op regression of a gated benchmark fails
+GATED = ("internal/search", "internal/optimizer", "internal/server",
+         "internal/compare", "internal/mapreduce")
+THRESHOLD = 0.25        # >25% ns/op regression of a gated benchmark fails
+ALLOC_THRESHOLD = 0.50  # >50% allocs/op regression of a gated benchmark fails
 
 def load(path):
     with open(path) as f:
@@ -139,7 +144,9 @@ for key in sorted(set(base) | set(fresh)):
     dal = delta(f.get("allocs_per_op", 0), b.get("allocs_per_op", 0))
     gated = any(pkg.endswith(g) for g in GATED)
     if gated and dns > THRESHOLD:
-        regressions.append((pkg, name, dns))
+        regressions.append((pkg, name, "ns/op", dns, THRESHOLD))
+    if gated and b.get("allocs_per_op") and dal > ALLOC_THRESHOLD:
+        regressions.append((pkg, name, "allocs/op", dal, ALLOC_THRESHOLD))
     rows.append((pkg, name,
                  f"{b['ns_per_op']:.0f} -> {f['ns_per_op']:.0f} ns/op ({dns:+.1%})",
                  f"{b.get('allocs_per_op', 0):.0f} -> {f.get('allocs_per_op', 0):.0f} allocs/op"
@@ -152,9 +159,9 @@ for pkg, name, ns, allocs, tag in rows:
     print(f"{pkg:<{wp}}  {name:<{wn}}  {ns:<42} {allocs:<32} {tag}")
 
 if regressions:
-    for pkg, name, dns in regressions:
-        print(f"::warning::{pkg} {name} ns/op regressed {dns:+.1%} vs baseline (>25% gate)")
+    for pkg, name, metric, d, thr in regressions:
+        print(f"::warning::{pkg} {name} {metric} regressed {d:+.1%} vs baseline (>{thr:.0%} gate)")
     print(f"bench.sh --compare: {len(regressions)} gated regression(s)", file=sys.stderr)
     sys.exit(1)
-print("bench.sh --compare: no gated ns/op regression > 25%", file=sys.stderr)
+print("bench.sh --compare: no gated regression (ns/op > 25% or allocs/op > 50%)", file=sys.stderr)
 PYEOF

@@ -160,3 +160,23 @@ type CompareKey = compare.Key
 // Compare solves every requested configuration on a bounded worker pool
 // and returns the deterministic, ranked comparison.
 func Compare(req CompareRequest) (*Comparison, error) { return compare.Run(req) }
+
+// SweepRequest describes a tariff-grid sweep: a single objective (mv1,
+// mv2 or mv3) re-priced across provider × instance type × fleet size
+// cells over one workload. The grid shares one pricing-invariant
+// structure (lattice, candidates, answering lists); each cell costs only
+// a tariff re-bind — the structure-sharing comparison kernel.
+type SweepRequest = compare.SweepRequest
+
+// TariffSweep is the solved grid: every cell's exact recommendation and
+// decomposed bill, plus the winning configuration. SweepJSON (via
+// TariffSweep.JSON) is its wire form, as served by mvcloudd's POST
+// /v1/sweep.
+type TariffSweep = compare.Sweep
+
+// SweepJSON is the wire form of a TariffSweep.
+type SweepJSON = compare.SweepJSON
+
+// Sweep re-prices the single-objective grid on a bounded worker pool and
+// returns the deterministic sweep with its winner.
+func Sweep(req SweepRequest) (*TariffSweep, error) { return compare.RunSweep(req) }

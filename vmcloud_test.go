@@ -149,3 +149,21 @@ func ExampleCompare() {
 	// mv2 winner: nimbus
 	// mv3 winner: nimbus
 }
+
+func ExampleSweep() {
+	l, _ := NewLattice(SalesSchema(), 10_000_000)
+	w, _ := SalesWorkload(l, 5)
+	sw, _ := Sweep(SweepRequest{
+		Workload:   w,
+		FactRows:   10_000_000,
+		Budget:     Dollars(25),
+		FleetSizes: []int{3, 5},
+	})
+	fmt.Println("scenario:", sw.Scenario)
+	fmt.Println("cells:", len(sw.Cells))
+	fmt.Println("best:", sw.Best.Provider)
+	// Output:
+	// scenario: mv1
+	// cells: 10
+	// best: nimbus
+}
