@@ -1,0 +1,155 @@
+// Command mvcloudbench is the fleet-scale load harness for the advisory
+// daemon: it synthesizes deterministic multi-tenant advise/compare/sweep
+// traffic, drives the real serving stack — in-process by default, or over
+// TCP against a running mvcloudd — and reports per-endpoint latency
+// percentiles, throughput and cache-hit allocations as a machine-readable
+// LOAD_<date>.json snapshot.
+//
+// Usage:
+//
+//	mvcloudbench [-seed 1] [-tenants 4] [-schemas 2] [-requests 5000]
+//	             [-concurrency 64] [-hit-ratio 0.9] [-mix 8:1:1]
+//	             [-mode inprocess|tcp] [-addr http://localhost:8080]
+//	             [-out LOAD_2026-08-08.json] [-date 2026-08-08]
+//	             [-compare LOAD_baseline.json]
+//
+// Modes:
+//
+//	inprocess  build the handler stack in this process (no network); the
+//	           numbers isolate the serving layer and include the
+//	           cache-hit allocs/request probe
+//	tcp        POST over HTTP to -addr; full network stack, no alloc probe
+//
+// With -compare, the fresh run is diffed against the committed baseline
+// under the SLO gate (p95 may not more than double; hit-path allocations
+// may not grow past baseline×1.5+2) and the exit status is non-zero on
+// regression — the latency-SLO sibling of scripts/bench.sh --compare.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+
+	"vmcloud/internal/loadgen"
+	"vmcloud/internal/server"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "mvcloudbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("mvcloudbench", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		seed        = fs.Int64("seed", 1, "traffic synthesis seed")
+		tenants     = fs.Int("tenants", 4, "distinct tenant parameter families")
+		schemas     = fs.Int("schemas", 2, "distinct schema variants per tenant")
+		requests    = fs.Int("requests", 5000, "total request count")
+		concurrency = fs.Int("concurrency", 64, "concurrent clients")
+		hitRatio    = fs.Float64("hit-ratio", 0.9, "target cache-hit ratio in [0,1)")
+		mixFlag     = fs.String("mix", "8:1:1", "advise:compare:sweep weights")
+		mode        = fs.String("mode", "inprocess", "inprocess or tcp")
+		addr        = fs.String("addr", "http://localhost:8080", "base URL for -mode tcp")
+		outPath     = fs.String("out", "", "write LOAD json snapshot to this path")
+		date        = fs.String("date", time.Now().UTC().Format("2006-01-02"), "date stamped into the snapshot")
+		comparePath = fs.String("compare", "", "diff against this baseline LOAD json and gate")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	mix, err := parseMix(*mixFlag)
+	if err != nil {
+		return err
+	}
+	cfg := loadgen.Config{
+		Seed:        *seed,
+		Tenants:     *tenants,
+		Schemas:     *schemas,
+		Requests:    *requests,
+		Concurrency: *concurrency,
+		HitRatio:    *hitRatio,
+		Mix:         mix,
+	}
+
+	var target loadgen.Target
+	switch *mode {
+	case "inprocess":
+		target = loadgen.NewHandlerTarget(server.New(server.Options{}))
+	case "tcp":
+		target = &loadgen.HTTPTarget{
+			BaseURL: *addr,
+			Client: &http.Client{
+				Timeout: 2 * time.Minute,
+				Transport: &http.Transport{
+					MaxIdleConns:        *concurrency,
+					MaxIdleConnsPerHost: *concurrency,
+				},
+			},
+		}
+	default:
+		return fmt.Errorf("unknown -mode %q (want inprocess or tcp)", *mode)
+	}
+
+	res, err := loadgen.Run(cfg, target)
+	if err != nil {
+		return err
+	}
+	rep := res.Snapshot(*date)
+	fmt.Fprint(out, rep.Render())
+
+	if *outPath != "" {
+		data, err := rep.Marshal()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*outPath, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s\n", *outPath)
+	}
+
+	if *comparePath != "" {
+		data, err := os.ReadFile(*comparePath)
+		if err != nil {
+			return err
+		}
+		baseline, err := loadgen.ParseReport(data)
+		if err != nil {
+			return err
+		}
+		rows, regressions := loadgen.Compare(baseline, rep, loadgen.Gate{})
+		fmt.Fprintf(out, "\nvs %s (%s):\n", *comparePath, baseline.Date)
+		for _, row := range rows {
+			fmt.Fprintln(out, " ", row)
+		}
+		if len(regressions) > 0 {
+			for _, r := range regressions {
+				fmt.Fprintln(out, "REGRESSION:", r)
+			}
+			return fmt.Errorf("%d SLO regression(s)", len(regressions))
+		}
+		fmt.Fprintln(out, "SLO gate: ok")
+	}
+	return nil
+}
+
+// parseMix reads "a:c:s" integer weights.
+func parseMix(s string) (loadgen.Mix, error) {
+	var m loadgen.Mix
+	if _, err := fmt.Sscanf(s, "%d:%d:%d", &m.Advise, &m.Compare, &m.Sweep); err != nil {
+		return m, fmt.Errorf("bad -mix %q (want a:c:s, e.g. 8:1:1): %v", s, err)
+	}
+	if m.Advise < 0 || m.Compare < 0 || m.Sweep < 0 || m.Advise+m.Compare+m.Sweep == 0 {
+		return m, fmt.Errorf("bad -mix %q: weights must be non-negative and not all zero", s)
+	}
+	return m, nil
+}

@@ -1,0 +1,90 @@
+// Package loadgen is the fleet-scale load harness behind cmd/mvcloudbench:
+// a deterministic, seedable traffic generator that synthesizes N tenants ×
+// M schemas of mixed advise/compare/sweep requests with a configurable
+// cache-hit ratio, drives the real internal/server handler stack —
+// in-process or over TCP — from a pool of concurrent clients, and reports
+// per-endpoint latency percentiles, throughput and allocations per request
+// as a machine-readable snapshot (LOAD_<date>.json) that a CI gate can
+// diff against a committed baseline.
+//
+// Every scale claim about the serving layer is measured through this
+// package: the solver microbenchmarks in scripts/bench.sh say how fast one
+// solve is, loadgen says what a fleet of clients actually experiences —
+// tail latency under contention, stampede behaviour, and whether the
+// cache-hit fast path is really allocation-free.
+package loadgen
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Quantile returns the exact q-quantile of the sorted samples using the
+// nearest-rank definition: the smallest sample such that at least q·N
+// samples are ≤ it. q is clamped to [0,1]; an empty slice yields 0.
+// Nearest-rank on the full sorted sample set is deliberate — no
+// interpolation, no sketching — so a reported p99 is always a latency
+// some request actually experienced.
+func Quantile(sorted []time.Duration, q float64) time.Duration {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[n-1]
+	}
+	// Nearest rank: ceil(q*n), in 1..n.
+	rank := int(q * float64(n))
+	if float64(rank) < q*float64(n) {
+		rank++
+	}
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	return sorted[rank-1]
+}
+
+// LatencySummary condenses one endpoint's recorded samples.
+type LatencySummary struct {
+	Count int
+	P50   time.Duration
+	P95   time.Duration
+	P99   time.Duration
+	Max   time.Duration
+	Mean  time.Duration
+}
+
+// Summarize sorts the samples in place and computes the exact summary.
+func Summarize(samples []time.Duration) LatencySummary {
+	if len(samples) == 0 {
+		return LatencySummary{}
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	var total time.Duration
+	for _, d := range samples {
+		total += d
+	}
+	return LatencySummary{
+		Count: len(samples),
+		P50:   Quantile(samples, 0.50),
+		P95:   Quantile(samples, 0.95),
+		P99:   Quantile(samples, 0.99),
+		Max:   samples[len(samples)-1],
+		Mean:  total / time.Duration(len(samples)),
+	}
+}
+
+// ms renders a duration as fractional milliseconds for the JSON report.
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+func (s LatencySummary) String() string {
+	return fmt.Sprintf("n=%d p50=%.3fms p95=%.3fms p99=%.3fms max=%.3fms",
+		s.Count, ms(s.P50), ms(s.P95), ms(s.P99), ms(s.Max))
+}

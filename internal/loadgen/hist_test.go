@@ -1,0 +1,97 @@
+package loadgen
+
+import (
+	"testing"
+	"time"
+)
+
+// TestQuantileExact pins the nearest-rank quantile math on known
+// distributions — the numbers every LOAD_*.json percentile rests on.
+func TestQuantileExact(t *testing.T) {
+	mk := func(vals ...int) []time.Duration {
+		out := make([]time.Duration, len(vals))
+		for i, v := range vals {
+			out[i] = time.Duration(v) * time.Millisecond
+		}
+		return out
+	}
+	cases := []struct {
+		name   string
+		sorted []time.Duration
+		q      float64
+		want   time.Duration
+	}{
+		{"empty", nil, 0.5, 0},
+		{"single p50", mk(7), 0.5, 7 * time.Millisecond},
+		{"single p99", mk(7), 0.99, 7 * time.Millisecond},
+		{"single p0", mk(7), 0, 7 * time.Millisecond},
+		{"two p50 is first", mk(1, 9), 0.5, 1 * time.Millisecond},
+		{"two p51 is second", mk(1, 9), 0.51, 9 * time.Millisecond},
+		// 1..10: nearest rank of q is ceil(10q).
+		{"deciles p10", mk(1, 2, 3, 4, 5, 6, 7, 8, 9, 10), 0.10, 1 * time.Millisecond},
+		{"deciles p50", mk(1, 2, 3, 4, 5, 6, 7, 8, 9, 10), 0.50, 5 * time.Millisecond},
+		{"deciles p95", mk(1, 2, 3, 4, 5, 6, 7, 8, 9, 10), 0.95, 10 * time.Millisecond},
+		{"deciles p99", mk(1, 2, 3, 4, 5, 6, 7, 8, 9, 10), 0.99, 10 * time.Millisecond},
+		{"deciles p100", mk(1, 2, 3, 4, 5, 6, 7, 8, 9, 10), 1.0, 10 * time.Millisecond},
+		{"deciles p0 clamps to min", mk(1, 2, 3, 4, 5, 6, 7, 8, 9, 10), 0, 1 * time.Millisecond},
+		{"negative q clamps to min", mk(1, 2, 3), -0.5, 1 * time.Millisecond},
+		{"q over 1 clamps to max", mk(1, 2, 3), 1.5, 3 * time.Millisecond},
+		// Uniform: any quantile is the value.
+		{"uniform p95", mk(4, 4, 4, 4), 0.95, 4 * time.Millisecond},
+		// Heavy tail: p99 of 100 samples where one is huge picks rank 99.
+		{"tail p99 below spike", append(mk(make([]int, 0)...), func() []time.Duration {
+			s := make([]time.Duration, 100)
+			for i := range s {
+				s[i] = time.Millisecond
+			}
+			s[99] = time.Second
+			return s
+		}()...), 0.99, time.Millisecond},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := Quantile(c.sorted, c.q); got != c.want {
+				t.Errorf("Quantile(%v, %g) = %v, want %v", c.sorted, c.q, got, c.want)
+			}
+		})
+	}
+}
+
+// TestSummarize checks the full summary on a known distribution,
+// including the empty and single-sample edges.
+func TestSummarize(t *testing.T) {
+	if s := Summarize(nil); s.Count != 0 || s.P50 != 0 || s.Max != 0 || s.Mean != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+
+	one := Summarize([]time.Duration{3 * time.Millisecond})
+	if one.Count != 1 || one.P50 != 3*time.Millisecond || one.P99 != 3*time.Millisecond ||
+		one.Max != 3*time.Millisecond || one.Mean != 3*time.Millisecond {
+		t.Errorf("single-sample summary = %+v", one)
+	}
+
+	// Unsorted input: Summarize must sort before taking ranks.
+	samples := []time.Duration{
+		9 * time.Millisecond, 1 * time.Millisecond, 5 * time.Millisecond,
+		3 * time.Millisecond, 7 * time.Millisecond,
+	}
+	s := Summarize(samples)
+	if s.Count != 5 {
+		t.Errorf("count = %d", s.Count)
+	}
+	if s.P50 != 5*time.Millisecond {
+		t.Errorf("p50 = %v, want 5ms", s.P50)
+	}
+	if s.P95 != 9*time.Millisecond || s.P99 != 9*time.Millisecond || s.Max != 9*time.Millisecond {
+		t.Errorf("tail = %+v", s)
+	}
+	if s.Mean != 5*time.Millisecond {
+		t.Errorf("mean = %v, want 5ms", s.Mean)
+	}
+	// The input slice is sorted in place — documented behaviour.
+	for i := 1; i < len(samples); i++ {
+		if samples[i-1] > samples[i] {
+			t.Errorf("input not sorted in place: %v", samples)
+		}
+	}
+}

@@ -1,0 +1,286 @@
+package loadgen
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"vmcloud/internal/server"
+)
+
+// TestSynthesizeDeterministic: identical configs must synthesize
+// byte-identical sequences — the property every committed baseline and
+// CI gate rests on.
+func TestSynthesizeDeterministic(t *testing.T) {
+	cfg := Config{Seed: 42, Requests: 500}
+	a := Synthesize(cfg)
+	b := Synthesize(cfg)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Endpoint != b[i].Endpoint || a[i].First != b[i].First ||
+			!bytes.Equal(a[i].Body, b[i].Body) {
+			t.Fatalf("sequence diverges at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	// A different seed must produce a different sequence.
+	c := Synthesize(Config{Seed: 43, Requests: 500})
+	same := true
+	for i := range a {
+		if a[i].Endpoint != c[i].Endpoint || !bytes.Equal(a[i].Body, c[i].Body) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("seed 42 and 43 synthesized identical sequences")
+	}
+}
+
+// TestSynthesizeMixAndHitRatio checks the mix weights and the realized
+// repeat ratio converge on large runs.
+func TestSynthesizeMixAndHitRatio(t *testing.T) {
+	cfg := Config{Seed: 7, Requests: 20000, HitRatio: 0.9,
+		Mix: Mix{Advise: 8, Compare: 1, Sweep: 1}}
+	reqs := Synthesize(cfg)
+
+	count := map[string]int{}
+	firsts := 0
+	for _, r := range reqs {
+		count[r.Endpoint]++
+		if r.First {
+			firsts++
+		}
+		if !strings.HasPrefix(r.Path, "/v1/") {
+			t.Fatalf("bad path %q", r.Path)
+		}
+	}
+	n := float64(len(reqs))
+	if f := float64(count["advise"]) / n; f < 0.75 || f > 0.85 {
+		t.Errorf("advise fraction %.3f, want ~0.8", f)
+	}
+	if f := float64(count["compare"]) / n; f < 0.07 || f > 0.13 {
+		t.Errorf("compare fraction %.3f, want ~0.1", f)
+	}
+	if f := float64(count["sweep"]) / n; f < 0.07 || f > 0.13 {
+		t.Errorf("sweep fraction %.3f, want ~0.1", f)
+	}
+	// Repeat fraction ≈ HitRatio (firsts are the fresh draws).
+	if repeat := 1 - float64(firsts)/n; repeat < 0.87 || repeat > 0.93 {
+		t.Errorf("repeat fraction %.3f, want ~0.9", repeat)
+	}
+
+	// Distinct bodies per endpoint are actually distinct.
+	for _, ep := range []string{"advise", "compare", "sweep"} {
+		seen := map[string]bool{}
+		for _, r := range reqs {
+			if r.Endpoint != ep || !r.First {
+				continue
+			}
+			if seen[string(r.Body)] {
+				t.Errorf("%s: duplicate first body %s", ep, r.Body)
+			}
+			seen[string(r.Body)] = true
+		}
+	}
+}
+
+// TestRunHandlerTarget drives the real server handler stack in-process
+// and checks the per-endpoint accounting, hit behaviour and the
+// measured cache-hit alloc budget from the ISSUE (≤ 2 allocs/request).
+func TestRunHandlerTarget(t *testing.T) {
+	srv := server.New(server.Options{})
+	cfg := Config{Seed: 1, Requests: 600, Concurrency: 8, HitRatio: 0.9}
+	res, err := Run(cfg, NewHandlerTarget(srv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total != cfg.Requests {
+		t.Fatalf("total %d, want %d", res.Total, cfg.Requests)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("%d errors in synthesized traffic", res.Errors)
+	}
+	for _, ep := range []string{"advise", "compare", "sweep"} {
+		st, ok := res.Endpoints[ep]
+		if !ok {
+			t.Fatalf("no stats for %s", ep)
+		}
+		if st.Requests == 0 {
+			t.Errorf("%s: zero requests", ep)
+		}
+		if st.Hits+st.Misses+st.Coalesced != st.Requests {
+			t.Errorf("%s: hits %d + misses %d + coalesced %d != requests %d",
+				ep, st.Hits, st.Misses, st.Coalesced, st.Requests)
+		}
+		if st.Hits == 0 {
+			t.Errorf("%s: zero cache hits at hit-ratio 0.9", ep)
+		}
+		if st.Latency.Count != st.Requests {
+			t.Errorf("%s: %d latency samples for %d requests", ep, st.Latency.Count, st.Requests)
+		}
+		if st.Latency.P50 <= 0 || st.Latency.Max < st.Latency.P99 || st.Latency.P99 < st.Latency.P50 {
+			t.Errorf("%s: inconsistent latency summary %+v", ep, st.Latency)
+		}
+		if st.HitAllocs < 0 {
+			t.Errorf("%s: alloc probe did not run in-process", ep)
+		} else if st.HitAllocs > 2 {
+			t.Errorf("%s: cache-hit path costs %.1f allocs/request, budget 2", ep, st.HitAllocs)
+		}
+	}
+}
+
+// TestRunHTTPTarget drives the same stack over real TCP.
+func TestRunHTTPTarget(t *testing.T) {
+	ts := httptest.NewServer(server.New(server.Options{}))
+	defer ts.Close()
+
+	cfg := Config{Seed: 2, Requests: 200, Concurrency: 8, HitRatio: 0.8}
+	res, err := Run(cfg, &HTTPTarget{BaseURL: ts.URL, Client: ts.Client()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("%d errors over TCP", res.Errors)
+	}
+	if res.Total != cfg.Requests {
+		t.Fatalf("total %d, want %d", res.Total, cfg.Requests)
+	}
+	for ep, st := range res.Endpoints {
+		if st.Hits == 0 && st.Requests > 20 {
+			t.Errorf("%s: no cache hits over TCP", ep)
+		}
+		if st.HitAllocs != -1 {
+			t.Errorf("%s: alloc probe should be skipped over TCP, got %.1f", ep, st.HitAllocs)
+		}
+	}
+}
+
+// TestReportRoundTrip: Snapshot → Marshal → ParseReport is lossless for
+// everything the gate reads.
+func TestReportRoundTrip(t *testing.T) {
+	srv := server.New(server.Options{})
+	res, err := Run(Config{Seed: 3, Requests: 120, Concurrency: 4}, NewHandlerTarget(srv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := res.Snapshot("2026-08-08")
+	if rep.Date != "2026-08-08" || rep.Seed != 3 || rep.Requests != 120 {
+		t.Fatalf("snapshot header wrong: %+v", rep)
+	}
+	data, err := rep.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseReport(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Date != rep.Date || back.Mix != rep.Mix || len(back.Endpoints) != len(rep.Endpoints) {
+		t.Fatalf("round trip lost fields: %+v vs %+v", back, rep)
+	}
+	for ep, want := range rep.Endpoints {
+		got := back.Endpoints[ep]
+		if got != want {
+			t.Errorf("%s: %+v != %+v", ep, got, want)
+		}
+	}
+	if !strings.Contains(rep.Render(), "endpoint") {
+		t.Error("Render missing table header")
+	}
+}
+
+// TestCompareGate pins the SLO gate semantics: generous on latency,
+// tight on allocations, tolerant of endpoint set changes.
+func TestCompareGate(t *testing.T) {
+	base := &Report{Endpoints: map[string]EndpointReport{
+		"advise": {P95MS: 1.0, HitAllocsPerRequest: 0},
+		"sweep":  {P95MS: 10.0, HitAllocsPerRequest: 0},
+	}}
+
+	t.Run("pass within factors", func(t *testing.T) {
+		fresh := &Report{Endpoints: map[string]EndpointReport{
+			"advise": {P95MS: 1.9, HitAllocsPerRequest: 2}, // <2x, within slack
+			"sweep":  {P95MS: 12.0, HitAllocsPerRequest: 0},
+		}}
+		rows, regs := Compare(base, fresh, Gate{})
+		if len(regs) != 0 {
+			t.Errorf("unexpected regressions: %v", regs)
+		}
+		if len(rows) != 2 {
+			t.Errorf("want 2 rows, got %v", rows)
+		}
+	})
+
+	t.Run("latency regression gates", func(t *testing.T) {
+		fresh := &Report{Endpoints: map[string]EndpointReport{
+			"advise": {P95MS: 2.5, HitAllocsPerRequest: 0}, // >2x baseline
+			"sweep":  {P95MS: 10.0, HitAllocsPerRequest: 0},
+		}}
+		_, regs := Compare(base, fresh, Gate{})
+		if len(regs) != 1 || !strings.Contains(regs[0], "advise p95") {
+			t.Errorf("want one advise p95 regression, got %v", regs)
+		}
+	})
+
+	t.Run("alloc regression gates", func(t *testing.T) {
+		fresh := &Report{Endpoints: map[string]EndpointReport{
+			"advise": {P95MS: 1.0, HitAllocsPerRequest: 5}, // 0*1.5+2=2 < 5
+			"sweep":  {P95MS: 10.0, HitAllocsPerRequest: 0},
+		}}
+		_, regs := Compare(base, fresh, Gate{})
+		if len(regs) != 1 || !strings.Contains(regs[0], "allocs") {
+			t.Errorf("want one alloc regression, got %v", regs)
+		}
+	})
+
+	t.Run("unknown allocs never gate", func(t *testing.T) {
+		fresh := &Report{Endpoints: map[string]EndpointReport{
+			"advise": {P95MS: 1.0, HitAllocsPerRequest: -1},
+			"sweep":  {P95MS: 10.0, HitAllocsPerRequest: -1},
+		}}
+		if _, regs := Compare(base, fresh, Gate{}); len(regs) != 0 {
+			t.Errorf("unknown allocs gated: %v", regs)
+		}
+	})
+
+	t.Run("endpoint set change reports but never gates", func(t *testing.T) {
+		fresh := &Report{Endpoints: map[string]EndpointReport{
+			"advise":  {P95MS: 1.0},
+			"compare": {P95MS: 1.0},
+		}}
+		rows, regs := Compare(base, fresh, Gate{})
+		if len(regs) != 0 {
+			t.Errorf("set change gated: %v", regs)
+		}
+		joined := strings.Join(rows, "\n")
+		if !strings.Contains(joined, "new endpoint") || !strings.Contains(joined, "removed endpoint") {
+			t.Errorf("set change not reported: %v", rows)
+		}
+	})
+}
+
+// TestHandlerTargetMatchesHTTP sanity-checks that the in-process target
+// returns the same status and cache headers as the real network path.
+func TestHandlerTargetMatchesHTTP(t *testing.T) {
+	srv := server.New(server.Options{})
+	ts := httptest.NewServer(server.New(server.Options{}))
+	defer ts.Close()
+	ht := NewHandlerTarget(srv)
+	tt := &HTTPTarget{BaseURL: ts.URL, Client: ts.Client()}
+
+	body := []byte(`{"scenario":"mv1","budget":20,"fact_rows":5000000,"queries":3,"frequency":10}`)
+	for i := 0; i < 2; i++ {
+		s1, x1, err1 := ht.Do("/v1/advise", body)
+		s2, x2, err2 := tt.Do("/v1/advise", body)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("errors: %v, %v", err1, err2)
+		}
+		if s1 != http.StatusOK || s1 != s2 || x1 != x2 {
+			t.Fatalf("round %d: in-process (%d,%q) vs TCP (%d,%q)", i, s1, x1, s2, x2)
+		}
+	}
+}

@@ -1,0 +1,219 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// Report is the machine-readable snapshot of one load run — the
+// LOAD_<date>.json shape, the latency-SLO sibling of scripts/bench.sh's
+// BENCH_<date>.json. A committed report is the baseline a CI gate diffs
+// fresh runs against.
+type Report struct {
+	Date        string  `json:"date"`
+	Go          string  `json:"go"`
+	GOOS        string  `json:"goos"`
+	GOARCH      string  `json:"goarch"`
+	Seed        int64   `json:"seed"`
+	Tenants     int     `json:"tenants"`
+	Schemas     int     `json:"schemas"`
+	Requests    int     `json:"requests"`
+	Concurrency int     `json:"concurrency"`
+	HitRatio    float64 `json:"hit_ratio"`
+	Mix         string  `json:"mix"`
+	// DurationMS is the wall clock of the whole run; ThroughputRPS the
+	// aggregate request rate over it.
+	DurationMS    float64 `json:"duration_ms"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+	Errors        int     `json:"errors"`
+	// Endpoints maps "advise"/"compare"/"sweep" to their summaries.
+	Endpoints map[string]EndpointReport `json:"endpoints"`
+}
+
+// EndpointReport is one endpoint's slice of the snapshot.
+type EndpointReport struct {
+	Requests  int     `json:"requests"`
+	Errors    int     `json:"errors"`
+	Hits      int     `json:"hits"`
+	Misses    int     `json:"misses"`
+	Coalesced int     `json:"coalesced"`
+	P50MS     float64 `json:"p50_ms"`
+	P95MS     float64 `json:"p95_ms"`
+	P99MS     float64 `json:"p99_ms"`
+	MaxMS     float64 `json:"max_ms"`
+	MeanMS    float64 `json:"mean_ms"`
+	// HitAllocsPerRequest is the measured allocations per request on the
+	// steady-state cache-hit path; -1 when the target could not be
+	// probed in-process.
+	HitAllocsPerRequest float64 `json:"hit_allocs_per_request"`
+}
+
+// Snapshot renders a finished run as a Report. date is injected so a
+// committed baseline regenerates byte-identically.
+func (r *Result) Snapshot(date string) *Report {
+	rep := &Report{
+		Date:        date,
+		Go:          runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		Seed:        r.Config.Seed,
+		Tenants:     r.Config.Tenants,
+		Schemas:     r.Config.Schemas,
+		Requests:    r.Total,
+		Concurrency: r.Config.Concurrency,
+		HitRatio:    r.Config.HitRatio,
+		Mix:         r.Config.Mix.String(),
+		DurationMS:  ms(r.Wall),
+		Errors:      r.Errors,
+		Endpoints:   make(map[string]EndpointReport, len(r.Endpoints)),
+	}
+	if r.Wall > 0 {
+		rep.ThroughputRPS = float64(r.Total) / r.Wall.Seconds()
+	}
+	for ep, st := range r.Endpoints {
+		rep.Endpoints[ep] = EndpointReport{
+			Requests:            st.Requests,
+			Errors:              st.Errors,
+			Hits:                st.Hits,
+			Misses:              st.Misses,
+			Coalesced:           st.Coalesced,
+			P50MS:               ms(st.Latency.P50),
+			P95MS:               ms(st.Latency.P95),
+			P99MS:               ms(st.Latency.P99),
+			MaxMS:               ms(st.Latency.Max),
+			MeanMS:              ms(st.Latency.Mean),
+			HitAllocsPerRequest: st.HitAllocs,
+		}
+	}
+	return rep
+}
+
+// Marshal renders the report as indented, newline-terminated JSON.
+func (rep *Report) Marshal() ([]byte, error) {
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// ParseReport reads a LOAD_*.json snapshot.
+func ParseReport(data []byte) (*Report, error) {
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("loadgen: parse report: %v", err)
+	}
+	return &rep, nil
+}
+
+// Gate is the SLO regression policy for Compare. Latency on shared
+// runners is noisy, so the latency gate is generous and the step that
+// runs it is expected to soft-fail; the alloc gate is tight because
+// allocations are deterministic.
+type Gate struct {
+	// P95Factor fails an endpoint whose fresh p95 exceeds baseline ×
+	// (1 + P95Factor); default 1.0 (i.e. >2× slower).
+	P95Factor float64
+	// AllocFactor and AllocSlack fail an endpoint whose fresh hit-path
+	// allocs exceed baseline × (1 + AllocFactor) + AllocSlack; defaults
+	// 0.5 and 2 — absolute slack so a 0-alloc baseline doesn't make any
+	// nonzero measurement a failure.
+	AllocFactor float64
+	AllocSlack  float64
+}
+
+func (g Gate) withDefaults() Gate {
+	if g.P95Factor == 0 {
+		g.P95Factor = 1.0
+	}
+	if g.AllocFactor == 0 {
+		g.AllocFactor = 0.5
+	}
+	if g.AllocSlack == 0 {
+		g.AllocSlack = 2
+	}
+	return g
+}
+
+// Compare diffs a fresh report against a committed baseline under the
+// gate. It returns the human-readable diff rows and the list of gated
+// regressions (empty means the gate passes). Endpoints present on only
+// one side are reported but never gate.
+func Compare(baseline, fresh *Report, g Gate) (rows []string, regressions []string) {
+	g = g.withDefaults()
+	eps := make(map[string]bool)
+	for ep := range baseline.Endpoints {
+		eps[ep] = true
+	}
+	for ep := range fresh.Endpoints {
+		eps[ep] = true
+	}
+	sorted := make([]string, 0, len(eps))
+	for ep := range eps {
+		sorted = append(sorted, ep)
+	}
+	sort.Strings(sorted)
+
+	for _, ep := range sorted {
+		b, inB := baseline.Endpoints[ep]
+		f, inF := fresh.Endpoints[ep]
+		switch {
+		case !inB:
+			rows = append(rows, fmt.Sprintf("%-8s (new endpoint)", ep))
+		case !inF:
+			rows = append(rows, fmt.Sprintf("%-8s (removed endpoint)", ep))
+		default:
+			rows = append(rows, fmt.Sprintf(
+				"%-8s p95 %8.3f -> %8.3f ms (%+.1f%%)   hit-allocs %5.1f -> %5.1f",
+				ep, b.P95MS, f.P95MS, pctDelta(f.P95MS, b.P95MS),
+				b.HitAllocsPerRequest, f.HitAllocsPerRequest))
+			if b.P95MS > 0 && f.P95MS > b.P95MS*(1+g.P95Factor) {
+				regressions = append(regressions, fmt.Sprintf(
+					"%s p95 regressed %.3f -> %.3f ms (>%.0f%% gate)",
+					ep, b.P95MS, f.P95MS, g.P95Factor*100))
+			}
+			if b.HitAllocsPerRequest >= 0 && f.HitAllocsPerRequest >= 0 &&
+				f.HitAllocsPerRequest > b.HitAllocsPerRequest*(1+g.AllocFactor)+g.AllocSlack {
+				regressions = append(regressions, fmt.Sprintf(
+					"%s hit-path allocs regressed %.1f -> %.1f /request (gate ×%.1f+%.0f)",
+					ep, b.HitAllocsPerRequest, f.HitAllocsPerRequest, 1+g.AllocFactor, g.AllocSlack))
+			}
+		}
+	}
+	return rows, regressions
+}
+
+// Render prints the report as a human-readable table.
+func (rep *Report) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "load run: %d requests, %d clients, hit-ratio %.2f, mix %s, seed %d\n",
+		rep.Requests, rep.Concurrency, rep.HitRatio, rep.Mix, rep.Seed)
+	fmt.Fprintf(&sb, "wall %.1f ms, %.0f req/s, %d errors\n", rep.DurationMS, rep.ThroughputRPS, rep.Errors)
+	eps := make([]string, 0, len(rep.Endpoints))
+	for ep := range rep.Endpoints {
+		eps = append(eps, ep)
+	}
+	sort.Strings(eps)
+	fmt.Fprintf(&sb, "%-8s %8s %6s %6s %6s %9s %9s %9s %9s %10s\n",
+		"endpoint", "requests", "hits", "miss", "coal", "p50 ms", "p95 ms", "p99 ms", "max ms", "hit-allocs")
+	for _, ep := range eps {
+		e := rep.Endpoints[ep]
+		alloc := "n/a"
+		if e.HitAllocsPerRequest >= 0 {
+			alloc = fmt.Sprintf("%.1f", e.HitAllocsPerRequest)
+		}
+		fmt.Fprintf(&sb, "%-8s %8d %6d %6d %6d %9.3f %9.3f %9.3f %9.3f %10s\n",
+			ep, e.Requests, e.Hits, e.Misses, e.Coalesced, e.P50MS, e.P95MS, e.P99MS, e.MaxMS, alloc)
+	}
+	return sb.String()
+}
+
+func pctDelta(fresh, base float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return (fresh - base) / base * 100
+}

@@ -1,0 +1,274 @@
+package loadgen
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Target is where synthesized traffic lands: the in-process handler
+// stack, or a real server over TCP. Do must be safe for concurrent use.
+type Target interface {
+	// Do posts body to path and returns the HTTP status and the X-Cache
+	// header ("hit", "miss", "coalesced" or empty).
+	Do(path string, body []byte) (status int, xcache string, err error)
+}
+
+// discardWriter is a minimal ResponseWriter that keeps the status and
+// X-Cache header and discards the body — the in-process equivalent of a
+// client that drains the response. Unlike httptest.NewRecorder it
+// retains nothing per request, so latency and allocation measurements
+// see the handler stack, not the recorder.
+type discardWriter struct {
+	h      http.Header
+	status int
+	n      int64
+}
+
+func (w *discardWriter) Header() http.Header { return w.h }
+func (w *discardWriter) WriteHeader(s int)   { w.status = s }
+func (w *discardWriter) Write(b []byte) (int, error) {
+	w.n += int64(len(b))
+	return len(b), nil
+}
+
+// replayBody is a reusable io.ReadCloser over a byte slice.
+type replayBody struct{ bytes.Reader }
+
+func (*replayBody) Close() error { return nil }
+
+// HandlerTarget drives an http.Handler in-process — zero network stack,
+// so percentiles and allocs/request isolate the serving layer itself.
+// Each Do reuses per-goroutine request machinery from a pool.
+type HandlerTarget struct {
+	Handler http.Handler
+	pool    sync.Pool // *handlerScratch
+}
+
+type handlerScratch struct {
+	req  http.Request
+	url  url.URL
+	body replayBody
+	w    discardWriter
+}
+
+// NewHandlerTarget wraps a handler (typically server.New(...)).
+func NewHandlerTarget(h http.Handler) *HandlerTarget {
+	return &HandlerTarget{Handler: h}
+}
+
+func (t *HandlerTarget) Do(path string, body []byte) (int, string, error) {
+	sc, _ := t.pool.Get().(*handlerScratch)
+	if sc == nil {
+		sc = &handlerScratch{}
+		sc.req.Method = "POST"
+		sc.req.URL = &sc.url
+		sc.req.Body = &sc.body
+		sc.w.h = make(http.Header, 4)
+	}
+	defer t.pool.Put(sc)
+	sc.url.Path = path
+	sc.body.Reset(body)
+	sc.w.status = 0
+	sc.w.n = 0
+	delete(sc.w.h, "X-Cache")
+	t.Handler.ServeHTTP(&sc.w, &sc.req)
+	return sc.w.status, sc.w.h.Get("X-Cache"), nil
+}
+
+// HTTPTarget drives a live server over TCP — the full network stack,
+// connection pool included.
+type HTTPTarget struct {
+	BaseURL string
+	Client  *http.Client
+}
+
+func (t *HTTPTarget) Do(path string, body []byte) (int, string, error) {
+	client := t.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Post(t.BaseURL+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, "", err
+	}
+	defer resp.Body.Close()
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		return resp.StatusCode, resp.Header.Get("X-Cache"), err
+	}
+	return resp.StatusCode, resp.Header.Get("X-Cache"), nil
+}
+
+// endpointRecorder accumulates one worker's samples for one endpoint;
+// shards are merged after the run so recording never contends.
+type endpointRecorder struct {
+	lat       []time.Duration
+	errors    int
+	hits      int
+	misses    int
+	coalesced int
+}
+
+// EndpointStats is the merged, summarized outcome for one endpoint.
+type EndpointStats struct {
+	Requests  int
+	Errors    int
+	Hits      int
+	Misses    int
+	Coalesced int
+	Latency   LatencySummary
+	// HitAllocs is the measured allocations per request on the
+	// steady-state cache-hit path (serial probe after the run);
+	// negative when the target cannot be probed in-process.
+	HitAllocs float64
+}
+
+// Result is one finished load run.
+type Result struct {
+	Config    Config
+	Wall      time.Duration
+	Total     int
+	Errors    int
+	Endpoints map[string]EndpointStats
+}
+
+// Run synthesizes the sequence for cfg and drives it at the target from
+// cfg.Concurrency workers. Requests are consumed from one shared
+// cursor, so the interleaving is scheduler-dependent but the request
+// multiset is exactly the synthesized sequence. Any non-200 status
+// counts as an error (the synthesized traffic is all valid, so an error
+// is a harness or server bug, not noise).
+func Run(cfg Config, target Target) (*Result, error) {
+	cfg = cfg.withDefaults()
+	reqs := Synthesize(cfg)
+	if len(reqs) == 0 {
+		return nil, fmt.Errorf("loadgen: empty request sequence")
+	}
+
+	workers := cfg.Concurrency
+	shards := make([]map[string]*endpointRecorder, workers)
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		shards[w] = make(map[string]*endpointRecorder, 3)
+		wg.Add(1)
+		go func(shard map[string]*endpointRecorder) {
+			defer wg.Done()
+			for {
+				i := cursor.Add(1) - 1
+				if i >= int64(len(reqs)) {
+					return
+				}
+				r := reqs[i]
+				rec := shard[r.Endpoint]
+				if rec == nil {
+					rec = &endpointRecorder{}
+					shard[r.Endpoint] = rec
+				}
+				t0 := time.Now()
+				status, xcache, err := target.Do(r.Path, r.Body)
+				d := time.Since(t0)
+				rec.lat = append(rec.lat, d)
+				if err != nil || status != http.StatusOK {
+					rec.errors++
+					continue
+				}
+				switch xcache {
+				case "hit":
+					rec.hits++
+				case "miss":
+					rec.misses++
+				case "coalesced":
+					rec.coalesced++
+				}
+			}
+		}(shards[w])
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	res := &Result{
+		Config:    cfg,
+		Wall:      wall,
+		Endpoints: make(map[string]EndpointStats, 3),
+	}
+	for _, shard := range shards {
+		for ep, rec := range shard {
+			st := res.Endpoints[ep]
+			st.Requests += len(rec.lat)
+			st.Errors += rec.errors
+			st.Hits += rec.hits
+			st.Misses += rec.misses
+			st.Coalesced += rec.coalesced
+			res.Endpoints[ep] = st
+		}
+	}
+	for ep := range res.Endpoints {
+		var all []time.Duration
+		for _, shard := range shards {
+			if rec := shard[ep]; rec != nil {
+				all = append(all, rec.lat...)
+			}
+		}
+		st := res.Endpoints[ep]
+		st.Latency = Summarize(all)
+		st.HitAllocs = -1
+		res.Endpoints[ep] = st
+		res.Total += st.Requests
+		res.Errors += st.Errors
+	}
+
+	// Serial alloc probe: replay one known-cached body per endpoint and
+	// measure steady-state allocations through the handler stack. Only
+	// meaningful in-process — over TCP the client stack dominates.
+	if ht, ok := target.(*HandlerTarget); ok {
+		probeAllocs(ht, reqs, res)
+	}
+	return res, nil
+}
+
+// probeAllocs measures allocs/request on the cache-hit path of each
+// endpoint present in the run, using the endpoint's first synthesized
+// body (guaranteed warm after the run).
+func probeAllocs(t *HandlerTarget, reqs []Request, res *Result) {
+	probed := make(map[string]bool, len(res.Endpoints))
+	for _, r := range reqs {
+		if probed[r.Endpoint] {
+			continue
+		}
+		probed[r.Endpoint] = true
+		// Warm the body (a long run may have evicted it from the LRU by
+		// the time the run ends), then confirm the next request hits.
+		t.Do(r.Path, r.Body)
+		if _, xcache, _ := t.Do(r.Path, r.Body); xcache != "hit" {
+			continue
+		}
+		allocs := allocsPerRun(200, func() {
+			t.Do(r.Path, r.Body)
+		})
+		st := res.Endpoints[r.Endpoint]
+		st.HitAllocs = allocs
+		res.Endpoints[r.Endpoint] = st
+	}
+}
+
+// allocsPerRun is testing.AllocsPerRun without the testing dependency:
+// mallocs measured across runs serial executions of f on one proc.
+func allocsPerRun(runs int, f func()) float64 {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	f() // warm up pools and lazily-built state
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i := 0; i < runs; i++ {
+		f()
+	}
+	runtime.ReadMemStats(&after)
+	return float64(after.Mallocs-before.Mallocs) / float64(runs)
+}

@@ -1,0 +1,237 @@
+package loadgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"vmcloud/internal/pricing"
+)
+
+// Mix weights the three POST endpoints in the synthesized traffic.
+// Zero values fall back to the default advise-heavy 8:1:1 mix — the
+// shape of an advisory fleet, where cheap point advisories dominate and
+// grid studies are occasional.
+type Mix struct {
+	Advise  int `json:"advise"`
+	Compare int `json:"compare"`
+	Sweep   int `json:"sweep"`
+}
+
+func (m Mix) withDefaults() Mix {
+	if m.Advise <= 0 && m.Compare <= 0 && m.Sweep <= 0 {
+		return Mix{Advise: 8, Compare: 1, Sweep: 1}
+	}
+	if m.Advise < 0 {
+		m.Advise = 0
+	}
+	if m.Compare < 0 {
+		m.Compare = 0
+	}
+	if m.Sweep < 0 {
+		m.Sweep = 0
+	}
+	return m
+}
+
+func (m Mix) String() string {
+	return fmt.Sprintf("advise=%d,compare=%d,sweep=%d", m.Advise, m.Compare, m.Sweep)
+}
+
+// Config tunes one load run. Zero values select defaults sized for a
+// quick local run; CI and the committed baseline pin their own values.
+type Config struct {
+	// Seed drives every random choice; identical configs synthesize
+	// byte-identical request sequences.
+	Seed int64
+	// Tenants is the number of distinct tenant parameter families
+	// (budgets, frequencies); default 4.
+	Tenants int
+	// Schemas is the number of distinct schema/workload variants per
+	// tenant (dataset sizes, query counts); default 2.
+	Schemas int
+	// Requests is the total request count; default 1000.
+	Requests int
+	// Concurrency is the number of concurrent clients; default 16.
+	Concurrency int
+	// HitRatio is the target fraction of requests whose body repeats an
+	// earlier request (and so should be served from cache once warm);
+	// default 0.9. 0 < HitRatio < 1; a negative value means exactly 0.
+	HitRatio float64
+	// Mix weights the endpoints; zero means the default 8:1:1.
+	Mix Mix
+}
+
+func (c Config) withDefaults() Config {
+	if c.Tenants == 0 {
+		c.Tenants = 4
+	}
+	if c.Schemas == 0 {
+		c.Schemas = 2
+	}
+	if c.Requests == 0 {
+		c.Requests = 1000
+	}
+	if c.Concurrency == 0 {
+		c.Concurrency = 16
+	}
+	if c.HitRatio == 0 {
+		c.HitRatio = 0.9
+	}
+	if c.HitRatio < 0 {
+		c.HitRatio = 0
+	}
+	if c.HitRatio > 0.999 {
+		c.HitRatio = 0.999
+	}
+	c.Mix = c.Mix.withDefaults()
+	return c
+}
+
+// Request is one synthesized request.
+type Request struct {
+	// Endpoint is "advise", "compare" or "sweep"; Path the URL path.
+	Endpoint string
+	Path     string
+	Body     []byte
+	// Tenant/Schema identify the parameter family the body came from.
+	Tenant, Schema int
+	// First marks the first occurrence of this body in the sequence —
+	// the request expected to miss (or lead a coalesced solve).
+	First bool
+}
+
+// endpointGen builds the n-th distinct body for one endpoint. Bodies
+// are parameterized by (tenant, schema, variant): the tenant varies the
+// money knobs (budget, frequency), the schema varies the problem shape
+// (dataset size, query count), and the variant walks scenarios.
+type endpointGen struct {
+	endpoint string
+	path     string
+	build    func(tenant, schema, variant int) []byte
+}
+
+// fleetProviders picks two adjacent catalog providers so compare/sweep
+// grids stay small (2 providers × 2 fleets = 4 cells) but still rotate
+// through the whole catalog across variants.
+func fleetProviders(variant int) (string, string) {
+	names := pricing.ProviderNames()
+	a := names[variant%len(names)]
+	b := names[(variant+1)%len(names)]
+	if a > b {
+		a, b = b, a
+	}
+	return a, b
+}
+
+func tenantBudget(tenant, variant int) int { return 20 + 3*tenant + variant }
+
+func schemaRows(schema int) int64 { return int64(schema+1) * 5_000_000 }
+
+func schemaQueries(schema int) int { return 3 + schema%8 }
+
+func newGens() []endpointGen {
+	return []endpointGen{
+		{
+			endpoint: "advise",
+			path:     "/v1/advise",
+			build: func(tenant, schema, variant int) []byte {
+				scenario := variant % 4
+				// variant/4 perturbs fact_rows so every variant is a distinct
+				// body even when the scenario knob cycles (mv3 alpha and
+				// pareto steps have bounded ranges).
+				common := fmt.Sprintf(`"fact_rows":%d,"queries":%d,"frequency":%d`,
+					schemaRows(schema)+int64(variant/4), schemaQueries(schema), 10+7*tenant)
+				switch scenario {
+				case 0:
+					return fmt.Appendf(nil, `{"scenario":"mv1","budget":%d,%s}`,
+						tenantBudget(tenant, variant/4), common)
+				case 1:
+					return fmt.Appendf(nil, `{"scenario":"mv2","limit":"%dh",%s}`,
+						2+schema+variant/4, common)
+				case 2:
+					return fmt.Appendf(nil, `{"scenario":"mv3","alpha":0.%d5,%s}`,
+						(tenant+variant/4)%9, common)
+				default:
+					return fmt.Appendf(nil, `{"scenario":"pareto","steps":%d,%s}`,
+						3+variant/4%5, common)
+				}
+			},
+		},
+		{
+			endpoint: "compare",
+			path:     "/v1/compare",
+			build: func(tenant, schema, variant int) []byte {
+				a, b := fleetProviders(variant)
+				return fmt.Appendf(nil,
+					`{"budget":%d,"limit":"%dh","providers":[%q,%q],"fleet_sizes":[3,5],"fact_rows":%d,"queries":%d,"frequency":%d}`,
+					tenantBudget(tenant, variant), 2+schema, a, b,
+					schemaRows(schema), schemaQueries(schema), 10+7*tenant)
+			},
+		},
+		{
+			endpoint: "sweep",
+			path:     "/v1/sweep",
+			build: func(tenant, schema, variant int) []byte {
+				a, b := fleetProviders(variant + 1)
+				return fmt.Appendf(nil,
+					`{"budget":%d,"providers":[%q,%q],"fleet_sizes":[3,5],"fact_rows":%d,"queries":%d,"frequency":%d}`,
+					tenantBudget(tenant, variant), a, b,
+					schemaRows(schema), schemaQueries(schema), 10+7*tenant)
+			},
+		},
+	}
+}
+
+// Synthesize builds the deterministic request sequence for a config:
+// endpoints drawn by mix weight, bodies drawn fresh with probability
+// 1-HitRatio (a distinct tenant × schema × variant problem) and
+// otherwise repeated uniformly from the bodies already issued for that
+// endpoint. First occurrences are the expected cache misses, repeats
+// the expected hits; the realized ratio converges to HitRatio as the
+// run grows.
+func Synthesize(cfg Config) []Request {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	gens := newGens()
+
+	weights := []int{cfg.Mix.Advise, cfg.Mix.Compare, cfg.Mix.Sweep}
+	totalWeight := 0
+	for _, w := range weights {
+		totalWeight += w
+	}
+
+	issued := make([][]Request, len(gens)) // distinct bodies issued per endpoint
+	reqs := make([]Request, 0, cfg.Requests)
+	for i := 0; i < cfg.Requests; i++ {
+		// Weighted endpoint draw.
+		g := 0
+		for pick := rng.Intn(totalWeight); g < len(weights); g++ {
+			if pick < weights[g] {
+				break
+			}
+			pick -= weights[g]
+		}
+		fresh := len(issued[g]) == 0 || rng.Float64() >= cfg.HitRatio
+		var r Request
+		if fresh {
+			n := len(issued[g])
+			tenant := n % cfg.Tenants
+			schema := (n / cfg.Tenants) % cfg.Schemas
+			variant := n / (cfg.Tenants * cfg.Schemas)
+			r = Request{
+				Endpoint: gens[g].endpoint,
+				Path:     gens[g].path,
+				Body:     gens[g].build(tenant, schema, variant),
+				Tenant:   tenant,
+				Schema:   schema,
+				First:    true,
+			}
+			issued[g] = append(issued[g], r)
+		} else {
+			r = issued[g][rng.Intn(len(issued[g]))]
+			r.First = false
+		}
+		reqs = append(reqs, r)
+	}
+	return reqs
+}

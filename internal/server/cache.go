@@ -54,6 +54,26 @@ func (c *lruCache) Get(key string) ([]byte, bool) {
 	return append([]byte(nil), el.Value.(*lruEntry).val...), true
 }
 
+// view returns the cached value without copying and marks the key most
+// recently used. The key is taken as bytes so the compiler's
+// map[string] lookup optimization applies — a hot-path probe allocates
+// nothing. The returned slice aliases cache-owned memory: values are
+// only ever replaced wholesale (never scribbled in place), so the view
+// stays byte-stable for as long as the caller holds it, but the caller
+// must treat it as read-only and must not retain it past the request.
+// Callers that hand the bytes to arbitrary code want Get's defensive
+// copy instead.
+func (c *lruCache) view(key []byte) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[string(key)]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*lruEntry).val, true
+}
+
 // Put inserts or refreshes a value, evicting least recently used
 // entries while either bound is exceeded. An entry larger than the
 // byte bound is not cached at all.

@@ -1,0 +1,51 @@
+package server
+
+import "sync"
+
+// flightGroup coalesces concurrent identical cold solves: while one
+// request is computing the response for a cache key, later arrivals for
+// the same key wait on the same in-flight call instead of launching
+// duplicate solves. A stampede of K identical requests therefore costs
+// exactly one lattice build + solve; the K-1 followers are billed only a
+// channel wait. The group holds no history — an entry lives exactly as
+// long as its solve, so memory is bounded by in-flight distinct keys.
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+// flightCall is one in-flight solve. done is closed after out is set,
+// so any number of followers can read out without further locking.
+type flightCall struct {
+	done chan struct{}
+	out  outcome
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{calls: make(map[string]*flightCall)}
+}
+
+// join returns the in-flight call for key, creating it if absent.
+// leader is true for the caller that must actually run the solve and
+// eventually call finish.
+func (g *flightGroup) join(key string) (c *flightCall, leader bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if c, ok := g.calls[key]; ok {
+		return c, false
+	}
+	c = &flightCall{done: make(chan struct{})}
+	g.calls[key] = c
+	return c, true
+}
+
+// finish publishes the outcome to every waiter and retires the key, so
+// the next request for it consults the response cache (or, on error,
+// retries the solve) instead of reading a stale call.
+func (g *flightGroup) finish(key string, c *flightCall, out outcome) {
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+	c.out = out
+	close(c.done)
+}

@@ -1,0 +1,162 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// TestFlightGroupCoalesces pins the group's contract directly: joiners
+// during an in-flight call share one outcome, and a finished key is
+// retired so the next join leads a fresh call.
+func TestFlightGroupCoalesces(t *testing.T) {
+	g := newFlightGroup()
+	c1, leader := g.join("k")
+	if !leader {
+		t.Fatal("first join is not the leader")
+	}
+	c2, leader2 := g.join("k")
+	if leader2 {
+		t.Fatal("second join elected a second leader")
+	}
+	if c1 != c2 {
+		t.Fatal("joiners got distinct calls")
+	}
+	other, leaderOther := g.join("other")
+	if !leaderOther || other == c1 {
+		t.Fatal("distinct keys must not share a call")
+	}
+
+	const waiters = 8
+	var wg sync.WaitGroup
+	results := make([][]byte, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-c1.done
+			results[i] = c1.out.body
+		}(i)
+	}
+	g.finish("k", c1, outcome{body: []byte("solved")})
+	wg.Wait()
+	for i, r := range results {
+		if string(r) != "solved" {
+			t.Errorf("waiter %d read %q", i, r)
+		}
+	}
+
+	// The key is retired: the next join must lead again.
+	if _, leader := g.join("k"); !leader {
+		t.Error("finished key still has an in-flight call")
+	}
+}
+
+// TestSingleflightStampede is the regression test for stampede
+// suppression: K identical cold /v1/advise requests fired concurrently
+// must execute exactly one underlying solve, and every response must be
+// byte-identical to the pinned golden. Before singleflight, each of the
+// K requests ran its own lattice build + knapsack; the stats solve
+// counter would read K.
+func TestSingleflightStampede(t *testing.T) {
+	const K = 32
+	s := testServer()
+	body := adviseBody("mv1", `"budget":25`) // matches testdata/mv1_knapsack.golden
+
+	var (
+		start   = make(chan struct{})
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		bodies  = make(map[string]int) // response body → count
+		xcaches = make(map[string]int) // X-Cache value → count
+	)
+	for i := 0; i < K; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			w := do(t, s, "POST", "/v1/advise", body)
+			mu.Lock()
+			defer mu.Unlock()
+			if w.Code != 200 {
+				bodies[fmt.Sprintf("status %d: %s", w.Code, w.Body.String())]++
+				return
+			}
+			bodies[w.Body.String()]++
+			xcaches[w.Header().Get("X-Cache")]++
+		}()
+	}
+	close(start)
+	wg.Wait()
+
+	if got := s.stats.solveCount(); got != 1 {
+		t.Errorf("stampede of %d identical requests executed %d solves, want exactly 1", K, got)
+	}
+	if len(bodies) != 1 {
+		t.Fatalf("stampede produced %d distinct responses, want 1: %v", len(bodies), keysOf(bodies))
+	}
+	for resp, n := range bodies {
+		if n != K {
+			t.Errorf("response seen %d times, want %d", n, K)
+		}
+		golden, err := os.ReadFile(filepath.Join("testdata", "mv1_knapsack.golden"))
+		if err != nil {
+			t.Fatalf("missing golden: %v", err)
+		}
+		if resp != string(golden) {
+			t.Errorf("stampede response drifted from golden:\ngot:  %s\nwant: %s", resp, golden)
+		}
+	}
+	// Depending on scheduling each request hit, coalesced or led the one
+	// miss — but a second solve is impossible, so "miss" appears at most
+	// once.
+	if xcaches["miss"] > 1 {
+		t.Errorf("X-Cache reported %d misses, want at most 1 (got %v)", xcaches["miss"], xcaches)
+	}
+	if total := xcaches["miss"] + xcaches["hit"] + xcaches["coalesced"]; total != K {
+		t.Errorf("X-Cache outcomes sum to %d, want %d: %v", total, K, xcaches)
+	}
+
+	// /v1/stats reports the same story.
+	var snap statsJSON
+	if err := json.Unmarshal(do(t, s, "GET", "/v1/stats", "").Body.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Advise.Solves != 1 {
+		t.Errorf("stats solves = %d, want 1", snap.Advise.Solves)
+	}
+	if got := snap.Advise.CacheHits + snap.Advise.CacheMisses + snap.Advise.Coalesced; got != K {
+		t.Errorf("stats outcomes sum to %d, want %d (%+v)", got, K, snap.Advise)
+	}
+}
+
+// TestSingleflightErrorNotCached checks that a failed solve is not
+// published to the cache and does not wedge the key: the next request
+// retries the solve.
+func TestSingleflightErrorNotCached(t *testing.T) {
+	s := testServer()
+	bad := adviseBody("mv1", `"budget":25,"candidate_budget":99`) // rejected by normalize
+	if w := do(t, s, "POST", "/v1/advise", bad); w.Code != 400 {
+		t.Fatalf("status %d, want 400", w.Code)
+	}
+	if w := do(t, s, "POST", "/v1/advise", bad); w.Code != 400 {
+		t.Fatalf("repeat status %d, want 400", w.Code)
+	}
+	if n := s.cache.Len(); n != 0 {
+		t.Errorf("failed request cached %d entries", n)
+	}
+}
+
+func keysOf(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		if len(k) > 120 {
+			k = k[:120] + "..."
+		}
+		out = append(out, k)
+	}
+	return out
+}

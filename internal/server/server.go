@@ -27,9 +27,12 @@
 // canonicalized request (defaults applied, workload resolved, tariff
 // re-marshaled), so a repeated configuration skips lattice construction,
 // candidate generation and the solve entirely. Handlers are safe for
-// concurrent use; cache reads return defensive copies of the stored
-// bodies. GET /v1/stats breaks cache occupancy and hit rates down per
-// endpoint.
+// concurrent use. The cache-hit path writes the response straight from
+// the cache-owned bytes without copying or allocating (values are
+// replaced wholesale, never mutated in place), and concurrent identical
+// cold requests are coalesced into a single solve (X-Cache: miss for
+// the leader, coalesced for the followers, hit once warm).
+// GET /v1/stats breaks cache occupancy and hit rates down per endpoint.
 package server
 
 import (
@@ -40,6 +43,7 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"sync"
 	"time"
 
 	"vmcloud/internal/compare"
@@ -117,14 +121,18 @@ type Server struct {
 	// letting byte-identical repeats skip JSON decoding and request
 	// canonicalization (which builds a lattice to resolve the workload).
 	rawKeys *lruCache
-	stats   *stats
+	// flight coalesces concurrent identical cold solves so a stampede of
+	// K requests for one canonical key costs exactly one solve.
+	flight *flightGroup
+	stats  *stats
 }
 
 // New builds a server.
 func New(opts Options) *Server {
 	s := &Server{
-		opts:  opts.withDefaults(),
-		stats: newStats(time.Now()),
+		opts:   opts.withDefaults(),
+		flight: newFlightGroup(),
+		stats:  newStats(time.Now()),
 	}
 	s.cache = newLRUCache(s.opts.CacheSize, s.opts.CacheMaxBytes)
 	s.rawKeys = newLRUCache(s.opts.CacheSize, s.opts.CacheMaxBytes)
@@ -271,83 +279,193 @@ type memoSpec struct {
 	solve func() ([]byte, error)
 }
 
+// maxRequestBytes bounds one request body.
+const maxRequestBytes = 1 << 20
+
+// reqBuf is a pooled request-read buffer. The buffer accumulates
+// "<endpoint>\x00<verbatim body>" — exactly the raw-key layout — so the
+// hit path probes both LRUs without assembling a single string.
+type reqBuf struct{ b []byte }
+
+var reqBufPool = sync.Pool{New: func() any { return &reqBuf{b: make([]byte, 0, 4096)} }}
+
+// readBody appends r to buf until EOF, failing once the buffer exceeds
+// limit bytes. Reading into a pooled buffer keeps the steady-state hit
+// path allocation-free where io.ReadAll would grow a fresh slice per
+// request.
+func readBody(r io.Reader, buf []byte, limit int) ([]byte, error) {
+	for {
+		if len(buf) == cap(buf) {
+			buf = append(buf, 0)[:len(buf)]
+		}
+		n, err := r.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		if len(buf) > limit {
+			return buf, fmt.Errorf("request body exceeds %d bytes", maxRequestBytes)
+		}
+		if err == io.EOF {
+			return buf, nil
+		}
+		if err != nil {
+			return buf, err
+		}
+	}
+}
+
+// knownLabels interns the stats labels the hit path touches, so parsing
+// a packed raw-key entry never allocates a fresh string.
+var knownLabels = [...]string{"mv1", "mv2", "mv3", "pareto", "compare", "sweep"}
+
+func internLabel(b []byte) string {
+	for _, l := range knownLabels {
+		if string(b) == l {
+			return l
+		}
+	}
+	return string(b)
+}
+
+// probeState carries what the cache probe learned into the slow path:
+// the verbatim body and, when the raw-key LRU still knew the body but
+// the response was evicted, the recovered canonical key.
+type probeState struct {
+	// rawKey is the pooled "<endpoint>\x00<body>" buffer (valid only for
+	// the duration of the request); raw is the body slice of it.
+	rawKey []byte
+	raw    []byte
+	// label/key/cacheKey are set when the probe recovered the canonical
+	// key from the raw-key LRU (evicted-response case); empty otherwise.
+	label, key, cacheKey string
+}
+
+// slowFn is a handler's miss path. Implementations are top-level
+// functions (not per-request closures), so the hit path stays
+// allocation-free; they decode request state and hand a memoSpec to
+// finishMemoized.
+type slowFn func(s *Server, w http.ResponseWriter, r *http.Request, ps probeState)
+
 // serveMemoized runs the shared flow. A byte-identical body seen before
-// maps straight to its canonical cache key (stored as "<label>\x00<key>"),
-// skipping JSON decoding and canonicalization — which builds a lattice to
-// resolve the workload — on every repeat.
-func (s *Server) serveMemoized(w http.ResponseWriter, r *http.Request, spec memoSpec) {
-	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+// maps straight to its response cache key (the raw-key LRU stores
+// "<label>\x00<endpoint>\x00<canonical key>"), skipping JSON decoding and
+// canonicalization — which builds a lattice to resolve the workload — on
+// every repeat. The repeat-hit path is allocation-free: pooled read
+// buffer, byte-keyed LRU probes, interned labels, shared header values,
+// the response written straight from cache-owned bytes, and no
+// per-request closures (the slow path is a static slowFn). Cold keys go
+// through the flight group, so concurrent identical requests coalesce
+// onto a single solve.
+func (s *Server) serveMemoized(w http.ResponseWriter, r *http.Request, endpoint string, slow slowFn) {
+	rb := reqBufPool.Get().(*reqBuf)
+	defer func() { rb.b = rb.b[:0]; reqBufPool.Put(rb) }()
+	rb.b = append(rb.b[:0], endpoint...)
+	rb.b = append(rb.b, 0)
+	prefix := len(rb.b)
+	var err error
+	rb.b, err = readBody(r.Body, rb.b, prefix+maxRequestBytes)
 	if err != nil {
 		s.stats.failure()
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("read request: %v", err))
 		return
 	}
+	ps := probeState{rawKey: rb.b, raw: rb.b[prefix:]}
 
-	rawKey := spec.endpoint + "\x00" + string(raw)
-	var key, label string
-	decoded := false
-	if packed, ok := s.rawKeys.Get(rawKey); ok {
-		if l, k, found := strings.Cut(string(packed), "\x00"); found {
-			label, key = l, k
+	if packed, ok := s.rawKeys.view(rb.b); ok {
+		if i := bytes.IndexByte(packed, 0); i >= 0 {
+			// Fast path: the response for this verbatim body is resident.
+			if body, ok := s.cache.view(packed[i+1:]); ok {
+				s.stats.advise(endpoint, internLabel(packed[:i]), true)
+				writeBody(w, http.StatusOK, body, "hit")
+				return
+			}
+			// Response evicted; the canonical key spares re-canonicalizing.
+			ps.label = internLabel(packed[:i])
+			ps.cacheKey = string(packed[i+1:])
+			ps.key = ps.cacheKey[len(endpoint)+1:]
 		}
 	}
+	slow(s, w, r, ps)
+}
+
+// finishMemoized is the shared miss path: canonicalize (or reload from
+// the recovered canonical key), re-probe the response cache for
+// differently-spelled equivalents, then solve under the flight group.
+func (s *Server) finishMemoized(w http.ResponseWriter, r *http.Request, spec memoSpec, ps probeState) {
+	key, label, cacheKey := ps.key, ps.label, ps.cacheKey
 	if key == "" {
-		key, label, err = spec.canon(raw)
+		var err error
+		key, label, err = spec.canon(ps.raw)
 		if err != nil {
 			s.stats.failure()
 			writeError(w, http.StatusBadRequest, err.Error())
 			return
 		}
-		decoded = true
-		s.rawKeys.Put(rawKey, []byte(label+"\x00"+key))
-	}
-	cacheKey := spec.endpoint + "\x00" + key
-	if cached, ok := s.cache.Get(cacheKey); ok {
-		s.stats.advise(spec.endpoint, label, true)
-		writeBody(w, http.StatusOK, cached, "hit")
-		return
-	}
-	if !decoded {
-		if err := spec.reload(key); err != nil {
-			s.stats.failure()
-			writeError(w, http.StatusInternalServerError, err.Error())
+		cacheKey = spec.endpoint + "\x00" + key
+		s.rawKeys.Put(string(ps.rawKey), []byte(label+"\x00"+cacheKey))
+		// A differently-spelled equivalent request may have already
+		// cached the canonical response.
+		if cached, ok := s.cache.Get(cacheKey); ok {
+			s.stats.advise(spec.endpoint, label, true)
+			writeBody(w, http.StatusOK, cached, "hit")
 			return
 		}
+	} else if err := spec.reload(key); err != nil {
+		s.stats.failure()
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
 	}
 
-	done := make(chan outcome, 1)
-	go func() {
-		b, err := spec.solve()
-		done <- outcome{b, err}
-	}()
+	// Singleflight: the first request for a cold key runs the solve; any
+	// concurrent identical request joins the same in-flight call. The
+	// leader's goroutine outlives a timed-out or cancelled request and
+	// still warms the cache for the retry.
+	call, leader := s.flight.join(cacheKey)
+	if leader {
+		go func() {
+			s.stats.solve()
+			b, err := spec.solve()
+			if err == nil {
+				s.cache.Put(cacheKey, b)
+			}
+			s.flight.finish(cacheKey, call, outcome{b, err})
+		}()
+	}
 
 	ctx := r.Context()
 	timeout := time.NewTimer(s.opts.RequestTimeout)
 	defer timeout.Stop()
 	select {
-	case out := <-done:
+	case <-call.done:
+		out := call.out
 		if out.err != nil {
 			s.stats.failure()
 			writeError(w, http.StatusBadRequest, out.err.Error())
 			return
 		}
-		s.cache.Put(cacheKey, out.body)
-		s.stats.advise(spec.endpoint, label, false)
-		writeBody(w, http.StatusOK, out.body, "miss")
+		if leader {
+			s.stats.advise(spec.endpoint, label, false)
+			writeBody(w, http.StatusOK, out.body, "miss")
+		} else {
+			s.stats.coalesce(spec.endpoint, label)
+			writeBody(w, http.StatusOK, out.body, "coalesced")
+		}
 	case <-timeout.C:
-		s.warmLater(cacheKey, done)
 		s.stats.failure()
 		writeError(w, http.StatusServiceUnavailable, "request timed out")
 	case <-ctx.Done():
-		s.warmLater(cacheKey, done)
 		s.stats.failure()
 		writeError(w, http.StatusServiceUnavailable, "request cancelled")
 	}
 }
 
 func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
+	s.serveMemoized(w, r, "advise", adviseSlow)
+}
+
+// adviseSlow is the advise miss path; being a top-level function keeps
+// its closures (and the decoded request they capture) off the hit path.
+func adviseSlow(s *Server, w http.ResponseWriter, r *http.Request, ps probeState) {
 	var req AdviseRequest
-	s.serveMemoized(w, r, memoSpec{
+	s.finishMemoized(w, r, memoSpec{
 		endpoint: "advise",
 		canon: func(raw []byte) (string, string, error) {
 			dec := json.NewDecoder(bytes.NewReader(raw))
@@ -378,15 +496,19 @@ func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
 			}
 			return append(b, '\n'), nil
 		},
-	})
+	}, ps)
 }
 
 // handleCompare serves POST /v1/compare: the advisory problem fanned out
 // across the provider × instance × fleet grid on the compare worker
 // pool, with the same canonicalized-request memoization as advise.
 func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
+	s.serveMemoized(w, r, "compare", compareSlow)
+}
+
+func compareSlow(s *Server, w http.ResponseWriter, r *http.Request, ps probeState) {
 	var req compare.RequestJSON
-	s.serveMemoized(w, r, memoSpec{
+	s.finishMemoized(w, r, memoSpec{
 		endpoint: "compare",
 		canon: func(raw []byte) (string, string, error) {
 			dec := json.NewDecoder(bytes.NewReader(raw))
@@ -422,7 +544,7 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 			}
 			return append(b, '\n'), nil
 		},
-	})
+	}, ps)
 }
 
 // handleSweep serves POST /v1/sweep: a tariff-grid sweep of one
@@ -430,8 +552,12 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 // study — memoized exactly like advise and compare under its own
 // endpoint namespace of the shared LRU.
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	s.serveMemoized(w, r, "sweep", sweepSlow)
+}
+
+func sweepSlow(s *Server, w http.ResponseWriter, r *http.Request, ps probeState) {
 	var req compare.SweepRequestJSON
-	s.serveMemoized(w, r, memoSpec{
+	s.finishMemoized(w, r, memoSpec{
 		endpoint: "sweep",
 		canon: func(raw []byte) (string, string, error) {
 			dec := json.NewDecoder(bytes.NewReader(raw))
@@ -467,7 +593,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			}
 			return append(b, '\n'), nil
 		},
-	})
+	}, ps)
 }
 
 // normalizeSweep canonicalizes a sweep request and applies the
@@ -516,16 +642,6 @@ func (s *Server) normalizeCompare(req *compare.RequestJSON) error {
 		return fmt.Errorf("comparison grid of %d configurations exceeds the server limit %d", n, s.opts.MaxCompareConfigs)
 	}
 	return nil
-}
-
-// warmLater lets an orphaned solve (timed-out or cancelled request)
-// finish in the background and warm the cache for the retry.
-func (s *Server) warmLater(key string, done <-chan outcome) {
-	go func() {
-		if out := <-done; out.err == nil {
-			s.cache.Put(key, out.body)
-		}
-	}()
 }
 
 // solve runs the expensive path: advisor construction (lattice +
@@ -638,21 +754,45 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
+// encBufPool pools the encode buffers behind writeJSON, so the
+// uncached GET endpoints (stats, tariffs, healthz) don't grow a fresh
+// marshal buffer per request.
+var encBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
 func writeJSON(w http.ResponseWriter, status int, v any) {
-	b, err := json.Marshal(v)
-	if err != nil {
+	buf := encBufPool.Get().(*bytes.Buffer)
+	defer func() { buf.Reset(); encBufPool.Put(buf) }()
+	if err := json.NewEncoder(buf).Encode(v); err != nil {
 		writeError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
-	writeBody(w, status, append(b, '\n'), "")
+	writeBody(w, status, buf.Bytes(), "")
 }
 
-// writeBody sends a pre-marshaled, newline-terminated JSON body. Cache
-// hits arrive as defensive copies, so the slice is exclusively owned.
+// Shared header values: assigning a preallocated []string into the
+// header map keeps the cache-hit path allocation-free where
+// Header().Set would build a fresh single-element slice per call. The
+// slices are never mutated and the keys are already in canonical form.
+var (
+	headerValJSON      = []string{"application/json"}
+	headerValHit       = []string{"hit"}
+	headerValMiss      = []string{"miss"}
+	headerValCoalesced = []string{"coalesced"}
+)
+
+// writeBody sends a pre-marshaled, newline-terminated JSON body. The
+// body may alias cache-owned memory: it is only ever written to the
+// wire, never mutated.
 func writeBody(w http.ResponseWriter, status int, body []byte, cache string) {
-	w.Header().Set("Content-Type", "application/json")
-	if cache != "" {
-		w.Header().Set("X-Cache", cache)
+	h := w.Header()
+	h["Content-Type"] = headerValJSON
+	switch cache {
+	case "hit":
+		h["X-Cache"] = headerValHit
+	case "miss":
+		h["X-Cache"] = headerValMiss
+	case "coalesced":
+		h["X-Cache"] = headerValCoalesced
 	}
 	w.WriteHeader(status)
 	w.Write(body)

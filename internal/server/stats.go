@@ -16,21 +16,31 @@ type stats struct {
 	hits       int64
 	misses     int64
 	errors     int64
+	// coalesced counts requests that neither hit the response cache nor
+	// ran their own solve: they joined another request's in-flight solve
+	// for the same canonical key (the stampede path).
+	coalesced int64
+	// solves counts solves actually executed — the number the
+	// singleflight regression test pins: under a K-way stampede of one
+	// key it must advance by exactly 1.
+	solves int64
 	// hitsByEndpoint/missesByEndpoint split the memoization outcome per
 	// endpoint — once solver choice (and its seed) multiplies the key
 	// space, the aggregate alone can no longer tell which endpoint's
 	// cache is earning its memory.
-	hitsByEndpoint   map[string]int64
-	missesByEndpoint map[string]int64
+	hitsByEndpoint      map[string]int64
+	missesByEndpoint    map[string]int64
+	coalescedByEndpoint map[string]int64
 }
 
 func newStats(now time.Time) *stats {
 	return &stats{
-		start:            now,
-		byEndpoint:       make(map[string]int64),
-		byScenario:       make(map[string]int64),
-		hitsByEndpoint:   make(map[string]int64),
-		missesByEndpoint: make(map[string]int64),
+		start:               now,
+		byEndpoint:          make(map[string]int64),
+		byScenario:          make(map[string]int64),
+		hitsByEndpoint:      make(map[string]int64),
+		missesByEndpoint:    make(map[string]int64),
+		coalescedByEndpoint: make(map[string]int64),
 	}
 }
 
@@ -52,6 +62,30 @@ func (s *stats) advise(endpoint, scenario string, hit bool) {
 		s.misses++
 		s.missesByEndpoint[endpoint]++
 	}
+}
+
+// coalesce records a request that joined another request's in-flight
+// solve instead of hitting the cache or solving itself.
+func (s *stats) coalesce(endpoint, scenario string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.byScenario[scenario]++
+	s.coalesced++
+	s.coalescedByEndpoint[endpoint]++
+}
+
+// solve records one actually-executed solve.
+func (s *stats) solve() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.solves++
+}
+
+// solveCount reads the executed-solve counter (test hook and /v1/stats).
+func (s *stats) solveCount() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.solves
 }
 
 func (s *stats) failure() {
@@ -82,13 +116,21 @@ type endpointCacheJSON struct {
 	RawBytes   int64 `json:"raw_bytes"`
 	Hits       int64 `json:"hits"`
 	Misses     int64 `json:"misses"`
+	// Coalesced counts requests served by joining another request's
+	// in-flight solve (singleflight stampede suppression).
+	Coalesced int64 `json:"coalesced"`
 }
 
 type adviseStatsJSON struct {
-	CacheHits   int64            `json:"cache_hits"`
-	CacheMisses int64            `json:"cache_misses"`
-	Errors      int64            `json:"errors"`
-	ByScenario  map[string]int64 `json:"by_scenario"`
+	CacheHits   int64 `json:"cache_hits"`
+	CacheMisses int64 `json:"cache_misses"`
+	// Coalesced requests joined an in-flight identical solve; Solves is
+	// how many solves actually executed (misses ≥ solves when requests
+	// coalesce; a K-way stampede is 1 miss + K-1 coalesced + 1 solve).
+	Coalesced  int64            `json:"coalesced"`
+	Solves     int64            `json:"solves"`
+	Errors     int64            `json:"errors"`
+	ByScenario map[string]int64 `json:"by_scenario"`
 }
 
 type cacheStatsJSON struct {
@@ -129,6 +171,11 @@ func (s *stats) snapshot(now time.Time, cacheLen, cacheCap int, resp, raw map[st
 		c.Misses = n
 		caches[ns] = c
 	}
+	for ns, n := range s.coalescedByEndpoint {
+		c := caches[ns]
+		c.Coalesced = n
+		caches[ns] = c
+	}
 	return statsJSON{
 		UptimeSeconds: now.Sub(s.start).Seconds(),
 		Requests:      s.requests,
@@ -136,6 +183,8 @@ func (s *stats) snapshot(now time.Time, cacheLen, cacheCap int, resp, raw map[st
 		Advise: adviseStatsJSON{
 			CacheHits:   s.hits,
 			CacheMisses: s.misses,
+			Coalesced:   s.coalesced,
+			Solves:      s.solves,
 			Errors:      s.errors,
 			ByScenario:  byScenario,
 		},

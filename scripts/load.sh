@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# load.sh — run the fleet-scale load harness (cmd/mvcloudbench) with the
+# pinned CI traffic mix and emit LOAD_<date>.json, the latency-SLO
+# sibling of bench.sh's BENCH_<date>.json.
+#
+# Usage:
+#   ./scripts/load.sh                 # full run, writes LOAD_YYYY-MM-DD.json
+#   REQUESTS=2000 ./scripts/load.sh   # shorter run
+#   OUT=/tmp/load.json ./scripts/load.sh
+#
+#   ./scripts/load.sh --compare [baseline.json]
+#       Run fresh and diff against the baseline — by default the latest
+#       committed LOAD_*.json. Exits non-zero when an endpoint's p95 more
+#       than doubles or its cache-hit allocs/request grow past
+#       baseline×1.5+2. Latency on shared runners is noisy, so CI runs
+#       this step soft-fail; the alloc gate is the part that bites, and
+#       it is what locks in the zero-alloc cache-hit fast path.
+#
+# The traffic profile is pinned (seed 1, 4 tenants × 2 schemas, 8:1:1
+# advise:compare:sweep, hit-ratio 0.9, 64 concurrent clients) so runs
+# are comparable commit over commit.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+COMPARE=0
+BASELINE=""
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --compare)
+      COMPARE=1
+      if [ $# -gt 1 ] && [ "${2#--}" = "$2" ]; then
+        BASELINE="$2"
+        shift
+      fi
+      ;;
+    *)
+      echo "load.sh: unknown argument $1" >&2
+      exit 2
+      ;;
+  esac
+  shift
+done
+
+REQUESTS="${REQUESTS:-5000}"
+CONCURRENCY="${CONCURRENCY:-64}"
+DATE="$(date +%F)"
+
+ARGS=(-seed 1 -tenants 4 -schemas 2 -mix 8:1:1 -hit-ratio 0.9
+      -requests "$REQUESTS" -concurrency "$CONCURRENCY" -date "$DATE")
+
+if [ "$COMPARE" = 1 ]; then
+  if [ -z "$BASELINE" ]; then
+    BASELINE="$(ls LOAD_*.json 2>/dev/null | sort | tail -1 || true)"
+  fi
+  if [ -z "$BASELINE" ] || [ ! -f "$BASELINE" ]; then
+    echo "load.sh --compare: no committed LOAD_*.json baseline found" >&2
+    exit 2
+  fi
+  echo "comparing against $BASELINE" >&2
+  ARGS+=(-compare "$BASELINE")
+  [ -n "${OUT:-}" ] && ARGS+=(-out "$OUT")
+else
+  OUT="${OUT:-LOAD_$DATE.json}"
+  ARGS+=(-out "$OUT")
+fi
+
+go run ./cmd/mvcloudbench "${ARGS[@]}"
