@@ -1,0 +1,133 @@
+// Package analysis is a small, dependency-free reimplementation of the
+// golang.org/x/tools/go/analysis surface this repo needs: typed AST
+// passes over go-list-loaded packages, per-line suppression via
+// //mvlint:allow directives, and //mvlint:hotpath function markers.
+//
+// The container this repo builds in bakes only the Go toolchain — no
+// module proxy, no x/tools — so the framework is built on the standard
+// library alone: package metadata and export data come from
+// `go list -deps -export -json`, type checking from go/types with the
+// gc export-data importer, and directive/suppression handling is
+// implemented here. The analyzer API is deliberately shaped like
+// x/tools' so the passes under passes/ would port over verbatim if the
+// dependency ever becomes available.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Analyzer is one named invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //mvlint:allow <name> directives. Lower-case, no spaces.
+	Name string
+	// Doc is the one-paragraph contract the analyzer enforces.
+	Doc string
+	// Scope restricts the analyzer to packages whose import path
+	// contains one of these substrings. Empty means every package.
+	Scope []string
+	// Exclude skips packages whose import path contains one of these
+	// substrings, after Scope matching.
+	Exclude []string
+	// Run reports diagnostics for one package via pass.Reportf.
+	Run func(*Pass) error
+}
+
+// AppliesTo reports whether the analyzer's Scope/Exclude rules select
+// the package with the given import path.
+func (a *Analyzer) AppliesTo(pkgPath string) bool {
+	for _, ex := range a.Exclude {
+		if strings.Contains(pkgPath, ex) {
+			return false
+		}
+	}
+	if len(a.Scope) == 0 {
+		return true
+	}
+	for _, sc := range a.Scope {
+		if strings.Contains(pkgPath, sc) {
+			return true
+		}
+	}
+	return false
+}
+
+// Pass carries one analyzer run over one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	directives []Directive
+	sink       *[]Diagnostic
+}
+
+// Diagnostic is one reported finding, resolved to a file position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.sink = append(*p.sink, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of expression e, or nil if unknown.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if t, ok := p.TypesInfo.Types[e]; ok {
+		return t.Type
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := p.TypesInfo.ObjectOf(id); obj != nil {
+			return obj.Type()
+		}
+	}
+	return nil
+}
+
+// CalleeFunc resolves the called function or method of call, or nil for
+// builtins, type conversions and indirect calls through variables.
+func (p *Pass) CalleeFunc(call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := p.TypesInfo.Uses[id].(*types.Func)
+	return fn
+}
+
+// HotpathMarked reports whether fn carries a well-formed
+// //mvlint:hotpath directive in its doc comment.
+func (p *Pass) HotpathMarked(fn *ast.FuncDecl) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, d := range p.directives {
+		if d.Verb == VerbHotpath && d.Pos >= fn.Doc.Pos() && d.Pos <= fn.Doc.End() {
+			return true
+		}
+	}
+	return false
+}

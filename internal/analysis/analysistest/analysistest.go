@@ -1,0 +1,162 @@
+// Package analysistest runs one analyzer over a fixture package under
+// testdata/src/<name> and matches its diagnostics against // want
+// comments, mirroring golang.org/x/tools/go/analysis/analysistest on
+// top of this repo's stdlib-only analysis framework.
+//
+// Expectation syntax, on the line the diagnostic lands on:
+//
+//	x := bad() // want `regexp`
+//	y := worse() // want "first" "second"
+//
+// Each quoted string is an anchored-nowhere regexp that must match
+// exactly one diagnostic on that line; unmatched expectations and
+// unexpected diagnostics both fail the test. Suppression is live:
+// a finding silenced by //mvlint:allow needs no want comment — which is
+// how fixtures prove the escape hatch works.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"vmcloud/internal/analysis"
+)
+
+// TestData returns the absolute path of the calling test's testdata
+// directory.
+func TestData() string {
+	wd, err := os.Getwd()
+	if err != nil {
+		panic(err)
+	}
+	return filepath.Join(wd, "testdata")
+}
+
+// Run loads testdata/src/<pkgname>, applies the analyzer (plus
+// directive validation and //mvlint:allow suppression, exactly as the
+// driver does), and checks every diagnostic against the fixture's
+// // want comments.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgname string) {
+	t.Helper()
+	dir := filepath.Join(testdata, "src", pkgname)
+	if _, err := os.Stat(dir); err != nil {
+		t.Fatalf("fixture package: %v", err)
+	}
+	moduleDir, err := analysis.ModuleRoot(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := filepath.Rel(moduleDir, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := analysis.LoadPackages(moduleDir, []string{"./" + filepath.ToSlash(rel)})
+	if err != nil {
+		t.Fatalf("load fixture: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("fixture loaded %d packages, want 1", len(pkgs))
+	}
+	pkg := pkgs[0]
+	diags, err := analysis.CheckPackage(pkg, []*analysis.Analyzer{a}, analysis.KnownNames([]*analysis.Analyzer{a}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkExpectations(t, pkg, diags)
+}
+
+type key struct {
+	file string
+	line int
+}
+
+func checkExpectations(t *testing.T, pkg *analysis.Package, diags []analysis.Diagnostic) {
+	t.Helper()
+	wants := make(map[key][]*regexp.Regexp)
+	for _, f := range pkg.Files {
+		collectWants(t, pkg.Fset, f, wants)
+	}
+	for _, d := range diags {
+		k := key{d.Pos.Filename, d.Pos.Line}
+		matched := false
+		for i, re := range wants[k] {
+			if re != nil && re.MatchString(d.Message) {
+				wants[k][i] = nil
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for k, res := range wants {
+		for _, re := range res {
+			if re != nil {
+				t.Errorf("%s:%d: no diagnostic matching %q", k.file, k.line, re)
+			}
+		}
+	}
+}
+
+func collectWants(t *testing.T, fset *token.FileSet, f *ast.File, wants map[key][]*regexp.Regexp) {
+	t.Helper()
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			idx := strings.Index(text, "want ")
+			if idx < 0 || strings.TrimSpace(text[:idx]) != "" {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			k := key{pos.Filename, pos.Line}
+			rest := strings.TrimSpace(text[idx+len("want "):])
+			for rest != "" {
+				lit, remainder, err := cutStringLit(rest)
+				if err != nil {
+					t.Fatalf("%s:%d: malformed want comment: %v", pos.Filename, pos.Line, err)
+				}
+				re, err := regexp.Compile(lit)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regexp: %v", pos.Filename, pos.Line, err)
+				}
+				wants[k] = append(wants[k], re)
+				rest = strings.TrimSpace(remainder)
+			}
+		}
+	}
+}
+
+// cutStringLit splits one leading Go string literal ("..." or `...`)
+// off s.
+func cutStringLit(s string) (lit, rest string, err error) {
+	switch s[0] {
+	case '`':
+		end := strings.IndexByte(s[1:], '`')
+		if end < 0 {
+			return "", "", fmt.Errorf("unterminated raw string in %q", s)
+		}
+		return s[1 : 1+end], s[end+2:], nil
+	case '"':
+		for i := 1; i < len(s); i++ {
+			if s[i] == '\\' {
+				i++
+				continue
+			}
+			if s[i] == '"' {
+				lit, err := strconv.Unquote(s[:i+1])
+				return lit, s[i+1:], err
+			}
+		}
+		return "", "", fmt.Errorf("unterminated string in %q", s)
+	default:
+		return "", "", fmt.Errorf("expected string literal at %q", s)
+	}
+}

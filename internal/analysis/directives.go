@@ -1,0 +1,102 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Directive verbs.
+const (
+	VerbAllow   = "allow"
+	VerbHotpath = "hotpath"
+)
+
+// DirectiveAnalyzerName is the pseudo-analyzer that owns diagnostics
+// about the directives themselves (malformed spellings, unknown
+// analyzer names). Its diagnostics are never suppressible.
+const DirectiveAnalyzerName = "mvlint"
+
+// Directive is one parsed //mvlint:... control comment.
+//
+//	//mvlint:allow <analyzer> -- <reason>   suppress <analyzer> findings
+//	                                        on this line or the next
+//	//mvlint:hotpath                        mark the documented function
+//	                                        as a hot path
+type Directive struct {
+	Pos      token.Pos
+	Verb     string
+	Analyzer string // allow only
+	Reason   string // allow only
+}
+
+const directivePrefix = "mvlint:"
+
+// ParseDirectives extracts every mvlint directive from file. known maps
+// valid analyzer names (for allow validation). Malformed directives are
+// returned as hard diagnostics attributed to DirectiveAnalyzerName —
+// a directive that cannot be parsed must fail the run, never silently
+// stop suppressing.
+func ParseDirectives(fset *token.FileSet, file *ast.File, known map[string]bool) ([]Directive, []Diagnostic) {
+	var dirs []Directive
+	var diags []Diagnostic
+	fail := func(pos token.Pos, format string, args ...any) {
+		diags = append(diags, Diagnostic{
+			Pos:      fset.Position(pos),
+			Analyzer: DirectiveAnalyzerName,
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			text, ok := strings.CutPrefix(c.Text, "//")
+			if !ok {
+				// /* ... */ comments cannot carry directives; flag an
+				// attempt rather than ignoring it.
+				inner := strings.TrimSuffix(strings.TrimPrefix(c.Text, "/*"), "*/")
+				if strings.Contains(strings.TrimSpace(inner), directivePrefix) {
+					fail(c.Pos(), "mvlint directives must be //-style line comments")
+				}
+				continue
+			}
+			if !strings.HasPrefix(text, directivePrefix) {
+				// "// mvlint:allow ..." with a space is a typo that would
+				// otherwise silently not suppress anything.
+				if strings.HasPrefix(strings.TrimSpace(text), directivePrefix) {
+					fail(c.Pos(), "malformed directive %q: no space between // and %s", c.Text, directivePrefix)
+				}
+				continue
+			}
+			rest := text[len(directivePrefix):]
+			verb, args, _ := strings.Cut(rest, " ")
+			switch verb {
+			case VerbHotpath:
+				if strings.TrimSpace(args) != "" {
+					fail(c.Pos(), "mvlint:hotpath takes no arguments (got %q)", strings.TrimSpace(args))
+					continue
+				}
+				dirs = append(dirs, Directive{Pos: c.Pos(), Verb: VerbHotpath})
+			case VerbAllow:
+				name, reason, found := strings.Cut(args, "--")
+				name = strings.TrimSpace(name)
+				reason = strings.TrimSpace(reason)
+				switch {
+				case name == "":
+					fail(c.Pos(), "mvlint:allow needs an analyzer name: //mvlint:allow <analyzer> -- <reason>")
+				case strings.ContainsAny(name, " \t"):
+					fail(c.Pos(), "mvlint:allow takes exactly one analyzer name (got %q)", name)
+				case known != nil && !known[name]:
+					fail(c.Pos(), "mvlint:allow names unknown analyzer %q", name)
+				case !found || reason == "":
+					fail(c.Pos(), "mvlint:allow %s needs a justification: //mvlint:allow %s -- <reason>", name, name)
+				default:
+					dirs = append(dirs, Directive{Pos: c.Pos(), Verb: VerbAllow, Analyzer: name, Reason: reason})
+				}
+			default:
+				fail(c.Pos(), "unknown mvlint directive %q (want %s or %s)", verb, VerbAllow, VerbHotpath)
+			}
+		}
+	}
+	return dirs, diags
+}

@@ -1,0 +1,156 @@
+package analysis_test
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"strings"
+	"testing"
+
+	"vmcloud/internal/analysis"
+	"vmcloud/internal/analysis/passes/hotpath"
+)
+
+var knownAnalyzers = map[string]bool{"determinism": true, "hotpath": true}
+
+func parseDirectives(t *testing.T, comment string) ([]analysis.Directive, []analysis.Diagnostic) {
+	t.Helper()
+	src := "package p\n\n" + comment + "\nvar x = 1\n"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("fixture does not parse: %v", err)
+	}
+	return analysis.ParseDirectives(fset, f, knownAnalyzers)
+}
+
+func TestParseDirectivesValid(t *testing.T) {
+	cases := []struct {
+		comment string
+		want    analysis.Directive
+	}{
+		{
+			comment: "//mvlint:allow determinism -- seeded in the caller",
+			want:    analysis.Directive{Verb: analysis.VerbAllow, Analyzer: "determinism", Reason: "seeded in the caller"},
+		},
+		{
+			comment: "//mvlint:allow hotpath -- cold error path, measured",
+			want:    analysis.Directive{Verb: analysis.VerbAllow, Analyzer: "hotpath", Reason: "cold error path, measured"},
+		},
+		{
+			comment: "//mvlint:hotpath",
+			want:    analysis.Directive{Verb: analysis.VerbHotpath},
+		},
+	}
+	for _, tc := range cases {
+		dirs, diags := parseDirectives(t, tc.comment)
+		if len(diags) != 0 {
+			t.Errorf("%q: unexpected diagnostics: %v", tc.comment, diags)
+			continue
+		}
+		if len(dirs) != 1 {
+			t.Errorf("%q: got %d directives, want 1", tc.comment, len(dirs))
+			continue
+		}
+		d := dirs[0]
+		if d.Verb != tc.want.Verb || d.Analyzer != tc.want.Analyzer || d.Reason != tc.want.Reason {
+			t.Errorf("%q: parsed %+v, want %+v", tc.comment, d, tc.want)
+		}
+	}
+}
+
+// TestParseDirectivesMalformed pins the contract that a directive which
+// cannot be parsed becomes a hard diagnostic — never a silent no-op
+// that stops suppressing.
+func TestParseDirectivesMalformed(t *testing.T) {
+	cases := []struct {
+		comment string
+		wantMsg string
+	}{
+		{"// mvlint:allow determinism -- x", "no space between // and mvlint:"},
+		{"/* mvlint:allow determinism -- x */", "must be //-style line comments"},
+		{"//mvlint:hotpath always", "takes no arguments"},
+		{"//mvlint:allow", "needs an analyzer name"},
+		{"//mvlint:allow determinism hotpath -- both", "exactly one analyzer name"},
+		{"//mvlint:allow frobnicator -- nope", `unknown analyzer "frobnicator"`},
+		{"//mvlint:allow determinism", "needs a justification"},
+		{"//mvlint:allow determinism --", "needs a justification"},
+		{"//mvlint:allow determinism --   ", "needs a justification"},
+		{"//mvlint:suppress determinism -- x", "unknown mvlint directive"},
+	}
+	for _, tc := range cases {
+		dirs, diags := parseDirectives(t, tc.comment)
+		if len(dirs) != 0 {
+			t.Errorf("%q: malformed directive parsed as %+v", tc.comment, dirs)
+		}
+		if len(diags) != 1 {
+			t.Errorf("%q: got %d diagnostics, want 1 (%v)", tc.comment, len(diags), diags)
+			continue
+		}
+		d := diags[0]
+		if d.Analyzer != analysis.DirectiveAnalyzerName {
+			t.Errorf("%q: diagnostic attributed to %q, want %q", tc.comment, d.Analyzer, analysis.DirectiveAnalyzerName)
+		}
+		if !strings.Contains(d.Message, tc.wantMsg) {
+			t.Errorf("%q: diagnostic %q does not mention %q", tc.comment, d.Message, tc.wantMsg)
+		}
+	}
+}
+
+// TestParseDirectivesUnknownSetNil checks that a nil known set skips
+// name validation (used by tooling that parses before analyzers are
+// registered) while still enforcing the grammar.
+func TestParseDirectivesUnknownSetNil(t *testing.T) {
+	src := "package p\n\n//mvlint:allow anything -- reason\nvar x = 1\n"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs, diags := analysis.ParseDirectives(fset, f, nil)
+	if len(diags) != 0 || len(dirs) != 1 {
+		t.Fatalf("nil known set: dirs=%v diags=%v", dirs, diags)
+	}
+}
+
+// TestCheckPackageRejectsMalformedDirective proves the driver surfaces
+// a malformed directive as a finding on a real loaded package: the
+// fixture under testdata/src/baddir carries a misspelled (spaced) allow
+// and the banned construct the typo fails to suppress.
+func TestCheckPackageRejectsMalformedDirective(t *testing.T) {
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	moduleDir, err := analysis.ModuleRoot(wd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := analysis.LoadPackages(moduleDir, []string{"./internal/analysis/testdata/src/baddir"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages, want 1", len(pkgs))
+	}
+	suite := []*analysis.Analyzer{hotpath.Analyzer}
+	diags, err := analysis.CheckPackage(pkgs[0], suite, analysis.KnownNames(suite))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawDirective, sawUnsuppressed bool
+	for _, d := range diags {
+		if d.Analyzer == analysis.DirectiveAnalyzerName && strings.Contains(d.Message, "no space between") {
+			sawDirective = true
+		}
+		if d.Analyzer == "hotpath" {
+			sawUnsuppressed = true
+		}
+	}
+	if !sawDirective {
+		t.Errorf("malformed directive not reported: %v", diags)
+	}
+	if !sawUnsuppressed {
+		t.Errorf("typoed allow must not suppress the underlying finding: %v", diags)
+	}
+}

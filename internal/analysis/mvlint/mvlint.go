@@ -1,0 +1,22 @@
+// Package mvlint assembles the repo's invariant-checking analyzer suite
+// — the single registry cmd/mvlint, the CI step and the repo-clean test
+// all run.
+package mvlint
+
+import (
+	"vmcloud/internal/analysis"
+	"vmcloud/internal/analysis/passes/determinism"
+	"vmcloud/internal/analysis/passes/hotpath"
+	"vmcloud/internal/analysis/passes/moneyfloat"
+	"vmcloud/internal/analysis/passes/noretain"
+)
+
+// Suite returns every analyzer mvlint enforces, in reporting order.
+func Suite() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		determinism.Analyzer,
+		noretain.Analyzer,
+		hotpath.Analyzer,
+		moneyfloat.Analyzer,
+	}
+}

@@ -1,0 +1,49 @@
+package mvlint_test
+
+import (
+	"os"
+	"testing"
+
+	"vmcloud/internal/analysis"
+	"vmcloud/internal/analysis/mvlint"
+)
+
+// TestSuiteHasEveryContract pins the registry: dropping an analyzer
+// from the suite silently stops enforcing its invariant.
+func TestSuiteHasEveryContract(t *testing.T) {
+	want := map[string]bool{"determinism": true, "noretain": true, "hotpath": true, "moneyfloat": true}
+	for _, a := range mvlint.Suite() {
+		if !want[a.Name] {
+			t.Errorf("unexpected analyzer %q in suite", a.Name)
+		}
+		delete(want, a.Name)
+	}
+	for name := range want {
+		t.Errorf("analyzer %q missing from suite", name)
+	}
+}
+
+// TestRepoIsClean runs the full suite over the module, exactly as
+// cmd/mvlint and the CI step do. Any finding here is either a genuine
+// invariant violation (fix it) or an intentional exception (annotate it
+// with //mvlint:allow <analyzer> -- <reason>).
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("repo-wide lint shells out to go list; skipped in -short")
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	moduleDir, err := analysis.ModuleRoot(wd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := analysis.Run(moduleDir, []string{"./..."}, mvlint.Suite())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

@@ -1,0 +1,167 @@
+// Package determinism bans wall-clock reads, unseeded randomness and
+// order-sensitive map iteration in the solver packages whose byte-exact
+// output the repo's goldens pin.
+//
+// Every recommendation, golden response and committed experiment table
+// depends on internal/{optimizer,search,compare,lattice,core} being
+// pure functions of (request, seed): the canonical memoization keys,
+// the seeded-search determinism tests and the cross-provider
+// equivalence suites all assume identical inputs produce identical
+// bytes. The three ways that property has historically rotted in
+// codebases like this are time.Now creeping into a cost term, the
+// global math/rand source (seeded per-process, shared across
+// goroutines), and map iteration feeding anything ordered — output
+// rows, cache keys, candidate lists.
+//
+// Contract enforced per package in scope:
+//
+//   - no calls to time.Now;
+//   - no package-level math/rand or math/rand/v2 functions (they draw
+//     from the unseeded global source) — construct an explicit
+//     rand.New(rand.NewSource(seed));
+//   - a range over a map may only aggregate order-insensitively:
+//     assignments, scalar accumulation and delete/len/cap/min/max are
+//     fine, but any other call (append included), send or return inside
+//     the loop is flagged — collect keys, sort, then iterate instead.
+//
+// Intentional exceptions carry
+// //mvlint:allow determinism -- <reason> on the flagged line.
+package determinism
+
+import (
+	"go/ast"
+	"go/types"
+
+	"vmcloud/internal/analysis"
+)
+
+// Analyzer is the determinism invariant checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "determinism",
+	Doc:  "bans time.Now, unseeded math/rand and order-sensitive map iteration in solver packages",
+	Scope: []string{
+		"internal/optimizer",
+		"internal/search",
+		"internal/compare",
+		"internal/lattice",
+		"internal/core",
+	},
+	Run: run,
+}
+
+// seededConstructors are the math/rand entry points that build an
+// explicitly seeded generator rather than drawing from the global
+// source.
+var seededConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkCall(pass, n)
+			case *ast.RangeStmt:
+				checkMapRange(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	fn := pass.CalleeFunc(call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	// Methods (rand.Rand.Intn etc.) are fine — reaching one requires a
+	// constructed, seeded generator. Only package-level functions touch
+	// the global source.
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if fn.Name() == "Now" {
+			pass.Reportf(call.Pos(), "time.Now makes solver output depend on the wall clock; thread the timestamp in from the serving layer")
+		}
+	case "math/rand", "math/rand/v2":
+		if !seededConstructors[fn.Name()] {
+			pass.Reportf(call.Pos(), "%s.%s draws from the unseeded global source; use rand.New(rand.NewSource(seed)) so identical seeds replay identical solves", fn.Pkg().Name(), fn.Name())
+		}
+	}
+}
+
+func checkMapRange(pass *analysis.Pass, rs *ast.RangeStmt) {
+	t := pass.TypeOf(rs.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+	if bad := orderSensitive(pass, rs.Body); bad != nil {
+		pass.Reportf(rs.Pos(), "map iteration order is random, and this loop feeds it into %s; iterate a sorted key slice instead", bad.desc)
+	}
+}
+
+type sensitiveOp struct {
+	desc string
+}
+
+// orderSensitive reports the first operation in a map-range body whose
+// effect depends on iteration order, or nil when the body only
+// aggregates commutatively.
+func orderSensitive(pass *analysis.Pass, body *ast.BlockStmt) *sensitiveOp {
+	var found *sensitiveOp
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if isOrderFreeBuiltin(pass, n) {
+				return true
+			}
+			desc := "a call"
+			if fn := pass.CalleeFunc(n); fn != nil {
+				desc = "a call to " + fn.Name()
+			} else if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+				desc = "a call to " + id.Name
+			}
+			found = &sensitiveOp{desc: desc}
+			return false
+		case *ast.SendStmt:
+			found = &sensitiveOp{desc: "a channel send"}
+			return false
+		case *ast.ReturnStmt:
+			found = &sensitiveOp{desc: "an order-dependent early return"}
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// isOrderFreeBuiltin recognizes the builtins whose use inside a map
+// range cannot observe iteration order.
+func isOrderFreeBuiltin(pass *analysis.Pass, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); !isBuiltin {
+		return false
+	}
+	switch id.Name {
+	case "delete", "len", "cap", "min", "max":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"vmcloud/internal/analysis/analysistest"
+	"vmcloud/internal/analysis/passes/determinism"
+)
+
+func TestDeterminism(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), determinism.Analyzer, "det")
+}

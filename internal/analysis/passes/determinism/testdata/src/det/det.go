@@ -1,0 +1,59 @@
+// Package det is the determinism analyzer's fixture: each construct
+// the contract bans appears once flagged, once in its sanctioned form,
+// and once behind the //mvlint:allow escape hatch.
+package det
+
+import (
+	"math/rand"
+	"time"
+)
+
+func clock() int64 {
+	t := time.Now() // want `time\.Now makes solver output depend on the wall clock`
+	return t.Unix()
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want `rand\.Intn draws from the unseeded global source`
+}
+
+func seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed)) // seeded constructors are the sanctioned form
+	return r.Intn(10)                   // generator methods never touch the global source
+}
+
+func mapRangeAppend(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `map iteration order is random, and this loop feeds it into a call to append`
+		out = append(out, k)
+	}
+	return out
+}
+
+func mapRangeSum(m map[string]int) int {
+	total := 0
+	for _, v := range m { // commutative aggregation cannot observe order
+		total += v
+	}
+	return total
+}
+
+func mapRangePrune(m map[string]int) {
+	for k, v := range m { // delete/len are order-free builtins
+		if v == 0 && len(m) > 1 {
+			delete(m, k)
+		}
+	}
+}
+
+func mapRangeReturn(m map[string]int) string {
+	for k := range m { // want `map iteration order is random, and this loop feeds it into an order-dependent early return`
+		return k
+	}
+	return ""
+}
+
+func allowedClock() time.Time {
+	//mvlint:allow determinism -- fixture: proves the escape hatch suppresses the finding
+	return time.Now()
+}

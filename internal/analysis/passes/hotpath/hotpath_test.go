@@ -1,0 +1,12 @@
+package hotpath_test
+
+import (
+	"testing"
+
+	"vmcloud/internal/analysis/analysistest"
+	"vmcloud/internal/analysis/passes/hotpath"
+)
+
+func TestHotpath(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), hotpath.Analyzer, "hp")
+}

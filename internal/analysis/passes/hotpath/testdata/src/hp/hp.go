@@ -1,0 +1,65 @@
+// Package hp is the hotpath analyzer's fixture: each banned construct
+// appears once in a marked function (flagged), once in an unmarked one
+// (ignored), and once behind the //mvlint:allow escape hatch.
+package hp
+
+import (
+	"fmt"
+	"sync"
+)
+
+var mu sync.Mutex
+
+//mvlint:hotpath
+func closures(xs []int) int {
+	f := func(a int) int { return a + 1 } // want `closure allocated in hotpath function closures`
+	return f(xs[0])
+}
+
+//mvlint:hotpath
+func deferred() {
+	mu.Lock()
+	defer mu.Unlock() // want `defer in hotpath function deferred`
+}
+
+//mvlint:hotpath
+func formatted(n int) error {
+	if n < 0 {
+		return fmt.Errorf("negative: %d", n) // want `fmt\.Errorf in hotpath function formatted allocates on every call`
+	}
+	return nil
+}
+
+//mvlint:hotpath
+func concat(a, b string) string {
+	return a + b // want `string concatenation in hotpath function concat allocates`
+}
+
+//mvlint:hotpath
+func concatAssign(parts []string) string {
+	s := ""
+	for _, p := range parts {
+		s += p // want `string concatenation in hotpath function concatAssign allocates`
+	}
+	return s
+}
+
+//mvlint:hotpath
+func clean(dst []byte, a, b string) []byte {
+	dst = append(dst[:0], a...) // pooled-buffer key building is the sanctioned form
+	dst = append(dst, b...)
+	return dst
+}
+
+// cold is unmarked: the same constructs are fine off the hot path.
+func cold(a, b string) string {
+	mu.Lock()
+	defer mu.Unlock()
+	return fmt.Sprintf("%s%s", a, b)
+}
+
+//mvlint:hotpath
+func allowedDefer() {
+	mu.Lock()
+	defer mu.Unlock() //mvlint:allow hotpath -- fixture: proves the escape hatch suppresses the finding
+}

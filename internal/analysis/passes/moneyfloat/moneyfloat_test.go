@@ -1,0 +1,12 @@
+package moneyfloat_test
+
+import (
+	"testing"
+
+	"vmcloud/internal/analysis/analysistest"
+	"vmcloud/internal/analysis/passes/moneyfloat"
+)
+
+func TestMoneyFloat(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), moneyfloat.Analyzer, "mf")
+}

@@ -1,0 +1,12 @@
+package noretain_test
+
+import (
+	"testing"
+
+	"vmcloud/internal/analysis/analysistest"
+	"vmcloud/internal/analysis/passes/noretain"
+)
+
+func TestNoRetain(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), noretain.Analyzer, "nr")
+}

@@ -1,0 +1,90 @@
+// Package nr is the noretain analyzer's fixture: every escape class
+// appears once flagged, the sanctioned lending idioms (in-place
+// mutation, recycle, copy-out) appear unflagged, and one escape rides
+// the //mvlint:allow hatch.
+package nr
+
+import "sync"
+
+type cache struct {
+	data map[string][]byte
+}
+
+// view lends the cached bytes; the alias is valid only until the
+// caller returns.
+func (c *cache) view(key string) ([]byte, bool) {
+	b, ok := c.data[key]
+	return b, ok
+}
+
+// Put takes ownership of val.
+func (c *cache) Put(key string, val []byte) { c.data[key] = val }
+
+type scratch struct {
+	buf []byte
+}
+
+var pool = sync.Pool{New: func() any { return new(scratch) }}
+
+var sink []byte
+
+func use([]byte) {}
+
+func leakReturn(c *cache, key string) []byte {
+	b, _ := c.view(key)
+	return b // want `returning cache view buffer escapes it past its contract scope`
+}
+
+func leakGlobal(c *cache, key string) {
+	b, _ := c.view(key)
+	sink = b // want `cache view buffer stored in package-level variable sink`
+}
+
+func leakMap(c *cache, key string, out map[string][]byte) {
+	b, _ := c.view(key)
+	out[key] = b // want `cache view buffer stored into a map`
+}
+
+func leakGoroutine(c *cache, key string) {
+	b, _ := c.view(key)
+	go use(b) // want `cache view buffer passed to a goroutine`
+}
+
+func leakAppend(c *cache, key string, rows [][]byte) [][]byte {
+	b, _ := c.view(key)
+	return append(rows, b) // want `cache view buffer appended as an element into another slice`
+}
+
+func leakPut(c *cache, key string) {
+	b, _ := c.view(key)
+	c.Put("copy", b) // want `cache view buffer handed to .*cache\)\.Put transfers ownership`
+}
+
+func leakPool() *scratch {
+	sc := pool.Get().(*scratch)
+	return sc // want `returning sync\.Pool-backed scratch escapes it past its contract scope`
+}
+
+func recycle() {
+	sc := pool.Get().(*scratch)
+	sc.buf = append(sc.buf[:0], 'x') // mutating the borrowed object is using the loan
+	pool.Put(sc)                     // the recycle idiom, not a retention
+}
+
+func copyOut(c *cache, key string) []byte {
+	b, _ := c.view(key)
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out // the copy is free of the loan
+}
+
+func spreadCopy(c *cache, key string, dst []byte) []byte {
+	b, _ := c.view(key)
+	return append(dst[:0], b...) // spread copies the bytes and launders the taint
+}
+
+func allowedReturn(c *cache, key string) []byte {
+	b, _ := c.view(key)
+	//mvlint:allow noretain -- fixture: proves the escape hatch suppresses the finding
+	return b
+}

@@ -1,0 +1,113 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Run loads the packages matched by patterns and applies every analyzer
+// whose Scope selects them, returning the surviving (non-suppressed)
+// diagnostics sorted by position. Malformed mvlint directives are
+// diagnostics in their own right, attributed to DirectiveAnalyzerName
+// and never suppressible.
+func Run(moduleDir string, patterns []string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	pkgs, err := LoadPackages(moduleDir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	known := KnownNames(analyzers)
+	var all []Diagnostic
+	for _, pkg := range pkgs {
+		var scoped []*Analyzer
+		for _, a := range analyzers {
+			if a.AppliesTo(pkg.Path) {
+				scoped = append(scoped, a)
+			}
+		}
+		diags, err := CheckPackage(pkg, scoped, known)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, diags...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return all, nil
+}
+
+// KnownNames builds the valid-analyzer-name set //mvlint:allow
+// directives are validated against.
+func KnownNames(analyzers []*Analyzer) map[string]bool {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	return known
+}
+
+// CheckPackage runs the given analyzers over one loaded package,
+// ignoring Scope (the caller has already decided applicability — the
+// analysistest harness relies on this to exercise scoped analyzers on
+// fixture packages). Directive parse errors are emitted once per
+// package; analyzer findings carrying a matching //mvlint:allow on
+// their own line or the line above are suppressed.
+func CheckPackage(pkg *Package, analyzers []*Analyzer, known map[string]bool) ([]Diagnostic, error) {
+	var dirs []Directive
+	var out []Diagnostic
+	for _, f := range pkg.Files {
+		fd, fdiags := ParseDirectives(pkg.Fset, f, known)
+		dirs = append(dirs, fd...)
+		out = append(out, fdiags...)
+	}
+	// allow[file][line][analyzer]
+	allow := make(map[string]map[int]map[string]bool)
+	for _, d := range dirs {
+		if d.Verb != VerbAllow {
+			continue
+		}
+		pos := pkg.Fset.Position(d.Pos)
+		if allow[pos.Filename] == nil {
+			allow[pos.Filename] = make(map[int]map[string]bool)
+		}
+		if allow[pos.Filename][pos.Line] == nil {
+			allow[pos.Filename][pos.Line] = make(map[string]bool)
+		}
+		allow[pos.Filename][pos.Line][d.Analyzer] = true
+	}
+	suppressed := func(d Diagnostic) bool {
+		lines := allow[d.Pos.Filename]
+		return lines[d.Pos.Line][d.Analyzer] || lines[d.Pos.Line-1][d.Analyzer]
+	}
+	for _, a := range analyzers {
+		var sink []Diagnostic
+		pass := &Pass{
+			Analyzer:   a,
+			Fset:       pkg.Fset,
+			Files:      pkg.Files,
+			Pkg:        pkg.Types,
+			TypesInfo:  pkg.TypesInfo,
+			directives: dirs,
+			sink:       &sink,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s on %s: %v", a.Name, pkg.Path, err)
+		}
+		for _, d := range sink {
+			if !suppressed(d) {
+				out = append(out, d)
+			}
+		}
+	}
+	return out, nil
+}

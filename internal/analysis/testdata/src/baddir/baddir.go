@@ -1,0 +1,16 @@
+// Package baddir fixes in place the failure mode mvlint directives are
+// designed against: a typoed suppression that would otherwise silently
+// stop suppressing. The spaced comment below must surface as a
+// directive diagnostic AND leave the defer finding live.
+package baddir
+
+import "sync"
+
+var mu sync.Mutex
+
+//mvlint:hotpath
+func locked() {
+	mu.Lock()
+	// mvlint:allow hotpath -- the space after // makes this a typo, not a directive
+	defer mu.Unlock()
+}

@@ -1,0 +1,66 @@
+package loadgen
+
+import (
+	"os"
+	"strconv"
+	"testing"
+	"time"
+
+	"vmcloud/internal/server"
+)
+
+// TestCoalescingRaceE2E drives the full in-process stack with a
+// duplicate-dense mix tuned to keep concurrent identical requests in
+// flight: few tenants and schemas shrink the key space and a high hit
+// ratio makes repeats land while the leader is still solving. Its job
+// is to put the flightGroup leader/follower handoff, the cache-fill
+// publication and the zero-copy hit path in front of the race detector
+// every CI run — the CI race step runs it explicitly at
+// LOADGEN_E2E_REQUESTS=500. The server timeout is raised because the
+// race detector serializes enough that queue wait, not solve time,
+// dominates; a 503 here would be noise, not signal.
+func TestCoalescingRaceE2E(t *testing.T) {
+	requests := 500
+	if s := os.Getenv("LOADGEN_E2E_REQUESTS"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n <= 0 {
+			t.Fatalf("LOADGEN_E2E_REQUESTS=%q: want a positive integer", s)
+		}
+		requests = n
+	}
+	srv := server.New(server.Options{RequestTimeout: 5 * time.Minute})
+	cfg := Config{
+		Seed:        7,
+		Tenants:     2,
+		Schemas:     1,
+		Requests:    requests,
+		Concurrency: 16,
+		HitRatio:    0.85,
+	}
+	res, err := Run(cfg, NewHandlerTarget(srv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total != cfg.Requests {
+		t.Fatalf("total %d, want %d", res.Total, cfg.Requests)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("%d errors in synthesized traffic", res.Errors)
+	}
+	var coalesced int
+	for ep, st := range res.Endpoints {
+		if st.Hits+st.Misses+st.Coalesced != st.Requests {
+			t.Errorf("%s: hits %d + misses %d + coalesced %d != requests %d",
+				ep, st.Hits, st.Misses, st.Coalesced, st.Requests)
+		}
+		coalesced += st.Coalesced
+	}
+	// 16 clients over a 2-tenant single-schema key space at 85%
+	// duplicates: repeats of a just-issued body land while its leader
+	// is still solving. Zero means the stampede suppression is not
+	// engaging at all.
+	if coalesced == 0 {
+		t.Error("no request was coalesced; singleflight path never exercised")
+	}
+	t.Logf("requests=%d coalesced=%d", res.Total, coalesced)
+}

@@ -170,6 +170,8 @@ func (inc *IncrementalEvaluator) Reset(sel []bool) error {
 // Add materializes candidate i: aggregates grow by its scalars and only
 // the queries i can answer are re-routed (they move to i exactly when i
 // beats their current source under the tie rule).
+//
+//mvlint:hotpath
 func (inc *IncrementalEvaluator) Add(i int) {
 	if inc.selected[i] {
 		return
@@ -202,6 +204,8 @@ func (inc *IncrementalEvaluator) Add(i int) {
 
 // Drop unmaterializes candidate i: only queries currently assigned to it
 // are re-routed, to their cheapest remaining selected source (or base).
+//
+//mvlint:hotpath
 func (inc *IncrementalEvaluator) Drop(i int) {
 	if !inc.selected[i] {
 		return
@@ -235,6 +239,8 @@ func (inc *IncrementalEvaluator) Drop(i int) {
 
 // route reassigns query q to candidate to (-1 = base), updating the
 // processing aggregate and the deferred-maintenance serving counters.
+//
+//mvlint:hotpath
 func (inc *IncrementalEvaluator) route(q int, to int32) {
 	from := inc.assigned[q]
 	if inc.deferred && inc.runs > 0 {
@@ -266,6 +272,8 @@ func (inc *IncrementalEvaluator) route(q int, to int32) {
 // deferred maintenance aggregate. Groups almost always hold one
 // candidate; duplicates of one point share a counter exactly like the
 // Evaluator's per-point accounting.
+//
+//mvlint:hotpath
 func (inc *IncrementalEvaluator) adjustServed(i int, delta int64) {
 	g := inc.k.group[i]
 	before := inc.served[g]
@@ -294,6 +302,8 @@ func min64(a, b int64) int64 {
 // maintenance returns TmaintenanceV for the current subset under the
 // estimator's policy. In deferred mode a dropped-to-zero maintSum and
 // runs<=0 mirror MaintenanceTimeForWorkload exactly.
+//
+//mvlint:hotpath
 func (inc *IncrementalEvaluator) maintenance() time.Duration {
 	if inc.deferred && inc.runs <= 0 {
 		return 0
@@ -305,6 +315,8 @@ func (inc *IncrementalEvaluator) maintenance() time.Duration {
 // the same Plan.Bill the Evaluator uses (full tiered, rounded billing —
 // no linearization), so the result is bit-equal to Evaluate of the same
 // points.
+//
+//mvlint:hotpath
 func (inc *IncrementalEvaluator) Score() (time.Duration, costmodel.Bill, error) {
 	plan := inc.ev.Base.WithViews(inc.sizeSum, inc.proc, inc.maintenance(), inc.matSum)
 	bill, err := plan.Bill()

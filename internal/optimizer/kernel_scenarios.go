@@ -102,6 +102,8 @@ func (s *KernelSession) Base() (time.Duration, costmodel.Bill, error) {
 // selection order) exactly, mirroring Evaluator.Evaluate of the same
 // points: cheapest-answering routing with the first-strictly-fewer-rows
 // tie rule, policy-aware maintenance, and the full tiered bill.
+//
+//mvlint:hotpath
 func (s *KernelSession) evaluateSel(sel []int32) (time.Duration, costmodel.Bill, error) {
 	k, sc := s.Kern, &s.inc.sessionScalars
 	var proc, maint, mat time.Duration

@@ -52,6 +52,7 @@ func grabScratch(n int, cells int64, fill int64) *dpScratch {
 	for i := range s.keep {
 		s.keep[i] = false
 	}
+	//mvlint:allow noretain -- grabScratch IS the pool's lending API; every caller pairs it with release()
 	return s
 }
 

@@ -217,6 +217,7 @@ func density(it Item) float64 {
 	if it.CostDelta <= 0 {
 		return float64(it.TimeSaved) + 1e18 // free views sort last (never dropped first)
 	}
+	//mvlint:allow moneyfloat -- score-space repair ranking, not billing arithmetic; goldens pin these exact floats
 	return float64(it.TimeSaved) / float64(it.CostDelta)
 }
 

@@ -238,6 +238,8 @@ func (c *evalCache) len() int {
 
 // smallKey folds a ≤1-word selection (possibly with up to two flipped
 // bits) into the uint64 key.
+//
+//mvlint:hotpath
 func smallKey(words []uint64, flip1, flip2 int) uint64 {
 	var k uint64
 	if len(words) > 0 {
@@ -252,6 +254,7 @@ func smallKey(words []uint64, flip1, flip2 int) uint64 {
 	return k
 }
 
+//mvlint:hotpath
 func (c *evalCache) bigKey(words []uint64, flip1, flip2 int) []byte {
 	for w, word := range words {
 		if flip1 >= 0 && flip1>>6 == w {
@@ -268,6 +271,8 @@ func (c *evalCache) bigKey(words []uint64, flip1, flip2 int) []byte {
 // get looks up the subset `words` with candidates flip1/flip2 (-1 =
 // none) toggled — neighbor states are keyed without touching the
 // evaluation engine.
+//
+//mvlint:hotpath
 func (c *evalCache) get(words []uint64, flip1, flip2 int) (cachedEval, bool) {
 	if c.small != nil {
 		ce, ok := c.small[smallKey(words, flip1, flip2)]
@@ -278,6 +283,8 @@ func (c *evalCache) get(words []uint64, flip1, flip2 int) (cachedEval, bool) {
 }
 
 // put stores the subset exactly as given (no flips).
+//
+//mvlint:hotpath
 func (c *evalCache) put(words []uint64, ce cachedEval) {
 	if c.small != nil {
 		c.small[smallKey(words, -1, -1)] = ce
@@ -366,6 +373,8 @@ func (s *solver) score(c cachedEval) eval {
 // hits are free; misses consume one unit of the evaluation budget and
 // re-bill from the engine's running aggregates. When the budget is
 // exhausted it returns errEvalBudget.
+//
+//mvlint:hotpath
 func (s *solver) scoreState() (eval, error) {
 	words := s.inc.Words()
 	if c, ok := s.cache.get(words, -1, -1); ok {
@@ -394,6 +403,8 @@ func (s *solver) evaluate(sel []bool) (eval, error) {
 }
 
 // flip toggles candidate i in the engine.
+//
+//mvlint:hotpath
 func (s *solver) flip(i int) {
 	if s.inc.Selected(i) {
 		s.inc.Drop(i)
@@ -406,6 +417,8 @@ func (s *solver) flip(i int) {
 // swap dropping selected i for unselected j, leaving the engine in its
 // current state. The neighbor key is derived by an XOR on the selection
 // words, so cache hits never touch the engine at all.
+//
+//mvlint:hotpath
 func (s *solver) probeMove(i, j int) (eval, error) {
 	if c, ok := s.cache.get(s.inc.Words(), i, j); ok {
 		return s.score(c), nil
@@ -428,6 +441,8 @@ func (s *solver) probeMove(i, j int) (eval, error) {
 
 // applyEngineMove commits a move to the engine: a flip of i (j < 0) or
 // a swap dropping i for j — the engine-side mirror of applyMove.
+//
+//mvlint:hotpath
 func (s *solver) applyEngineMove(i, j int) {
 	if j < 0 {
 		s.flip(i)
@@ -438,6 +453,8 @@ func (s *solver) applyEngineMove(i, j int) {
 }
 
 // undoEngineMove reverts applyEngineMove.
+//
+//mvlint:hotpath
 func (s *solver) undoEngineMove(i, j int) {
 	if j < 0 {
 		s.flip(i)

@@ -63,15 +63,19 @@ func (c *lruCache) Get(key string) ([]byte, bool) {
 // must treat it as read-only and must not retain it past the request.
 // Callers that hand the bytes to arbitrary code want Get's defensive
 // copy instead.
+//
+//mvlint:hotpath
 func (c *lruCache) view(key []byte) ([]byte, bool) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	el, ok := c.entries[string(key)]
 	if !ok {
+		c.mu.Unlock()
 		return nil, false
 	}
 	c.order.MoveToFront(el)
-	return el.Value.(*lruEntry).val, true
+	val := el.Value.(*lruEntry).val
+	c.mu.Unlock()
+	return val, true
 }
 
 // Put inserts or refreshes a value, evicting least recently used

@@ -42,6 +42,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -289,10 +290,17 @@ type reqBuf struct{ b []byte }
 
 var reqBufPool = sync.Pool{New: func() any { return &reqBuf{b: make([]byte, 0, 4096)} }}
 
+// errBodyTooLarge is built once at init: readBody runs on every
+// request and must not pay fmt's reflection-and-allocate on the
+// oversized-body rejection path either.
+var errBodyTooLarge = errors.New("request body exceeds " + strconv.Itoa(maxRequestBytes) + " bytes")
+
 // readBody appends r to buf until EOF, failing once the buffer exceeds
 // limit bytes. Reading into a pooled buffer keeps the steady-state hit
 // path allocation-free where io.ReadAll would grow a fresh slice per
 // request.
+//
+//mvlint:hotpath
 func readBody(r io.Reader, buf []byte, limit int) ([]byte, error) {
 	for {
 		if len(buf) == cap(buf) {
@@ -301,7 +309,7 @@ func readBody(r io.Reader, buf []byte, limit int) ([]byte, error) {
 		n, err := r.Read(buf[len(buf):cap(buf)])
 		buf = buf[:len(buf)+n]
 		if len(buf) > limit {
-			return buf, fmt.Errorf("request body exceeds %d bytes", maxRequestBytes)
+			return buf, errBodyTooLarge
 		}
 		if err == io.EOF {
 			return buf, nil
@@ -316,6 +324,7 @@ func readBody(r io.Reader, buf []byte, limit int) ([]byte, error) {
 // a packed raw-key entry never allocates a fresh string.
 var knownLabels = [...]string{"mv1", "mv2", "mv3", "pareto", "compare", "sweep"}
 
+//mvlint:hotpath
 func internLabel(b []byte) string {
 	for _, l := range knownLabels {
 		if string(b) == l {
@@ -783,6 +792,8 @@ var (
 // writeBody sends a pre-marshaled, newline-terminated JSON body. The
 // body may alias cache-owned memory: it is only ever written to the
 // wire, never mutated.
+//
+//mvlint:hotpath
 func writeBody(w http.ResponseWriter, status int, body []byte, cache string) {
 	h := w.Header()
 	h["Content-Type"] = headerValJSON

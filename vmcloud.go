@@ -45,6 +45,8 @@ import (
 type Money = money.Money
 
 // Dollars converts a float dollar amount to Money.
+//
+//mvlint:allow moneyfloat -- public facade input boundary: callers hand us float dollars by design
 func Dollars(d float64) Money { return money.FromDollars(d) }
 
 // ParseMoney parses "$1.08"-style strings.
