@@ -7,6 +7,7 @@
 //
 //	mvcloudd [-addr :8080] [-cache-size 256] [-cache-max-mb 64]
 //	         [-request-timeout 30s] [-shutdown-grace 10s]
+//	         [-debug-addr localhost:6060] [-slow-solve 0]
 //
 // Endpoints:
 //
@@ -15,12 +16,19 @@
 //	                  fleet configurations and rank the outcomes
 //	GET  /v1/tariffs  the built-in provider catalog
 //	GET  /v1/stats    serving and cache counters
+//	GET  /v1/version  build/VCS stamp of the running binary
+//	GET  /metrics     Prometheus text-format telemetry
 //	GET  /healthz     liveness probe
 //
 // Example:
 //
 //	curl -s localhost:8080/v1/advise -d '{"scenario":"mv1","budget":25}'
 //	curl -s localhost:8080/v1/compare -d '{"budget":25,"limit":"4h"}'
+//
+// -debug-addr starts a second listener serving net/http/pprof under
+// /debug/pprof/ — a separate socket, so production traffic on -addr can
+// never reach the profiler. -slow-solve logs a structured line with the
+// per-phase breakdown for every cold solve at least that slow.
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM, draining in-flight
 // requests for up to -shutdown-grace.
@@ -34,6 +42,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -53,6 +62,8 @@ func main() {
 		maxSteps = flag.Int("max-pareto-steps", 0, "largest accepted pareto sweep (0 = server default)")
 		maxGrid  = flag.Int("max-compare-configs", 0, "largest accepted compare grid (0 = server default)")
 		cmpWork  = flag.Int("compare-workers", 0, "compare fan-out worker pool size (0 = GOMAXPROCS)")
+		dbgAddr  = flag.String("debug-addr", "", "pprof listen address (empty disables; use localhost:6060)")
+		slowTO   = flag.Duration("slow-solve", 0, "log cold solves at least this slow with their phase breakdown (0 disables)")
 	)
 	flag.Parse()
 
@@ -62,6 +73,7 @@ func main() {
 		addr: *addr, cacheSize: *cache, cacheMaxBytes: *cacheMB << 20, requestTimeout: *reqTO,
 		shutdownGrace: *graceTO, maxFactRows: *maxRows, maxParetoSteps: *maxSteps,
 		maxCompareConfigs: *maxGrid, compareWorkers: *cmpWork,
+		debugAddr: *dbgAddr, slowSolve: *slowTO,
 		logf: log.Printf,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "mvcloudd:", err)
@@ -79,10 +91,17 @@ type options struct {
 	maxParetoSteps    int
 	maxCompareConfigs int
 	compareWorkers    int
+	// debugAddr, when non-empty, starts a second listener serving
+	// net/http/pprof — isolated from the API socket by construction.
+	debugAddr string
+	// slowSolve is the slow-solve log threshold (0 disables).
+	slowSolve time.Duration
 	// ready, if non-nil, receives the bound address once listening —
 	// lets tests use ":0" and discover the port.
 	ready chan<- string
-	logf  func(format string, args ...any)
+	// debugReady, if non-nil, receives the bound debug address.
+	debugReady chan<- string
+	logf       func(format string, args ...any)
 }
 
 // run serves until ctx is cancelled, then drains gracefully.
@@ -91,13 +110,14 @@ func run(ctx context.Context, o options) error {
 		o.logf = func(string, ...any) {}
 	}
 	api := server.New(server.Options{
-		CacheSize:         o.cacheSize,
-		CacheMaxBytes:     o.cacheMaxBytes,
-		RequestTimeout:    o.requestTimeout,
-		MaxFactRows:       o.maxFactRows,
-		MaxParetoSteps:    o.maxParetoSteps,
-		MaxCompareConfigs: o.maxCompareConfigs,
-		CompareWorkers:    o.compareWorkers,
+		CacheSize:          o.cacheSize,
+		CacheMaxBytes:      o.cacheMaxBytes,
+		RequestTimeout:     o.requestTimeout,
+		MaxFactRows:        o.maxFactRows,
+		MaxParetoSteps:     o.maxParetoSteps,
+		MaxCompareConfigs:  o.maxCompareConfigs,
+		CompareWorkers:     o.compareWorkers,
+		SlowSolveThreshold: o.slowSolve,
 	})
 	hs := &http.Server{
 		Handler:           api,
@@ -116,6 +136,25 @@ func run(ctx context.Context, o options) error {
 		o.ready <- ln.Addr().String()
 	}
 
+	var ds *http.Server
+	if o.debugAddr != "" {
+		dln, err := net.Listen("tcp", o.debugAddr)
+		if err != nil {
+			ln.Close()
+			return fmt.Errorf("debug listener: %w", err)
+		}
+		ds = &http.Server{Handler: debugMux(), ReadHeaderTimeout: 5 * time.Second}
+		o.logf("mvcloudd pprof on %s/debug/pprof/", dln.Addr())
+		if o.debugReady != nil {
+			o.debugReady <- dln.Addr().String()
+		}
+		go func() {
+			if err := ds.Serve(dln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				o.logf("mvcloudd debug server: %v", err)
+			}
+		}()
+	}
+
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
 	select {
@@ -126,6 +165,9 @@ func run(ctx context.Context, o options) error {
 	o.logf("mvcloudd draining (grace %v)", o.shutdownGrace)
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), o.shutdownGrace)
 	defer cancel()
+	if ds != nil {
+		ds.Shutdown(shutdownCtx)
+	}
 	if err := hs.Shutdown(shutdownCtx); err != nil {
 		return fmt.Errorf("shutdown: %w", err)
 	}
@@ -133,4 +175,17 @@ func run(ctx context.Context, o options) error {
 		return err
 	}
 	return nil
+}
+
+// debugMux builds the pprof handler set explicitly rather than
+// importing net/http/pprof for its DefaultServeMux side effect — the
+// API mux must never inherit the profiler routes.
+func debugMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }

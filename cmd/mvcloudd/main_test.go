@@ -8,6 +8,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"vmcloud/internal/obs"
 )
 
 // TestServeAndShutdown boots the daemon on an ephemeral port, exercises
@@ -67,6 +69,128 @@ func TestServeAndShutdown(t *testing.T) {
 	}
 	if code, body := get("/v1/stats"); code != 200 || !strings.Contains(body, `"cache_hits":1`) {
 		t.Fatalf("stats: %d %s", code, body)
+	}
+
+	cancel()
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("shutdown: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never shut down")
+	}
+}
+
+// TestDaemonTelemetry boots the daemon with the pprof listener and the
+// slow-solve log enabled and exercises the whole observability surface
+// over real TCP: /metrics validates against the exposition contract,
+// /v1/version reports the build stamp, ?debug=phases returns the
+// per-phase breakdown, the profiler answers on its own socket, and —
+// critically — the API socket does NOT serve /debug/pprof/.
+func TestDaemonTelemetry(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ready := make(chan string, 1)
+	debugReady := make(chan string, 1)
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run(ctx, options{
+			addr: "127.0.0.1:0", debugAddr: "127.0.0.1:0", cacheSize: 32,
+			requestTimeout: 30 * time.Second, shutdownGrace: 5 * time.Second,
+			slowSolve: time.Nanosecond, // every cold solve logs
+			ready:     ready, debugReady: debugReady,
+		})
+	}()
+	var base, debugBase string
+	select {
+	case addr := <-ready:
+		base = "http://" + addr
+	case err := <-errc:
+		t.Fatalf("server exited early: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never became ready")
+	}
+	select {
+	case addr := <-debugReady:
+		debugBase = "http://" + addr
+	case <-time.After(10 * time.Second):
+		t.Fatal("debug listener never became ready")
+	}
+
+	body := `{"scenario":"mv1","budget":25,"fact_rows":10000000,"queries":5}`
+	for i, want := range []string{"miss", "hit"} {
+		resp, err := http.Post(base+"/v1/advise?debug=phases", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("POST advise: %v", err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 || resp.Header.Get("X-Cache") != want {
+			t.Fatalf("request %d: status %d, X-Cache %q", i, resp.StatusCode, resp.Header.Get("X-Cache"))
+		}
+		if phases := resp.Header.Get("X-Solve-Phases"); (want == "miss") != (phases != "") {
+			t.Errorf("request %d (%s): X-Solve-Phases = %q", i, want, phases)
+		} else if want == "miss" && !strings.Contains(phases, "total=") {
+			t.Errorf("phase header missing total: %q", phases)
+		}
+	}
+
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("GET /metrics: %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("metrics Content-Type = %q", ct)
+	}
+	samples, err := obs.ValidateText(payload)
+	if err != nil {
+		t.Fatalf("invalid exposition over TCP: %v", err)
+	}
+	var sawHit bool
+	for _, s := range samples {
+		if s.Name == "mvcloud_http_requests_total" && s.Label("endpoint") == "advise" &&
+			s.Label("outcome") == "hit" && s.Value == 1 {
+			sawHit = true
+		}
+	}
+	if !sawHit {
+		t.Error("hit outcome not visible in scraped metrics")
+	}
+
+	resp, err = http.Get(base + "/v1/version")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vbody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || !strings.Contains(string(vbody), `"go_version"`) {
+		t.Errorf("version: %d %s", resp.StatusCode, vbody)
+	}
+
+	// The profiler lives on the debug socket only.
+	resp, err = http.Get(debugBase + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Errorf("debug pprof index: %d", resp.StatusCode)
+	}
+	resp, err = http.Get(base + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode == 200 {
+		t.Error("API socket serves /debug/pprof/ — profiler leaked onto the serving mux")
 	}
 
 	cancel()

@@ -1,7 +1,12 @@
 package mvlint_test
 
 import (
+	"go/ast"
+	"go/parser"
+	"go/token"
 	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 
 	"vmcloud/internal/analysis"
@@ -46,4 +51,77 @@ func TestRepoIsClean(t *testing.T) {
 	for _, d := range diags {
 		t.Errorf("%s", d)
 	}
+}
+
+// TestTelemetryFastPathsAreMarked pins the observability contract from
+// the other side: the telemetry instruments that sit on the zero-alloc
+// cache-hit path must carry //mvlint:hotpath, so the hotpath analyzer
+// (and TestRepoIsClean above) actually guards them. Removing a marker
+// would silently exempt the instrument from the discipline; this test
+// turns that into a failure.
+func TestTelemetryFastPathsAreMarked(t *testing.T) {
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	moduleDir, err := analysis.ModuleRoot(wd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// receiver.method (or bare function) -> relative source file.
+	want := map[string]string{
+		"Counter.Add":             "internal/obs/counter.go",
+		"Counter.Inc":             "internal/obs/counter.go",
+		"shardIndex":              "internal/obs/counter.go",
+		"Gauge.Set":               "internal/obs/counter.go",
+		"Gauge.Add":               "internal/obs/counter.go",
+		"Histogram.Observe":       "internal/obs/histogram.go",
+		"Trace.StartTimer":        "internal/obs/trace.go",
+		"Trace.ObserveSince":      "internal/obs/trace.go",
+		"Trace.Observe":           "internal/obs/trace.go",
+		"endpointMetrics.observe": "internal/server/metrics.go",
+	}
+	files := map[string][]string{}
+	for fn, file := range want {
+		files[file] = append(files[file], fn)
+	}
+	fset := token.NewFileSet()
+	for file, fns := range files {
+		f, err := parser.ParseFile(fset, filepath.Join(moduleDir, file), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("%s: %v", file, err)
+		}
+		marked := map[string]bool{}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			for _, c := range fd.Doc.List {
+				if strings.TrimSpace(c.Text) == "//mvlint:hotpath" {
+					marked[funcKey(fd)] = true
+				}
+			}
+		}
+		for _, fn := range fns {
+			if !marked[fn] {
+				t.Errorf("%s: %s is not marked //mvlint:hotpath", file, fn)
+			}
+		}
+	}
+}
+
+// funcKey renders a FuncDecl as receiver.method or a bare name.
+func funcKey(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	typ := fd.Recv.List[0].Type
+	if star, ok := typ.(*ast.StarExpr); ok {
+		typ = star.X
+	}
+	if id, ok := typ.(*ast.Ident); ok {
+		return id.Name + "." + fd.Name.Name
+	}
+	return fd.Name.Name
 }

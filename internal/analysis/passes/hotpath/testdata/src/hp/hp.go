@@ -6,6 +6,7 @@ package hp
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 var mu sync.Mutex
@@ -62,4 +63,24 @@ func cold(a, b string) string {
 func allowedDefer() {
 	mu.Lock()
 	defer mu.Unlock() //mvlint:allow hotpath -- fixture: proves the escape hatch suppresses the finding
+}
+
+// instrument mirrors internal/obs: a telemetry series resolved at
+// registration time, recorded with plain atomic ops.
+type instrument struct {
+	n   atomic.Int64
+	sum atomic.Int64
+}
+
+// record is the sanctioned telemetry idiom for marked functions —
+// atomic adds on a pre-resolved series, no labels, no maps, no
+// formatting. This fixture pins that the analyzer accepts it unchanged.
+//
+//mvlint:hotpath
+func record(ins *instrument, d int64) {
+	if d < 0 {
+		d = 0
+	}
+	ins.n.Add(1)
+	ins.sum.Add(d)
 }

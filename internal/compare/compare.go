@@ -22,6 +22,7 @@ import (
 
 	"vmcloud/internal/core"
 	"vmcloud/internal/money"
+	"vmcloud/internal/obs"
 	"vmcloud/internal/pricing"
 	"vmcloud/internal/report"
 	"vmcloud/internal/units"
@@ -129,6 +130,11 @@ type Request struct {
 	// Workers bounds the fan-out worker pool; zero selects GOMAXPROCS.
 	// One worker reproduces the sequential baseline.
 	Workers int
+
+	// Trace, when non-nil, accumulates per-phase durations across the
+	// whole fan-out (its phase slots are atomic, so concurrent cells
+	// record safely). Nil records nothing.
+	Trace *obs.Trace
 }
 
 // Key identifies one fanned-out configuration.
@@ -356,6 +362,7 @@ func (n normalized) shared() (*core.Shared, error) {
 		JobOverhead:       n.JobOverhead,
 		Solver:            n.Solver,
 		Seed:              n.Seed,
+		Trace:             n.Trace,
 	})
 }
 

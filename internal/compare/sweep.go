@@ -15,6 +15,7 @@ import (
 
 	"vmcloud/internal/core"
 	"vmcloud/internal/money"
+	"vmcloud/internal/obs"
 	"vmcloud/internal/pricing"
 	"vmcloud/internal/report"
 	"vmcloud/internal/units"
@@ -59,6 +60,10 @@ type SweepRequest struct {
 
 	// Workers bounds the fan-out worker pool; zero selects GOMAXPROCS.
 	Workers int
+
+	// Trace, when non-nil, accumulates per-phase durations across the
+	// whole grid; see Request.Trace.
+	Trace *obs.Trace
 }
 
 // SweepCell is one grid cell: the objective solved on one tariff.
@@ -130,6 +135,7 @@ func (r SweepRequest) normalize() (normalized, string, error) {
 		Alpha:             r.Alpha,
 		BreakEvenSteps:    -1, // the sweep has no budget sub-sweep
 		Workers:           r.Workers,
+		Trace:             r.Trace,
 	}.normalize()
 	if err != nil {
 		return normalized{}, "", err

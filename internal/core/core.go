@@ -15,6 +15,7 @@ import (
 	"vmcloud/internal/costmodel"
 	"vmcloud/internal/lattice"
 	"vmcloud/internal/money"
+	"vmcloud/internal/obs"
 	"vmcloud/internal/optimizer"
 	"vmcloud/internal/pricing"
 	"vmcloud/internal/report"
@@ -64,6 +65,10 @@ type Config struct {
 	// identical seeds yield identical recommendations. Ignored by the
 	// knapsack solver.
 	Seed int64
+	// Trace, when non-nil, records per-phase durations of the build and
+	// solve pipeline (lattice → candidates → kernel → bind → solve). A
+	// nil trace records nothing and costs nothing.
+	Trace *obs.Trace
 }
 
 // Solver names accepted by Config.Solver and the "solver" wire field.
@@ -114,6 +119,9 @@ type Advisor struct {
 	// seed it runs with.
 	Solver string
 	Seed   int64
+	// trace is the optional per-phase span recorder inherited from the
+	// Shared; nil-safe.
+	trace *obs.Trace
 	// mu serializes solves: the session below owns scratch state.
 	mu sync.Mutex
 	// sess is the kernel binding the scenario solvers run on: the shared
@@ -166,6 +174,10 @@ type Shared struct {
 	// every tariff cell of a fan-out would otherwise re-join the same
 	// level strings per recommendation.
 	names map[int]string
+	// trace is the optional per-phase span recorder; nil-safe, shared by
+	// every advisor stamped from this structure (its phase slots are
+	// atomic, so compare's parallel per-cell binds accumulate safely).
+	trace *obs.Trace
 }
 
 // NewShared builds the tariff-independent structure of a config. The
@@ -200,6 +212,8 @@ func NewShared(cfg Config) (*Shared, error) {
 		cfg.JobOverhead = 2 * time.Minute
 	}
 
+	tr := cfg.Trace
+	t0 := tr.StartTimer()
 	l, err := lattice.New(cfg.Schema, cfg.FactRows)
 	if err != nil {
 		return nil, err
@@ -215,14 +229,19 @@ func NewShared(cfg Config) (*Shared, error) {
 	if err != nil {
 		return nil, err
 	}
+	tr.ObserveSince(obs.PhaseLattice, t0)
+	t0 = tr.StartTimer()
 	cands, err := views.GenerateCandidates(l, cfg.Workload, cfg.CandidateBudget)
 	if err != nil {
 		return nil, err
 	}
+	tr.ObserveSince(obs.PhaseCandidates, t0)
+	t0 = tr.StartTimer()
 	kern, err := optimizer.NewComparisonKernel(l, cfg.Workload, cands)
 	if err != nil {
 		return nil, err
 	}
+	tr.ObserveSince(obs.PhaseKernel, t0)
 	if solver == SolverAuto {
 		solver = SolverKnapsack
 		if len(cands) > AutoSearchThreshold {
@@ -250,6 +269,7 @@ func NewShared(cfg Config) (*Shared, error) {
 		policy:      cfg.MaintenancePolicy,
 		jobOverhead: cfg.JobOverhead,
 		names:       names,
+		trace:       tr,
 	}, nil
 }
 
@@ -259,6 +279,7 @@ func NewShared(cfg Config) (*Shared, error) {
 // New with the same parameters — construction path is shared — but
 // costs only the tariff-dependent rebuild.
 func (sh *Shared) Advisor(prov pricing.Provider, instanceType string, instances int) (*Advisor, error) {
+	t0 := sh.trace.StartTimer()
 	if instanceType == "" {
 		instanceType = "small"
 	}
@@ -288,6 +309,7 @@ func (sh *Shared) Advisor(prov pricing.Provider, instanceType string, instances 
 	if err != nil {
 		return nil, err
 	}
+	sh.trace.ObserveSince(obs.PhaseBind, t0)
 	return &Advisor{
 		Lat:        sh.Lat,
 		Cl:         cl,
@@ -297,6 +319,7 @@ func (sh *Shared) Advisor(prov pricing.Provider, instanceType string, instances 
 		Candidates: sh.Candidates,
 		Solver:     sh.Solver,
 		Seed:       sh.Seed,
+		trace:      sh.trace,
 		sess:       sess,
 		names:      sh.names,
 	}, nil
@@ -431,10 +454,12 @@ func (a *Advisor) searchOpts() search.Options {
 func (a *Advisor) advise(scenario string, knapsack func() (optimizer.Selection, error), searcher func(warm optimizer.Selection) (optimizer.Selection, error)) (Recommendation, error) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	t0 := a.trace.StartTimer()
 	sel, err := knapsack()
 	if err == nil && a.useSearch() {
 		sel, err = searcher(sel)
 	}
+	a.trace.ObserveSince(obs.PhaseSolve, t0)
 	if err != nil {
 		return Recommendation{}, err
 	}
@@ -495,6 +520,8 @@ func (a *Advisor) ParetoFront(steps int) ([]ParetoPoint, error) {
 	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	t0 := a.trace.StartTimer()
+	defer a.trace.ObserveSince(obs.PhaseSolve, t0)
 	// The knapsack per-α sweep runs in both modes: in knapsack mode its
 	// selections are the frontier candidates; in search mode they become
 	// warm starts, carrying the advise dispatch's guarantee over to the

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"net/http"
 	"net/http/httptest"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -184,7 +185,7 @@ func TestReportRoundTrip(t *testing.T) {
 	}
 	for ep, want := range rep.Endpoints {
 		got := back.Endpoints[ep]
-		if got != want {
+		if !reflect.DeepEqual(got, want) {
 			t.Errorf("%s: %+v != %+v", ep, got, want)
 		}
 	}

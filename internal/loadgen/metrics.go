@@ -1,0 +1,186 @@
+package loadgen
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+
+	"vmcloud/internal/obs"
+)
+
+// This file is the server-side half of the harness's latency story: the
+// client-side percentiles in hist.go measure what callers experience,
+// while the scrape below reads the server's own
+// mvcloud_http_request_duration_seconds histograms from /metrics. The
+// two views bracket each other — the server-side p95 bucket must
+// contain (or sit just below) the client-side nearest-rank p95 on an
+// in-process run, which TestServerClientP95Bracket pins.
+
+// metricsSource is the in-process scrape capability: server.Server
+// implements it (the exact bytes GET /metrics serves).
+type metricsSource interface {
+	Metrics(w io.Writer) error
+}
+
+// ServerHist is one endpoint's server-side latency histogram, scraped
+// from /metrics after a run and summed across serving outcomes.
+type ServerHist struct {
+	// BoundsMS are the inclusive bucket upper bounds in milliseconds,
+	// ascending, excluding the +Inf bucket.
+	BoundsMS []float64 `json:"bounds_ms"`
+	// CumCounts are cumulative observation counts per bucket; the last
+	// entry is the +Inf bucket and equals Count.
+	CumCounts []int64 `json:"cum_counts"`
+	// Count and SumMS mirror the histogram's _count and _sum series.
+	Count int64   `json:"count"`
+	SumMS float64 `json:"sum_ms"`
+}
+
+// QuantileBracketMS returns the histogram bucket (lo, hi] containing
+// the q-quantile (nearest-rank), with hi = +Inf when it falls past the
+// last bound. Zero-count histograms bracket everything: (0, +Inf].
+func (h *ServerHist) QuantileBracketMS(q float64) (lo, hi float64) {
+	if h == nil || h.Count == 0 {
+		return 0, math.Inf(1)
+	}
+	rank := int64(math.Ceil(q * float64(h.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	lo = 0
+	for i, cum := range h.CumCounts {
+		if cum >= rank {
+			if i < len(h.BoundsMS) {
+				return lo, h.BoundsMS[i]
+			}
+			return lo, math.Inf(1)
+		}
+		if i < len(h.BoundsMS) {
+			lo = h.BoundsMS[i]
+		}
+	}
+	return lo, math.Inf(1)
+}
+
+// scrapeMetrics fetches the Prometheus payload from the target:
+// in-process via the metricsSource interface, over TCP via GET
+// /metrics. Returns nil when the target exposes neither.
+func scrapeMetrics(target Target) []byte {
+	switch t := target.(type) {
+	case *HandlerTarget:
+		if src, ok := t.Handler.(metricsSource); ok {
+			var buf bytes.Buffer
+			if err := src.Metrics(&buf); err == nil {
+				return buf.Bytes()
+			}
+		}
+	case *HTTPTarget:
+		client := t.Client
+		if client == nil {
+			client = http.DefaultClient
+		}
+		resp, err := client.Get(t.BaseURL + "/metrics")
+		if err != nil {
+			return nil
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil || resp.StatusCode != http.StatusOK {
+			return nil
+		}
+		return b
+	}
+	return nil
+}
+
+// serverLatency parses a /metrics payload and folds the
+// mvcloud_http_request_duration_seconds series into one histogram per
+// endpoint, summed across the outcome label (cumulative counts add
+// bucket-wise because every series shares the registry's bucket
+// layout).
+func serverLatency(payload []byte) (map[string]*ServerHist, error) {
+	samples, err := obs.ParseText(payload)
+	if err != nil {
+		return nil, err
+	}
+	hists := make(map[string]*ServerHist)
+	perBound := make(map[string]map[float64]int64)
+	for _, s := range samples {
+		ep := s.Label("endpoint")
+		if ep == "" {
+			continue
+		}
+		switch s.Name {
+		case "mvcloud_http_request_duration_seconds_bucket":
+			le := s.Label("le")
+			bound := math.Inf(1)
+			if le != "+Inf" {
+				if _, err := fmt.Sscanf(le, "%g", &bound); err != nil {
+					return nil, fmt.Errorf("loadgen: bad le %q: %v", le, err)
+				}
+				bound *= 1000 // seconds -> ms
+			}
+			m := perBound[ep]
+			if m == nil {
+				m = make(map[float64]int64)
+				perBound[ep] = m
+			}
+			m[bound] += int64(s.Value)
+		case "mvcloud_http_request_duration_seconds_sum":
+			h := histFor(hists, ep)
+			h.SumMS += s.Value * 1000
+		case "mvcloud_http_request_duration_seconds_count":
+			h := histFor(hists, ep)
+			h.Count += int64(s.Value)
+		}
+	}
+	for ep, m := range perBound {
+		h := histFor(hists, ep)
+		bounds := make([]float64, 0, len(m))
+		for b := range m {
+			bounds = append(bounds, b)
+		}
+		sort.Float64s(bounds)
+		for _, b := range bounds {
+			if !math.IsInf(b, 1) {
+				h.BoundsMS = append(h.BoundsMS, b)
+			}
+			h.CumCounts = append(h.CumCounts, m[b])
+		}
+	}
+	return hists, nil
+}
+
+func histFor(hists map[string]*ServerHist, ep string) *ServerHist {
+	h := hists[ep]
+	if h == nil {
+		h = &ServerHist{}
+		hists[ep] = h
+	}
+	return h
+}
+
+// attachServerLatency scrapes the target and attaches per-endpoint
+// server-side histograms to the result. Must run before probeAllocs so
+// the scraped counts reflect the run, not the probe's replay traffic.
+func attachServerLatency(target Target, res *Result) {
+	payload := scrapeMetrics(target)
+	if payload == nil {
+		return
+	}
+	hists, err := serverLatency(payload)
+	if err != nil {
+		return
+	}
+	for ep, h := range hists {
+		st, ok := res.Endpoints[ep]
+		if !ok {
+			continue
+		}
+		st.ServerLatency = h
+		res.Endpoints[ep] = st
+	}
+}

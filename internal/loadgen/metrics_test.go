@@ -1,0 +1,152 @@
+package loadgen
+
+import (
+	"math"
+	"net/http"
+	"strings"
+	"testing"
+
+	"vmcloud/internal/server"
+)
+
+// TestQuantileBracketMS pins the nearest-rank bucket bracketing used by
+// the p95 cross-check.
+func TestQuantileBracketMS(t *testing.T) {
+	h := &ServerHist{
+		BoundsMS:  []float64{1, 10, 100},
+		CumCounts: []int64{2, 8, 9, 10}, // last entry is +Inf
+		Count:     10,
+	}
+	cases := []struct {
+		q      float64
+		lo, hi float64
+	}{
+		{0.10, 0, 1},             // rank 1 -> first bucket
+		{0.20, 0, 1},             // rank 2 still inside (0, 1]
+		{0.50, 1, 10},            // rank 5 -> (1, 10]
+		{0.90, 10, 100},          // rank 9 -> (10, 100]
+		{0.95, 100, math.Inf(1)}, // rank 10 -> +Inf bucket
+		{1.00, 100, math.Inf(1)}, // max
+	}
+	for _, tc := range cases {
+		lo, hi := h.QuantileBracketMS(tc.q)
+		if lo != tc.lo || hi != tc.hi {
+			t.Errorf("q=%.2f: bracket (%g, %g], want (%g, %g]", tc.q, lo, hi, tc.lo, tc.hi)
+		}
+	}
+	// Nil and empty histograms bracket everything.
+	var nilH *ServerHist
+	if lo, hi := nilH.QuantileBracketMS(0.95); lo != 0 || !math.IsInf(hi, 1) {
+		t.Errorf("nil bracket (%g, %g]", lo, hi)
+	}
+	if lo, hi := (&ServerHist{}).QuantileBracketMS(0.95); lo != 0 || !math.IsInf(hi, 1) {
+		t.Errorf("empty bracket (%g, %g]", lo, hi)
+	}
+}
+
+// TestServerLatencyParse: the scrape folds one endpoint's outcome series
+// into a single histogram — cumulative counts add bucket-wise, sums and
+// counts add, and bounds convert from seconds to milliseconds.
+func TestServerLatencyParse(t *testing.T) {
+	payload := strings.Join([]string{
+		`# TYPE mvcloud_http_request_duration_seconds histogram`,
+		`mvcloud_http_request_duration_seconds_bucket{endpoint="advise",outcome="hit",le="0.001"} 90`,
+		`mvcloud_http_request_duration_seconds_bucket{endpoint="advise",outcome="hit",le="+Inf"} 90`,
+		`mvcloud_http_request_duration_seconds_sum{endpoint="advise",outcome="hit"} 0.09`,
+		`mvcloud_http_request_duration_seconds_count{endpoint="advise",outcome="hit"} 90`,
+		`mvcloud_http_request_duration_seconds_bucket{endpoint="advise",outcome="solve",le="0.001"} 0`,
+		`mvcloud_http_request_duration_seconds_bucket{endpoint="advise",outcome="solve",le="+Inf"} 10`,
+		`mvcloud_http_request_duration_seconds_sum{endpoint="advise",outcome="solve"} 0.5`,
+		`mvcloud_http_request_duration_seconds_count{endpoint="advise",outcome="solve"} 10`,
+		`# TYPE unrelated_total counter`,
+		`unrelated_total{endpoint="advise"} 3`,
+	}, "\n")
+	hists, err := serverLatency([]byte(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := hists["advise"]
+	if h == nil {
+		t.Fatal("no advise histogram")
+	}
+	if len(h.BoundsMS) != 1 || h.BoundsMS[0] != 1 {
+		t.Errorf("BoundsMS = %v, want [1]", h.BoundsMS)
+	}
+	if len(h.CumCounts) != 2 || h.CumCounts[0] != 90 || h.CumCounts[1] != 100 {
+		t.Errorf("CumCounts = %v, want [90 100]", h.CumCounts)
+	}
+	if h.Count != 100 {
+		t.Errorf("Count = %d, want 100", h.Count)
+	}
+	if math.Abs(h.SumMS-590) > 1e-9 {
+		t.Errorf("SumMS = %g, want 590", h.SumMS)
+	}
+}
+
+// TestServerClientP95Bracket is the telemetry cross-check: on an
+// in-process run the server-side histogram's p95 bucket must bracket the
+// client-side nearest-rank p95. The client measures around ServeHTTP, so
+// every client sample is >= its server sample and the order statistics
+// can only shift upward — the check allows exactly one bucket of upward
+// slack for that wrapper overhead at a bucket boundary.
+func TestServerClientP95Bracket(t *testing.T) {
+	srv := server.New(server.Options{})
+	res, err := Run(Config{Seed: 11, Requests: 400, Concurrency: 4}, NewHandlerTarget(srv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked := 0
+	for ep, st := range res.Endpoints {
+		h := st.ServerLatency
+		if h == nil {
+			t.Errorf("%s: no server-side histogram attached", ep)
+			continue
+		}
+		if h.Count != int64(st.Requests) {
+			t.Errorf("%s: server count %d != client requests %d", ep, h.Count, st.Requests)
+		}
+		lo, hi := h.QuantileBracketMS(0.95)
+		// One bucket of upward slack: the bound after hi, or +Inf.
+		slackHi := math.Inf(1)
+		for i, b := range h.BoundsMS {
+			if b == hi && i+1 < len(h.BoundsMS) {
+				slackHi = h.BoundsMS[i+1]
+			}
+		}
+		clientP95 := ms(st.Latency.P95)
+		if clientP95 < lo {
+			t.Errorf("%s: client p95 %.3f ms below server bucket (%g, %g]", ep, clientP95, lo, hi)
+		}
+		if !math.IsInf(hi, 1) && clientP95 > slackHi {
+			t.Errorf("%s: client p95 %.3f ms above server bucket (%g, %g] plus one-bucket slack %g",
+				ep, clientP95, lo, hi, slackHi)
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("no endpoints checked")
+	}
+}
+
+// okHandler is a metrics-less stand-in target: always 200, always a
+// cache hit, exposes no Metrics method.
+type okHandler struct{}
+
+func (okHandler) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("X-Cache", "hit")
+	w.WriteHeader(http.StatusOK)
+}
+
+// TestScrapeSkippedOverPlainHandler: a handler with no Metrics method
+// must leave ServerLatency nil rather than fail the run.
+func TestScrapeSkippedOverPlainHandler(t *testing.T) {
+	res, err := Run(Config{Seed: 1, Requests: 40, Concurrency: 2}, NewHandlerTarget(okHandler{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ep, st := range res.Endpoints {
+		if st.ServerLatency != nil {
+			t.Errorf("%s: histogram attached from a target with no metrics", ep)
+		}
+	}
+}

@@ -49,6 +49,11 @@ type EndpointReport struct {
 	// steady-state cache-hit path; -1 when the target could not be
 	// probed in-process.
 	HitAllocsPerRequest float64 `json:"hit_allocs_per_request"`
+	// ServerLatency embeds the endpoint's server-side latency histogram
+	// scraped from /metrics — the view dashboards see, recorded next to
+	// the client-side percentiles above so a committed baseline carries
+	// both. Omitted when the target exposes no metrics.
+	ServerLatency *ServerHist `json:"server_latency,omitempty"`
 }
 
 // Snapshot renders a finished run as a Report. date is injected so a
@@ -86,6 +91,7 @@ func (r *Result) Snapshot(date string) *Report {
 			MaxMS:               ms(st.Latency.Max),
 			MeanMS:              ms(st.Latency.Mean),
 			HitAllocsPerRequest: st.HitAllocs,
+			ServerLatency:       st.ServerLatency,
 		}
 	}
 	return rep

@@ -127,6 +127,10 @@ type EndpointStats struct {
 	// steady-state cache-hit path (serial probe after the run);
 	// negative when the target cannot be probed in-process.
 	HitAllocs float64
+	// ServerLatency is the endpoint's server-side latency histogram
+	// scraped from /metrics after the run (nil when the target exposes
+	// no metrics).
+	ServerLatency *ServerHist
 }
 
 // Result is one finished load run.
@@ -224,6 +228,11 @@ func Run(cfg Config, target Target) (*Result, error) {
 		res.Total += st.Requests
 		res.Errors += st.Errors
 	}
+
+	// Scrape the server-side latency histograms first: the alloc probe
+	// below replays hundreds of extra requests that would otherwise
+	// pollute the scraped counts.
+	attachServerLatency(target, res)
 
 	// Serial alloc probe: replay one known-cached body per endpoint and
 	// measure steady-state allocations through the handler stack. Only

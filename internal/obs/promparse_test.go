@@ -1,0 +1,178 @@
+package obs_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"vmcloud/internal/obs"
+)
+
+// TestParseText covers the sample grammar: bare samples, labeled
+// samples, escapes inside label values, and the special float spellings.
+func TestParseText(t *testing.T) {
+	payload := strings.Join([]string{
+		`# HELP x_total help text`,
+		`# TYPE x_total counter`,
+		`x_total 3`,
+		`x_labeled_total{a="1",path="p\\q\"r\ns"} 2.5`,
+		``,
+		`x_inf +Inf`,
+		`x_neg -Inf`,
+		`x_nan NaN`,
+	}, "\n")
+	samples, err := obs.ParseText([]byte(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 5 {
+		t.Fatalf("parsed %d samples, want 5", len(samples))
+	}
+	if samples[0].Name != "x_total" || samples[0].Value != 3 {
+		t.Errorf("sample 0 = %+v", samples[0])
+	}
+	if got := samples[1].Label("path"); got != "p\\q\"r\ns" {
+		t.Errorf("unescaped label = %q", got)
+	}
+	if !math.IsInf(samples[2].Value, 1) || !math.IsInf(samples[3].Value, -1) || !math.IsNaN(samples[4].Value) {
+		t.Errorf("special values parsed wrong: %+v", samples[2:])
+	}
+}
+
+// TestParseTextErrors: each malformed line class is rejected with a
+// diagnosable error, never silently skipped.
+func TestParseTextErrors(t *testing.T) {
+	cases := []struct {
+		name, payload, want string
+	}{
+		{"no separator", `lonelyname`, "no value separator"},
+		{"bad metric name", `1bad 3`, "invalid metric name"},
+		{"unterminated braces", `x{a="1" 3`, "unterminated label braces"},
+		{"bad label name", `x{1a="1"} 3`, "invalid label name"},
+		{"unquoted value", `x{a=1} 3`, "unquoted label value"},
+		{"bad escape", `x{a="\t"} 3`, `bad escape`},
+		{"duplicate label", `x{a="1",a="2"} 3`, "duplicate label"},
+		{"missing comma", `x{a="1"b="2"} 3`, "expected ','"},
+		{"bad value", `x{a="1"} notanumber`, "bad value"},
+		{"extra fields", `x 1 2 3`, "exactly one value field"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := obs.ParseText([]byte(tc.payload))
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestValidateText pins the format invariants the CI step relies on:
+// TYPE coverage, counter non-negativity, and the histogram contract
+// (ascending cumulative buckets, +Inf == _count, _sum/_count present).
+func TestValidateText(t *testing.T) {
+	valid := strings.Join([]string{
+		`# TYPE h_seconds histogram`,
+		`h_seconds_bucket{le="0.1"} 1`,
+		`h_seconds_bucket{le="1"} 4`,
+		`h_seconds_bucket{le="+Inf"} 5`,
+		`h_seconds_sum 2.5`,
+		`h_seconds_count 5`,
+		`# TYPE c_total counter`,
+		`c_total 0`,
+	}, "\n")
+	if _, err := obs.ValidateText([]byte(valid)); err != nil {
+		t.Fatalf("valid payload rejected: %v", err)
+	}
+
+	cases := []struct {
+		name, payload, want string
+	}{
+		{"missing TYPE", "orphan_total 1", "no TYPE line"},
+		{"malformed TYPE", "# TYPE only_three\nx 1", "malformed TYPE"},
+		{"unknown type", "# TYPE x summary\nx 1", "unknown type"},
+		{"duplicate TYPE", "# TYPE x counter\n# TYPE x counter\nx 1", "duplicate TYPE"},
+		{"negative counter", "# TYPE x counter\nx -1", "negative value"},
+		{"bare histogram sample", "# TYPE h histogram\nh 1", "bare sample"},
+		{"bucket missing le", "# TYPE h histogram\nh_bucket 1", "missing le label"},
+		{"non-ascending le", strings.Join([]string{
+			`# TYPE h histogram`,
+			`h_bucket{le="1"} 1`,
+			`h_bucket{le="0.5"} 2`,
+			`h_bucket{le="+Inf"} 2`,
+			`h_sum 1`,
+			`h_count 2`,
+		}, "\n"), "not ascending"},
+		{"non-cumulative buckets", strings.Join([]string{
+			`# TYPE h histogram`,
+			`h_bucket{le="0.5"} 3`,
+			`h_bucket{le="1"} 2`,
+			`h_bucket{le="+Inf"} 3`,
+			`h_sum 1`,
+			`h_count 3`,
+		}, "\n"), "not cumulative"},
+		{"missing +Inf", strings.Join([]string{
+			`# TYPE h histogram`,
+			`h_bucket{le="1"} 1`,
+			`h_sum 1`,
+			`h_count 1`,
+		}, "\n"), "missing +Inf"},
+		{"missing sum", strings.Join([]string{
+			`# TYPE h histogram`,
+			`h_bucket{le="+Inf"} 1`,
+			`h_count 1`,
+		}, "\n"), "missing _sum or _count"},
+		{"inf != count", strings.Join([]string{
+			`# TYPE h histogram`,
+			`h_bucket{le="+Inf"} 4`,
+			`h_sum 1`,
+			`h_count 5`,
+		}, "\n"), "!= _count"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := obs.ValidateText([]byte(tc.payload))
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestValidateTextScalarSuffixes: a scalar family whose own name ends in
+// _count or _sum must not be mistaken for histogram fragments.
+func TestValidateTextScalarSuffixes(t *testing.T) {
+	payload := strings.Join([]string{
+		`# TYPE jobs_count gauge`,
+		`jobs_count 3`,
+		`# TYPE paid_sum counter`,
+		`paid_sum 12`,
+	}, "\n")
+	if _, err := obs.ValidateText([]byte(payload)); err != nil {
+		t.Errorf("scalar _count/_sum family rejected: %v", err)
+	}
+}
+
+// TestValidateTextPerSeries: histogram invariants hold per label
+// signature — two endpoints' series must be validated independently.
+func TestValidateTextPerSeries(t *testing.T) {
+	payload := strings.Join([]string{
+		`# TYPE h_seconds histogram`,
+		`h_seconds_bucket{ep="a",le="1"} 1`,
+		`h_seconds_bucket{ep="a",le="+Inf"} 2`,
+		`h_seconds_sum{ep="a"} 1`,
+		`h_seconds_count{ep="a"} 2`,
+		`h_seconds_bucket{ep="b",le="1"} 5`,
+		`h_seconds_bucket{ep="b",le="+Inf"} 5`,
+		`h_seconds_sum{ep="b"} 2`,
+		`h_seconds_count{ep="b"} 5`,
+	}, "\n")
+	if _, err := obs.ValidateText([]byte(payload)); err != nil {
+		t.Fatalf("independent series rejected: %v", err)
+	}
+	// Break only series b; the error must name it.
+	broken := strings.Replace(payload, `h_seconds_count{ep="b"} 5`, `h_seconds_count{ep="b"} 6`, 1)
+	_, err := obs.ValidateText([]byte(broken))
+	if err == nil || !strings.Contains(err.Error(), "ep=b") {
+		t.Errorf("error = %v, want it to name series ep=b", err)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"vmcloud/internal/costmodel"
+	"vmcloud/internal/obs"
 	"vmcloud/internal/units"
 	"vmcloud/internal/views"
 )
@@ -59,6 +60,13 @@ type IncrementalEvaluator struct {
 	maintSum time.Duration
 	matSum   time.Duration
 	sizeSum  units.DataSize
+
+	// moves counts Add/Drop calls over the engine's lifetime. A plain
+	// field, not an atomic or a telemetry counter: the solvers own the
+	// engine exclusively during a solve, and the search wrapper flushes
+	// the delta to obs.IncrementalMoves once per solve, so the inner
+	// loop's per-move cost stays a single increment.
+	moves int64
 }
 
 // NewIncrementalEvaluator pins a candidate set against an evaluator: a
@@ -86,6 +94,7 @@ func (k *ComparisonKernel) Bind(ev *Evaluator) (*IncrementalEvaluator, error) {
 	if ev.Est.Lat != k.Lat {
 		return nil, fmt.Errorf("optimizer: evaluator lattice differs from the kernel's")
 	}
+	obs.KernelRebinds.Inc()
 	inc := &IncrementalEvaluator{
 		ev:             ev,
 		k:              k,
@@ -102,6 +111,10 @@ func (k *ComparisonKernel) Bind(ev *Evaluator) (*IncrementalEvaluator, error) {
 
 // Evaluator returns the exact evaluator this engine is bound to.
 func (inc *IncrementalEvaluator) Evaluator() *Evaluator { return inc.ev }
+
+// Moves returns the lifetime Add/Drop move count. The search wrapper
+// diffs it around a solve to flush the delta into obs.IncrementalMoves.
+func (inc *IncrementalEvaluator) Moves() int64 { return inc.moves }
 
 // PinnedTo reports whether this engine prices exactly the given
 // evaluator and candidate set — the guard callers handing a pre-built
@@ -176,6 +189,7 @@ func (inc *IncrementalEvaluator) Add(i int) {
 	if inc.selected[i] {
 		return
 	}
+	inc.moves++
 	inc.selected[i] = true
 	inc.words[i>>6] |= 1 << (uint(i) & 63)
 	inc.sizeSum += inc.k.size[i]
@@ -210,6 +224,7 @@ func (inc *IncrementalEvaluator) Drop(i int) {
 	if !inc.selected[i] {
 		return
 	}
+	inc.moves++
 	inc.selected[i] = false
 	inc.words[i>>6] &^= 1 << (uint(i) & 63)
 	inc.sizeSum -= inc.k.size[i]

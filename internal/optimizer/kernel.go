@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"vmcloud/internal/lattice"
+	"vmcloud/internal/obs"
 	"vmcloud/internal/units"
 	"vmcloud/internal/views"
 	"vmcloud/internal/workload"
@@ -70,6 +71,7 @@ func NewComparisonKernel(l *lattice.Lattice, w workload.Workload, cands []views.
 	if l == nil {
 		return nil, fmt.Errorf("optimizer: comparison kernel needs a lattice")
 	}
+	obs.KernelBuilds.Inc()
 	n, nq := len(cands), len(w.Queries)
 	k := &ComparisonKernel{
 		Lat:    l,

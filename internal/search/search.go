@@ -34,6 +34,7 @@ import (
 	"vmcloud/internal/costmodel"
 	"vmcloud/internal/lattice"
 	"vmcloud/internal/money"
+	"vmcloud/internal/obs"
 	"vmcloud/internal/optimizer"
 	"vmcloud/internal/views"
 )
@@ -545,10 +546,24 @@ func Solve(ev *optimizer.Evaluator, cands []views.Candidate, obj Objective, opts
 	return sel, err
 }
 
-// solve runs the pipeline on the solver's current objective. extraStart,
-// when non-nil, is tried as an additional warm start (used by the pareto
-// sweep to chain α steps). It returns the best selection and its bitmap.
+// solve runs the pipeline on the solver's current objective and flushes
+// the solver telemetry once per solve: the inner loops count evaluations
+// and moves in plain solver-local fields, and only this wrapper pays the
+// (sharded, contention-free) atomic adds — so a million-move anneal
+// costs exactly two counter flushes.
 func (s *solver) solve(extraStart []bool) (optimizer.Selection, []bool, error) {
+	evals0 := s.evals
+	moves0 := s.inc.Moves()
+	sel, best, err := s.run(extraStart)
+	obs.SearchEvals.Add(int64(s.evals - evals0))
+	obs.IncrementalMoves.Add(s.inc.Moves() - moves0)
+	return sel, best, err
+}
+
+// run is the pipeline body. extraStart, when non-nil, is tried as an
+// additional warm start (used by the pareto sweep to chain α steps). It
+// returns the best selection and its bitmap.
+func (s *solver) run(extraStart []bool) (optimizer.Selection, []bool, error) {
 	n := len(s.cands)
 	bestSel := make([]bool, n)
 	bestEval, err := s.evaluate(bestSel)

@@ -111,6 +111,63 @@ func BenchmarkCompareCacheHit(b *testing.B) {
 	}
 }
 
+// BenchmarkAdviseCacheHitWithMetrics measures the hit path while a
+// scraper hammers /metrics from another goroutine — the bench.sh
+// --compare gate covers it, so a future exposition change that makes
+// scraping contend with serving (a lock on the record path, say) shows
+// up as an ns/op regression here rather than as mystery tail latency in
+// production. Exposition reads the same atomics the hot path writes and
+// takes only the registration mutex, which Observe/Inc never touch.
+func BenchmarkAdviseCacheHitWithMetrics(b *testing.B) {
+	s := New(Options{})
+	w := postAdvise(b, s, benchBody)
+	if w.Header().Get("X-Cache") != "miss" {
+		b.Fatal("prime request did not miss")
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				req := httptest.NewRequest("GET", "/metrics", nil)
+				s.ServeHTTP(httptest.NewRecorder(), req)
+			}
+		}
+	}()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := postAdvise(b, s, benchBody)
+		if w.Header().Get("X-Cache") != "hit" {
+			b.Fatal("hit path fell through to a solve")
+		}
+	}
+	b.StopTimer()
+	close(stop)
+	<-done
+}
+
+// BenchmarkMetricsExposition measures one full /metrics render on a
+// server with every series registered — the page a Prometheus scraper
+// pulls every 15s must stay cheap enough to be invisible.
+func BenchmarkMetricsExposition(b *testing.B) {
+	s := New(Options{})
+	postAdvise(b, s, benchBody) // populate at least one solve's series
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest("GET", "/metrics", nil)
+		w := httptest.NewRecorder()
+		s.ServeHTTP(w, req)
+		if w.Code != 200 {
+			b.Fatalf("status %d", w.Code)
+		}
+	}
+}
+
 // BenchmarkAdviseCacheMissDistinct measures the steady-state miss path on
 // a warm server: each iteration is a distinct config (unique frequency),
 // so lattice construction and the solve run every time but server setup

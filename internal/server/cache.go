@@ -19,6 +19,9 @@ type lruCache struct {
 	bytes    int64
 	order    *list.List // front = most recently used
 	entries  map[string]*list.Element
+	// evictions counts entries removed by the capacity bounds (not
+	// replacements), exported as mvcloud_cache_evictions_total.
+	evictions int64
 }
 
 type lruEntry struct {
@@ -109,6 +112,7 @@ func (c *lruCache) Put(key string, val []byte) {
 		e := oldest.Value.(*lruEntry)
 		delete(c.entries, e.key)
 		c.bytes -= e.size()
+		c.evictions++
 	}
 }
 
@@ -155,6 +159,13 @@ func (c *lruCache) Bytes() int64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.bytes
+}
+
+// Evictions returns the lifetime capacity-eviction count.
+func (c *lruCache) Evictions() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.evictions
 }
 
 // Cap returns the configured entry capacity.

@@ -42,6 +42,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"os"
 	"strconv"
 	"strings"
 	"sync"
@@ -50,6 +51,7 @@ import (
 	"vmcloud/internal/compare"
 	"vmcloud/internal/core"
 	"vmcloud/internal/money"
+	"vmcloud/internal/obs"
 	"vmcloud/internal/pricing"
 	"vmcloud/internal/report"
 )
@@ -83,6 +85,13 @@ type Options struct {
 	// CompareWorkers bounds the compare fan-out worker pool; default
 	// GOMAXPROCS.
 	CompareWorkers int
+	// SlowSolveThreshold, when positive, logs a structured line to
+	// SlowLog for every cold solve whose wall time reaches it, with the
+	// per-phase breakdown. Zero disables slow-solve logging.
+	SlowSolveThreshold time.Duration
+	// SlowLog receives slow-solve log lines (one JSON object per line);
+	// defaults to os.Stderr when SlowSolveThreshold is set.
+	SlowLog io.Writer
 }
 
 func (o Options) withDefaults() Options {
@@ -110,6 +119,9 @@ func (o Options) withDefaults() Options {
 	if o.MaxCompareConfigs == 0 {
 		o.MaxCompareConfigs = 64
 	}
+	if o.SlowSolveThreshold > 0 && o.SlowLog == nil {
+		o.SlowLog = os.Stderr
+	}
 	return o
 }
 
@@ -126,6 +138,12 @@ type Server struct {
 	// K requests for one canonical key costs exactly one solve.
 	flight *flightGroup
 	stats  *stats
+	// reg is this server's metric namespace (plus obs.Default, rendered
+	// after it by GET /metrics); m holds the resolved instruments.
+	reg *obs.Registry
+	m   serverMetrics
+	// slowMu serializes slow-solve log lines.
+	slowMu sync.Mutex
 }
 
 // New builds a server.
@@ -134,16 +152,20 @@ func New(opts Options) *Server {
 		opts:   opts.withDefaults(),
 		flight: newFlightGroup(),
 		stats:  newStats(time.Now()),
+		reg:    obs.NewRegistry(),
 	}
 	s.cache = newLRUCache(s.opts.CacheSize, s.opts.CacheMaxBytes)
 	s.rawKeys = newLRUCache(s.opts.CacheSize, s.opts.CacheMaxBytes)
+	s.m = s.newServerMetrics(s.reg)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/advise", s.counted("advise", s.handleAdvise))
 	s.mux.HandleFunc("POST /v1/compare", s.counted("compare", s.handleCompare))
 	s.mux.HandleFunc("POST /v1/sweep", s.counted("sweep", s.handleSweep))
 	s.mux.HandleFunc("GET /v1/tariffs", s.counted("tariffs", s.handleTariffs))
 	s.mux.HandleFunc("GET /v1/stats", s.counted("stats", s.handleStats))
+	s.mux.HandleFunc("GET /v1/version", s.counted("version", s.handleVersion))
 	s.mux.HandleFunc("GET /healthz", s.counted("healthz", s.handleHealthz))
+	s.mux.HandleFunc("GET /metrics", s.counted("metrics", s.handleMetrics))
 	return s
 }
 
@@ -152,10 +174,23 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
+// Metrics renders the server's metric registry followed by the
+// process-wide solver registry — exactly what GET /metrics serves.
+// Exposed for the load harness, which embeds the server-side latency
+// histograms in its report.
+func (s *Server) Metrics(w io.Writer) error {
+	if err := s.reg.WritePrometheus(w); err != nil {
+		return err
+	}
+	return obs.Default.WritePrometheus(w)
+}
+
 func (s *Server) counted(endpoint string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		s.stats.request(endpoint)
+		s.m.inflight.Add(1)
 		h(w, r)
+		s.m.inflight.Add(-1)
 	}
 }
 
@@ -244,10 +279,13 @@ func (s *Server) normalize(req *AdviseRequest) error {
 	return nil
 }
 
-// outcome is a finished solve: the marshaled response body or an error.
+// outcome is a finished solve: the marshaled response body or an error,
+// plus the leader's per-phase trace (shared with followers; a Trace is
+// read-safe under concurrency).
 type outcome struct {
-	body []byte
-	err  error
+	body   []byte
+	err    error
+	phases *obs.Trace
 }
 
 // AdviseResponse is the body of a successful POST /v1/advise.
@@ -276,8 +314,10 @@ type memoSpec struct {
 	// key is itself a normalized request body.
 	reload func(key string) error
 	// solve computes the marshaled, newline-terminated response body from
-	// the handler state canon or reload established.
-	solve func() ([]byte, error)
+	// the handler state canon or reload established, recording per-phase
+	// durations on tr (never nil; solve implementations thread it into
+	// the core config and time their own encode step).
+	solve func(tr *obs.Trace) ([]byte, error)
 }
 
 // maxRequestBytes bounds one request body.
@@ -345,6 +385,11 @@ type probeState struct {
 	// label/key/cacheKey are set when the probe recovered the canonical
 	// key from the raw-key LRU (evicted-response case); empty otherwise.
 	label, key, cacheKey string
+	// start is when serveMemoized began handling the request, and em the
+	// endpoint's outcome-split instruments — carried through so the slow
+	// path's latency observation covers body read and canonicalization.
+	start time.Time
+	em    *endpointMetrics
 }
 
 // slowFn is a handler's miss path. Implementations are top-level
@@ -363,7 +408,8 @@ type slowFn func(s *Server, w http.ResponseWriter, r *http.Request, ps probeStat
 // per-request closures (the slow path is a static slowFn). Cold keys go
 // through the flight group, so concurrent identical requests coalesce
 // onto a single solve.
-func (s *Server) serveMemoized(w http.ResponseWriter, r *http.Request, endpoint string, slow slowFn) {
+func (s *Server) serveMemoized(w http.ResponseWriter, r *http.Request, endpoint string, em *endpointMetrics, slow slowFn) {
+	start := time.Now()
 	rb := reqBufPool.Get().(*reqBuf)
 	defer func() { rb.b = rb.b[:0]; reqBufPool.Put(rb) }()
 	rb.b = append(rb.b[:0], endpoint...)
@@ -374,9 +420,10 @@ func (s *Server) serveMemoized(w http.ResponseWriter, r *http.Request, endpoint 
 	if err != nil {
 		s.stats.failure()
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("read request: %v", err))
+		em.observe(outcomeError, time.Since(start))
 		return
 	}
-	ps := probeState{rawKey: rb.b, raw: rb.b[prefix:]}
+	ps := probeState{rawKey: rb.b, raw: rb.b[prefix:], start: start, em: em}
 
 	if packed, ok := s.rawKeys.view(rb.b); ok {
 		if i := bytes.IndexByte(packed, 0); i >= 0 {
@@ -384,6 +431,7 @@ func (s *Server) serveMemoized(w http.ResponseWriter, r *http.Request, endpoint 
 			if body, ok := s.cache.view(packed[i+1:]); ok {
 				s.stats.advise(endpoint, internLabel(packed[:i]), true)
 				writeBody(w, http.StatusOK, body, "hit")
+				em.observe(outcomeHit, time.Since(start))
 				return
 			}
 			// Response evicted; the canonical key spares re-canonicalizing.
@@ -406,6 +454,7 @@ func (s *Server) finishMemoized(w http.ResponseWriter, r *http.Request, spec mem
 		if err != nil {
 			s.stats.failure()
 			writeError(w, http.StatusBadRequest, err.Error())
+			ps.em.observe(outcomeError, time.Since(ps.start))
 			return
 		}
 		cacheKey = spec.endpoint + "\x00" + key
@@ -415,27 +464,35 @@ func (s *Server) finishMemoized(w http.ResponseWriter, r *http.Request, spec mem
 		if cached, ok := s.cache.Get(cacheKey); ok {
 			s.stats.advise(spec.endpoint, label, true)
 			writeBody(w, http.StatusOK, cached, "hit")
+			ps.em.observe(outcomeHit, time.Since(ps.start))
 			return
 		}
 	} else if err := spec.reload(key); err != nil {
 		s.stats.failure()
 		writeError(w, http.StatusInternalServerError, err.Error())
+		ps.em.observe(outcomeError, time.Since(ps.start))
 		return
 	}
 
 	// Singleflight: the first request for a cold key runs the solve; any
 	// concurrent identical request joins the same in-flight call. The
 	// leader's goroutine outlives a timed-out or cancelled request and
-	// still warms the cache for the retry.
+	// still warms the cache for the retry. The leader's trace rides the
+	// outcome, so followers can surface the phase breakdown too.
 	call, leader := s.flight.join(cacheKey)
 	if leader {
 		go func() {
 			s.stats.solve()
-			b, err := spec.solve()
+			tr := obs.NewTrace()
+			t0 := tr.StartTimer()
+			b, err := spec.solve(tr)
+			tr.ObserveSince(obs.PhaseTotal, t0)
+			s.m.observePhases(tr)
+			s.logSlowSolve(spec.endpoint, label, tr)
 			if err == nil {
 				s.cache.Put(cacheKey, b)
 			}
-			s.flight.finish(cacheKey, call, outcome{b, err})
+			s.flight.finish(cacheKey, call, outcome{b, err, tr})
 		}()
 	}
 
@@ -448,26 +505,65 @@ func (s *Server) finishMemoized(w http.ResponseWriter, r *http.Request, spec mem
 		if out.err != nil {
 			s.stats.failure()
 			writeError(w, http.StatusBadRequest, out.err.Error())
+			ps.em.observe(outcomeError, time.Since(ps.start))
 			return
+		}
+		if out.phases != nil && wantPhases(r) {
+			w.Header().Set("X-Solve-Phases", out.phases.String())
 		}
 		if leader {
 			s.stats.advise(spec.endpoint, label, false)
 			writeBody(w, http.StatusOK, out.body, "miss")
+			ps.em.observe(outcomeSolve, time.Since(ps.start))
 		} else {
 			s.stats.coalesce(spec.endpoint, label)
 			writeBody(w, http.StatusOK, out.body, "coalesced")
+			ps.em.observe(outcomeCoalesced, time.Since(ps.start))
 		}
 	case <-timeout.C:
 		s.stats.failure()
 		writeError(w, http.StatusServiceUnavailable, "request timed out")
+		ps.em.observe(outcomeError, time.Since(ps.start))
 	case <-ctx.Done():
 		s.stats.failure()
 		writeError(w, http.StatusServiceUnavailable, "request cancelled")
+		ps.em.observe(outcomeError, time.Since(ps.start))
 	}
 }
 
+// wantPhases reports whether the request opted into the X-Solve-Phases
+// debug header. A plain substring probe of the raw query keeps the cold
+// path from paying url.Query()'s map build; the probe only ever runs on
+// solve/coalesced responses.
+func wantPhases(r *http.Request) bool {
+	return strings.Contains(r.URL.RawQuery, "debug=phases")
+}
+
+// logSlowSolve writes one structured JSON line for a cold solve that
+// reached the configured threshold, carrying the per-phase breakdown —
+// the "where did this request's time go" record the trace exists for.
+func (s *Server) logSlowSolve(endpoint, label string, tr *obs.Trace) {
+	th := s.opts.SlowSolveThreshold
+	if th <= 0 || tr.Duration(obs.PhaseTotal) < th {
+		return
+	}
+	b := make([]byte, 0, 256)
+	b = append(b, `{"msg":"slow_solve","endpoint":"`...)
+	b = append(b, endpoint...)
+	b = append(b, `","label":"`...)
+	b = append(b, label...)
+	b = append(b, `","duration_seconds":`...)
+	b = strconv.AppendFloat(b, tr.Duration(obs.PhaseTotal).Seconds(), 'g', -1, 64)
+	b = append(b, `,"phases":`...)
+	b = tr.AppendJSON(b)
+	b = append(b, '}', '\n')
+	s.slowMu.Lock()
+	s.opts.SlowLog.Write(b)
+	s.slowMu.Unlock()
+}
+
 func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
-	s.serveMemoized(w, r, "advise", adviseSlow)
+	s.serveMemoized(w, r, "advise", s.m.advise, adviseSlow)
 }
 
 // adviseSlow is the advise miss path; being a top-level function keeps
@@ -494,12 +590,14 @@ func adviseSlow(s *Server, w http.ResponseWriter, r *http.Request, ps probeState
 		reload: func(key string) error {
 			return json.Unmarshal([]byte(key), &req)
 		},
-		solve: func() ([]byte, error) {
-			resp, err := s.solve(req)
+		solve: func(tr *obs.Trace) ([]byte, error) {
+			resp, err := s.solve(req, tr)
 			if err != nil {
 				return nil, err
 			}
+			t0 := tr.StartTimer()
 			b, err := json.Marshal(resp)
+			tr.ObserveSince(obs.PhaseEncode, t0)
 			if err != nil {
 				return nil, err
 			}
@@ -512,7 +610,7 @@ func adviseSlow(s *Server, w http.ResponseWriter, r *http.Request, ps probeState
 // across the provider × instance × fleet grid on the compare worker
 // pool, with the same canonicalized-request memoization as advise.
 func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
-	s.serveMemoized(w, r, "compare", compareSlow)
+	s.serveMemoized(w, r, "compare", s.m.compare, compareSlow)
 }
 
 func compareSlow(s *Server, w http.ResponseWriter, r *http.Request, ps probeState) {
@@ -537,17 +635,20 @@ func compareSlow(s *Server, w http.ResponseWriter, r *http.Request, ps probeStat
 		reload: func(key string) error {
 			return json.Unmarshal([]byte(key), &req)
 		},
-		solve: func() ([]byte, error) {
+		solve: func(tr *obs.Trace) ([]byte, error) {
 			creq, err := req.Resolve()
 			if err != nil {
 				return nil, err
 			}
 			creq.Workers = s.opts.CompareWorkers
+			creq.Trace = tr
 			comp, err := compare.Run(creq)
 			if err != nil {
 				return nil, err
 			}
+			t0 := tr.StartTimer()
 			b, err := json.Marshal(comp.JSON())
+			tr.ObserveSince(obs.PhaseEncode, t0)
 			if err != nil {
 				return nil, err
 			}
@@ -561,7 +662,7 @@ func compareSlow(s *Server, w http.ResponseWriter, r *http.Request, ps probeStat
 // study — memoized exactly like advise and compare under its own
 // endpoint namespace of the shared LRU.
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
-	s.serveMemoized(w, r, "sweep", sweepSlow)
+	s.serveMemoized(w, r, "sweep", s.m.sweep, sweepSlow)
 }
 
 func sweepSlow(s *Server, w http.ResponseWriter, r *http.Request, ps probeState) {
@@ -586,17 +687,20 @@ func sweepSlow(s *Server, w http.ResponseWriter, r *http.Request, ps probeState)
 		reload: func(key string) error {
 			return json.Unmarshal([]byte(key), &req)
 		},
-		solve: func() ([]byte, error) {
+		solve: func(tr *obs.Trace) ([]byte, error) {
 			sreq, err := req.Resolve()
 			if err != nil {
 				return nil, err
 			}
 			sreq.Workers = s.opts.CompareWorkers
+			sreq.Trace = tr
 			sw, err := compare.RunSweep(sreq)
 			if err != nil {
 				return nil, err
 			}
+			t0 := tr.StartTimer()
 			b, err := json.Marshal(sw.JSON())
+			tr.ObserveSince(obs.PhaseEncode, t0)
 			if err != nil {
 				return nil, err
 			}
@@ -656,11 +760,12 @@ func (s *Server) normalizeCompare(req *compare.RequestJSON) error {
 // solve runs the expensive path: advisor construction (lattice +
 // candidate generation) and the scenario solve. The request is already
 // normalized, so the config resolves without re-canonicalizing.
-func (s *Server) solve(req AdviseRequest) (AdviseResponse, error) {
+func (s *Server) solve(req AdviseRequest, tr *obs.Trace) (AdviseResponse, error) {
 	cfg, err := req.ConfigJSON.Resolve()
 	if err != nil {
 		return AdviseResponse{}, err
 	}
+	cfg.Trace = tr
 	adv, err := core.New(cfg)
 	if err != nil {
 		return AdviseResponse{}, err

@@ -94,6 +94,40 @@ func (s *stats) failure() {
 	s.errors++
 }
 
+// The accessors below feed the /metrics CounterFunc re-exports: each
+// reads one counter under the mutex at exposition time, so dashboards
+// scrape the same numbers /v1/stats reports.
+
+func (s *stats) endpointRequests(endpoint string) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.byEndpoint[endpoint]
+}
+
+func (s *stats) endpointHits(endpoint string) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.hitsByEndpoint[endpoint]
+}
+
+func (s *stats) endpointMisses(endpoint string) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.missesByEndpoint[endpoint]
+}
+
+func (s *stats) endpointCoalesced(endpoint string) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.coalescedByEndpoint[endpoint]
+}
+
+func (s *stats) errorCount() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.errors
+}
+
 // statsJSON is the wire form of the counters.
 type statsJSON struct {
 	UptimeSeconds float64          `json:"uptime_seconds"`
