@@ -11,6 +11,15 @@
 //	mvcloud -scenario mv1 -solver search -seed 42   # metaheuristic engine
 //	mvcloud -tariffs            # print the built-in provider catalog
 //
+// With -server, the same flags are posted as wire-form JSON to a
+// running mvcloudd instead of solving in-process; overload sheds (429 +
+// Retry-After) and transient failures are retried with jittered backoff
+// under a retry budget (see internal/client):
+//
+//	mvcloud -server http://localhost:8080 -scenario mv1 -budget 25.00
+//	mvcloud compare -server http://localhost:8080 -budget 25.00
+//	mvcloud sweep -server http://localhost:8080 -scenario mv1 -budget 25.00
+//
 // The compare subcommand fans the same advisory problem out across every
 // provider in the catalog (or a chosen subset) and prints the ranked
 // cross-provider comparison — cost/time matrix, per-scenario winners and
@@ -81,6 +90,7 @@ func main() {
 		seed      = flag.Int64("seed", 0, "search solver seed (identical seeds reproduce identical selections)")
 		tariffs   = flag.Bool("tariffs", false, "print the provider catalog and exit")
 		invoice   = flag.Bool("invoice", false, "print an itemized invoice for the recommendation")
+		serverURL = flag.String("server", "", "base URL of a running mvcloudd; POST /v1/advise there (with shed-aware retries) instead of solving in-process")
 	)
 	flag.Parse()
 
@@ -88,13 +98,20 @@ func main() {
 		printTariffs()
 		return
 	}
-	if err := run(runOpts{
+	o := runOpts{
 		scenario: *scenario, budget: *budgetStr, limit: *limitStr,
 		alpha: *alpha, steps: *steps, queries: *queries, freq: *freq,
 		provider: *provider, providerFile: *provFile,
 		instance: *instance, fleet: *fleet, rows: *rows, invoice: *invoice,
 		solver: *solver, seed: *seed,
-	}, os.Stdout); err != nil {
+	}
+	var err error
+	if *serverURL != "" {
+		err = remoteAdvise(*serverURL, o, os.Stdout)
+	} else {
+		err = run(o, os.Stdout)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "mvcloud:", err)
 		os.Exit(1)
 	}
@@ -244,16 +261,21 @@ func runCompareArgs(args []string, out *os.File) error {
 		breakEven = fs.Int("break-even", 8, "budget sweep resolution (negative disables)")
 		workers   = fs.Int("workers", 0, "fan-out worker pool size (0 = GOMAXPROCS, 1 = sequential)")
 		asJSON    = fs.Bool("json", false, "print the comparison in the /v1/compare wire format")
+		serverURL = fs.String("server", "", "base URL of a running mvcloudd; POST /v1/compare there instead of solving in-process")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	req, err := buildCompareRequest(compareOpts{
+	o := compareOpts{
 		scenarios: *scenarios, budget: *budgetStr, limit: *limitStr, alpha: *alpha,
 		steps: *steps, queries: *queries, freq: *freq, providers: *providers,
 		instances: *instances, fleets: *fleets, rows: *rows, breakEven: *breakEven,
 		workers: *workers, solver: *solver, seed: *seed,
-	})
+	}
+	if *serverURL != "" {
+		return remoteCompare(*serverURL, o, out)
+	}
+	req, err := buildCompareRequest(o)
 	if err != nil {
 		return err
 	}
@@ -375,9 +397,18 @@ func runSweepArgs(args []string, out io.Writer) error {
 		seed      = fs.Int64("seed", 0, "search solver seed")
 		workers   = fs.Int("workers", 0, "fan-out worker pool size (0 = GOMAXPROCS, 1 = sequential)")
 		asJSON    = fs.Bool("json", false, "print the sweep in the /v1/sweep wire format")
+		serverURL = fs.String("server", "", "base URL of a running mvcloudd; POST /v1/sweep there instead of solving in-process")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *serverURL != "" {
+		return remoteSweep(*serverURL, sweepOpts{
+			scenario: *scenario, budget: *budgetStr, limit: *limitStr, alpha: *alpha,
+			queries: *queries, freq: *freq, providers: *providers,
+			instances: *instances, fleets: *fleets, rows: *rows,
+			solver: *solver, seed: *seed,
+		}, out)
 	}
 	req := compare.SweepRequest{
 		Scenario: *scenario,

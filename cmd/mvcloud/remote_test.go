@@ -1,0 +1,105 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"vmcloud/internal/server"
+)
+
+// TestRemoteAdvise drives the -server path against a real daemon
+// handler over TCP and checks the wire response comes back whole.
+func TestRemoteAdvise(t *testing.T) {
+	ts := httptest.NewServer(server.New(server.Options{}))
+	defer ts.Close()
+
+	var sb strings.Builder
+	err := remoteAdvise(ts.URL, runOpts{
+		scenario: "mv1", budget: "25.00", queries: 3, freq: 10,
+		provider: "aws-2012", instance: "small", fleet: 5,
+		rows: 10_000_000, solver: "knapsack",
+	}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var resp struct {
+		Scenario       string          `json:"scenario"`
+		Recommendation json.RawMessage `json:"recommendation"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &resp); err != nil {
+		t.Fatalf("output not JSON: %v\n%s", err, sb.String())
+	}
+	if resp.Scenario != "mv1" || len(resp.Recommendation) == 0 {
+		t.Fatalf("thin response: %s", sb.String())
+	}
+}
+
+// TestRemoteCompareAndSweep drives the two subcommand remote paths.
+func TestRemoteCompareAndSweep(t *testing.T) {
+	ts := httptest.NewServer(server.New(server.Options{}))
+	defer ts.Close()
+
+	var sb strings.Builder
+	err := remoteCompare(ts.URL, compareOpts{
+		budget: "25.00", limit: "4h", alpha: 0.5, steps: 3,
+		queries: 3, freq: 10, providers: "aws-2012", instances: "small",
+		fleets: "5", rows: 10_000_000, breakEven: -1, solver: "knapsack",
+	}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `"results"`) || !strings.Contains(sb.String(), `"recommendation"`) {
+		t.Errorf("compare response unrecognized:\n%.400s", sb.String())
+	}
+
+	sb.Reset()
+	err = remoteSweep(ts.URL, sweepOpts{
+		scenario: "mv1", budget: "25.00", queries: 3, freq: 10,
+		providers: "aws-2012", instances: "small", fleets: "3,5",
+		rows: 10_000_000, solver: "knapsack",
+	}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `"cells"`) && !strings.Contains(sb.String(), `"scenario"`) {
+		t.Errorf("sweep response unrecognized:\n%.400s", sb.String())
+	}
+}
+
+// TestRemoteAdviseRetriesShed fronts the daemon with a proxy that
+// sheds the first attempt exactly as admission control does (429 +
+// Retry-After) and checks the CLI's client retries through to the
+// answer instead of surfacing the shed.
+func TestRemoteAdviseRetriesShed(t *testing.T) {
+	daemon := server.New(server.Options{})
+	attempts := 0
+	proxy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		attempts++
+		if attempts == 1 {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "overloaded: solve queue full, retry later", http.StatusTooManyRequests)
+			return
+		}
+		daemon.ServeHTTP(w, r)
+	}))
+	defer proxy.Close()
+
+	var sb strings.Builder
+	err := remoteAdvise(proxy.URL, runOpts{
+		scenario: "mv1", budget: "25.00", queries: 3, freq: 10,
+		provider: "aws-2012", instance: "small", fleet: 5,
+		rows: 10_000_000, solver: "knapsack",
+	}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attempts != 2 {
+		t.Errorf("%d attempts, want 2 (shed then success)", attempts)
+	}
+	if !strings.Contains(sb.String(), `"recommendation"`) {
+		t.Errorf("no recommendation after retry:\n%.400s", sb.String())
+	}
+}

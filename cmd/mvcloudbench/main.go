@@ -12,6 +12,7 @@
 //	             [-mode inprocess|tcp] [-addr http://localhost:8080]
 //	             [-out LOAD_2026-08-08.json] [-date 2026-08-08]
 //	             [-compare LOAD_baseline.json]
+//	             [-overload] [-advise-p95 2s]
 //
 // Modes:
 //
@@ -24,6 +25,15 @@
 // under the SLO gate (p95 may not more than double; hit-path allocations
 // may not grow past baseline×1.5+2) and the exit status is non-zero on
 // regression — the latency-SLO sibling of scripts/bench.sh --compare.
+//
+// With -overload, the harness instead runs the overload scenario: an
+// in-process server whose heavy class (compare/sweep) has one worker and
+// no queue, plus injected per-solve latency, flooded with a sweep-heavy
+// mix (2:1:8 unless -mix is given). The run then gates the overload
+// contract — zero hard errors, the heavy flood visibly shed with 429s,
+// the cheap advise class untouched by the shedding and its p95 under
+// -advise-p95, and zero solve goroutines left after drain — and exits
+// non-zero on any violation.
 package main
 
 import (
@@ -61,9 +71,36 @@ func run(args []string, out io.Writer) error {
 		outPath     = fs.String("out", "", "write LOAD json snapshot to this path")
 		date        = fs.String("date", time.Now().UTC().Format("2006-01-02"), "date stamped into the snapshot")
 		comparePath = fs.String("compare", "", "diff against this baseline LOAD json and gate")
+		overload    = fs.Bool("overload", false, "run the overload scenario and gate the shedding contract")
+		adviseP95   = fs.Duration("advise-p95", 2*time.Second, "advise p95 bound for the -overload gate")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	set := make(map[string]bool)
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+
+	if *overload {
+		if *mode != "inprocess" {
+			return fmt.Errorf("-overload requires -mode inprocess (it configures the server and checks solve-goroutine drain)")
+		}
+		if *comparePath != "" {
+			return fmt.Errorf("-overload and -compare are mutually exclusive (overload snapshots are not SLO baselines)")
+		}
+		// The scenario wants a sweep flood hitting mostly-fresh bodies;
+		// honor explicit flags, flip only the defaults.
+		if !set["mix"] {
+			*mixFlag = "2:1:8"
+		}
+		if !set["hit-ratio"] {
+			*hitRatio = 0.3
+		}
+		if !set["requests"] {
+			*requests = 600
+		}
+		if !set["concurrency"] {
+			*concurrency = 16
+		}
 	}
 
 	mix, err := parseMix(*mixFlag)
@@ -81,9 +118,28 @@ func run(args []string, out io.Writer) error {
 	}
 
 	var target loadgen.Target
+	var srv *server.Server
 	switch *mode {
 	case "inprocess":
-		target = loadgen.NewHandlerTarget(server.New(server.Options{}))
+		opts := server.Options{}
+		if *overload {
+			// One heavy worker, no heavy queue, and 50ms of injected
+			// latency per solve: the sweep flood piles onto a class that
+			// can't absorb it, so admission control must shed. Advise
+			// keeps its own pool and must not feel any of it.
+			opts = server.Options{
+				RequestTimeout: time.Minute,
+				HeavyWorkers:   1,
+				HeavyQueue:     -1,
+				Chaos: &server.ChaosConfig{
+					Seed:        *seed,
+					LatencyProb: 1,
+					Latency:     50 * time.Millisecond,
+				},
+			}
+		}
+		srv = server.New(opts)
+		target = loadgen.NewHandlerTarget(srv)
 	case "tcp":
 		target = &loadgen.HTTPTarget{
 			BaseURL: *addr,
@@ -117,6 +173,10 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "wrote %s\n", *outPath)
 	}
 
+	if *overload {
+		return gateOverload(out, res, srv, *adviseP95)
+	}
+
 	if *comparePath != "" {
 		data, err := os.ReadFile(*comparePath)
 		if err != nil {
@@ -139,6 +199,55 @@ func run(args []string, out io.Writer) error {
 		}
 		fmt.Fprintln(out, "SLO gate: ok")
 	}
+	return nil
+}
+
+// gateOverload checks the overload contract against a finished run and
+// the in-process server it ran on, printing the verdicts and returning
+// an error (non-zero exit) when any gate fails.
+func gateOverload(out io.Writer, res *loadgen.Result, srv *server.Server, adviseBound time.Duration) error {
+	var heavyShed, degraded, stale int
+	for _, ep := range []string{"compare", "sweep"} {
+		heavyShed += res.Endpoints[ep].Shed
+	}
+	for _, st := range res.Endpoints {
+		degraded += st.Degraded
+		stale += st.Stale
+	}
+	adv := res.Endpoints["advise"]
+
+	var fails []string
+	check := func(ok bool, format string, a ...any) {
+		verdict := "ok  "
+		if !ok {
+			verdict = "FAIL"
+			fails = append(fails, fmt.Sprintf(format, a...))
+		}
+		fmt.Fprintf(out, "  %s %s\n", verdict, fmt.Sprintf(format, a...))
+	}
+
+	fmt.Fprintf(out, "\noverload gates (shed=%d degraded=%d stale=%d):\n", heavyShed, degraded, stale)
+	check(res.Errors == 0, "hard errors: %d (want 0; sheds are 429s, not errors)", res.Errors)
+	check(heavyShed > 0, "heavy shed: %d (want > 0; the flood must visibly shed)", heavyShed)
+	check(adv.Requests > 0, "advise requests: %d (want > 0; mix must exercise the cheap class)", adv.Requests)
+	check(adv.Shed == 0, "advise shed: %d (want 0; cheap class must not feel heavy overload)", adv.Shed)
+	check(adv.Latency.P95 <= adviseBound, "advise p95: %v (bound %v)", adv.Latency.P95, adviseBound)
+
+	drained := true
+	deadline := time.Now().Add(10 * time.Second)
+	for srv.InflightSolves() != 0 {
+		if time.Now().After(deadline) {
+			drained = false
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	check(drained, "solve goroutines after drain: %d (want 0 within 10s)", srv.InflightSolves())
+
+	if len(fails) > 0 {
+		return fmt.Errorf("overload gate: %d violation(s)", len(fails))
+	}
+	fmt.Fprintln(out, "overload gate: ok")
 	return nil
 }
 

@@ -130,4 +130,35 @@ func TestRunBadFlags(t *testing.T) {
 	if err := run([]string{"-mix", "1:2"}, &sb); err == nil {
 		t.Error("bad mix accepted")
 	}
+	if err := run([]string{"-overload", "-mode", "tcp"}, &sb); err == nil {
+		t.Error("-overload with -mode tcp accepted")
+	}
+	if err := run([]string{"-overload", "-compare", "x.json"}, &sb); err == nil {
+		t.Error("-overload with -compare accepted")
+	}
+}
+
+// TestRunOverload runs the overload scenario end to end through the CLI
+// and checks every gate comes back ok: the sweep flood sheds, advise
+// stays clean, and the run drains. This is the same run CI's overload
+// smoke step performs via scripts/load.sh --overload.
+func TestRunOverload(t *testing.T) {
+	var sb strings.Builder
+	// The advise bound is generous here because this test also runs
+	// under the race detector, where cold solves are several times
+	// slower; the CI smoke via scripts/load.sh uses the tight default.
+	err := run([]string{"-overload", "-seed", "11", "-requests", "300", "-advise-p95", "10s"}, &sb)
+	if err != nil {
+		t.Fatalf("overload run gated: %v\n%s", err, sb.String())
+	}
+	outStr := sb.String()
+	if !strings.Contains(outStr, "overload gate: ok") {
+		t.Errorf("no gate verdict:\n%s", outStr)
+	}
+	if strings.Contains(outStr, "FAIL") {
+		t.Errorf("gate verdicts contain FAIL:\n%s", outStr)
+	}
+	if !strings.Contains(outStr, "heavy shed:") {
+		t.Errorf("no shed verdict line:\n%s", outStr)
+	}
 }

@@ -62,6 +62,10 @@ func main() {
 		maxSteps = flag.Int("max-pareto-steps", 0, "largest accepted pareto sweep (0 = server default)")
 		maxGrid  = flag.Int("max-compare-configs", 0, "largest accepted compare grid (0 = server default)")
 		cmpWork  = flag.Int("compare-workers", 0, "compare fan-out worker pool size (0 = GOMAXPROCS)")
+		advWork  = flag.Int("advise-workers", 0, "concurrent advise solves admitted (0 = GOMAXPROCS)")
+		hvyWork  = flag.Int("heavy-workers", 0, "concurrent compare/sweep solves admitted (0 = GOMAXPROCS)")
+		advQueue = flag.Int("advise-queue", 0, "advise solves queued beyond the workers before shedding 429 (0 = server default, negative = no queue)")
+		hvyQueue = flag.Int("heavy-queue", 0, "compare/sweep solves queued beyond the workers before shedding 429 (0 = server default, negative = no queue)")
 		dbgAddr  = flag.String("debug-addr", "", "pprof listen address (empty disables; use localhost:6060)")
 		slowTO   = flag.Duration("slow-solve", 0, "log cold solves at least this slow with their phase breakdown (0 disables)")
 	)
@@ -73,6 +77,8 @@ func main() {
 		addr: *addr, cacheSize: *cache, cacheMaxBytes: *cacheMB << 20, requestTimeout: *reqTO,
 		shutdownGrace: *graceTO, maxFactRows: *maxRows, maxParetoSteps: *maxSteps,
 		maxCompareConfigs: *maxGrid, compareWorkers: *cmpWork,
+		adviseWorkers: *advWork, heavyWorkers: *hvyWork,
+		adviseQueue: *advQueue, heavyQueue: *hvyQueue,
 		debugAddr: *dbgAddr, slowSolve: *slowTO,
 		logf: log.Printf,
 	}); err != nil {
@@ -91,6 +97,13 @@ type options struct {
 	maxParetoSteps    int
 	maxCompareConfigs int
 	compareWorkers    int
+	// Admission-control sizing: bounded solve-worker pools and queues
+	// for the cheap (advise) and heavy (compare/sweep) endpoint
+	// classes; zero values take the server defaults.
+	adviseWorkers int
+	heavyWorkers  int
+	adviseQueue   int
+	heavyQueue    int
 	// debugAddr, when non-empty, starts a second listener serving
 	// net/http/pprof — isolated from the API socket by construction.
 	debugAddr string
@@ -117,6 +130,10 @@ func run(ctx context.Context, o options) error {
 		MaxParetoSteps:     o.maxParetoSteps,
 		MaxCompareConfigs:  o.maxCompareConfigs,
 		CompareWorkers:     o.compareWorkers,
+		AdviseWorkers:      o.adviseWorkers,
+		HeavyWorkers:       o.heavyWorkers,
+		AdviseQueue:        o.adviseQueue,
+		HeavyQueue:         o.heavyQueue,
 		SlowSolveThreshold: o.slowSolve,
 	})
 	hs := &http.Server{

@@ -13,6 +13,7 @@
 package compare
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -135,6 +136,13 @@ type Request struct {
 	// whole fan-out (its phase slots are atomic, so concurrent cells
 	// record safely). Nil records nothing.
 	Trace *obs.Trace
+
+	// Ctx, when non-nil, bounds the whole fan-out: cells not yet started
+	// when it expires are abandoned (Run returns the context error), and
+	// search-solver cells already in flight stop at their best incumbent,
+	// marking the comparison Degraded (see core.Config.Ctx). Nil means no
+	// deadline.
+	Ctx context.Context
 }
 
 // Key identifies one fanned-out configuration.
@@ -244,6 +252,11 @@ type Comparison struct {
 	// Skipped lists configurations dropped because the provider does not
 	// offer the instance type.
 	Skipped []Key
+	// Degraded reports whether any cell's search stopped at the request
+	// deadline with its best incumbent (see Request.Ctx). Degraded
+	// comparisons are exactly priced but timing-dependent, so callers
+	// must not memoize them.
+	Degraded bool
 }
 
 // normalized is a validated request with every default applied.
@@ -363,6 +376,7 @@ func (n normalized) shared() (*core.Shared, error) {
 		Solver:            n.Solver,
 		Seed:              n.Seed,
 		Trace:             n.Trace,
+		Ctx:               n.Ctx,
 	})
 }
 
@@ -445,6 +459,13 @@ func Run(req Request) (*Comparison, error) {
 	results := make([]ConfigResult, len(keys))
 	errs := make([]error, len(keys))
 	fanOut(n.Workers, len(keys), func(i int) {
+		// Cooperative cancellation between cells: a cell that has not
+		// started when the deadline passes is abandoned outright (cells in
+		// flight stop via the search solver's own deadline gate).
+		if n.Ctx != nil && n.Ctx.Err() != nil {
+			errs[i] = n.Ctx.Err()
+			return
+		}
 		results[i], errs[i] = n.solveCell(shared, keys[i], providers[i])
 	})
 	for i, err := range errs {
@@ -457,6 +478,7 @@ func Run(req Request) (*Comparison, error) {
 		Scenarios: append([]string(nil), n.Request.Scenarios...),
 		Configs:   results,
 		Skipped:   skipped,
+		Degraded:  anyDegraded(results),
 	}
 	for _, s := range n.Request.Scenarios {
 		if s == "pareto" {
@@ -521,6 +543,24 @@ func (n normalized) solveCell(shared *core.Shared, k Key, prov pricing.Provider)
 		}
 	}
 	return out, nil
+}
+
+// anyDegraded reports whether any cell carries a deadline-degraded
+// recommendation or frontier point.
+func anyDegraded(results []ConfigResult) bool {
+	for _, cr := range results {
+		for _, sr := range cr.Results {
+			if sr.Rec.Selection.Degraded {
+				return true
+			}
+		}
+		for _, p := range cr.Pareto {
+			if p.Degraded {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 func boolToInt(b bool) int {

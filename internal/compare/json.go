@@ -308,6 +308,9 @@ type ComparisonJSON struct {
 	Pareto    []ParetoEntryJSON  `json:"pareto,omitempty"`
 	BreakEven *BreakEvenJSON     `json:"break_even,omitempty"`
 	Skipped   []Key              `json:"skipped,omitempty"`
+	// Degraded marks a comparison with at least one deadline-degraded
+	// cell; omitted when false so pre-deadline bodies are byte-identical.
+	Degraded bool `json:"degraded,omitempty"`
 	// Report is the human-readable rendering (Comparison.Render).
 	Report string `json:"report"`
 }
@@ -317,6 +320,7 @@ func (c *Comparison) JSON() ComparisonJSON {
 	out := ComparisonJSON{
 		Scenarios: c.Scenarios,
 		Skipped:   c.Skipped,
+		Degraded:  c.Degraded,
 		Report:    c.Render(),
 	}
 	for _, cfg := range c.Configs {
@@ -347,11 +351,12 @@ func (c *Comparison) JSON() ComparisonJSON {
 		out.Pareto = append(out.Pareto, ParetoEntryJSON{
 			Key: p.Key,
 			ParetoPointJSON: core.ParetoPointJSON{
-				Alpha: p.Point.Alpha,
-				Time:  p.Point.Time.String(),
-				Hours: p.Point.Time.Hours(),
-				Cost:  p.Point.Cost,
-				Views: p.Point.Views,
+				Alpha:    p.Point.Alpha,
+				Time:     p.Point.Time.String(),
+				Hours:    p.Point.Time.Hours(),
+				Cost:     p.Point.Cost,
+				Views:    p.Point.Views,
+				Degraded: p.Point.Degraded,
 			},
 		})
 	}

@@ -9,6 +9,7 @@
 package compare
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -64,6 +65,9 @@ type SweepRequest struct {
 	// Trace, when non-nil, accumulates per-phase durations across the
 	// whole grid; see Request.Trace.
 	Trace *obs.Trace
+
+	// Ctx, when non-nil, bounds the whole grid; see Request.Ctx.
+	Ctx context.Context
 }
 
 // SweepCell is one grid cell: the objective solved on one tariff.
@@ -85,6 +89,10 @@ type Sweep struct {
 	// Skipped lists configurations dropped because the provider does not
 	// offer the instance type.
 	Skipped []Key
+	// Degraded reports whether any cell's search stopped at the request
+	// deadline with its best incumbent (see SweepRequest.Ctx); degraded
+	// sweeps must not be memoized.
+	Degraded bool
 }
 
 // canonSweepScenario validates/derives the single swept objective.
@@ -136,6 +144,7 @@ func (r SweepRequest) normalize() (normalized, string, error) {
 		BreakEvenSteps:    -1, // the sweep has no budget sub-sweep
 		Workers:           r.Workers,
 		Trace:             r.Trace,
+		Ctx:               r.Ctx,
 	}.normalize()
 	if err != nil {
 		return normalized{}, "", err
@@ -164,6 +173,10 @@ func RunSweep(req SweepRequest) (*Sweep, error) {
 	cells := make([]SweepCell, len(keys))
 	errs := make([]error, len(keys))
 	fanOut(n.Workers, len(keys), func(i int) {
+		if n.Ctx != nil && n.Ctx.Err() != nil {
+			errs[i] = n.Ctx.Err()
+			return
+		}
 		cells[i], errs[i] = n.solveSweepCell(shared, scenario, keys[i], providers[i])
 	})
 	for i, err := range errs {
@@ -173,6 +186,12 @@ func RunSweep(req SweepRequest) (*Sweep, error) {
 	}
 
 	sw := &Sweep{Scenario: scenario, Cells: cells, Skipped: skipped}
+	for _, c := range cells {
+		if c.Rec.Selection.Degraded {
+			sw.Degraded = true
+			break
+		}
+	}
 	best := Winner{}
 	first := true
 	for _, c := range cells {

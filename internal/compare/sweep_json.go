@@ -150,6 +150,9 @@ type SweepJSON struct {
 	Cells    []SweepCellJSON `json:"cells"`
 	Best     Key             `json:"best"`
 	Skipped  []Key           `json:"skipped,omitempty"`
+	// Degraded marks a sweep with at least one deadline-degraded cell;
+	// omitted when false.
+	Degraded bool `json:"degraded,omitempty"`
 	// Report is the human-readable rendering (Sweep.Render).
 	Report string `json:"report"`
 }
@@ -160,6 +163,7 @@ func (s *Sweep) JSON() SweepJSON {
 		Scenario: s.Scenario,
 		Best:     s.Best,
 		Skipped:  s.Skipped,
+		Degraded: s.Degraded,
 		Report:   s.Render(),
 	}
 	for _, c := range s.Cells {

@@ -6,6 +6,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -69,6 +70,13 @@ type Config struct {
 	// solve pipeline (lattice → candidates → kernel → bind → solve). A
 	// nil trace records nothing and costs nothing.
 	Trace *obs.Trace
+	// Ctx, when non-nil, bounds every search-solver solve by wall clock:
+	// at the deadline the search stops at its best incumbent and marks
+	// the recommendation Degraded (see search.Options.Ctx). The knapsack
+	// solver is not interruptible — its DP is microseconds on any real
+	// candidate pool — so knapsack results are never degraded. Nil means
+	// no deadline.
+	Ctx context.Context
 }
 
 // Solver names accepted by Config.Solver and the "solver" wire field.
@@ -129,6 +137,8 @@ type Advisor struct {
 	sess *optimizer.KernelSession
 	// names is the Shared candidate-name cache (see Shared.names).
 	names map[int]string
+	// ctx optionally bounds search solves (see Config.Ctx); nil-safe.
+	ctx context.Context
 }
 
 // viewName renders a selected cuboid's name, via the shared cache when
@@ -178,6 +188,10 @@ type Shared struct {
 	// every advisor stamped from this structure (its phase slots are
 	// atomic, so compare's parallel per-cell binds accumulate safely).
 	trace *obs.Trace
+	// ctx optionally bounds search solves of every stamped advisor (see
+	// Config.Ctx); compare's per-cell fan-out also checks it between
+	// cells.
+	ctx context.Context
 }
 
 // NewShared builds the tariff-independent structure of a config. The
@@ -270,6 +284,7 @@ func NewShared(cfg Config) (*Shared, error) {
 		jobOverhead: cfg.JobOverhead,
 		names:       names,
 		trace:       tr,
+		ctx:         cfg.Ctx,
 	}, nil
 }
 
@@ -322,6 +337,7 @@ func (sh *Shared) Advisor(prov pricing.Provider, instanceType string, instances 
 		trace:      sh.trace,
 		sess:       sess,
 		names:      sh.names,
+		ctx:        sh.ctx,
 	}, nil
 }
 
@@ -441,7 +457,7 @@ func (a *Advisor) useSearch() bool { return a.Solver == SolverSearch }
 // search solvers, so a search solve re-prices over the kernel's
 // answering lists instead of rebuilding them.
 func (a *Advisor) searchOpts() search.Options {
-	return search.Options{Seed: a.Seed, Engine: a.sess.Engine()}
+	return search.Options{Seed: a.Seed, Engine: a.sess.Engine(), Ctx: a.ctx}
 }
 
 // advise runs one scenario through the configured engine and wraps the
@@ -509,6 +525,10 @@ type ParetoPoint struct {
 	Time  time.Duration
 	Cost  money.Money
 	Views int
+	// Degraded marks a point whose search stopped at the solve deadline
+	// (see Config.Ctx); the point is still exactly priced and never
+	// worse than its knapsack warm start.
+	Degraded bool
 }
 
 // ParetoFront sweeps α over [0,1] in the given number of steps and returns
@@ -559,10 +579,11 @@ func (a *Advisor) ParetoFront(steps int) ([]ParetoPoint, error) {
 		}
 		for _, as := range sweep {
 			all = append(all, ParetoPoint{
-				Alpha: as.Alpha,
-				Time:  as.Sel.Time,
-				Cost:  as.Sel.Bill.Total(),
-				Views: len(as.Sel.Points),
+				Alpha:    as.Alpha,
+				Time:     as.Sel.Time,
+				Cost:     as.Sel.Bill.Total(),
+				Views:    len(as.Sel.Points),
+				Degraded: as.Sel.Degraded,
 			})
 		}
 	} else {

@@ -279,6 +279,11 @@ type RecommendationJSON struct {
 	Scenario string `json:"scenario"`
 	Feasible bool   `json:"feasible"`
 	Strategy string `json:"strategy"`
+	// Degraded marks a recommendation whose search stopped at the solve
+	// deadline with its best incumbent (never worse than the knapsack
+	// warm start). Omitted when false, so pre-deadline wire forms are
+	// byte-identical.
+	Degraded bool `json:"degraded,omitempty"`
 	// Views names the selected cuboids ("year×country"); Points carries
 	// the raw lattice coordinates for programmatic callers.
 	Views  []string        `json:"views"`
@@ -319,6 +324,7 @@ func (r Recommendation) JSON() RecommendationJSON {
 		Scenario: r.Scenario,
 		Feasible: r.Selection.Feasible,
 		Strategy: r.Selection.Strategy,
+		Degraded: r.Selection.Degraded,
 		Views:    views,
 		Points:   points,
 		Time:     r.Selection.Time.String(),
@@ -339,11 +345,12 @@ func (r Recommendation) JSON() RecommendationJSON {
 
 // ParetoPointJSON is the wire form of one frontier point.
 type ParetoPointJSON struct {
-	Alpha float64     `json:"alpha"`
-	Time  string      `json:"time"`
-	Hours float64     `json:"time_hours"`
-	Cost  money.Money `json:"cost"`
-	Views int         `json:"views"`
+	Alpha    float64     `json:"alpha"`
+	Time     string      `json:"time"`
+	Hours    float64     `json:"time_hours"`
+	Cost     money.Money `json:"cost"`
+	Views    int         `json:"views"`
+	Degraded bool        `json:"degraded,omitempty"`
 }
 
 // ParetoJSON renders a frontier in wire form.
@@ -351,11 +358,12 @@ func ParetoJSON(front []ParetoPoint) []ParetoPointJSON {
 	out := make([]ParetoPointJSON, len(front))
 	for i, p := range front {
 		out[i] = ParetoPointJSON{
-			Alpha: p.Alpha,
-			Time:  p.Time.String(),
-			Hours: p.Time.Hours(),
-			Cost:  p.Cost,
-			Views: p.Views,
+			Alpha:    p.Alpha,
+			Time:     p.Time.String(),
+			Hours:    p.Time.Hours(),
+			Cost:     p.Cost,
+			Views:    p.Views,
+			Degraded: p.Degraded,
 		}
 	}
 	return out

@@ -275,13 +275,13 @@ func TestHandlerTargetMatchesHTTP(t *testing.T) {
 
 	body := []byte(`{"scenario":"mv1","budget":20,"fact_rows":5000000,"queries":3,"frequency":10}`)
 	for i := 0; i < 2; i++ {
-		s1, x1, err1 := ht.Do("/v1/advise", body)
-		s2, x2, err2 := tt.Do("/v1/advise", body)
+		p1, err1 := ht.Do("/v1/advise", body)
+		p2, err2 := tt.Do("/v1/advise", body)
 		if err1 != nil || err2 != nil {
 			t.Fatalf("errors: %v, %v", err1, err2)
 		}
-		if s1 != http.StatusOK || s1 != s2 || x1 != x2 {
-			t.Fatalf("round %d: in-process (%d,%q) vs TCP (%d,%q)", i, s1, x1, s2, x2)
+		if p1.Status != http.StatusOK || p1 != p2 {
+			t.Fatalf("round %d: in-process %+v vs TCP %+v", i, p1, p2)
 		}
 	}
 }

@@ -1,0 +1,135 @@
+package loadgen
+
+import (
+	"testing"
+	"time"
+
+	"vmcloud/internal/server"
+)
+
+// TestOverloadShedsHeavyKeepsAdviseE2E is the overload scenario run
+// in-process: a sweep-flooded mix against a server whose heavy class
+// has one worker and no queue. The contract under test is the whole
+// admission-control story — heavy solves are shed with 429 (tallied as
+// sheds, not errors), the cheap advise class keeps serving 200s with a
+// bounded p95, and after the run drains not a single solve goroutine
+// is left behind.
+func TestOverloadShedsHeavyKeepsAdviseE2E(t *testing.T) {
+	srv := server.New(server.Options{
+		RequestTimeout: time.Minute,
+		HeavyWorkers:   1,
+		HeavyQueue:     -1,
+		// Every heavy solve also sleeps, so the single worker stays busy
+		// and the flood behind it is genuinely shed. Deterministic: the
+		// chaos decisions depend only on (seed, key).
+		Chaos: &server.ChaosConfig{Seed: 3, LatencyProb: 1, Latency: 50 * time.Millisecond},
+	})
+	cfg := Config{
+		Seed:        11,
+		Tenants:     4,
+		Schemas:     2,
+		Requests:    300,
+		Concurrency: 16,
+		HitRatio:    0.3, // mostly fresh bodies: each sweep is a new solve
+		Mix:         Mix{Advise: 2, Compare: 1, Sweep: 8},
+	}
+	res, err := Run(cfg, NewHandlerTarget(srv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("%d hard errors under overload (sheds must be 429s, not errors)", res.Errors)
+	}
+
+	var shed int
+	for _, ep := range []string{"compare", "sweep"} {
+		shed += res.Endpoints[ep].Shed
+	}
+	if shed == 0 {
+		t.Error("sweep flood against a 1-worker/0-queue heavy class shed nothing")
+	}
+	adv := res.Endpoints["advise"]
+	if adv.Requests == 0 {
+		t.Fatal("mix synthesized no advise traffic")
+	}
+	if adv.Shed != 0 {
+		t.Errorf("advise shed %d requests; the cheap class must not feel heavy overload", adv.Shed)
+	}
+	// Advise p95 stays bounded while the heavy flood is being shed: the
+	// classes have separate worker pools, and every advise request is
+	// either a cache hit or a cheap knapsack solve. The bound is very
+	// generous (race-detector CI runs cold solves several times slower)
+	// but catastrophic head-of-line blocking — advise requests queued
+	// behind the single 50ms+ heavy worker for the whole run — blows
+	// straight through it.
+	if adv.Latency.P95 > 10*time.Second {
+		t.Errorf("advise p95 = %v under heavy flood, want bounded", adv.Latency.P95)
+	}
+
+	// Drain: no detached solve goroutines survive the run.
+	deadline := time.Now().Add(10 * time.Second)
+	for srv.InflightSolves() != 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if n := srv.InflightSolves(); n != 0 {
+		t.Fatalf("%d solve goroutines still live after drain", n)
+	}
+	t.Logf("advise p95=%v shed=%d (heavy) requests=%d", adv.Latency.P95, shed, res.Total)
+}
+
+// TestChaosPanicContainmentE2E floods a chaos server whose solves
+// panic with probability ~1/3 and checks the daemon-level contract:
+// panicking solves become 500s (counted as errors by the harness),
+// everything else still serves, and the run drains clean. This is the
+// fault-injection sweep the CI race step picks up.
+func TestChaosPanicContainmentE2E(t *testing.T) {
+	srv := server.New(server.Options{
+		RequestTimeout: time.Minute,
+		Chaos:          &server.ChaosConfig{Seed: 9, PanicProb: 0.34},
+	})
+	cfg := Config{
+		Seed:        13,
+		Tenants:     2,
+		Schemas:     2,
+		Requests:    200,
+		Concurrency: 8,
+		HitRatio:    0.5,
+	}
+	res, err := Run(cfg, NewHandlerTarget(srv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The seeded coin decides per key, so with ~1/3 probability over
+	// dozens of distinct keys both sides are guaranteed in practice:
+	// some solves panicked (surfacing as errors), some served fine.
+	if res.Errors == 0 {
+		t.Error("panic injection at p=0.34 produced no errors; chaos not engaging")
+	}
+	var served int
+	for _, st := range res.Endpoints {
+		served += st.Hits + st.Misses + st.Coalesced
+	}
+	if served == 0 {
+		t.Error("no request served successfully; panics were not contained per-solve")
+	}
+	if res.Errors+served+sumShed(res) != res.Total {
+		t.Errorf("outcome accounting: errors %d + served %d + shed %d != total %d",
+			res.Errors, served, sumShed(res), res.Total)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for srv.InflightSolves() != 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if n := srv.InflightSolves(); n != 0 {
+		t.Fatalf("%d solve goroutines still live after drain", n)
+	}
+	t.Logf("errors(panics)=%d served=%d", res.Errors, served)
+}
+
+func sumShed(res *Result) int {
+	n := 0
+	for _, st := range res.Endpoints {
+		n += st.Shed
+	}
+	return n
+}

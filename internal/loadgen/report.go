@@ -35,16 +35,22 @@ type Report struct {
 
 // EndpointReport is one endpoint's slice of the snapshot.
 type EndpointReport struct {
-	Requests  int     `json:"requests"`
-	Errors    int     `json:"errors"`
-	Hits      int     `json:"hits"`
-	Misses    int     `json:"misses"`
-	Coalesced int     `json:"coalesced"`
-	P50MS     float64 `json:"p50_ms"`
-	P95MS     float64 `json:"p95_ms"`
-	P99MS     float64 `json:"p99_ms"`
-	MaxMS     float64 `json:"max_ms"`
-	MeanMS    float64 `json:"mean_ms"`
+	Requests  int `json:"requests"`
+	Errors    int `json:"errors"`
+	Hits      int `json:"hits"`
+	Misses    int `json:"misses"`
+	Coalesced int `json:"coalesced"`
+	// Shed/Degraded/Stale are the overload outcomes (429s from admission
+	// control, deadline-degraded 200s, stale cache serves); omitted when
+	// zero so pre-overload baselines stay byte-identical.
+	Shed     int     `json:"shed,omitempty"`
+	Degraded int     `json:"degraded,omitempty"`
+	Stale    int     `json:"stale,omitempty"`
+	P50MS    float64 `json:"p50_ms"`
+	P95MS    float64 `json:"p95_ms"`
+	P99MS    float64 `json:"p99_ms"`
+	MaxMS    float64 `json:"max_ms"`
+	MeanMS   float64 `json:"mean_ms"`
 	// HitAllocsPerRequest is the measured allocations per request on the
 	// steady-state cache-hit path; -1 when the target could not be
 	// probed in-process.
@@ -85,6 +91,9 @@ func (r *Result) Snapshot(date string) *Report {
 			Hits:                st.Hits,
 			Misses:              st.Misses,
 			Coalesced:           st.Coalesced,
+			Shed:                st.Shed,
+			Degraded:            st.Degraded,
+			Stale:               st.Stale,
 			P50MS:               ms(st.Latency.P50),
 			P95MS:               ms(st.Latency.P95),
 			P99MS:               ms(st.Latency.P99),

@@ -12,12 +12,21 @@ import (
 	"time"
 )
 
+// Probe is what one request observed: the HTTP status, the X-Cache
+// header ("hit", "miss", "coalesced", "stale" or empty), and whether
+// the response was served degraded (X-Degraded: true — the solve
+// stopped at its deadline with the best incumbent).
+type Probe struct {
+	Status   int
+	XCache   string
+	Degraded bool
+}
+
 // Target is where synthesized traffic lands: the in-process handler
 // stack, or a real server over TCP. Do must be safe for concurrent use.
 type Target interface {
-	// Do posts body to path and returns the HTTP status and the X-Cache
-	// header ("hit", "miss", "coalesced" or empty).
-	Do(path string, body []byte) (status int, xcache string, err error)
+	// Do posts body to path and returns what the response reported.
+	Do(path string, body []byte) (Probe, error)
 }
 
 // discardWriter is a minimal ResponseWriter that keeps the status and
@@ -63,7 +72,7 @@ func NewHandlerTarget(h http.Handler) *HandlerTarget {
 	return &HandlerTarget{Handler: h}
 }
 
-func (t *HandlerTarget) Do(path string, body []byte) (int, string, error) {
+func (t *HandlerTarget) Do(path string, body []byte) (Probe, error) {
 	sc, _ := t.pool.Get().(*handlerScratch)
 	if sc == nil {
 		sc = &handlerScratch{}
@@ -78,8 +87,15 @@ func (t *HandlerTarget) Do(path string, body []byte) (int, string, error) {
 	sc.w.status = 0
 	sc.w.n = 0
 	delete(sc.w.h, "X-Cache")
+	delete(sc.w.h, "X-Degraded")
+	delete(sc.w.h, "Retry-After")
 	t.Handler.ServeHTTP(&sc.w, &sc.req)
-	return sc.w.status, sc.w.h.Get("X-Cache"), nil
+	//mvlint:allow noretain -- Probe carries only the scalar status copied by value and immutable header strings; no scratch buffer aliases escape
+	return Probe{
+		Status:   sc.w.status,
+		XCache:   sc.w.h.Get("X-Cache"),
+		Degraded: sc.w.h.Get("X-Degraded") == "true",
+	}, nil
 }
 
 // HTTPTarget drives a live server over TCP — the full network stack,
@@ -89,20 +105,25 @@ type HTTPTarget struct {
 	Client  *http.Client
 }
 
-func (t *HTTPTarget) Do(path string, body []byte) (int, string, error) {
+func (t *HTTPTarget) Do(path string, body []byte) (Probe, error) {
 	client := t.Client
 	if client == nil {
 		client = http.DefaultClient
 	}
 	resp, err := client.Post(t.BaseURL+path, "application/json", bytes.NewReader(body))
 	if err != nil {
-		return 0, "", err
+		return Probe{}, err
 	}
 	defer resp.Body.Close()
-	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
-		return resp.StatusCode, resp.Header.Get("X-Cache"), err
+	pr := Probe{
+		Status:   resp.StatusCode,
+		XCache:   resp.Header.Get("X-Cache"),
+		Degraded: resp.Header.Get("X-Degraded") == "true",
 	}
-	return resp.StatusCode, resp.Header.Get("X-Cache"), nil
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		return pr, err
+	}
+	return pr, nil
 }
 
 // endpointRecorder accumulates one worker's samples for one endpoint;
@@ -113,6 +134,9 @@ type endpointRecorder struct {
 	hits      int
 	misses    int
 	coalesced int
+	shed      int
+	degraded  int
+	stale     int
 }
 
 // EndpointStats is the merged, summarized outcome for one endpoint.
@@ -122,7 +146,14 @@ type EndpointStats struct {
 	Hits      int
 	Misses    int
 	Coalesced int
-	Latency   LatencySummary
+	// Shed counts 429s from admission control (expected under the
+	// overload scenarios, a bug anywhere else); Degraded counts 200s
+	// whose solve stopped at its deadline; Stale counts shed requests
+	// served an evicted cache entry (X-Cache: stale).
+	Shed     int
+	Degraded int
+	Stale    int
+	Latency  LatencySummary
 	// HitAllocs is the measured allocations per request on the
 	// steady-state cache-hit path (serial probe after the run);
 	// negative when the target cannot be probed in-process.
@@ -146,8 +177,9 @@ type Result struct {
 // cfg.Concurrency workers. Requests are consumed from one shared
 // cursor, so the interleaving is scheduler-dependent but the request
 // multiset is exactly the synthesized sequence. Any non-200 status
-// counts as an error (the synthesized traffic is all valid, so an error
-// is a harness or server bug, not noise).
+// other than a 429 shed counts as an error (the synthesized traffic is
+// all valid, so an error is a harness or server bug, not noise); sheds,
+// degraded responses and stale serves are tallied separately.
 func Run(cfg Config, target Target) (*Result, error) {
 	cfg = cfg.withDefaults()
 	reqs := Synthesize(cfg)
@@ -177,20 +209,34 @@ func Run(cfg Config, target Target) (*Result, error) {
 					shard[r.Endpoint] = rec
 				}
 				t0 := time.Now()
-				status, xcache, err := target.Do(r.Path, r.Body)
+				pr, err := target.Do(r.Path, r.Body)
 				d := time.Since(t0)
 				rec.lat = append(rec.lat, d)
-				if err != nil || status != http.StatusOK {
+				switch {
+				case err != nil:
+					rec.errors++
+					continue
+				case pr.Status == http.StatusTooManyRequests:
+					// Admission-control shed: an intended overload outcome,
+					// tracked separately from errors.
+					rec.shed++
+					continue
+				case pr.Status != http.StatusOK:
 					rec.errors++
 					continue
 				}
-				switch xcache {
+				if pr.Degraded {
+					rec.degraded++
+				}
+				switch pr.XCache {
 				case "hit":
 					rec.hits++
 				case "miss":
 					rec.misses++
 				case "coalesced":
 					rec.coalesced++
+				case "stale":
+					rec.stale++
 				}
 			}
 		}(shards[w])
@@ -211,6 +257,9 @@ func Run(cfg Config, target Target) (*Result, error) {
 			st.Hits += rec.hits
 			st.Misses += rec.misses
 			st.Coalesced += rec.coalesced
+			st.Shed += rec.shed
+			st.Degraded += rec.degraded
+			st.Stale += rec.stale
 			res.Endpoints[ep] = st
 		}
 	}
@@ -256,7 +305,7 @@ func probeAllocs(t *HandlerTarget, reqs []Request, res *Result) {
 		// Warm the body (a long run may have evicted it from the LRU by
 		// the time the run ends), then confirm the next request hits.
 		t.Do(r.Path, r.Body)
-		if _, xcache, _ := t.Do(r.Path, r.Body); xcache != "hit" {
+		if pr, _ := t.Do(r.Path, r.Body); pr.XCache != "hit" {
 			continue
 		}
 		allocs := allocsPerRun(200, func() {

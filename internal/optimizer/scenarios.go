@@ -135,6 +135,13 @@ type Selection struct {
 	Feasible bool
 	// Strategy names the solver that produced the selection.
 	Strategy string
+	// Degraded marks a selection returned early because the solver's
+	// deadline expired: still bit-valid and exactly priced, but the
+	// search stopped at its best incumbent instead of running to
+	// convergence. Budget exhaustion does NOT set this — only a
+	// wall-clock deadline does, so degraded results are the only
+	// timing-dependent ones.
+	Degraded bool
 }
 
 func (ev *Evaluator) finish(points []lattice.Point, strategy string, feasible func(time.Duration, costmodel.Bill) bool) (Selection, error) {

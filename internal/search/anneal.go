@@ -1,9 +1,6 @@
 package search
 
-import (
-	"errors"
-	"math"
-)
+import "math"
 
 // annealEnergy scalarizes an eval for the Metropolis criterion: the
 // score plus a violation penalty heavy enough that no feasible state is
@@ -22,7 +19,8 @@ func annealEnergy(e eval, penalty float64) float64 {
 // O(affected queries). The initial temperature is calibrated from the
 // observed energy deltas of a short warm-up walk, so the schedule adapts
 // to the objective's units. Returns the best state seen (not the final
-// one) and errEvalBudget if the budget ran dry.
+// one), wrapped in the stop sentinel if the budget ran dry or the solve
+// deadline passed.
 func (s *solver) anneal(start []bool, startEval eval) ([]bool, eval, error) {
 	n := len(start)
 	if n == 0 {
@@ -52,7 +50,7 @@ func (s *solver) anneal(start []bool, startEval eval) ([]bool, eval, error) {
 		}
 		e, err := s.probeMove(i, j)
 		if err != nil {
-			if errors.Is(err, errEvalBudget) {
+			if stopped(err) {
 				return best, bestEval, err
 			}
 			return best, eval{}, err
@@ -76,7 +74,7 @@ func (s *solver) anneal(start []bool, startEval eval) ([]bool, eval, error) {
 			// never touches the engine; only accepted moves advance it.
 			e, err := s.probeMove(i, j)
 			if err != nil {
-				if errors.Is(err, errEvalBudget) {
+				if stopped(err) {
 					return best, bestEval, err
 				}
 				return best, eval{}, err

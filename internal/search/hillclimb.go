@@ -1,12 +1,10 @@
 package search
 
-import "errors"
-
 // hillClimb runs steepest-ascent local search from the given start: each
 // round it prices every neighbor in the add/drop/swap neighborhood and
 // moves to the strictly best improving one, stopping at a local optimum
-// or when the evaluation budget runs dry (returning the best state
-// reached, wrapped in errEvalBudget).
+// or when the evaluation budget runs dry / the solve deadline passes
+// (returning the best state reached, wrapped in the stop sentinel).
 //
 // Neighborhoods:
 //
@@ -28,7 +26,7 @@ func (s *solver) hillClimb(start []bool) ([]bool, eval, error) {
 	cur := append([]bool(nil), start...)
 	curEval, err := s.evaluate(cur) // pins the engine at cur
 	if err != nil {
-		if errors.Is(err, errEvalBudget) {
+		if stopped(err) {
 			// Cannot even price the start; fall back to the empty set,
 			// which solve() always prices first (cache hit).
 			empty := make([]bool, len(cur))
@@ -78,7 +76,7 @@ func (s *solver) hillClimb(start []bool) ([]bool, eval, error) {
 			return nil
 		}
 		if err := scan(); err != nil {
-			if errors.Is(err, errEvalBudget) {
+			if stopped(err) {
 				// Apply the best move found so far, if any, then stop.
 				if improved {
 					applyMove(cur, bestI, bestJ)

@@ -25,6 +25,7 @@
 package search
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -136,6 +137,15 @@ type Options struct {
 	// Starts are explicit warm-start subsets (points must be candidate
 	// points; unknown points are ignored).
 	Starts [][]lattice.Point
+	// Ctx, when non-nil, bounds the solve by wall clock: once Ctx is
+	// cancelled or past its deadline the delta-probe loop stops at the
+	// next move and the solver returns its best incumbent so far, marked
+	// Degraded. Starts (including caller warm starts) are always priced
+	// before the first climb, so a degraded result is never worse than
+	// the best warm start. Nil means no deadline — and, because only a
+	// deadline can interrupt the pipeline mid-flight, nil also means the
+	// result is a pure function of inputs and seed.
+	Ctx context.Context
 	// Engine optionally supplies a pre-built incremental evaluation
 	// engine pinned to exactly this (evaluator, candidate set) — the
 	// structure-sharing hook of the comparison kernel
@@ -178,6 +188,19 @@ func (o Options) withDefaults() (Options, error) {
 // errEvalBudget signals the evaluation budget ran dry; solvers treat it
 // as "stop and keep the best found", never as a failure.
 var errEvalBudget = errors.New("search: evaluation budget exhausted")
+
+// errDeadline signals Options.Ctx expired mid-solve. Like errEvalBudget
+// it means "stop and keep the best found", but unlike budget exhaustion
+// it is timing-dependent, so it additionally marks the selection
+// Degraded.
+var errDeadline = errors.New("search: solve deadline reached")
+
+// stopped reports whether err is one of the cooperative-stop sentinels
+// (budget dry or deadline reached) — the "keep the incumbent" cases, as
+// opposed to real failures.
+func stopped(err error) bool {
+	return errors.Is(err, errEvalBudget) || errors.Is(err, errDeadline)
+}
 
 // eval is one exactly-priced subset under the current objective.
 type eval struct {
@@ -309,6 +332,13 @@ type solver struct {
 	cache    *evalCache
 	evals    int
 	maxEvals int
+	// done is Options.Ctx's done channel (nil when no deadline was set;
+	// a receive on a nil channel blocks forever, so the non-blocking
+	// probe in probeMove stays correct without a nil check).
+	done <-chan struct{}
+	// degraded latches once the deadline interrupts the pipeline; it
+	// flows onto every selection this solver emits from then on.
+	degraded bool
 	// scratch buffers reused across move proposals.
 	selBuf []int
 	unsBuf []int
@@ -337,7 +367,7 @@ func newSolver(ev *optimizer.Evaluator, cands []views.Candidate, obj Objective, 
 		}
 	}
 	n := len(cands)
-	return &solver{
+	s := &solver{
 		inc:      inc,
 		cands:    cands,
 		obj:      obj,
@@ -347,7 +377,11 @@ func newSolver(ev *optimizer.Evaluator, cands []views.Candidate, obj Objective, 
 		maxEvals: opts.MaxEvals,
 		selBuf:   make([]int, 0, n),
 		unsBuf:   make([]int, 0, n),
-	}, nil
+	}
+	if opts.Ctx != nil {
+		s.done = opts.Ctx.Done()
+	}
+	return s, nil
 }
 
 // pointKey renders a lattice point as a comparable map key. Level
@@ -421,6 +455,16 @@ func (s *solver) flip(i int) {
 //
 //mvlint:hotpath
 func (s *solver) probeMove(i, j int) (eval, error) {
+	select {
+	case <-s.done:
+		// The deadline gate sits on move probes only — never on start
+		// pricing (scoreState via evaluate) — so warm starts are always
+		// priced and a degraded incumbent can never lose to its own warm
+		// start. A nil done channel (no deadline) blocks forever and
+		// falls through to default.
+		return eval{}, errDeadline
+	default:
+	}
 	if c, ok := s.cache.get(s.inc.Words(), i, j); ok {
 		return s.score(c), nil
 	}
@@ -479,6 +523,7 @@ func (s *solver) selection(sel []bool, e eval) optimizer.Selection {
 		Bill:     e.bill,
 		Feasible: e.viol == 0,
 		Strategy: s.obj.Name + "-search",
+		Degraded: s.degraded,
 	}
 }
 
@@ -608,25 +653,28 @@ func (s *solver) run(extraStart []bool) (optimizer.Selection, []bool, error) {
 			func(cur []bool, _ eval) ([]bool, eval, error) { return s.hillClimb(cur) },
 		)
 	}
-	budgetDry := false
+	dry := false
 	for _, start := range starts {
 		cur, curEval := start, eval{}
 		for _, stage := range stages {
 			var err error
 			cur, curEval, err = stage(cur, curEval)
-			if err != nil && !errors.Is(err, errEvalBudget) {
+			if err != nil && !stopped(err) {
 				return optimizer.Selection{}, nil, err
 			}
 			if better(curEval, bestEval) {
 				copy(bestSel, cur)
 				bestEval = curEval
 			}
-			if errors.Is(err, errEvalBudget) {
-				budgetDry = true
+			if stopped(err) {
+				if errors.Is(err, errDeadline) {
+					s.degraded = true
+				}
+				dry = true
 				break
 			}
 		}
-		if budgetDry {
+		if dry {
 			break
 		}
 	}

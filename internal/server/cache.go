@@ -22,6 +22,11 @@ type lruCache struct {
 	// evictions counts entries removed by the capacity bounds (not
 	// replacements), exported as mvcloud_cache_evictions_total.
 	evictions int64
+	// onEvict, when non-nil, receives each capacity-evicted entry (the
+	// graceful-degradation hook: the server feeds evicted responses into
+	// its stale cache). Called with c.mu held, so the callback must not
+	// touch this cache; ownership of val transfers to the callback.
+	onEvict func(key string, val []byte)
 }
 
 type lruEntry struct {
@@ -113,6 +118,9 @@ func (c *lruCache) Put(key string, val []byte) {
 		delete(c.entries, e.key)
 		c.bytes -= e.size()
 		c.evictions++
+		if c.onEvict != nil {
+			c.onEvict(e.key, e.val)
+		}
 	}
 }
 

@@ -1,6 +1,9 @@
 package server
 
-import "sync"
+import (
+	"context"
+	"sync"
+)
 
 // flightGroup coalesces concurrent identical cold solves: while one
 // request is computing the response for a cache key, later arrivals for
@@ -9,6 +12,12 @@ import "sync"
 // exactly one lattice build + solve; the K-1 followers are billed only a
 // channel wait. The group holds no history — an entry lives exactly as
 // long as its solve, so memory is bounded by in-flight distinct keys.
+//
+// The group also owns solve-lifetime bookkeeping: every waiter (leader
+// and followers alike) is refcounted, and when the last waiter abandons
+// a call (timeout or client disconnect) the solve's context is
+// cancelled and the key retired immediately — the next request for the
+// key leads a fresh solve instead of wedging on the abandoned one.
 type flightGroup struct {
 	mu    sync.Mutex
 	calls map[string]*flightCall
@@ -16,9 +25,17 @@ type flightGroup struct {
 
 // flightCall is one in-flight solve. done is closed after out is set,
 // so any number of followers can read out without further locking.
+// waiters and cancel are guarded by the owning group's mutex.
 type flightCall struct {
 	done chan struct{}
 	out  outcome
+	// waiters counts requests currently blocked on done; when it drops
+	// to zero before the solve finishes, nobody wants the result and the
+	// solve is cancelled.
+	waiters int
+	// cancel stops the solve's context; set by the leader via setCancel
+	// once the solve goroutine's context exists.
+	cancel context.CancelFunc
 }
 
 func newFlightGroup() *flightGroup {
@@ -27,25 +44,76 @@ func newFlightGroup() *flightGroup {
 
 // join returns the in-flight call for key, creating it if absent.
 // leader is true for the caller that must actually run the solve and
-// eventually call finish.
+// eventually call finish. Every joiner — leader included — must
+// eventually either observe done or call leave.
 func (g *flightGroup) join(key string) (c *flightCall, leader bool) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	if c, ok := g.calls[key]; ok {
+		c.waiters++
 		return c, false
 	}
-	c = &flightCall{done: make(chan struct{})}
+	c = &flightCall{done: make(chan struct{}), waiters: 1}
 	g.calls[key] = c
 	return c, true
 }
 
+// setCancel attaches the solve's cancel function to the call. If every
+// waiter already left while the leader was starting the solve, the
+// solve is cancelled on the spot.
+func (g *flightGroup) setCancel(c *flightCall, cancel context.CancelFunc) {
+	g.mu.Lock()
+	c.cancel = cancel
+	orphaned := c.waiters == 0
+	g.mu.Unlock()
+	if orphaned {
+		cancel()
+	}
+}
+
+// leave drops one waiter from the call (request timed out or client
+// disconnected). When the last waiter leaves before the solve finishes,
+// the solve is cancelled and the key retired so the next arrival leads
+// a fresh solve — an abandoned call can never wedge the key.
+func (g *flightGroup) leave(key string, c *flightCall) {
+	g.mu.Lock()
+	c.waiters--
+	var cancel context.CancelFunc
+	if c.waiters <= 0 {
+		cancel = c.cancel
+		if g.calls[key] == c {
+			delete(g.calls, key)
+		}
+	}
+	g.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+}
+
 // finish publishes the outcome to every waiter and retires the key, so
 // the next request for it consults the response cache (or, on error,
-// retries the solve) instead of reading a stale call.
+// retries the solve) instead of reading a stale call. The key is only
+// retired if this call still owns it — leave may have already retired
+// it and a fresh call may be in flight. The solve context is cancelled
+// afterwards to release its deadline timer.
 func (g *flightGroup) finish(key string, c *flightCall, out outcome) {
 	g.mu.Lock()
-	delete(g.calls, key)
+	if g.calls[key] == c {
+		delete(g.calls, key)
+	}
+	cancel := c.cancel
 	g.mu.Unlock()
 	c.out = out
 	close(c.done)
+	if cancel != nil {
+		cancel()
+	}
+}
+
+// len reports the number of in-flight keys (test hook).
+func (g *flightGroup) len() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.calls)
 }

@@ -150,6 +150,92 @@ func TestSingleflightErrorNotCached(t *testing.T) {
 	}
 }
 
+// TestFlightAbandonedLeaderCancels pins the new waiter-refcount
+// contract: when every waiter leaves an in-flight call, the solve's
+// context is cancelled and the key retired immediately — the next
+// arrival leads a fresh solve instead of wedging on the abandoned one.
+func TestFlightAbandonedLeaderCancels(t *testing.T) {
+	g := newFlightGroup()
+	c, leader := g.join("k")
+	if !leader {
+		t.Fatal("first join is not the leader")
+	}
+	cancelled := false
+	g.setCancel(c, func() { cancelled = true })
+	if cancelled {
+		t.Fatal("cancel fired while a waiter was still present")
+	}
+
+	g.leave("k", c)
+	if !cancelled {
+		t.Error("last waiter left but the solve was not cancelled")
+	}
+	if n := g.len(); n != 0 {
+		t.Errorf("abandoned key still registered (%d in flight)", n)
+	}
+
+	// The key is free: a fresh leader takes over while the old solve may
+	// still be unwinding.
+	c2, leader2 := g.join("k")
+	if !leader2 {
+		t.Fatal("abandoned key did not elect a fresh leader")
+	}
+	if c2 == c {
+		t.Fatal("fresh join reused the abandoned call")
+	}
+	// The stale call's finish must not clobber the fresh one.
+	g.finish("k", c, outcome{body: []byte("stale")})
+	if got := g.len(); got != 1 {
+		t.Errorf("stale finish retired the fresh call (%d in flight, want 1)", got)
+	}
+	g.finish("k", c2, outcome{body: []byte("fresh")})
+	if got := g.len(); got != 0 {
+		t.Errorf("%d calls in flight after finish, want 0", got)
+	}
+}
+
+// TestFlightFollowerKeepsSolveAlive checks the other half of the
+// refcount contract: the leader's request abandoning the call does NOT
+// cancel the solve while a follower still waits, and the follower gets
+// the result.
+func TestFlightFollowerKeepsSolveAlive(t *testing.T) {
+	g := newFlightGroup()
+	c, _ := g.join("k")
+	if _, leader := g.join("k"); leader {
+		t.Fatal("second join elected a second leader")
+	}
+	cancelled := false
+	g.setCancel(c, func() { cancelled = true })
+
+	g.leave("k", c) // the leader's request gives up…
+	if cancelled {
+		t.Fatal("solve cancelled while a follower still waits")
+	}
+	g.finish("k", c, outcome{body: []byte("solved")})
+	<-c.done
+	if string(c.out.body) != "solved" {
+		t.Errorf("follower read %q, want \"solved\"", c.out.body)
+	}
+	// finish releases the solve context once the outcome is published.
+	if !cancelled {
+		t.Error("finish did not release the solve context")
+	}
+}
+
+// TestFlightSetCancelAfterAbandon covers the startup race: every waiter
+// leaves before the leader goroutine even attaches its cancel func.
+// setCancel must fire it on the spot.
+func TestFlightSetCancelAfterAbandon(t *testing.T) {
+	g := newFlightGroup()
+	c, _ := g.join("k")
+	g.leave("k", c)
+	cancelled := false
+	g.setCancel(c, func() { cancelled = true })
+	if !cancelled {
+		t.Error("setCancel on a fully-abandoned call did not cancel the solve")
+	}
+}
+
 func keysOf(m map[string]int) []string {
 	out := make([]string, 0, len(m))
 	for k := range m {

@@ -13,8 +13,11 @@ import (
 // outcomeKind classifies how a memoized request was served, the
 // `outcome` label of the HTTP metrics: a response-cache hit, a follower
 // coalesced onto another request's in-flight solve, a solve run by this
-// request (the leader), or an error (bad request, timeout, cancel,
-// failed solve).
+// request (the leader), an error (bad request, timeout, cancel, failed
+// solve), or one of the overload outcomes — shed (429 under admission
+// control), degraded (solve stopped at its deadline with the best
+// incumbent), stale (shed request served an evicted cache entry), panic
+// (solve panicked and was contained to a 500).
 type outcomeKind uint8
 
 const (
@@ -22,10 +25,14 @@ const (
 	outcomeCoalesced
 	outcomeSolve
 	outcomeError
+	outcomeShed
+	outcomeDegraded
+	outcomeStale
+	outcomePanic
 	numOutcomes
 )
 
-var outcomeNames = [numOutcomes]string{"hit", "coalesced", "solve", "error"}
+var outcomeNames = [numOutcomes]string{"hit", "coalesced", "solve", "error", "shed", "degraded", "stale", "panic"}
 
 // endpointMetrics is one POST endpoint's outcome-split instruments,
 // fully resolved at registration so the request path never touches a
@@ -132,6 +139,14 @@ func (s *Server) newServerMetrics(reg *obs.Registry) serverMetrics {
 		func() float64 { return float64(st.solveCount()) })
 	reg.CounterFunc("mvcloud_stats_errors_total", "Requests that failed (bad request, timeout, cancel, solve error).",
 		func() float64 { return float64(st.errorCount()) })
+	reg.CounterFunc("mvcloud_stats_shed_total", "Requests shed by admission control (429 + Retry-After).",
+		func() float64 { return float64(st.shedCount()) })
+	reg.CounterFunc("mvcloud_stats_degraded_total", "Responses served degraded (solve stopped at its deadline with the best incumbent).",
+		func() float64 { return float64(st.degradedCount()) })
+	reg.CounterFunc("mvcloud_stats_stale_total", "Shed requests served a stale evicted cache entry (X-Cache: stale).",
+		func() float64 { return float64(st.staleCount()) })
+	reg.CounterFunc("mvcloud_stats_solve_panics_total", "Solver panics contained to 500 responses.",
+		func() float64 { return float64(st.panicCount()) })
 
 	start := s.stats.start
 	reg.GaugeFunc("mvcloud_process_start_time_seconds", "Unix time the server was constructed.",

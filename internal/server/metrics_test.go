@@ -97,6 +97,8 @@ func TestMetricsEndpointValidates(t *testing.T) {
 	}
 	for _, name := range []string{
 		"mvcloud_stats_solves_total", "mvcloud_stats_errors_total",
+		"mvcloud_stats_shed_total", "mvcloud_stats_degraded_total",
+		"mvcloud_stats_stale_total", "mvcloud_stats_solve_panics_total",
 		"mvcloud_process_start_time_seconds", "mvcloud_process_uptime_seconds",
 		"mvcloud_go_goroutines", "mvcloud_http_inflight_requests",
 	} {

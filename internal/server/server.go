@@ -37,15 +37,18 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"vmcloud/internal/compare"
@@ -65,11 +68,34 @@ type Options struct {
 	// (responses and raw-body keys are bounded separately); default
 	// 64 MB. Negative removes the byte bound.
 	CacheMaxBytes int64
-	// RequestTimeout bounds one advise solve; default 30s. The solve
-	// itself is not cancellable mid-knapsack, so a timed-out request
-	// returns 503 while the orphaned solve finishes (and still warms the
-	// cache for the retry).
+	// RequestTimeout bounds one solve's wall clock; default 30s. Every
+	// solve runs under a context carrying this deadline: search-based
+	// solves stop at the deadline and return their best incumbent marked
+	// degraded, and a solve all of whose waiters have left (timeout,
+	// disconnect) is cancelled outright rather than orphaned.
 	RequestTimeout time.Duration
+	// DegradeGrace is how much longer than RequestTimeout a request
+	// waits for its solve's degraded result before giving up with 503;
+	// default 2s. The solve's own deadline fires first, so under
+	// deadline pressure clients normally get a degraded 200, not a
+	// timeout.
+	DegradeGrace time.Duration
+	// AdviseWorkers and HeavyWorkers bound the concurrent solves of the
+	// cheap (advise) and heavy (compare + sweep) admission classes;
+	// default GOMAXPROCS each. The classes have separate pools, so a
+	// flood of heavy solves cannot starve cheap ones.
+	AdviseWorkers int
+	HeavyWorkers  int
+	// AdviseQueue and HeavyQueue bound how many admitted solves may wait
+	// behind the running ones before new leaders are shed with 429 +
+	// Retry-After; default 256 each, negative for no queue at all (shed
+	// as soon as every worker is busy).
+	AdviseQueue int
+	HeavyQueue  int
+	// Chaos, when non-nil, enables the deterministic fault-injection
+	// harness (seeded injected solve latency and panics); used by the
+	// overload load scenarios and tests, never in normal serving.
+	Chaos *ChaosConfig
 	// MaxFactRows rejects absurd dataset sizes; default 100 billion rows.
 	MaxFactRows int64
 	// MaxQueries bounds an explicit workload; default 64.
@@ -119,6 +145,21 @@ func (o Options) withDefaults() Options {
 	if o.MaxCompareConfigs == 0 {
 		o.MaxCompareConfigs = 64
 	}
+	if o.DegradeGrace == 0 {
+		o.DegradeGrace = 2 * time.Second
+	}
+	if o.AdviseWorkers == 0 {
+		o.AdviseWorkers = runtime.GOMAXPROCS(0)
+	}
+	if o.HeavyWorkers == 0 {
+		o.HeavyWorkers = runtime.GOMAXPROCS(0)
+	}
+	if o.AdviseQueue == 0 {
+		o.AdviseQueue = 256
+	}
+	if o.HeavyQueue == 0 {
+		o.HeavyQueue = 256
+	}
 	if o.SlowSolveThreshold > 0 && o.SlowLog == nil {
 		o.SlowLog = os.Stderr
 	}
@@ -142,6 +183,18 @@ type Server struct {
 	// after it by GET /metrics); m holds the resolved instruments.
 	reg *obs.Registry
 	m   serverMetrics
+	// admCheap and admHeavy are the two admission classes: bounded solve
+	// queues + worker pools for advise vs compare/sweep.
+	admCheap *admission
+	admHeavy *admission
+	// stale holds responses evicted from the primary cache; shed advise
+	// requests may be served from it (X-Cache: stale) instead of a 429.
+	stale *lruCache
+	// chaos is the optional fault-injection harness (Options.Chaos).
+	chaos *ChaosConfig
+	// inflightSolves counts live solve goroutines — the leak-detection
+	// hook behind InflightSolves.
+	inflightSolves atomic.Int64
 	// slowMu serializes slow-solve log lines.
 	slowMu sync.Mutex
 }
@@ -156,7 +209,17 @@ func New(opts Options) *Server {
 	}
 	s.cache = newLRUCache(s.opts.CacheSize, s.opts.CacheMaxBytes)
 	s.rawKeys = newLRUCache(s.opts.CacheSize, s.opts.CacheMaxBytes)
+	s.stale = newLRUCache(s.opts.CacheSize, s.opts.CacheMaxBytes)
+	// Responses the primary cache evicts for capacity become the stale
+	// serving tier (graceful degradation under overload).
+	s.cache.onEvict = func(key string, val []byte) { s.stale.Put(key, val) }
+	s.chaos = s.opts.Chaos
 	s.m = s.newServerMetrics(s.reg)
+	s.admCheap = newAdmission("cheap", s.opts.AdviseWorkers, s.opts.AdviseQueue,
+		s.m.advise.latency[outcomeSolve], s.m.advise.latency[outcomeDegraded])
+	s.admHeavy = newAdmission("heavy", s.opts.HeavyWorkers, s.opts.HeavyQueue,
+		s.m.compare.latency[outcomeSolve], s.m.compare.latency[outcomeDegraded],
+		s.m.sweep.latency[outcomeSolve], s.m.sweep.latency[outcomeDegraded])
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/advise", s.counted("advise", s.handleAdvise))
 	s.mux.HandleFunc("POST /v1/compare", s.counted("compare", s.handleCompare))
@@ -184,6 +247,12 @@ func (s *Server) Metrics(w io.Writer) error {
 	}
 	return obs.Default.WritePrometheus(w)
 }
+
+// InflightSolves reports the number of live solve goroutines (queued,
+// running, or finishing). After every request has drained it must
+// return to zero — the leak-detection hook for tests and the load
+// harness, replacing "count goroutines and hope".
+func (s *Server) InflightSolves() int64 { return s.inflightSolves.Load() }
 
 func (s *Server) counted(endpoint string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
@@ -281,11 +350,26 @@ func (s *Server) normalize(req *AdviseRequest) error {
 
 // outcome is a finished solve: the marshaled response body or an error,
 // plus the leader's per-phase trace (shared with followers; a Trace is
-// read-safe under concurrency).
+// read-safe under concurrency) and the overload disposition — shed by
+// admission control (optionally with a stale body to serve instead of
+// the 429), degraded at the solve deadline, or a contained panic.
 type outcome struct {
 	body   []byte
 	err    error
 	phases *obs.Trace
+	// degraded marks a solve that stopped at its deadline with the best
+	// incumbent; the body is valid but timing-dependent, so it is never
+	// cached and the response carries X-Degraded: true.
+	degraded bool
+	// shed means admission control refused the solve; retryAfter is the
+	// backoff to advertise. When stale is also set, body holds an
+	// evicted cache entry to serve (200, X-Cache: stale) instead.
+	shed       bool
+	stale      bool
+	retryAfter time.Duration
+	// panicked marks a solve that panicked and was contained; err holds
+	// the panic value and the response is a 500.
+	panicked bool
 }
 
 // AdviseResponse is the body of a successful POST /v1/advise.
@@ -297,6 +381,11 @@ type AdviseResponse struct {
 	Candidates     int                      `json:"candidates"`
 	Recommendation *core.RecommendationJSON `json:"recommendation,omitempty"`
 	Pareto         []core.ParetoPointJSON   `json:"pareto,omitempty"`
+	// Degraded is set when the solve stopped at its deadline and the
+	// recommendation (or some pareto point) is a best incumbent rather
+	// than a converged result. Omitted when false, so non-degraded
+	// responses are byte-identical to earlier server versions.
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // memoSpec wires one deterministic POST endpoint into the shared
@@ -316,8 +405,11 @@ type memoSpec struct {
 	// solve computes the marshaled, newline-terminated response body from
 	// the handler state canon or reload established, recording per-phase
 	// durations on tr (never nil; solve implementations thread it into
-	// the core config and time their own encode step).
-	solve func(tr *obs.Trace) ([]byte, error)
+	// the core config and time their own encode step). ctx carries the
+	// solve deadline; implementations thread it into the core so the
+	// search degrades at the deadline, and report whether the result is
+	// degraded (true ⇒ the body must not be cached).
+	solve func(ctx context.Context, tr *obs.Trace) ([]byte, bool, error)
 }
 
 // maxRequestBytes bounds one request body.
@@ -476,59 +568,165 @@ func (s *Server) finishMemoized(w http.ResponseWriter, r *http.Request, spec mem
 
 	// Singleflight: the first request for a cold key runs the solve; any
 	// concurrent identical request joins the same in-flight call. The
-	// leader's goroutine outlives a timed-out or cancelled request and
-	// still warms the cache for the retry. The leader's trace rides the
-	// outcome, so followers can surface the phase breakdown too.
+	// solve runs under its own deadline context (not the request's — a
+	// follower may outlive the leader's request); when every waiter
+	// leaves early, the flight group cancels the solve rather than
+	// letting it run detached. The leader's trace rides the outcome, so
+	// followers can surface the phase breakdown too.
 	call, leader := s.flight.join(cacheKey)
 	if leader {
-		go func() {
-			s.stats.solve()
-			tr := obs.NewTrace()
-			t0 := tr.StartTimer()
-			b, err := spec.solve(tr)
-			tr.ObserveSince(obs.PhaseTotal, t0)
-			s.m.observePhases(tr)
-			s.logSlowSolve(spec.endpoint, label, tr)
-			if err == nil {
-				s.cache.Put(cacheKey, b)
-			}
-			s.flight.finish(cacheKey, call, outcome{b, err, tr})
-		}()
+		sctx, cancel := context.WithTimeout(context.Background(), s.opts.RequestTimeout)
+		s.flight.setCancel(call, cancel)
+		go s.runSolve(sctx, spec, label, cacheKey, call)
 	}
 
+	// The request waits past the solve deadline by DegradeGrace: the
+	// solve's own deadline fires first and delivers a degraded result,
+	// so this backstop only trips when a solve fails to degrade
+	// promptly (e.g. wedged outside the search loop).
 	ctx := r.Context()
-	timeout := time.NewTimer(s.opts.RequestTimeout)
-	defer timeout.Stop()
+	backstop := time.NewTimer(s.opts.RequestTimeout + s.opts.DegradeGrace)
+	defer backstop.Stop()
 	select {
 	case <-call.done:
-		out := call.out
-		if out.err != nil {
-			s.stats.failure()
-			writeError(w, http.StatusBadRequest, out.err.Error())
-			ps.em.observe(outcomeError, time.Since(ps.start))
-			return
-		}
-		if out.phases != nil && wantPhases(r) {
-			w.Header().Set("X-Solve-Phases", out.phases.String())
-		}
-		if leader {
-			s.stats.advise(spec.endpoint, label, false)
-			writeBody(w, http.StatusOK, out.body, "miss")
-			ps.em.observe(outcomeSolve, time.Since(ps.start))
-		} else {
-			s.stats.coalesce(spec.endpoint, label)
-			writeBody(w, http.StatusOK, out.body, "coalesced")
-			ps.em.observe(outcomeCoalesced, time.Since(ps.start))
-		}
-	case <-timeout.C:
+		s.respondSolved(w, r, spec.endpoint, label, leader, call.out, ps)
+	case <-backstop.C:
+		s.flight.leave(cacheKey, call)
 		s.stats.failure()
 		writeError(w, http.StatusServiceUnavailable, "request timed out")
 		ps.em.observe(outcomeError, time.Since(ps.start))
 	case <-ctx.Done():
+		s.flight.leave(cacheKey, call)
 		s.stats.failure()
 		writeError(w, http.StatusServiceUnavailable, "request cancelled")
 		ps.em.observe(outcomeError, time.Since(ps.start))
 	}
+}
+
+// respondSolved maps a finished solve's outcome onto the HTTP response
+// and the outcome-split instruments.
+func (s *Server) respondSolved(w http.ResponseWriter, r *http.Request, endpoint, label string, leader bool, out outcome, ps probeState) {
+	switch {
+	case out.shed && out.stale:
+		// Admission refused the solve but an evicted cached response for
+		// this exact key survives: serve it, clearly marked.
+		s.stats.staleServe()
+		writeBody(w, http.StatusOK, out.body, "stale")
+		ps.em.observe(outcomeStale, time.Since(ps.start))
+	case out.shed:
+		s.stats.shedReq()
+		w.Header().Set("Retry-After", strconv.FormatInt(ceilSeconds(out.retryAfter), 10))
+		writeError(w, http.StatusTooManyRequests, "overloaded: solve queue full, retry later")
+		ps.em.observe(outcomeShed, time.Since(ps.start))
+	case out.panicked:
+		s.stats.panicked()
+		s.stats.failure()
+		writeError(w, http.StatusInternalServerError, out.err.Error())
+		ps.em.observe(outcomePanic, time.Since(ps.start))
+	case out.err != nil:
+		s.stats.failure()
+		status := http.StatusBadRequest
+		if errors.Is(out.err, context.Canceled) || errors.Is(out.err, context.DeadlineExceeded) {
+			status = http.StatusServiceUnavailable
+		}
+		writeError(w, status, out.err.Error())
+		ps.em.observe(outcomeError, time.Since(ps.start))
+	default:
+		if out.phases != nil && wantPhases(r) {
+			w.Header().Set("X-Solve-Phases", out.phases.String())
+		}
+		if out.degraded {
+			w.Header()["X-Degraded"] = headerValTrue
+		}
+		switch {
+		case leader && out.degraded:
+			s.stats.advise(endpoint, label, false)
+			s.stats.degrade()
+			writeBody(w, http.StatusOK, out.body, "miss")
+			ps.em.observe(outcomeDegraded, time.Since(ps.start))
+		case leader:
+			s.stats.advise(endpoint, label, false)
+			writeBody(w, http.StatusOK, out.body, "miss")
+			ps.em.observe(outcomeSolve, time.Since(ps.start))
+		default:
+			s.stats.coalesce(endpoint, label)
+			writeBody(w, http.StatusOK, out.body, "coalesced")
+			ps.em.observe(outcomeCoalesced, time.Since(ps.start))
+		}
+	}
+}
+
+// ceilSeconds rounds d up to whole seconds for a Retry-After header,
+// never below 1.
+func ceilSeconds(d time.Duration) int64 {
+	s := int64((d + time.Second - 1) / time.Second)
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// runSolve is the solve leader's goroutine: admission, chaos, the solve
+// itself under panic containment, cache fill, and outcome publication.
+// ctx is the solve's deadline context, cancelled by the flight group
+// when the last waiter leaves.
+func (s *Server) runSolve(ctx context.Context, spec memoSpec, label, cacheKey string, call *flightCall) {
+	s.inflightSolves.Add(1)
+	defer s.inflightSolves.Add(-1)
+
+	adm := s.admissionFor(spec.endpoint)
+	ok, retry := adm.admit(s.opts.RequestTimeout)
+	if !ok {
+		out := outcome{shed: true, retryAfter: retry}
+		if staleEligible(spec.endpoint) {
+			if b, hit := s.stale.Get(cacheKey); hit {
+				out.body, out.stale = b, true
+			}
+		}
+		s.flight.finish(cacheKey, call, out)
+		return
+	}
+	if !adm.acquire(ctx) {
+		// Abandoned while queued: every waiter already left.
+		s.flight.finish(cacheKey, call, outcome{err: ctx.Err()})
+		return
+	}
+	defer adm.release()
+
+	s.stats.solve()
+	tr := obs.NewTrace()
+	t0 := tr.StartTimer()
+	s.chaos.sleep(ctx, cacheKey)
+	b, degraded, err, panicked := s.safeSolve(ctx, spec, cacheKey, tr)
+	tr.ObserveSince(obs.PhaseTotal, t0)
+	s.m.observePhases(tr)
+	s.logSlowSolve(spec.endpoint, label, tr)
+	// Degraded bodies are timing-dependent — the one kind of response
+	// that must never be memoized.
+	if err == nil && !degraded {
+		s.cache.Put(cacheKey, b)
+	}
+	s.flight.finish(cacheKey, call, outcome{body: b, err: err, phases: tr, degraded: degraded, panicked: panicked})
+}
+
+// safeSolve runs the endpoint's solve with panic containment: a panic
+// anywhere in the solve pipeline becomes a 500 for this request instead
+// of killing the daemon. The chaos panic is raised inside the recovered
+// region, so fault injection exercises the same containment real
+// panics would hit.
+func (s *Server) safeSolve(ctx context.Context, spec memoSpec, cacheKey string, tr *obs.Trace) (b []byte, degraded bool, err error, panicked bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			b, degraded = nil, false
+			err = fmt.Errorf("solve panic: %v", r)
+			panicked = true
+		}
+	}()
+	if s.chaos.panics(cacheKey) {
+		panic("chaos: injected solver panic")
+	}
+	b, degraded, err = spec.solve(ctx, tr)
+	return
 }
 
 // wantPhases reports whether the request opted into the X-Solve-Phases
@@ -590,18 +788,18 @@ func adviseSlow(s *Server, w http.ResponseWriter, r *http.Request, ps probeState
 		reload: func(key string) error {
 			return json.Unmarshal([]byte(key), &req)
 		},
-		solve: func(tr *obs.Trace) ([]byte, error) {
-			resp, err := s.solve(req, tr)
+		solve: func(ctx context.Context, tr *obs.Trace) ([]byte, bool, error) {
+			resp, err := s.solve(ctx, req, tr)
 			if err != nil {
-				return nil, err
+				return nil, false, err
 			}
 			t0 := tr.StartTimer()
 			b, err := json.Marshal(resp)
 			tr.ObserveSince(obs.PhaseEncode, t0)
 			if err != nil {
-				return nil, err
+				return nil, false, err
 			}
-			return append(b, '\n'), nil
+			return append(b, '\n'), resp.Degraded, nil
 		},
 	}, ps)
 }
@@ -635,24 +833,25 @@ func compareSlow(s *Server, w http.ResponseWriter, r *http.Request, ps probeStat
 		reload: func(key string) error {
 			return json.Unmarshal([]byte(key), &req)
 		},
-		solve: func(tr *obs.Trace) ([]byte, error) {
+		solve: func(ctx context.Context, tr *obs.Trace) ([]byte, bool, error) {
 			creq, err := req.Resolve()
 			if err != nil {
-				return nil, err
+				return nil, false, err
 			}
 			creq.Workers = s.opts.CompareWorkers
 			creq.Trace = tr
+			creq.Ctx = ctx
 			comp, err := compare.Run(creq)
 			if err != nil {
-				return nil, err
+				return nil, false, err
 			}
 			t0 := tr.StartTimer()
 			b, err := json.Marshal(comp.JSON())
 			tr.ObserveSince(obs.PhaseEncode, t0)
 			if err != nil {
-				return nil, err
+				return nil, false, err
 			}
-			return append(b, '\n'), nil
+			return append(b, '\n'), comp.Degraded, nil
 		},
 	}, ps)
 }
@@ -687,24 +886,25 @@ func sweepSlow(s *Server, w http.ResponseWriter, r *http.Request, ps probeState)
 		reload: func(key string) error {
 			return json.Unmarshal([]byte(key), &req)
 		},
-		solve: func(tr *obs.Trace) ([]byte, error) {
+		solve: func(ctx context.Context, tr *obs.Trace) ([]byte, bool, error) {
 			sreq, err := req.Resolve()
 			if err != nil {
-				return nil, err
+				return nil, false, err
 			}
 			sreq.Workers = s.opts.CompareWorkers
 			sreq.Trace = tr
+			sreq.Ctx = ctx
 			sw, err := compare.RunSweep(sreq)
 			if err != nil {
-				return nil, err
+				return nil, false, err
 			}
 			t0 := tr.StartTimer()
 			b, err := json.Marshal(sw.JSON())
 			tr.ObserveSince(obs.PhaseEncode, t0)
 			if err != nil {
-				return nil, err
+				return nil, false, err
 			}
-			return append(b, '\n'), nil
+			return append(b, '\n'), sw.Degraded, nil
 		},
 	}, ps)
 }
@@ -759,13 +959,16 @@ func (s *Server) normalizeCompare(req *compare.RequestJSON) error {
 
 // solve runs the expensive path: advisor construction (lattice +
 // candidate generation) and the scenario solve. The request is already
-// normalized, so the config resolves without re-canonicalizing.
-func (s *Server) solve(req AdviseRequest, tr *obs.Trace) (AdviseResponse, error) {
+// normalized, so the config resolves without re-canonicalizing. ctx
+// carries the solve deadline into the search, whose result surfaces as
+// Degraded when the deadline stopped it early.
+func (s *Server) solve(ctx context.Context, req AdviseRequest, tr *obs.Trace) (AdviseResponse, error) {
 	cfg, err := req.ConfigJSON.Resolve()
 	if err != nil {
 		return AdviseResponse{}, err
 	}
 	cfg.Trace = tr
+	cfg.Ctx = ctx
 	adv, err := core.New(cfg)
 	if err != nil {
 		return AdviseResponse{}, err
@@ -783,6 +986,7 @@ func (s *Server) solve(req AdviseRequest, tr *obs.Trace) (AdviseResponse, error)
 		}
 		rj := rec.JSON()
 		resp.Recommendation = &rj
+		resp.Degraded = rec.Selection.Degraded
 	case "mv2":
 		limit, err := time.ParseDuration(req.Limit)
 		if err != nil {
@@ -794,6 +998,7 @@ func (s *Server) solve(req AdviseRequest, tr *obs.Trace) (AdviseResponse, error)
 		}
 		rj := rec.JSON()
 		resp.Recommendation = &rj
+		resp.Degraded = rec.Selection.Degraded
 	case "mv3":
 		rec, err := adv.AdviseTradeoff(*req.Alpha)
 		if err != nil {
@@ -801,12 +1006,19 @@ func (s *Server) solve(req AdviseRequest, tr *obs.Trace) (AdviseResponse, error)
 		}
 		rj := rec.JSON()
 		resp.Recommendation = &rj
+		resp.Degraded = rec.Selection.Degraded
 	case "pareto":
 		front, err := adv.ParetoFront(req.Steps)
 		if err != nil {
 			return AdviseResponse{}, err
 		}
 		resp.Pareto = core.ParetoJSON(front)
+		for _, p := range front {
+			if p.Degraded {
+				resp.Degraded = true
+				break
+			}
+		}
 	default:
 		return AdviseResponse{}, fmt.Errorf("unknown scenario %q", req.Scenario)
 	}
@@ -892,6 +1104,8 @@ var (
 	headerValHit       = []string{"hit"}
 	headerValMiss      = []string{"miss"}
 	headerValCoalesced = []string{"coalesced"}
+	headerValStale     = []string{"stale"}
+	headerValTrue      = []string{"true"}
 )
 
 // writeBody sends a pre-marshaled, newline-terminated JSON body. The
@@ -909,6 +1123,8 @@ func writeBody(w http.ResponseWriter, status int, body []byte, cache string) {
 		h["X-Cache"] = headerValMiss
 	case "coalesced":
 		h["X-Cache"] = headerValCoalesced
+	case "stale":
+		h["X-Cache"] = headerValStale
 	}
 	w.WriteHeader(status)
 	w.Write(body)

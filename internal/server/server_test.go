@@ -274,23 +274,28 @@ func TestStatsCounts(t *testing.T) {
 	}
 }
 
-// TestAdviseTimeout forces an immediate deadline and checks the 503 path.
+// TestAdviseTimeout forces an immediate solve deadline and checks the
+// new contract: the request fails fast with 503, and — unlike the old
+// detached-goroutine design — no orphaned solve lingers to warm the
+// cache with a result nobody waited for.
 func TestAdviseTimeout(t *testing.T) {
 	s := New(Options{RequestTimeout: time.Nanosecond})
 	w := do(t, s, "POST", "/v1/advise", adviseBody("mv1", `"budget":25`))
 	if w.Code != http.StatusServiceUnavailable {
 		t.Fatalf("status = %d, want 503; body %s", w.Code, w.Body.String())
 	}
-	if !strings.Contains(w.Body.String(), "timed out") {
-		t.Errorf("body: %s", w.Body.String())
-	}
-	// The orphaned solve still warms the cache for the retry.
 	deadline := time.Now().Add(5 * time.Second)
-	for s.cache.Len() == 0 && time.Now().Before(deadline) {
-		time.Sleep(5 * time.Millisecond)
+	for s.InflightSolves() != 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
 	}
-	if s.cache.Len() == 0 {
-		t.Error("orphaned solve never warmed the cache")
+	if n := s.InflightSolves(); n != 0 {
+		t.Fatalf("%d solves still in flight after drain", n)
+	}
+	if n := s.cache.Len(); n != 0 {
+		t.Errorf("cache has %d entries; a timed-out solve must not warm it", n)
+	}
+	if n := s.flight.len(); n != 0 {
+		t.Errorf("%d flight keys still registered after drain", n)
 	}
 }
 

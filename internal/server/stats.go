@@ -24,6 +24,14 @@ type stats struct {
 	// singleflight regression test pins: under a K-way stampede of one
 	// key it must advance by exactly 1.
 	solves int64
+	// shed/degraded/stale/panics are the overload-path outcomes: requests
+	// refused by admission control, responses returned at the solve
+	// deadline with the best incumbent, shed requests served an evicted
+	// cache entry, and solver panics contained to 500s.
+	shed     int64
+	degraded int64
+	stale    int64
+	panics   int64
 	// hitsByEndpoint/missesByEndpoint split the memoization outcome per
 	// endpoint — once solver choice (and its seed) multiplies the key
 	// space, the aggregate alone can no longer tell which endpoint's
@@ -86,6 +94,58 @@ func (s *stats) solveCount() int64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.solves
+}
+
+// shedReq records a request refused by admission control.
+func (s *stats) shedReq() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.shed++
+}
+
+// degrade records a response served degraded at the solve deadline.
+func (s *stats) degrade() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.degraded++
+}
+
+// staleServe records a shed request served a stale evicted cache entry.
+func (s *stats) staleServe() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stale++
+}
+
+// panicked records a solver panic contained to a 500.
+func (s *stats) panicked() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.panics++
+}
+
+func (s *stats) shedCount() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.shed
+}
+
+func (s *stats) degradedCount() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.degraded
+}
+
+func (s *stats) staleCount() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stale
+}
+
+func (s *stats) panicCount() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.panics
 }
 
 func (s *stats) failure() {
@@ -161,9 +221,16 @@ type adviseStatsJSON struct {
 	// Coalesced requests joined an in-flight identical solve; Solves is
 	// how many solves actually executed (misses ≥ solves when requests
 	// coalesce; a K-way stampede is 1 miss + K-1 coalesced + 1 solve).
-	Coalesced  int64            `json:"coalesced"`
-	Solves     int64            `json:"solves"`
-	Errors     int64            `json:"errors"`
+	Coalesced int64 `json:"coalesced"`
+	Solves    int64 `json:"solves"`
+	Errors    int64 `json:"errors"`
+	// Shed/Degraded/Stale/Panics are the overload outcomes: 429s from
+	// admission control, deadline-degraded responses, stale cache serves
+	// under shedding, and contained solver panics.
+	Shed       int64            `json:"shed"`
+	Degraded   int64            `json:"degraded"`
+	Stale      int64            `json:"stale"`
+	Panics     int64            `json:"panics"`
 	ByScenario map[string]int64 `json:"by_scenario"`
 }
 
@@ -220,6 +287,10 @@ func (s *stats) snapshot(now time.Time, cacheLen, cacheCap int, resp, raw map[st
 			Coalesced:   s.coalesced,
 			Solves:      s.solves,
 			Errors:      s.errors,
+			Shed:        s.shed,
+			Degraded:    s.degraded,
+			Stale:       s.stale,
+			Panics:      s.panics,
 			ByScenario:  byScenario,
 		},
 		Cache:  cacheStatsJSON{Entries: cacheLen, Capacity: cacheCap},

@@ -16,6 +16,13 @@
 #       this step soft-fail; the alloc gate is the part that bites, and
 #       it is what locks in the zero-alloc cache-hit fast path.
 #
+#   ./scripts/load.sh --overload
+#       Run the overload scenario instead: a sweep flood against a server
+#       whose heavy class has one worker and no queue. Exits non-zero
+#       unless the flood is shed with 429s, advise keeps serving with a
+#       bounded p95, and no solve goroutine survives the drain. This is
+#       the overload smoke CI runs (soft) next to the SLO gate.
+#
 # The traffic profile is pinned (seed 1, 4 tenants × 2 schemas, 8:1:1
 # advise:compare:sweep, hit-ratio 0.9, 64 concurrent clients) so runs
 # are comparable commit over commit.
@@ -23,6 +30,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 COMPARE=0
+OVERLOAD=0
 BASELINE=""
 while [ $# -gt 0 ]; do
   case "$1" in
@@ -33,6 +41,9 @@ while [ $# -gt 0 ]; do
         shift
       fi
       ;;
+    --overload)
+      OVERLOAD=1
+      ;;
     *)
       echo "load.sh: unknown argument $1" >&2
       exit 2
@@ -41,9 +52,17 @@ while [ $# -gt 0 ]; do
   shift
 done
 
+DATE="$(date +%F)"
+
+if [ "$OVERLOAD" = 1 ]; then
+  # The overload run uses mvcloudbench's own scenario defaults (sweep
+  # flood, 1-worker heavy class) and gates; only the scale is tunable.
+  exec go run ./cmd/mvcloudbench -overload -seed 1 \
+    -requests "${REQUESTS:-600}" -date "$DATE"
+fi
+
 REQUESTS="${REQUESTS:-5000}"
 CONCURRENCY="${CONCURRENCY:-64}"
-DATE="$(date +%F)"
 
 ARGS=(-seed 1 -tenants 4 -schemas 2 -mix 8:1:1 -hit-ratio 0.9
       -requests "$REQUESTS" -concurrency "$CONCURRENCY" -date "$DATE")
