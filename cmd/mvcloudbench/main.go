@@ -13,6 +13,7 @@
 //	             [-out LOAD_2026-08-08.json] [-date 2026-08-08]
 //	             [-compare LOAD_baseline.json]
 //	             [-overload] [-advise-p95 2s]
+//	             [-cluster 0] [-cluster-kill -1]
 //
 // Modes:
 //
@@ -34,6 +35,14 @@
 // the cheap advise class untouched by the shedding and its p95 under
 // -advise-p95, and zero solve goroutines left after drain — and exits
 // non-zero on any violation.
+//
+// With -cluster N, the harness runs the cluster chaos scenario: an
+// in-process frontend + N-worker fleet (rendezvous sharding, health
+// checks, failover) under load while -cluster-kill workers (default
+// N-1 — all but one) are killed mid-run. The gate is the fault-
+// tolerance contract: zero hard errors (every response a success,
+// degraded, stale serve, or 429+Retry-After), full outcome accounting,
+// and zero solve goroutines left anywhere in the topology after drain.
 package main
 
 import (
@@ -73,12 +82,32 @@ func run(args []string, out io.Writer) error {
 		comparePath = fs.String("compare", "", "diff against this baseline LOAD json and gate")
 		overload    = fs.Bool("overload", false, "run the overload scenario and gate the shedding contract")
 		adviseP95   = fs.Duration("advise-p95", 2*time.Second, "advise p95 bound for the -overload gate")
+		cluster     = fs.Int("cluster", 0, "run the cluster chaos scenario with this many in-process workers")
+		clusterKill = fs.Int("cluster-kill", -1, "workers killed mid-run in -cluster mode (-1 = all but one)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	set := make(map[string]bool)
 	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+
+	if *cluster > 0 {
+		if *mode != "inprocess" {
+			return fmt.Errorf("-cluster requires -mode inprocess (the topology is built in this process)")
+		}
+		if *overload || *comparePath != "" {
+			return fmt.Errorf("-cluster is mutually exclusive with -overload and -compare")
+		}
+		if !set["requests"] {
+			*requests = 600
+		}
+		if !set["concurrency"] {
+			*concurrency = 16
+		}
+		if !set["hit-ratio"] {
+			*hitRatio = 0.3
+		}
+	}
 
 	if *overload {
 		if *mode != "inprocess" {
@@ -119,8 +148,23 @@ func run(args []string, out io.Writer) error {
 
 	var target loadgen.Target
 	var srv *server.Server
+	var lc *server.LocalCluster
 	switch *mode {
 	case "inprocess":
+		if *cluster > 0 {
+			lc = server.NewLocalCluster(server.LocalClusterOptions{
+				Workers:  *cluster,
+				Frontend: server.Options{RequestTimeout: time.Minute},
+				Worker:   server.Options{RequestTimeout: time.Minute},
+				Cluster: server.ClusterOptions{
+					Seed:           *seed,
+					HealthInterval: 20 * time.Millisecond,
+				},
+			})
+			defer lc.Close()
+			target = loadgen.NewHandlerTarget(lc)
+			break
+		}
 		opts := server.Options{}
 		if *overload {
 			// One heavy worker, no heavy queue, and 50ms of injected
@@ -155,6 +199,27 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("unknown -mode %q (want inprocess or tcp)", *mode)
 	}
 
+	if lc != nil {
+		// Kill the victims once the run is underway: in-flight forwards
+		// observe connection resets and fail over; later requests find
+		// the corpses ejected by the health loop.
+		kill := *clusterKill
+		if kill < 0 {
+			kill = *cluster - 1
+		}
+		if kill >= *cluster {
+			kill = *cluster - 1
+		}
+		victims := lc.WorkerIDs()[:kill]
+		go func() {
+			time.Sleep(150 * time.Millisecond)
+			for _, id := range victims {
+				lc.KillWorker(id)
+			}
+		}()
+		fmt.Fprintf(out, "cluster scenario: %d workers, killing %d mid-run\n", *cluster, kill)
+	}
+
 	res, err := loadgen.Run(cfg, target)
 	if err != nil {
 		return err
@@ -175,6 +240,9 @@ func run(args []string, out io.Writer) error {
 
 	if *overload {
 		return gateOverload(out, res, srv, *adviseP95)
+	}
+	if lc != nil {
+		return gateCluster(out, res, lc)
 	}
 
 	if *comparePath != "" {
@@ -248,6 +316,51 @@ func gateOverload(out io.Writer, res *loadgen.Result, srv *server.Server, advise
 		return fmt.Errorf("overload gate: %d violation(s)", len(fails))
 	}
 	fmt.Fprintln(out, "overload gate: ok")
+	return nil
+}
+
+// gateCluster checks the fault-tolerance contract after a cluster
+// chaos run: no response was anything but a success, degraded answer,
+// stale serve, or 429; and the whole topology drained.
+func gateCluster(out io.Writer, res *loadgen.Result, lc *server.LocalCluster) error {
+	var served, shed, degraded, stale int
+	for _, st := range res.Endpoints {
+		served += st.Hits + st.Misses + st.Coalesced
+		shed += st.Shed
+		degraded += st.Degraded
+		stale += st.Stale
+	}
+
+	var fails []string
+	check := func(ok bool, format string, a ...any) {
+		verdict := "ok  "
+		if !ok {
+			verdict = "FAIL"
+			fails = append(fails, fmt.Sprintf(format, a...))
+		}
+		fmt.Fprintf(out, "  %s %s\n", verdict, fmt.Sprintf(format, a...))
+	}
+
+	fmt.Fprintf(out, "\ncluster gates (served=%d shed=%d degraded=%d stale=%d):\n", served, shed, degraded, stale)
+	check(res.Errors == 0, "hard errors: %d (want 0; every response success/degraded/stale/429)", res.Errors)
+	check(served > 0, "served: %d (want > 0; the survivors must carry the ring)", served)
+	check(served+shed == res.Total, "accounting: served %d + shed %d vs total %d", served, shed, res.Total)
+
+	drained := true
+	deadline := time.Now().Add(10 * time.Second)
+	for lc.InflightSolves() != 0 {
+		if time.Now().After(deadline) {
+			drained = false
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	check(drained, "solve goroutines after drain: %d (want 0 within 10s)", lc.InflightSolves())
+
+	if len(fails) > 0 {
+		return fmt.Errorf("cluster gate: %d violation(s)", len(fails))
+	}
+	fmt.Fprintln(out, "cluster gate: ok")
 	return nil
 }
 

@@ -8,6 +8,7 @@
 //	mvcloudd [-addr :8080] [-cache-size 256] [-cache-max-mb 64]
 //	         [-request-timeout 30s] [-shutdown-grace 10s]
 //	         [-debug-addr localhost:6060] [-slow-solve 0]
+//	         [-cluster 0] [-cluster-seed 0]
 //
 // Endpoints:
 //
@@ -24,6 +25,12 @@
 //
 //	curl -s localhost:8080/v1/advise -d '{"scenario":"mv1","budget":25}'
 //	curl -s localhost:8080/v1/compare -d '{"budget":25,"limit":"4h"}'
+//
+// -cluster N serves the fault-tolerant cluster mode in a single
+// binary: a stateless frontend on -addr routing solves to N in-process
+// workers by rendezvous hashing, with health-checked failover, hedged
+// heavy requests, and shed-or-stale degradation. -cluster-seed keys
+// the ring (frontends sharing a worker tier must agree on it).
 //
 // -debug-addr starts a second listener serving net/http/pprof under
 // /debug/pprof/ — a separate socket, so production traffic on -addr can
@@ -68,6 +75,8 @@ func main() {
 		hvyQueue = flag.Int("heavy-queue", 0, "compare/sweep solves queued beyond the workers before shedding 429 (0 = server default, negative = no queue)")
 		dbgAddr  = flag.String("debug-addr", "", "pprof listen address (empty disables; use localhost:6060)")
 		slowTO   = flag.Duration("slow-solve", 0, "log cold solves at least this slow with their phase breakdown (0 disables)")
+		cluster  = flag.Int("cluster", 0, "run as a cluster frontend with this many in-process workers (0 = single-node)")
+		clSeed   = flag.Int64("cluster-seed", 0, "rendezvous ring seed (must agree across frontends sharing a worker tier)")
 	)
 	flag.Parse()
 
@@ -80,6 +89,7 @@ func main() {
 		adviseWorkers: *advWork, heavyWorkers: *hvyWork,
 		adviseQueue: *advQueue, heavyQueue: *hvyQueue,
 		debugAddr: *dbgAddr, slowSolve: *slowTO,
+		clusterWorkers: *cluster, clusterSeed: *clSeed,
 		logf: log.Printf,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "mvcloudd:", err)
@@ -109,6 +119,11 @@ type options struct {
 	debugAddr string
 	// slowSolve is the slow-solve log threshold (0 disables).
 	slowSolve time.Duration
+	// clusterWorkers, when positive, serves single-binary cluster mode:
+	// a frontend routing to this many in-process workers over the
+	// in-memory transport; clusterSeed keys the rendezvous ring.
+	clusterWorkers int
+	clusterSeed    int64
 	// ready, if non-nil, receives the bound address once listening —
 	// lets tests use ":0" and discover the port.
 	ready chan<- string
@@ -122,7 +137,7 @@ func run(ctx context.Context, o options) error {
 	if o.logf == nil {
 		o.logf = func(string, ...any) {}
 	}
-	api := server.New(server.Options{
+	base := server.Options{
 		CacheSize:          o.cacheSize,
 		CacheMaxBytes:      o.cacheMaxBytes,
 		RequestTimeout:     o.requestTimeout,
@@ -135,7 +150,22 @@ func run(ctx context.Context, o options) error {
 		AdviseQueue:        o.adviseQueue,
 		HeavyQueue:         o.heavyQueue,
 		SlowSolveThreshold: o.slowSolve,
-	})
+	}
+	var api http.Handler
+	if o.clusterWorkers > 0 {
+		lc := server.NewLocalCluster(server.LocalClusterOptions{
+			Workers:  o.clusterWorkers,
+			Frontend: base,
+			Worker:   base,
+			Cluster:  server.ClusterOptions{Seed: o.clusterSeed},
+		})
+		defer lc.Close()
+		o.logf("mvcloudd cluster mode: frontend + %d in-process workers (ring seed %d)",
+			o.clusterWorkers, o.clusterSeed)
+		api = lc
+	} else {
+		api = server.New(base)
+	}
 	hs := &http.Server{
 		Handler:           api,
 		ReadHeaderTimeout: 5 * time.Second,

@@ -240,3 +240,79 @@ func TestLogf(t *testing.T) {
 		t.Errorf("log lines: %q", logged)
 	}
 }
+
+// TestServeClusterMode boots the single-binary cluster daemon
+// (-cluster 3) on an ephemeral port and exercises the fault-tolerant
+// frontend over real TCP: forwarded solves carry X-Worker, repeats hit
+// the frontend cache, tenant-scoped routes work end to end, and
+// /v1/stats exposes the routing plane.
+func TestServeClusterMode(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ready := make(chan string, 1)
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run(ctx, options{
+			addr: "127.0.0.1:0", cacheSize: 32,
+			requestTimeout: 30 * time.Second, shutdownGrace: 5 * time.Second,
+			clusterWorkers: 3, clusterSeed: 42,
+			ready: ready,
+		})
+	}()
+	var base string
+	select {
+	case addr := <-ready:
+		base = "http://" + addr
+	case err := <-errc:
+		t.Fatalf("server exited early: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never became ready")
+	}
+
+	body := `{"scenario":"mv1","budget":25,"fact_rows":10000000,"queries":5}`
+	post := func(path string) *http.Response {
+		resp, err := http.Post(base+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("POST %s: %v", path, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp
+	}
+	resp := post("/v1/advise")
+	if resp.StatusCode != 200 {
+		t.Fatalf("advise: %d", resp.StatusCode)
+	}
+	if w := resp.Header.Get("X-Worker"); !strings.HasPrefix(w, "worker-") {
+		t.Errorf("X-Worker = %q, want a ring worker on the forwarded miss", w)
+	}
+	if resp := post("/v1/advise"); resp.Header.Get("X-Cache") != "hit" {
+		t.Error("repeat did not hit the frontend cache")
+	}
+	// The tenant namespace is disjoint: same body, fresh forward.
+	if resp := post("/v1/t/acme/advise"); resp.Header.Get("X-Cache") != "miss" {
+		t.Errorf("tenant-scoped request: X-Cache = %q, want miss", resp.Header.Get("X-Cache"))
+	}
+
+	sresp, err := http.Get(base + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sbody, _ := io.ReadAll(sresp.Body)
+	sresp.Body.Close()
+	for _, want := range []string{`"cluster"`, `"worker-0"`, `"worker-2"`, `"tenants"`, `"acme":1`} {
+		if !strings.Contains(string(sbody), want) {
+			t.Errorf("/v1/stats missing %s: %s", want, sbody)
+		}
+	}
+
+	cancel()
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("shutdown: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never shut down")
+	}
+}

@@ -4,7 +4,12 @@
 //
 // Every recommendation, golden response and committed experiment table
 // depends on internal/{optimizer,search,compare,lattice,core} being
-// pure functions of (request, seed): the canonical memoization keys,
+// pure functions of (request, seed) — and the cluster routing plane
+// depends on internal/shard the same way: the rendezvous ring must
+// route a key identically on every frontend, and the health tracker is
+// a pure state machine fed explicit clocks (time.Now inside it would
+// make detector transitions unreproducible in tests). Identical inputs
+// must produce identical bytes: the canonical memoization keys,
 // the seeded-search determinism tests and the cross-provider
 // equivalence suites all assume identical inputs produce identical
 // bytes. The three ways that property has historically rotted in
@@ -45,6 +50,7 @@ var Analyzer = &analysis.Analyzer{
 		"internal/compare",
 		"internal/lattice",
 		"internal/core",
+		"internal/shard",
 	},
 	Run: run,
 }

@@ -51,6 +51,13 @@ type Client struct {
 	// Seed makes the backoff jitter deterministic; same seed, same
 	// wait sequence.
 	Seed int64
+	// AttemptTimeout caps one attempt's wall clock. Zero derives the cap
+	// from the context deadline: the remaining time is split evenly over
+	// the attempts still available, so one stalled attempt cannot eat
+	// the whole deadline before the retry policy ever gets a say.
+	// Negative disables per-attempt capping (one attempt may run to the
+	// context deadline — the pre-cap behaviour).
+	AttemptTimeout time.Duration
 
 	// sleep is the wait hook, replaced in tests; nil means a real
 	// context-aware sleep.
@@ -78,10 +85,32 @@ func (e *StatusError) Retryable() bool {
 	return e.Status == http.StatusTooManyRequests || e.Status >= 500
 }
 
+// Result is one successful response plus the serving metadata a
+// cluster frontend forwards alongside the body: the cache disposition
+// and the degraded-at-deadline marker.
+type Result struct {
+	Body []byte
+	// XCache is the response's X-Cache header ("hit", "miss",
+	// "coalesced", "stale" or empty).
+	XCache string
+	// Degraded reports X-Degraded: true — the solve stopped at its
+	// deadline with the best incumbent.
+	Degraded bool
+}
+
 // Do posts body as JSON to path and returns the response body,
 // retrying per the client's policy. It is safe for concurrent use;
 // concurrent calls share the seed but jitter independently.
 func (c *Client) Do(ctx context.Context, path string, body []byte) ([]byte, error) {
+	res, err := c.DoResult(ctx, path, body)
+	if err != nil {
+		return nil, err
+	}
+	return res.Body, nil
+}
+
+// DoResult is Do with the response metadata attached.
+func (c *Client) DoResult(ctx context.Context, path string, body []byte) (*Result, error) {
 	maxRetries := c.MaxRetries
 	if maxRetries == 0 {
 		maxRetries = DefaultMaxRetries
@@ -99,7 +128,9 @@ func (c *Client) Do(ctx context.Context, path string, body []byte) ([]byte, erro
 
 	var slept time.Duration
 	for attempt := 0; ; attempt++ {
-		out, err := c.post(ctx, path, body)
+		actx, cancel := c.attemptContext(ctx, attempt, maxRetries)
+		out, err := c.post(actx, path, body)
+		cancel()
 		if err == nil {
 			return out, nil
 		}
@@ -131,6 +162,33 @@ func (c *Client) Do(ctx context.Context, path string, body []byte) ([]byte, erro
 		}
 		slept += wait
 	}
+}
+
+// attemptContext bounds one attempt. An explicit AttemptTimeout wins;
+// otherwise the context's remaining time is split evenly across this
+// attempt and every retry still allowed, so each attempt gets a fair
+// slice instead of the first stalled one consuming the whole deadline.
+func (c *Client) attemptContext(ctx context.Context, attempt, maxRetries int) (context.Context, context.CancelFunc) {
+	to := c.AttemptTimeout
+	if to < 0 {
+		return ctx, func() {}
+	}
+	if to == 0 {
+		dl, ok := ctx.Deadline()
+		if !ok {
+			return ctx, func() {}
+		}
+		attemptsLeft := maxRetries - attempt + 1
+		if attemptsLeft < 1 {
+			attemptsLeft = 1
+		}
+		to = time.Until(dl) / time.Duration(attemptsLeft)
+		if to <= 0 {
+			// Deadline already passed; let post observe the dead context.
+			return ctx, func() {}
+		}
+	}
+	return context.WithTimeout(ctx, to)
 }
 
 // backoff is the jittered exponential wait before retry attempt+1:
@@ -168,7 +226,7 @@ func (c *Client) doSleep(ctx context.Context, d time.Duration) error {
 }
 
 // post is one attempt: POST, drain, classify.
-func (c *Client) post(ctx context.Context, path string, body []byte) ([]byte, error) {
+func (c *Client) post(ctx context.Context, path string, body []byte) (*Result, error) {
 	httpc := c.HTTP
 	if httpc == nil {
 		httpc = http.DefaultClient
@@ -198,5 +256,9 @@ func (c *Client) post(ctx context.Context, path string, body []byte) ([]byte, er
 		}
 		return nil, se
 	}
-	return data, nil
+	return &Result{
+		Body:     data,
+		XCache:   resp.Header.Get("X-Cache"),
+		Degraded: resp.Header.Get("X-Degraded") == "true",
+	}, nil
 }

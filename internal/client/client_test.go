@@ -166,3 +166,101 @@ func TestCancelledContextStopsRetrying(t *testing.T) {
 		t.Errorf("took %v to notice cancellation", d)
 	}
 }
+
+// TestAttemptTimeoutRecoversFromStall: a server that hangs on the
+// first request must not consume the whole context deadline — the
+// per-attempt timeout kills the stalled attempt and the retry
+// succeeds well inside the deadline.
+func TestAttemptTimeoutRecoversFromStall(t *testing.T) {
+	var calls atomic.Int64
+	release := make(chan struct{})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			// Stall the first attempt until the test ends.
+			select {
+			case <-release:
+			case <-r.Context().Done():
+			}
+			return
+		}
+		w.Write([]byte(`ok`))
+	}))
+	t.Cleanup(ts.Close)
+	t.Cleanup(func() { close(release) })
+
+	fs := &fakeSleep{}
+	c := &Client{BaseURL: ts.URL, Seed: 1, AttemptTimeout: 100 * time.Millisecond, sleep: fs.sleep}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	t0 := time.Now()
+	out, err := c.Do(ctx, "/v1/advise", []byte(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != "ok" {
+		t.Fatalf("body %q", out)
+	}
+	if calls.Load() != 2 {
+		t.Errorf("%d requests, want 2 (stalled + retried)", calls.Load())
+	}
+	if d := time.Since(t0); d > 10*time.Second {
+		t.Errorf("took %v; the stalled attempt consumed the deadline", d)
+	}
+}
+
+// TestAttemptTimeoutDerivedFromDeadline: with no explicit
+// AttemptTimeout, the remaining deadline is split across the attempts
+// still allowed, so a stalling server still yields every retry a turn.
+func TestAttemptTimeoutDerivedFromDeadline(t *testing.T) {
+	var calls atomic.Int64
+	release := make(chan struct{})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) < 3 {
+			select {
+			case <-release:
+			case <-r.Context().Done():
+			}
+			return
+		}
+		w.Write([]byte(`ok`))
+	}))
+	t.Cleanup(ts.Close)
+	t.Cleanup(func() { close(release) })
+
+	fs := &fakeSleep{}
+	c := &Client{BaseURL: ts.URL, Seed: 1, sleep: fs.sleep}
+	// 2s deadline, 5 attempts: each attempt is capped around 400ms, so
+	// two stalled attempts burn well under the full deadline and the
+	// third succeeds.
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	out, err := c.Do(ctx, "/v1/advise", []byte(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != "ok" {
+		t.Fatalf("body %q", out)
+	}
+	if calls.Load() != 3 {
+		t.Errorf("%d requests, want 3", calls.Load())
+	}
+}
+
+// TestDoResultMetadata: DoResult surfaces the X-Cache and X-Degraded
+// serving metadata the cluster frontend forwards.
+func TestDoResultMetadata(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("X-Cache", "hit")
+		w.Header().Set("X-Degraded", "true")
+		w.Write([]byte(`{}`))
+	}))
+	t.Cleanup(ts.Close)
+	c := &Client{BaseURL: ts.URL, Seed: 1}
+	res, err := c.DoResult(context.Background(), "/v1/advise", []byte(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.XCache != "hit" || !res.Degraded {
+		t.Fatalf("metadata = %+v, want XCache=hit Degraded=true", res)
+	}
+}

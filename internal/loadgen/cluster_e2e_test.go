@@ -1,0 +1,148 @@
+package loadgen
+
+import (
+	"os"
+	"strconv"
+	"testing"
+	"time"
+
+	"vmcloud/internal/server"
+)
+
+// TestClusterChaosKillAllButOneE2E is the cluster-mode chaos gate the
+// CI race step runs: a 3-worker fleet takes a mixed load while 2 of
+// the 3 workers are killed mid-run. The contract is the overload-safe
+// serving story extended across the topology — zero hung requests,
+// zero hard errors (every response is a success, degraded, stale
+// serve, or 429+Retry-After), and after the run drains there is not
+// one solve goroutine left anywhere: frontend, survivors, or corpses.
+// LOADGEN_E2E_REQUESTS scales the run up for soak testing.
+func TestClusterChaosKillAllButOneE2E(t *testing.T) {
+	requests := 300
+	if s := os.Getenv("LOADGEN_E2E_REQUESTS"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n <= 0 {
+			t.Fatalf("LOADGEN_E2E_REQUESTS=%q: want a positive integer", s)
+		}
+		requests = n
+	}
+	lc := server.NewLocalCluster(server.LocalClusterOptions{
+		Workers:  3,
+		Frontend: server.Options{RequestTimeout: time.Minute},
+		Worker:   server.Options{RequestTimeout: time.Minute},
+		Cluster: server.ClusterOptions{
+			Seed: 17,
+			// A dead worker refuses instantly, but a fast detector keeps
+			// even the first post-kill requests from burning attempts on
+			// corpses; the short cooldown bounds Retry-After on the
+			// all-down sheds.
+			HealthInterval: 20 * time.Millisecond,
+			AttemptTimeout: 10 * time.Second,
+		},
+	})
+	defer lc.Close()
+
+	// Kill all but worker-2 once the run is underway: requests in
+	// flight on the victims observe a connection reset mid-solve and
+	// fail over; later requests find the corpses ejected.
+	killed := make(chan struct{})
+	go func() {
+		defer close(killed)
+		time.Sleep(150 * time.Millisecond)
+		lc.KillWorker("worker-0")
+		lc.KillWorker("worker-1")
+	}()
+
+	cfg := Config{
+		Seed:        19,
+		Tenants:     4,
+		Schemas:     2,
+		Requests:    requests,
+		Concurrency: 16,
+		HitRatio:    0.3,
+		Mix:         Mix{Advise: 6, Compare: 1, Sweep: 1},
+	}
+	res, err := Run(cfg, NewHandlerTarget(lc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-killed
+
+	// The hard gate: nothing but 200s and 429s ever reached a client.
+	// The harness counts any other status — and any hang that outlives
+	// its deadline — as an error.
+	if res.Errors != 0 {
+		t.Fatalf("%d hard errors with 2/3 workers dead (want only success/degraded/stale/429)", res.Errors)
+	}
+	var served, shed int
+	for _, st := range res.Endpoints {
+		served += st.Hits + st.Misses + st.Coalesced
+		shed += st.Shed
+	}
+	if served == 0 {
+		t.Fatal("nothing served: the surviving worker did not carry its share of the ring")
+	}
+	if served+shed != res.Total {
+		t.Errorf("outcome accounting: served %d + shed %d != total %d", served, shed, res.Total)
+	}
+
+	// Whole-topology drain: the killed workers' cancelled solves, the
+	// survivors' real ones, and the frontend's forward leaders must all
+	// exit.
+	deadline := time.Now().Add(10 * time.Second)
+	for lc.InflightSolves() != 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if n := lc.InflightSolves(); n != 0 {
+		t.Fatalf("%d solve goroutines still live across the cluster after drain", n)
+	}
+	t.Logf("served=%d shed=%d total=%d", served, shed, res.Total)
+}
+
+// TestClusterPartitionChaosE2E drives the nastier fault through the
+// same harness: one worker is partitioned (forwards hang, not fail)
+// mid-run. With a tight per-attempt timeout the frontend converts the
+// silence into failovers; the run must still finish with zero hard
+// errors and drain clean.
+func TestClusterPartitionChaosE2E(t *testing.T) {
+	lc := server.NewLocalCluster(server.LocalClusterOptions{
+		Workers:  3,
+		Frontend: server.Options{RequestTimeout: time.Minute},
+		Worker:   server.Options{RequestTimeout: time.Minute},
+		Cluster: server.ClusterOptions{
+			Seed:           23,
+			HealthInterval: 20 * time.Millisecond,
+			CheckTimeout:   50 * time.Millisecond,
+			AttemptTimeout: 250 * time.Millisecond,
+		},
+	})
+	defer lc.Close()
+
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		lc.PartitionWorker("worker-1")
+	}()
+
+	cfg := Config{
+		Seed:        29,
+		Tenants:     3,
+		Schemas:     2,
+		Requests:    200,
+		Concurrency: 8,
+		HitRatio:    0.4,
+	}
+	res, err := Run(cfg, NewHandlerTarget(lc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("%d hard errors under partition (want silence converted to failover, not 5xx)", res.Errors)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for lc.InflightSolves() != 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if n := lc.InflightSolves(); n != 0 {
+		t.Fatalf("%d solve goroutines still live after drain", n)
+	}
+}

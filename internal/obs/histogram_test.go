@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestHistogramQuantile(t *testing.T) {
+	h := newHistogram([]time.Duration{
+		10 * time.Millisecond, 100 * time.Millisecond, time.Second,
+	})
+
+	if got := h.Quantile(0.95); got != 0 {
+		t.Fatalf("empty histogram quantile = %v, want 0", got)
+	}
+
+	// 90 fast, 9 medium, 1 slow: p50 lands in the first bucket, p95 in
+	// the second, p100 in the third.
+	for i := 0; i < 90; i++ {
+		h.Observe(time.Millisecond)
+	}
+	for i := 0; i < 9; i++ {
+		h.Observe(50 * time.Millisecond)
+	}
+	h.Observe(500 * time.Millisecond)
+
+	cases := []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0, 10 * time.Millisecond},
+		{0.5, 10 * time.Millisecond},
+		{0.9, 10 * time.Millisecond},
+		{0.95, 100 * time.Millisecond},
+		{1, time.Second},
+		{-1, 10 * time.Millisecond}, // clamped
+		{2, time.Second},            // clamped
+	}
+	for _, c := range cases {
+		if got := h.Quantile(c.q); got != c.want {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestHistogramQuantileInfBucket(t *testing.T) {
+	h := newHistogram([]time.Duration{10 * time.Millisecond, 100 * time.Millisecond})
+	// All observations beyond the last bound: the histogram cannot
+	// resolve past it, so every quantile reports the largest finite
+	// bound rather than pretending precision it doesn't have.
+	for i := 0; i < 5; i++ {
+		h.Observe(time.Second)
+	}
+	if got := h.Quantile(0.5); got != 100*time.Millisecond {
+		t.Fatalf("Quantile(0.5) with +Inf mass = %v, want 100ms", got)
+	}
+}

@@ -102,3 +102,42 @@ func BenchmarkAdviseCacheHitHot(b *testing.B) {
 		}
 	}
 }
+
+// TestClusterFrontendCacheHitAllocBudget pins the same zero-alloc
+// budget for a cluster frontend's hit path: routing only touches cold
+// keys, so a warm repeat must cost exactly what a single-node hit does
+// — the ring, health tracker and transport stay entirely off the path.
+func TestClusterFrontendCacheHitAllocBudget(t *testing.T) {
+	lc := NewLocalCluster(LocalClusterOptions{
+		Workers: 2,
+		// No background health loop: AllocsPerRun needs a quiet process.
+		Cluster: ClusterOptions{HealthInterval: -1},
+	})
+	defer lc.Close()
+	bodyStr := adviseBody("mv1", `"budget":25`)
+	if w := do(t, lc.Frontend, "POST", "/v1/advise", bodyStr); w.Code != 200 {
+		t.Fatalf("prime: %d: %s", w.Code, w.Body.String())
+	}
+	if w := do(t, lc.Frontend, "POST", "/v1/advise", bodyStr); w.Header().Get("X-Cache") != "hit" {
+		t.Fatalf("repeat X-Cache = %q, want hit", w.Header().Get("X-Cache"))
+	}
+
+	body := &resettableBody{}
+	req := &http.Request{
+		Method: "POST",
+		URL:    &url.URL{Path: "/v1/advise"},
+		Body:   body,
+	}
+	w := &nullResponseWriter{h: make(http.Header)}
+	allocs := testing.AllocsPerRun(200, func() {
+		body.Reset([]byte(bodyStr))
+		w.status = 0
+		lc.Frontend.ServeHTTP(w, req)
+		if w.status != 200 {
+			t.Fatalf("status %d on hit path", w.status)
+		}
+	})
+	if allocs > 2 {
+		t.Errorf("cluster-frontend hit path costs %.1f allocs/request, budget 2", allocs)
+	}
+}

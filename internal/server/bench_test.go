@@ -3,7 +3,9 @@ package server
 import (
 	"bytes"
 	"fmt"
+	"net/http"
 	"net/http/httptest"
+	"net/url"
 	"testing"
 )
 
@@ -178,5 +180,37 @@ func BenchmarkAdviseCacheMissDistinct(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		body := fmt.Appendf(nil, `{"scenario":"mv1","budget":25,"queries":10,"frequency":%d}`, i%1000+1)
 		postAdvise(b, s, body)
+	}
+}
+
+// BenchmarkClusterAdviseCacheHitHot measures the cluster frontend's
+// warm hit path with a reused request and response writer — it must
+// report 0 allocs/op, identical to the single-node benchmark, because
+// routing never touches warm keys.
+func BenchmarkClusterAdviseCacheHitHot(b *testing.B) {
+	lc := NewLocalCluster(LocalClusterOptions{
+		Workers: 2,
+		Cluster: ClusterOptions{HealthInterval: -1},
+	})
+	defer lc.Close()
+	w := postAdvise(b, lc.Frontend, benchBody)
+	if w.Header().Get("X-Cache") != "miss" {
+		b.Fatal("prime request did not miss")
+	}
+	body := &resettableBody{}
+	req := &http.Request{
+		Method: "POST",
+		URL:    &url.URL{Path: "/v1/advise"},
+		Body:   body,
+	}
+	nw := &nullResponseWriter{h: make(http.Header)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		body.Reset(benchBody)
+		lc.Frontend.ServeHTTP(nw, req)
+		if nw.status != 200 {
+			b.Fatalf("status %d", nw.status)
+		}
 	}
 }

@@ -1,12 +1,15 @@
 package server
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"sync"
 	"testing"
+	"time"
 )
 
 // TestFlightGroupCoalesces pins the group's contract directly: joiners
@@ -245,4 +248,76 @@ func keysOf(m map[string]int) []string {
 		out = append(out, k)
 	}
 	return out
+}
+
+// TestFlightLeaderDeathOnKilledWorker is the cluster-mode singleflight
+// death test: a worker killed mid-solve must (a) fail the in-flight
+// forward immediately, (b) let the frontend re-elect onto the ring
+// successor within the same request, (c) retire the flight key so
+// later requests are not stuck joining a dead call, and (d) leave zero
+// solve goroutines anywhere in the topology — including on the killed
+// worker, whose request context dies with it.
+func TestFlightLeaderDeathOnKilledWorker(t *testing.T) {
+	opts := LocalClusterOptions{
+		Workers: 2,
+		// Slow, deterministic worker solves give the test a window to
+		// kill the serving worker mid-solve.
+		Worker: Options{
+			AdviseWorkers: 32,
+			Chaos:         &ChaosConfig{Seed: 1, LatencyProb: 1, Latency: 400 * time.Millisecond},
+		},
+		Cluster: ClusterOptions{Seed: 21, AttemptTimeout: 10 * time.Second},
+	}
+	body := adviseBody("mv1", `"budget":25`)
+	owner := ownerOf(t, opts, "/v1/advise", body)
+
+	lc := testCluster(t, opts)
+	done := make(chan *httptest.ResponseRecorder, 1)
+	go func() {
+		w := httptest.NewRecorder()
+		req := httptest.NewRequest("POST", "/v1/advise", bytes.NewReader([]byte(body)))
+		lc.Frontend.ServeHTTP(w, req)
+		done <- w
+	}()
+
+	// Wait until the solve is actually in flight on the owner, then
+	// kill it mid-solve.
+	deadline := time.Now().Add(5 * time.Second)
+	for lc.InflightSolves() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if lc.InflightSolves() == 0 {
+		t.Fatal("solve never started")
+	}
+	lc.KillWorker(owner)
+
+	w := <-done
+	if w.Code != 200 {
+		t.Fatalf("leader death: status %d: %s", w.Code, w.Body.String())
+	}
+	if got := w.Header().Get("X-Worker"); got == owner || got == "" {
+		t.Errorf("X-Worker = %q, want the successor of killed %q", got, owner)
+	}
+	if got := lc.Frontend.cluster.failovers.Load(); got != 1 {
+		t.Errorf("failovers = %d, want 1", got)
+	}
+
+	// Every solve goroutine — frontend leader, dead worker's cancelled
+	// solve, successor's solve — must drain.
+	drainCluster(t, lc, 10*time.Second)
+	if n := lc.Frontend.flight.len(); n != 0 {
+		t.Errorf("frontend flight group holds %d keys after the request finished", n)
+	}
+	for i, ws := range lc.Workers {
+		if n := ws.flight.len(); n != 0 {
+			t.Errorf("worker %d flight group holds %d keys", i, n)
+		}
+	}
+
+	// The key is retired and the successor's answer was memoized: the
+	// repeat is a local hit, no forward, no join on a dead call.
+	w2 := do(t, lc.Frontend, "POST", "/v1/advise", body)
+	if w2.Code != 200 || w2.Header().Get("X-Cache") != "hit" {
+		t.Errorf("post-death repeat: status %d, X-Cache %q, want 200/hit", w2.Code, w2.Header().Get("X-Cache"))
+	}
 }

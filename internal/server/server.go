@@ -93,9 +93,15 @@ type Options struct {
 	AdviseQueue int
 	HeavyQueue  int
 	// Chaos, when non-nil, enables the deterministic fault-injection
-	// harness (seeded injected solve latency and panics); used by the
-	// overload load scenarios and tests, never in normal serving.
+	// harness (seeded injected solve latency and panics, plus worker
+	// kill/partition faults in cluster mode); used by the overload and
+	// cluster-chaos load scenarios and tests, never in normal serving.
 	Chaos *ChaosConfig
+	// Cluster, when non-nil, runs this server as a stateless cluster
+	// frontend: requests are canonicalized, memoized and coalesced
+	// locally, but cold solves are forwarded to the ring-selected
+	// worker over Cluster.Transport instead of solving in-process.
+	Cluster *ClusterOptions
 	// MaxFactRows rejects absurd dataset sizes; default 100 billion rows.
 	MaxFactRows int64
 	// MaxQueries bounds an explicit workload; default 64.
@@ -197,15 +203,30 @@ type Server struct {
 	inflightSolves atomic.Int64
 	// slowMu serializes slow-solve log lines.
 	slowMu sync.Mutex
+	// cluster, when non-nil, turns this server into a stateless cluster
+	// frontend: cold solves are forwarded to ring-selected workers
+	// instead of running locally (Options.Cluster).
+	cluster *clusterState
+	// closed stops background goroutines (the cluster health loop);
+	// closeOnce makes Close idempotent.
+	closed    chan struct{}
+	closeOnce sync.Once
+	// tenants lazily registers per-account request counters for
+	// /metrics (bounded; see tenant.go).
+	tenants tenantMetrics
 }
 
-// New builds a server.
+// New builds a server. Cluster-frontend servers (Options.Cluster set)
+// start a background health-check loop; call Close to stop it. New
+// panics on an invalid cluster configuration — a frontend that cannot
+// route is a construction error, not a runtime condition.
 func New(opts Options) *Server {
 	s := &Server{
 		opts:   opts.withDefaults(),
 		flight: newFlightGroup(),
 		stats:  newStats(time.Now()),
 		reg:    obs.NewRegistry(),
+		closed: make(chan struct{}),
 	}
 	s.cache = newLRUCache(s.opts.CacheSize, s.opts.CacheMaxBytes)
 	s.rawKeys = newLRUCache(s.opts.CacheSize, s.opts.CacheMaxBytes)
@@ -220,10 +241,29 @@ func New(opts Options) *Server {
 	s.admHeavy = newAdmission("heavy", s.opts.HeavyWorkers, s.opts.HeavyQueue,
 		s.m.compare.latency[outcomeSolve], s.m.compare.latency[outcomeDegraded],
 		s.m.sweep.latency[outcomeSolve], s.m.sweep.latency[outcomeDegraded])
+	if opts.Cluster != nil {
+		cl, err := newClusterState(*opts.Cluster, s.opts.RequestTimeout)
+		if err != nil {
+			panic("server: " + err.Error())
+		}
+		s.cluster = cl
+		cl.registerClusterMetrics(s.reg)
+		if cl.opts.HealthInterval > 0 {
+			go s.healthLoop()
+		}
+	}
+	s.tenants.init(s.reg)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/advise", s.counted("advise", s.handleAdvise))
 	s.mux.HandleFunc("POST /v1/compare", s.counted("compare", s.handleCompare))
 	s.mux.HandleFunc("POST /v1/sweep", s.counted("sweep", s.handleSweep))
+	// Tenant-scoped aliases: the {account} path segment namespaces the
+	// memoization caches and the per-tenant stats, so tenants can
+	// neither poison nor read each other's entries. The default routes
+	// accept the same namespace via the X-Account header.
+	s.mux.HandleFunc("POST /v1/t/{account}/advise", s.counted("advise", s.handleAdvise))
+	s.mux.HandleFunc("POST /v1/t/{account}/compare", s.counted("compare", s.handleCompare))
+	s.mux.HandleFunc("POST /v1/t/{account}/sweep", s.counted("sweep", s.handleSweep))
 	s.mux.HandleFunc("GET /v1/tariffs", s.counted("tariffs", s.handleTariffs))
 	s.mux.HandleFunc("GET /v1/stats", s.counted("stats", s.handleStats))
 	s.mux.HandleFunc("GET /v1/version", s.counted("version", s.handleVersion))
@@ -361,15 +401,21 @@ type outcome struct {
 	// incumbent; the body is valid but timing-dependent, so it is never
 	// cached and the response carries X-Degraded: true.
 	degraded bool
-	// shed means admission control refused the solve; retryAfter is the
-	// backoff to advertise. When stale is also set, body holds an
+	// shed means admission control (or, in cluster mode, an all-down
+	// ring neighborhood) refused the solve; retryAfter is the backoff to
+	// advertise and shedMsg the optional reason (defaulting to the
+	// admission-control message). When stale is also set, body holds an
 	// evicted cache entry to serve (200, X-Cache: stale) instead.
 	shed       bool
 	stale      bool
 	retryAfter time.Duration
+	shedMsg    string
 	// panicked marks a solve that panicked and was contained; err holds
 	// the panic value and the response is a 500.
 	panicked bool
+	// worker, in cluster mode, names the worker that served the solve
+	// (surfaced as X-Worker for tests and debugging).
+	worker string
 }
 
 // AdviseResponse is the body of a successful POST /v1/advise.
@@ -470,10 +516,14 @@ func internLabel(b []byte) string {
 // the verbatim body and, when the raw-key LRU still knew the body but
 // the response was evicted, the recovered canonical key.
 type probeState struct {
-	// rawKey is the pooled "<endpoint>\x00<body>" buffer (valid only for
-	// the duration of the request); raw is the body slice of it.
+	// rawKey is the pooled "<endpoint>\x00<account>\x00<body>" buffer
+	// (valid only for the duration of the request); raw is the body
+	// slice of it.
 	rawKey []byte
 	raw    []byte
+	// account is the request's tenant namespace ("" for the default
+	// namespace); part of both cache key layouts.
+	account string
 	// label/key/cacheKey are set when the probe recovered the canonical
 	// key from the raw-key LRU (evicted-response case); empty otherwise.
 	label, key, cacheKey string
@@ -502,9 +552,22 @@ type slowFn func(s *Server, w http.ResponseWriter, r *http.Request, ps probeStat
 // onto a single solve.
 func (s *Server) serveMemoized(w http.ResponseWriter, r *http.Request, endpoint string, em *endpointMetrics, slow slowFn) {
 	start := time.Now()
+	account, ok := accountFrom(r)
+	if !ok {
+		s.stats.failure()
+		writeError(w, http.StatusBadRequest, "invalid account id (want 1-64 chars of [a-zA-Z0-9_-])")
+		em.observe(outcomeError, time.Since(start))
+		return
+	}
+	if account != "" {
+		s.stats.tenantRequest(account)
+		s.tenants.record(account)
+	}
 	rb := reqBufPool.Get().(*reqBuf)
 	defer func() { rb.b = rb.b[:0]; reqBufPool.Put(rb) }()
 	rb.b = append(rb.b[:0], endpoint...)
+	rb.b = append(rb.b, 0)
+	rb.b = append(rb.b, account...)
 	rb.b = append(rb.b, 0)
 	prefix := len(rb.b)
 	var err error
@@ -515,7 +578,7 @@ func (s *Server) serveMemoized(w http.ResponseWriter, r *http.Request, endpoint 
 		em.observe(outcomeError, time.Since(start))
 		return
 	}
-	ps := probeState{rawKey: rb.b, raw: rb.b[prefix:], start: start, em: em}
+	ps := probeState{rawKey: rb.b, raw: rb.b[prefix:], account: account, start: start, em: em}
 
 	if packed, ok := s.rawKeys.view(rb.b); ok {
 		if i := bytes.IndexByte(packed, 0); i >= 0 {
@@ -529,7 +592,7 @@ func (s *Server) serveMemoized(w http.ResponseWriter, r *http.Request, endpoint 
 			// Response evicted; the canonical key spares re-canonicalizing.
 			ps.label = internLabel(packed[:i])
 			ps.cacheKey = string(packed[i+1:])
-			ps.key = ps.cacheKey[len(endpoint)+1:]
+			ps.key = ps.cacheKey[prefix:]
 		}
 	}
 	slow(s, w, r, ps)
@@ -549,7 +612,7 @@ func (s *Server) finishMemoized(w http.ResponseWriter, r *http.Request, spec mem
 			ps.em.observe(outcomeError, time.Since(ps.start))
 			return
 		}
-		cacheKey = spec.endpoint + "\x00" + key
+		cacheKey = spec.endpoint + "\x00" + ps.account + "\x00" + key
 		s.rawKeys.Put(string(ps.rawKey), []byte(label+"\x00"+cacheKey))
 		// A differently-spelled equivalent request may have already
 		// cached the canonical response.
@@ -559,11 +622,16 @@ func (s *Server) finishMemoized(w http.ResponseWriter, r *http.Request, spec mem
 			ps.em.observe(outcomeHit, time.Since(ps.start))
 			return
 		}
-	} else if err := spec.reload(key); err != nil {
-		s.stats.failure()
-		writeError(w, http.StatusInternalServerError, err.Error())
-		ps.em.observe(outcomeError, time.Since(ps.start))
-		return
+	} else if s.cluster == nil {
+		// The canonical key was recovered from the raw-key LRU; rebuild
+		// the handler state the local solve needs. A cluster frontend
+		// skips this: it forwards the canonical body instead of solving.
+		if err := spec.reload(key); err != nil {
+			s.stats.failure()
+			writeError(w, http.StatusInternalServerError, err.Error())
+			ps.em.observe(outcomeError, time.Since(ps.start))
+			return
+		}
 	}
 
 	// Singleflight: the first request for a cold key runs the solve; any
@@ -577,7 +645,11 @@ func (s *Server) finishMemoized(w http.ResponseWriter, r *http.Request, spec mem
 	if leader {
 		sctx, cancel := context.WithTimeout(context.Background(), s.opts.RequestTimeout)
 		s.flight.setCancel(call, cancel)
-		go s.runSolve(sctx, spec, label, cacheKey, call)
+		if s.cluster != nil {
+			go s.runForward(sctx, spec, label, ps.account, key, cacheKey, ps.em, call)
+		} else {
+			go s.runSolve(sctx, spec, label, cacheKey, call)
+		}
 	}
 
 	// The request waits past the solve deadline by DegradeGrace: the
@@ -606,17 +678,25 @@ func (s *Server) finishMemoized(w http.ResponseWriter, r *http.Request, spec mem
 // respondSolved maps a finished solve's outcome onto the HTTP response
 // and the outcome-split instruments.
 func (s *Server) respondSolved(w http.ResponseWriter, r *http.Request, endpoint, label string, leader bool, out outcome, ps probeState) {
+	if out.worker != "" {
+		w.Header().Set("X-Worker", out.worker)
+	}
 	switch {
 	case out.shed && out.stale:
-		// Admission refused the solve but an evicted cached response for
-		// this exact key survives: serve it, clearly marked.
+		// Admission (or an all-down ring neighborhood) refused the solve
+		// but an evicted cached response for this exact key survives:
+		// serve it, clearly marked.
 		s.stats.staleServe()
 		writeBody(w, http.StatusOK, out.body, "stale")
 		ps.em.observe(outcomeStale, time.Since(ps.start))
 	case out.shed:
 		s.stats.shedReq()
 		w.Header().Set("Retry-After", strconv.FormatInt(ceilSeconds(out.retryAfter), 10))
-		writeError(w, http.StatusTooManyRequests, "overloaded: solve queue full, retry later")
+		msg := out.shedMsg
+		if msg == "" {
+			msg = "overloaded: solve queue full, retry later"
+		}
+		writeError(w, http.StatusTooManyRequests, msg)
 		ps.em.observe(outcomeShed, time.Since(ps.start))
 	case out.panicked:
 		s.stats.panicked()
@@ -1073,6 +1153,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	snap := s.stats.snapshot(time.Now(), s.cache.Len(), s.cache.Cap(),
 		s.cache.NamespaceStats(), s.rawKeys.NamespaceStats())
 	snap.Cache.Bytes = s.cache.Bytes() + s.rawKeys.Bytes()
+	if s.cluster != nil {
+		snap.Cluster = s.cluster.statsJSON()
+	}
 	writeJSON(w, http.StatusOK, snap)
 }
 

@@ -39,7 +39,15 @@ type stats struct {
 	hitsByEndpoint      map[string]int64
 	missesByEndpoint    map[string]int64
 	coalescedByEndpoint map[string]int64
+	// byTenant counts requests per account namespace, capped at
+	// maxTenantSeries distinct accounts (beyond that, "other") so a
+	// tenant-ID flood cannot balloon the stats map.
+	byTenant map[string]int64
 }
+
+// maxTenantSeries bounds the distinct accounts tracked individually in
+// stats and /metrics.
+const maxTenantSeries = 256
 
 func newStats(now time.Time) *stats {
 	return &stats{
@@ -49,7 +57,18 @@ func newStats(now time.Time) *stats {
 		hitsByEndpoint:      make(map[string]int64),
 		missesByEndpoint:    make(map[string]int64),
 		coalescedByEndpoint: make(map[string]int64),
+		byTenant:            make(map[string]int64),
 	}
+}
+
+// tenantRequest counts one request in an account namespace.
+func (s *stats) tenantRequest(account string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.byTenant[account]; !ok && len(s.byTenant) >= maxTenantSeries {
+		account = "other"
+	}
+	s.byTenant[account]++
 }
 
 func (s *stats) request(endpoint string) {
@@ -198,6 +217,12 @@ type statsJSON struct {
 	// Caches breaks the shared memoization caches down per endpoint:
 	// resident response/raw-key entries and bytes plus hit/miss counts.
 	Caches map[string]endpointCacheJSON `json:"caches"`
+	// Tenants counts requests per account namespace (absent when no
+	// tenant-scoped request has been seen, keeping default responses
+	// byte-identical to earlier versions).
+	Tenants map[string]int64 `json:"tenants,omitempty"`
+	// Cluster is the frontend routing plane (cluster mode only).
+	Cluster *clusterStatsJSON `json:"cluster,omitempty"`
 }
 
 // endpointCacheJSON is one endpoint's slice of the memoization caches.
@@ -277,6 +302,13 @@ func (s *stats) snapshot(now time.Time, cacheLen, cacheCap int, resp, raw map[st
 		c.Coalesced = n
 		caches[ns] = c
 	}
+	var tenants map[string]int64
+	if len(s.byTenant) > 0 {
+		tenants = make(map[string]int64, len(s.byTenant))
+		for k, v := range s.byTenant {
+			tenants[k] = v
+		}
+	}
 	return statsJSON{
 		UptimeSeconds: now.Sub(s.start).Seconds(),
 		Requests:      s.requests,
@@ -293,7 +325,8 @@ func (s *stats) snapshot(now time.Time, cacheLen, cacheCap int, resp, raw map[st
 			Panics:      s.panics,
 			ByScenario:  byScenario,
 		},
-		Cache:  cacheStatsJSON{Entries: cacheLen, Capacity: cacheCap},
-		Caches: caches,
+		Cache:   cacheStatsJSON{Entries: cacheLen, Capacity: cacheCap},
+		Caches:  caches,
+		Tenants: tenants,
 	}
 }

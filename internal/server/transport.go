@@ -1,0 +1,352 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"vmcloud/internal/client"
+)
+
+// WorkerReply is what one forwarded attempt observed from a worker:
+// the status, the response body, and the serving metadata the frontend
+// relays (degradation marker, shed backoff hint, cache disposition).
+type WorkerReply struct {
+	Status     int
+	Body       []byte
+	Degraded   bool
+	RetryAfter time.Duration
+	XCache     string
+}
+
+// Transport moves one solve request from the frontend to a named
+// worker. Implementations must honor ctx — the frontend's per-attempt
+// timeout is the only thing that turns a network partition into a
+// detectable failure — and must be safe for concurrent use.
+//
+// Two implementations ship: MemTransport runs the whole topology
+// in-process (tier-1 tests, -cluster single-binary mode) and
+// HTTPTransport speaks to real workers over TCP via the retrying
+// client (with retries disabled — failover policy belongs to the
+// frontend, which knows the ring, not to the transport).
+type Transport interface {
+	// Forward posts body to path on worker, with account carried as the
+	// tenant namespace. A reply is returned for any HTTP response,
+	// including 4xx/5xx; err is reserved for transport-level failure
+	// (connection refused/reset, timeout, partition).
+	Forward(ctx context.Context, worker, path, account string, body []byte) (*WorkerReply, error)
+	// Check probes worker's liveness (GET /healthz or equivalent).
+	Check(ctx context.Context, worker string) error
+}
+
+// errWorkerDown and errWorkerPartitioned are the transport-level
+// failures MemTransport injects: a killed worker refuses instantly
+// (like a closed TCP port), a partitioned one hangs until the attempt
+// deadline (like a black-holed route).
+var (
+	errWorkerDown        = errors.New("worker down: connection refused")
+	errWorkerKilledMid   = errors.New("worker died mid-request: connection reset")
+	errUnknownWorker     = errors.New("unknown worker")
+	errWorkerPartitioned = errors.New("worker partitioned: request timed out")
+)
+
+// memWorker is one in-process worker endpoint plus its fault state.
+type memWorker struct {
+	srv *Server
+
+	mu          sync.Mutex
+	killed      bool
+	partitioned bool
+	// killedCh is closed while the worker is killed, so forwards in
+	// flight observe the death immediately (connection reset) instead
+	// of waiting out their deadline. Recreated on revive.
+	killedCh chan struct{}
+}
+
+// MemTransport runs a worker fleet in-process: forwards are direct
+// ServeHTTP calls on the workers' serving stacks, with kill and
+// partition faults injectable per worker. It powers `mvcloudd -cluster
+// N`, the race-mode chaos e2e, and every tier-1 cluster test — the
+// whole topology inside one process, no sockets.
+type MemTransport struct {
+	mu      sync.Mutex
+	workers map[string]*memWorker
+}
+
+// NewMemTransport builds an empty in-process transport; Register adds
+// workers.
+func NewMemTransport() *MemTransport {
+	return &MemTransport{workers: make(map[string]*memWorker)}
+}
+
+// Register adds (or replaces) a worker.
+func (t *MemTransport) Register(worker string, srv *Server) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.workers[worker] = &memWorker{srv: srv, killedCh: make(chan struct{})}
+}
+
+func (t *MemTransport) worker(name string) *memWorker {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.workers[name]
+}
+
+// Kill marks worker dead: new forwards fail instantly, forwards in
+// flight observe a connection reset, and the worker-side request
+// contexts are cancelled (a dead process stops solving).
+func (t *MemTransport) Kill(worker string) {
+	w := t.worker(worker)
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if !w.killed {
+		w.killed = true
+		close(w.killedCh)
+	}
+}
+
+// Revive brings a killed worker back.
+func (t *MemTransport) Revive(worker string) {
+	w := t.worker(worker)
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.killed {
+		w.killed = false
+		w.killedCh = make(chan struct{})
+	}
+}
+
+// Partition black-holes worker: forwards to it hang until their
+// context deadline instead of failing fast.
+func (t *MemTransport) Partition(worker string) {
+	w := t.worker(worker)
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.partitioned = true
+}
+
+// Heal ends worker's partition.
+func (t *MemTransport) Heal(worker string) {
+	w := t.worker(worker)
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.partitioned = false
+}
+
+// Forward implements Transport against the in-process fleet.
+func (t *MemTransport) Forward(ctx context.Context, worker, path, account string, body []byte) (*WorkerReply, error) {
+	w := t.worker(worker)
+	if w == nil {
+		return nil, errUnknownWorker
+	}
+	w.mu.Lock()
+	killed, partitioned, killedCh := w.killed, w.partitioned, w.killedCh
+	w.mu.Unlock()
+	if killed {
+		return nil, errWorkerDown
+	}
+	if partitioned {
+		// A partition doesn't refuse — it swallows. Only the caller's
+		// deadline bounds the wait, exactly like a black-holed route.
+		<-ctx.Done()
+		return nil, errWorkerPartitioned
+	}
+
+	// The worker request lives under rctx: it dies when the frontend
+	// attempt gives up OR when the worker is killed mid-flight, so the
+	// worker-side flight group sees its waiter leave and cancels the
+	// solve — an in-process stand-in for "the TCP connection died".
+	rctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	done := make(chan *WorkerReply, 1)
+	go func() {
+		req, err := http.NewRequestWithContext(rctx, http.MethodPost, path, bytes.NewReader(body))
+		if err != nil {
+			done <- &WorkerReply{Status: http.StatusInternalServerError, Body: []byte(err.Error())}
+			return
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if account != "" {
+			req.Header.Set("X-Account", account)
+		}
+		rec := newMemRecorder()
+		w.srv.ServeHTTP(rec, req)
+		done <- rec.reply()
+	}()
+	select {
+	case rep := <-done:
+		return rep, nil
+	case <-killedCh:
+		return nil, errWorkerKilledMid
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Check implements Transport: a killed worker fails, a partitioned one
+// hangs out the probe deadline, a live one answers /healthz.
+func (t *MemTransport) Check(ctx context.Context, worker string) error {
+	w := t.worker(worker)
+	if w == nil {
+		return errUnknownWorker
+	}
+	w.mu.Lock()
+	killed, partitioned := w.killed, w.partitioned
+	w.mu.Unlock()
+	if killed {
+		return errWorkerDown
+	}
+	if partitioned {
+		<-ctx.Done()
+		return errWorkerPartitioned
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "/healthz", nil)
+	if err != nil {
+		return err
+	}
+	rec := newMemRecorder()
+	w.srv.ServeHTTP(rec, req)
+	if rec.status != http.StatusOK {
+		return fmt.Errorf("healthz returned %d", rec.status)
+	}
+	return nil
+}
+
+// memRecorder captures one in-process worker response: status,
+// headers, and a copy of the body.
+type memRecorder struct {
+	h      http.Header
+	status int
+	body   bytes.Buffer
+}
+
+func newMemRecorder() *memRecorder {
+	return &memRecorder{h: make(http.Header, 4), status: http.StatusOK}
+}
+
+func (r *memRecorder) Header() http.Header         { return r.h }
+func (r *memRecorder) WriteHeader(s int)           { r.status = s }
+func (r *memRecorder) Write(b []byte) (int, error) { return r.body.Write(b) }
+
+// reply converts the recorded response to the wire form, copying the
+// body out of the recorder (the reply may outlive it).
+func (r *memRecorder) reply() *WorkerReply {
+	return &WorkerReply{
+		Status:     r.status,
+		Body:       append([]byte(nil), r.body.Bytes()...),
+		Degraded:   r.h.Get("X-Degraded") == "true",
+		XCache:     r.h.Get("X-Cache"),
+		RetryAfter: parseRetryAfter(r.h.Get("Retry-After")),
+	}
+}
+
+// HTTPTransport forwards over TCP to real worker processes via the
+// retrying client — with retries disabled, because the frontend owns
+// failover (it knows the ring and the health state; the transport
+// retrying underneath it would double-charge the retry budget).
+type HTTPTransport struct {
+	clients map[string]*client.Client
+	httpc   *http.Client
+}
+
+// NewHTTPTransport builds a transport over worker ID → base URL
+// (e.g. "worker-0" → "http://10.0.0.5:8080"). httpc is the shared
+// underlying client; nil uses http.DefaultClient.
+func NewHTTPTransport(workers map[string]string, httpc *http.Client) *HTTPTransport {
+	t := &HTTPTransport{clients: make(map[string]*client.Client, len(workers)), httpc: httpc}
+	for id, base := range workers {
+		t.clients[id] = &client.Client{BaseURL: base, HTTP: httpc, MaxRetries: -1}
+	}
+	return t
+}
+
+// Forward implements Transport over HTTP.
+func (t *HTTPTransport) Forward(ctx context.Context, worker, path, account string, body []byte) (*WorkerReply, error) {
+	cl := t.clients[worker]
+	if cl == nil {
+		return nil, errUnknownWorker
+	}
+	if account != "" {
+		// The tenant namespace rides the path, not a header, so the
+		// retrying client needs no header plumbing.
+		path = "/v1/t/" + account + path[len("/v1"):]
+	}
+	res, err := cl.DoResult(ctx, path, body)
+	if err == nil {
+		return &WorkerReply{Status: http.StatusOK, Body: res.Body, Degraded: res.Degraded, XCache: res.XCache}, nil
+	}
+	var se *client.StatusError
+	if errors.As(err, &se) {
+		return &WorkerReply{
+			Status:     se.Status,
+			Body:       []byte(se.Body),
+			RetryAfter: se.RetryAfter,
+		}, nil
+	}
+	return nil, err
+}
+
+// Check implements Transport: GET /healthz on the worker.
+func (t *HTTPTransport) Check(ctx context.Context, worker string) error {
+	cl := t.clients[worker]
+	if cl == nil {
+		return errUnknownWorker
+	}
+	httpc := t.httpc
+	if httpc == nil {
+		httpc = http.DefaultClient
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, cl.BaseURL+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := httpc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("healthz returned %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// parseRetryAfter reads a whole-seconds Retry-After value, 0 when
+// absent or malformed.
+func parseRetryAfter(v string) time.Duration {
+	secs, err := strconv.ParseInt(v, 10, 64)
+	if err != nil || secs <= 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// workerErrorMessage extracts the "error" field from a worker's JSON
+// error body, falling back to the raw body.
+func workerErrorMessage(body []byte) string {
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(body, &e); err == nil && e.Error != "" {
+		return e.Error
+	}
+	return string(bytes.TrimSpace(body))
+}

@@ -1,0 +1,148 @@
+package shard
+
+import (
+	"testing"
+	"time"
+)
+
+// clock is a synthetic time source for driving the tracker.
+type clock struct{ t time.Time }
+
+func newClock() *clock { return &clock{t: time.Unix(1_700_000_000, 0)} }
+
+func (c *clock) now() time.Time                    { return c.t }
+func (c *clock) advance(d time.Duration) time.Time { c.t = c.t.Add(d); return c.t }
+
+func TestTrackerEjectsOnConsecutiveFailures(t *testing.T) {
+	c := newClock()
+	tr := NewTracker(HealthConfig{FailThreshold: 3, Cooldown: 2 * time.Second}, []string{"w0"})
+
+	tr.ReportFailure("w0", c.now())
+	tr.ReportFailure("w0", c.now())
+	if !tr.Usable("w0", c.now()) {
+		t.Fatal("ejected before threshold")
+	}
+	tr.ReportFailure("w0", c.now())
+	if tr.Usable("w0", c.now()) {
+		t.Fatal("usable after 3 consecutive failures")
+	}
+	if !tr.Ejected("w0") {
+		t.Fatal("Ejected() false after ejection")
+	}
+}
+
+func TestTrackerSuccessResetsStreak(t *testing.T) {
+	c := newClock()
+	tr := NewTracker(HealthConfig{FailThreshold: 3}, []string{"w0"})
+	tr.ReportFailure("w0", c.now())
+	tr.ReportFailure("w0", c.now())
+	tr.ReportSuccess("w0", time.Millisecond, c.now())
+	tr.ReportFailure("w0", c.now())
+	tr.ReportFailure("w0", c.now())
+	if !tr.Usable("w0", c.now()) {
+		t.Fatal("streak not reset by success")
+	}
+}
+
+func TestTrackerHalfOpenSingleProbe(t *testing.T) {
+	c := newClock()
+	tr := NewTracker(HealthConfig{FailThreshold: 1, Cooldown: 2 * time.Second}, []string{"w0"})
+	tr.ReportFailure("w0", c.now())
+	if tr.Usable("w0", c.now()) {
+		t.Fatal("usable while cooling down")
+	}
+	c.advance(time.Second)
+	if tr.Usable("w0", c.now()) {
+		t.Fatal("usable before cooldown elapsed")
+	}
+	c.advance(time.Second)
+	// First caller after the cooldown gets the probe slot...
+	if !tr.Usable("w0", c.now()) {
+		t.Fatal("no half-open probe slot after cooldown")
+	}
+	// ...and everyone else keeps failing over until the probe settles.
+	if tr.Usable("w0", c.now()) {
+		t.Fatal("second caller also got the probe slot")
+	}
+
+	// A failed probe restarts the cooldown.
+	tr.ReportFailure("w0", c.now())
+	if tr.Usable("w0", c.now()) {
+		t.Fatal("usable right after failed probe")
+	}
+	c.advance(2 * time.Second)
+	if !tr.Usable("w0", c.now()) {
+		t.Fatal("no new probe slot after second cooldown")
+	}
+	// A successful probe closes the breaker for everyone.
+	tr.ReportSuccess("w0", time.Millisecond, c.now())
+	if !tr.Usable("w0", c.now()) || !tr.Usable("w0", c.now()) {
+		t.Fatal("not fully usable after successful probe")
+	}
+	if tr.Ejected("w0") {
+		t.Fatal("still ejected after recovery")
+	}
+}
+
+func TestTrackerLatencyEWMAEjection(t *testing.T) {
+	c := newClock()
+	tr := NewTracker(HealthConfig{
+		FailThreshold: 100, // only latency can eject here
+		EjectLatency:  100 * time.Millisecond,
+		EWMAAlpha:     0.5,
+		Cooldown:      time.Second,
+	}, []string{"w0"})
+
+	tr.ReportSuccess("w0", 10*time.Millisecond, c.now())
+	if !tr.Usable("w0", c.now()) {
+		t.Fatal("fast worker ejected")
+	}
+	// Repeated slow responses pull the EWMA over the ceiling.
+	for i := 0; i < 10; i++ {
+		tr.ReportSuccess("w0", 500*time.Millisecond, c.now())
+	}
+	if tr.Usable("w0", c.now()) {
+		t.Fatal("slow worker not ejected despite EWMA over ceiling")
+	}
+
+	// The half-open probe succeeding fast drags the EWMA back down and
+	// eventually recovers the worker.
+	for i := 0; i < 20; i++ {
+		c.advance(time.Second)
+		if tr.Usable("w0", c.now()) {
+			tr.ReportSuccess("w0", time.Millisecond, c.now())
+		}
+		if !tr.Ejected("w0") {
+			break
+		}
+	}
+	if tr.Ejected("w0") {
+		t.Fatal("slow worker never recovered after fast probes")
+	}
+}
+
+func TestTrackerUnknownWorkerStartsHealthy(t *testing.T) {
+	c := newClock()
+	tr := NewTracker(HealthConfig{}, nil)
+	if !tr.Usable("late-joiner", c.now()) {
+		t.Fatal("unknown worker not usable")
+	}
+}
+
+func TestTrackerSnapshotSorted(t *testing.T) {
+	c := newClock()
+	tr := NewTracker(HealthConfig{FailThreshold: 1}, []string{"w2", "w0", "w1"})
+	tr.ReportFailure("w1", c.now())
+	snap := tr.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("snapshot has %d workers, want 3", len(snap))
+	}
+	for i := 1; i < len(snap); i++ {
+		if snap[i-1].Worker >= snap[i].Worker {
+			t.Fatal("snapshot not sorted by worker")
+		}
+	}
+	if !snap[1].Ejected || snap[0].Ejected || snap[2].Ejected {
+		t.Fatalf("snapshot ejection flags wrong: %+v", snap)
+	}
+}

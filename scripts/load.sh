@@ -23,6 +23,13 @@
 #       bounded p95, and no solve goroutine survives the drain. This is
 #       the overload smoke CI runs (soft) next to the SLO gate.
 #
+#   ./scripts/load.sh --cluster [N]
+#       Run the cluster chaos scenario: a frontend + N-worker fleet
+#       (default 3) under load while all but one worker is killed
+#       mid-run. Exits non-zero unless every response was a success,
+#       degraded answer, stale serve, or 429, and the whole topology
+#       drained. CI runs this smoke soft-fail next to the overload one.
+#
 # The traffic profile is pinned (seed 1, 4 tenants × 2 schemas, 8:1:1
 # advise:compare:sweep, hit-ratio 0.9, 64 concurrent clients) so runs
 # are comparable commit over commit.
@@ -31,6 +38,7 @@ cd "$(dirname "$0")/.."
 
 COMPARE=0
 OVERLOAD=0
+CLUSTER=0
 BASELINE=""
 while [ $# -gt 0 ]; do
   case "$1" in
@@ -44,6 +52,13 @@ while [ $# -gt 0 ]; do
     --overload)
       OVERLOAD=1
       ;;
+    --cluster)
+      CLUSTER=3
+      if [ $# -gt 1 ] && [ "${2#--}" = "$2" ]; then
+        CLUSTER="$2"
+        shift
+      fi
+      ;;
     *)
       echo "load.sh: unknown argument $1" >&2
       exit 2
@@ -53,6 +68,13 @@ while [ $# -gt 0 ]; do
 done
 
 DATE="$(date +%F)"
+
+if [ "$CLUSTER" != 0 ]; then
+  # The cluster run uses mvcloudbench's chaos scenario defaults (kill
+  # all but one worker mid-run) and gates; scale and fleet size are
+  # tunable.
+  exec go run ./cmd/mvcloudbench -cluster "$CLUSTER" -seed 1     -requests "${REQUESTS:-600}" -date "$DATE"
+fi
 
 if [ "$OVERLOAD" = 1 ]; then
   # The overload run uses mvcloudbench's own scenario defaults (sweep
